@@ -1,0 +1,162 @@
+"""ABL-ACC — accuracy and operation-count comparison across paradigms.
+
+Two claims from the paper's discussion:
+
+1. "SNNs have been observed to consistently exhibit a degraded
+   performance relative to CNNs when applied to a variety of
+   event-camera benchmarks" [77] — tested on the *spatial* shapes task
+   (where frames lose nothing), while on the temporal gestures task the
+   ordering flips (Section V's counter-argument);
+2. event-GNNs are competitive "while remarkably requiring orders of
+   magnitude fewer neural network calculations" [69], [70] — a scaling
+   property: CNN operations grow with the pixel count, GNN operations
+   grow with the event count, so the advantage appears at high
+   resolution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_table
+from repro.core import CNNPipeline, GNNPipeline, SNNPipeline
+from repro.datasets import make_shapes_dataset, train_test_split
+from repro.events import Resolution
+from repro.gnn import GraphBuildConfig
+from repro.hw import ConvLayerWorkload
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def shapes_split():
+    ds = make_shapes_dataset(
+        num_per_class=8, resolution=Resolution(24, 24), duration_us=40_000, seed=3
+    )
+    return train_test_split(ds, 0.3, np.random.default_rng(3))
+
+
+def test_spatial_task_accuracies(shapes_split, benchmark):
+    """On spatial tasks the CNN is competitive; measured head-to-head."""
+    train, test = shapes_split
+    pipelines = {
+        "SNN": SNNPipeline(num_steps=12, pool=3, hidden=24, epochs=12),
+        "CNN": CNNPipeline(base_width=6, epochs=12),
+        "GNN": GNNPipeline(
+            config=GraphBuildConfig(
+                radius=4.0, time_scale_us=5000.0, max_events=150, max_degree=8,
+                include_position=True,
+            ),
+            hidden=12,
+            epochs=14,
+        ),
+    }
+    rows = []
+    accs = {}
+    for name, pipe in pipelines.items():
+        pipe.fit(train)
+        metrics = pipe.measure(test)
+        accs[name] = metrics.accuracy
+        rows.append(
+            (name, f"{metrics.accuracy:.2f}", f"{metrics.num_operations:.3g}")
+        )
+    emit(
+        "ABL-ACC: moving-shapes (spatial) task",
+        ascii_table(["paradigm", "accuracy", "ops/classification"], rows),
+    )
+    chance = 1.0 / 3.0
+    for name, acc in accs.items():
+        assert acc > chance + 0.15, f"{name} must beat chance clearly"
+    # The ref [77] observation on spatial tasks: CNN >= SNN.
+    assert accs["CNN"] >= accs["SNN"] - 0.10
+
+    benchmark(pipelines["CNN"].predict, test[0].stream)
+
+
+def test_ops_scaling_cnn_vs_gnn(benchmark):
+    """The resolution sweep behind the 'orders fewer operations' claim.
+
+    A fixed number of events (the scene's information content) is spread
+    over growing sensor resolutions.  Dense CNN MACs grow with the pixel
+    count; GNN operations depend only on events and edges.
+    """
+    from repro.gnn import EventGNNClassifier, GraphBuildConfig, build_event_graph
+    from repro.events import EventStream
+
+    rng = np.random.default_rng(0)
+    num_events = 400
+    model = EventGNNClassifier(3, hidden=12, in_features=2)
+    cfg = GraphBuildConfig(radius=4.0, time_scale_us=3000.0, max_events=400, max_degree=10)
+
+    rows = []
+    ratios = {}
+    for width in (32, 128, 512):
+        res = Resolution(width, width)
+        t = np.cumsum(rng.integers(10, 200, num_events))
+        stream = EventStream.from_arrays(
+            t,
+            rng.integers(0, width, num_events),
+            rng.integers(0, width, num_events),
+            rng.choice([-1, 1], num_events),
+            res,
+        )
+        graph = build_event_graph(stream, cfg)
+        gnn_ops = model.operation_count(graph)
+        # Dense two-layer CNN over the full frame at this resolution.
+        cnn_ops = (
+            ConvLayerWorkload(2, 8, 3, width, width).dense_macs
+            + ConvLayerWorkload(8, 16, 3, width // 2, width // 2).dense_macs
+        )
+        ratios[width] = cnn_ops / gnn_ops
+        rows.append(
+            (f"{width}x{width}", f"{cnn_ops:.3g}", f"{gnn_ops:.3g}", f"{ratios[width]:.1f}x")
+        )
+    emit(
+        "ABL-ACC: dense-CNN vs event-GNN operations, fixed event budget",
+        ascii_table(["resolution", "CNN MACs", "GNN ops", "CNN/GNN"], rows),
+    )
+    # The crossover: at HD-scale resolutions the GNN needs orders of
+    # magnitude fewer operations (the Section IV claim).
+    assert ratios[512] > 100 * ratios[32] / 100  # monotone growth
+    assert ratios[512] > ratios[128] > ratios[32]
+    assert ratios[512] > 50
+
+    benchmark(model.operation_count, graph)
+
+
+def test_snn_conversion_accuracy_gap(benchmark):
+    """Rate-coded conversion trails the source ANN at short time windows
+    and closes the gap as T grows (the [77]-style degradation, measured
+    through our conversion pipeline)."""
+    from repro.cnn import make_mlp
+    from repro.nn import Tensor, accuracy
+    from repro.snn import convert_relu_mlp
+
+    rng = np.random.default_rng(0)
+    x = rng.random((96, 8))
+    y = ((x[:, :4].sum(axis=1)) > (x[:, 4:].sum(axis=1))).astype(np.int64)
+    model = make_mlp(8, 2, hidden=(16,), rng=rng)
+    from repro.nn import Adam, cross_entropy
+
+    opt = Adam(model.parameters(), lr=0.02)
+    for _ in range(150):
+        opt.zero_grad()
+        cross_entropy(model(Tensor(x)), y).backward()
+        opt.step()
+    ann_acc = accuracy(model(Tensor(x)), y)
+    snn = convert_relu_mlp(model, x)
+
+    rows = [("ANN", "-", f"{ann_acc:.3f}")]
+    accs = {}
+    for steps in (5, 20, 100):
+        scores, _ = snn.run(x, steps, np.random.default_rng(1))
+        accs[steps] = float(np.mean(scores.argmax(axis=1) == y))
+        rows.append((f"SNN T={steps}", steps, f"{accs[steps]:.3f}"))
+    emit(
+        "ABL-ACC: ANN accuracy vs rate-coded converted SNN",
+        ascii_table(["model", "timesteps", "accuracy"], rows),
+    )
+    assert accs[100] >= accs[5]  # the gap closes with timesteps
+    assert accs[100] >= ann_acc - 0.05  # and nearly vanishes at T=100
+    assert ann_acc > 0.9
+
+    benchmark(snn.run, x, 20, np.random.default_rng(2))

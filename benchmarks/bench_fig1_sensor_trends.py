@@ -1,0 +1,78 @@
+"""FIG1 — Fig. 1: pixel size and array size trends over the decade.
+
+Regenerates the two scatter series of the paper's Fig. 1 (pixel pitch
+and array size of published event cameras vs year) together with the
+log-linear trend fits, and checks the shape claims of Section II:
+pitch shrinks towards the <= 5 um global-shutter range, array sizes grow
+into the megapixel range, and BSI lifted the fill factor from ~1/5 to
+more than 3/4.
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_table
+from repro.sensors import (
+    SENSOR_SURVEY,
+    fill_factor_by_process,
+    fit_array_size_trend,
+    fit_pixel_pitch_trend,
+)
+
+from conftest import emit
+
+
+def test_fig1_scatter_and_trends(benchmark):
+    pitch_fit, array_fit = benchmark(
+        lambda: (fit_pixel_pitch_trend(), fit_array_size_trend())
+    )
+
+    rows = [
+        (
+            s.year,
+            s.name,
+            f"{s.pixel_pitch_um:.2f}",
+            f"{s.megapixels:.3f}",
+            "BSI" if s.backside_illuminated else "FSI",
+            f"{s.fill_factor:.2f}" if s.fill_factor else "-",
+        )
+        for s in SENSOR_SURVEY
+    ]
+    table = ascii_table(
+        ["year", "sensor", "pitch um", "Mpx", "process", "fill factor"], rows
+    )
+    trend_rows = [
+        ("pixel pitch", f"{pitch_fit.factor_per_decade:.3f}x / decade", f"r2={pitch_fit.r_squared:.2f}"),
+        ("array size", f"{array_fit.factor_per_decade:.1f}x / decade", f"r2={array_fit.r_squared:.2f}"),
+    ]
+    emit(
+        "FIG1: event-camera sensor scaling, 2008-2022",
+        table + "\n\n" + ascii_table(["series", "trend", "fit"], trend_rows),
+    )
+
+    # Shape claims.
+    assert pitch_fit.factor_per_decade < 0.5, "pixel pitch must shrink strongly"
+    assert array_fit.factor_per_decade > 5, "array size must grow strongly"
+    first, last = SENSOR_SURVEY[0], max(SENSOR_SURVEY, key=lambda s: s.num_pixels)
+    assert first.pixel_pitch_um / last.pixel_pitch_um > 5
+    assert last.num_pixels / first.num_pixels > 30
+    # Modern sensors approach the <= 5 um global-shutter range.
+    assert min(s.pixel_pitch_um for s in SENSOR_SURVEY) <= 5.0
+
+
+def test_fig1_fill_factor_step(benchmark):
+    ff = benchmark(fill_factor_by_process)
+    emit(
+        "FIG1 (inset): fill factor by process",
+        "\n".join(f"{k}: {v:.2f}" for k, v in ff.items()),
+    )
+    # "from around one fifth to more than three quarters" (Section II).
+    assert ff["FSI"] < 0.30
+    assert ff["BSI"] > 0.75
+
+
+def test_fig1_throughput_reaches_geps(benchmark):
+    peak = benchmark(
+        lambda: max(s.max_throughput_eps for s in SENSOR_SURVEY if s.max_throughput_eps)
+    )
+    emit("FIG1 (readout): peak published throughput", f"{peak/1e9:.2f} GEPS")
+    assert peak >= 1e9  # "reaching the GEPS range" (Section II)

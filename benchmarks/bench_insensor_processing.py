@@ -1,0 +1,109 @@
+"""ABL-3D — Section I: the 3-D-integrated smart imager.
+
+"A particularly exciting forward-looking goal is a multi-layer
+3D-integrated smart imager chip whereby the event-camera is tightly
+integrated with an AI co-processor that can operate very effectively
+near the data-generating pixels."
+
+Measured: the I/O energy of streaming every event off-chip over the AER
+link versus consuming events locally through the 3-D stack and emitting
+only decisions — as a function of the sensor's event rate (which Fig. 1
+shows climbing into the GEPS range).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_table
+from repro.camera import CameraConfig, EventCamera, TexturePan
+from repro.events import AERCodec, Resolution
+from repro.hw import (
+    GNNAccelerator,
+    GNNWorkload,
+    IOEnergyParams,
+    SmartImagerModel,
+)
+
+from conftest import emit
+
+
+def test_io_saving_vs_event_rate(benchmark):
+    model = SmartImagerModel()
+    duration_us = 100_000
+    rows = []
+    savings = {}
+    for rate_meps in (0.1, 1.0, 100.0, 1000.0):
+        num_events = int(rate_meps * 1e6 * duration_us * 1e-6)
+        stream_cost = model.stream_out(num_events, duration_us)
+        local_cost = model.in_sensor(num_events, duration_us, compute_energy_pj=0.0)
+        savings[rate_meps] = model.io_saving(num_events, duration_us)
+        rows.append(
+            (
+                f"{rate_meps:g} MEPS",
+                f"{stream_cost.energy_pj:.3e}",
+                f"{local_cost.energy_pj:.3e}",
+                f"{savings[rate_meps]:.1f}x",
+            )
+        )
+    emit(
+        "ABL-3D: off-chip streaming vs in-sensor processing (I/O energy, pJ)",
+        ascii_table(["event rate", "stream out", "in-sensor", "saving"], rows),
+    )
+    # Saving grows with rate and approaches the off-chip/TSV energy ratio.
+    assert savings[1000.0] > savings[0.1]
+    ratio = model.io.offchip_pj_per_bit / model.io.tsv_pj_per_bit
+    assert savings[1000.0] == pytest.approx(ratio, rel=0.02)
+    assert savings[1000.0] > 10
+
+    benchmark(model.io_saving, 10_000_000, duration_us)
+
+
+def test_end_to_end_with_real_stream_and_compute(benchmark):
+    """Full-system comparison on a simulated egomotion stream, including
+    the co-processor's compute energy on both sides."""
+    res = Resolution(64, 64)
+    cam = EventCamera(res, CameraConfig(sample_period_us=1000, seed=0))
+    events, _ = cam.record(TexturePan(res, vx_px_per_s=800.0, seed=3), 30_000)
+    codec = AERCodec(res)
+    link = codec.link_stats(events)
+
+    # The same GNN inference runs remotely (after streaming) or in-sensor.
+    accel = GNNAccelerator(features_in_dram=False)
+    compute = accel.run_graph(
+        GNNWorkload(num_nodes=500, num_edges=4000, feature_dim=16)
+    ).energy_pj
+
+    imager = SmartImagerModel(event_bits=link.bits_per_word)
+    streamed = imager.stream_out(len(events), 30_000, compute_energy_pj=compute)
+    local = imager.in_sensor(len(events), 30_000, compute_energy_pj=compute)
+    emit(
+        "ABL-3D: full system on a 64x64 egomotion stream",
+        ascii_table(
+            ["architecture", "I/O pJ", "compute pJ", "total pJ"],
+            [
+                (
+                    "2-chip (stream out)",
+                    f"{streamed.breakdown['io_offchip']:.3e}",
+                    f"{compute:.3e}",
+                    f"{streamed.energy_pj:.3e}",
+                ),
+                (
+                    "3-D smart imager",
+                    f"{local.breakdown['io_tsv'] + local.breakdown['io_offchip']:.3e}",
+                    f"{compute:.3e}",
+                    f"{local.energy_pj:.3e}",
+                ),
+            ],
+        ),
+    )
+    assert local.energy_pj < streamed.energy_pj
+    # At this event rate the link, not the compute, dominates the
+    # streamed architecture — the motivation for in-sensor processing.
+    assert streamed.breakdown["io_offchip"] > compute
+
+    benchmark(imager.in_sensor, len(events), 30_000, compute)
+
+
+def test_io_params_ordering(benchmark):
+    params = benchmark.pedantic(IOEnergyParams, rounds=1, iterations=1)
+    assert params.offchip_pj_per_bit > params.tsv_pj_per_bit > params.onchip_pj_per_bit

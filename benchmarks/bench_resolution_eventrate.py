@@ -1,0 +1,121 @@
+"""ABL-RES — Section II: high-resolution side effects and mitigations.
+
+"Even though event sensors generate inherently sparse data, high rates
+can occur, in particular when the camera undergoes egomotion.  Therefore
+the development of mitigation strategies such as in-sensor
+down-sampling [21], electronically foveated event-pixels [22] or centre
+surround [23] may be required."
+
+A panning texture (egomotion) drives sensors of increasing resolution;
+the raw event rate grows with the pixel count, saturating the readout,
+and each mitigation strategy is measured for the rate it sheds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_table
+from repro.camera import (
+    CameraConfig,
+    EventCamera,
+    Fovea,
+    ReadoutParams,
+    TexturePan,
+    centre_surround_suppression,
+    downsample,
+    foveate,
+    rate_limiter,
+    simulate_readout,
+)
+from repro.events import Resolution
+
+from conftest import emit
+
+DURATION_US = 30_000
+
+
+def record_pan(width, seed=0):
+    res = Resolution(width, width)
+    cam = EventCamera(res, CameraConfig(sample_period_us=1000, seed=seed))
+    pan = TexturePan(res, vx_px_per_s=800.0, texture_scale_px=4.0, seed=3)
+    events, _ = cam.record(pan, DURATION_US)
+    return events
+
+
+def test_rate_scales_with_resolution(benchmark):
+    rows = []
+    rates = {}
+    for width in (16, 32, 64):
+        events = record_pan(width)
+        rate = events.event_rate()
+        rates[width] = rate
+        rows.append((f"{width}x{width}", len(events), f"{rate/1e3:.1f} kEPS"))
+    emit(
+        "ABL-RES: egomotion event rate vs sensor resolution",
+        ascii_table(["resolution", "events/30ms", "rate"], rows),
+    )
+    # Rate grows superlinearly in width (≈ with pixel count).
+    assert rates[32] > 2.5 * rates[16]
+    assert rates[64] > 2.5 * rates[32]
+
+    benchmark(record_pan, 32)
+
+
+def test_readout_saturation(benchmark):
+    """An undersized readout drops events and adds latency at high res."""
+    events = record_pan(64)
+    result = benchmark(
+        simulate_readout, events, ReadoutParams(throughput_eps=2e5, fifo_depth=256)
+    )
+    emit(
+        "ABL-RES: saturated readout at 64x64 under egomotion",
+        ascii_table(
+            ["quantity", "value"],
+            [
+                ("input rate", f"{events.event_rate()/1e3:.1f} kEPS"),
+                ("capacity", "200 kEPS"),
+                ("dropped", f"{result.drop_fraction:.1%}"),
+                ("mean queue latency", f"{result.mean_latency_us:.1f} us"),
+            ],
+        ),
+    )
+    assert result.drop_fraction > 0.05 or result.mean_latency_us > 100
+
+
+def test_mitigation_strategies(benchmark):
+    """All three Section-II mitigations shed rate, with different trades."""
+    events = record_pan(64, seed=1)
+    base = len(events)
+
+    down = downsample(events, 4, refractory_us=1000)
+    fov = foveate(events, Fovea(cx=32, cy=32, radius=12, peripheral_factor=4))
+    cs = centre_surround_suppression(
+        events, surround_radius=2, window_us=10_000, activity_threshold=0.5
+    )
+    limited = rate_limiter(events, max_rate_eps=events.event_rate() / 4)
+
+    rows = [
+        ("raw", base, "1.00"),
+        ("in-sensor downsample x4 [21]", len(down), f"{len(down)/base:.2f}"),
+        ("foveation (r=12, x4 periphery) [22]", len(fov), f"{len(fov)/base:.2f}"),
+        ("centre-surround suppression [23]", len(cs), f"{len(cs)/base:.2f}"),
+        ("event-rate controller [10]", len(limited), f"{len(limited)/base:.2f}"),
+    ]
+    emit(
+        "ABL-RES: mitigation strategies at 64x64 egomotion",
+        ascii_table(["strategy", "events", "fraction kept"], rows),
+    )
+    for name, count, _frac in rows[1:]:
+        assert count < base, f"{name} must reduce the event count"
+    # Downsampling by 4 sheds at least half the stream on textured input.
+    assert len(down) < 0.5 * base
+    # Centre-surround suppresses full-field egomotion aggressively.
+    assert len(cs) < 0.7 * base
+    # Foveation keeps the fovea intact: all foveal events survive (the
+    # count can only grow, since peripheral events just outside the rim
+    # may snap to super-pixel centres that land inside the radius).
+    inside = np.hypot(events.x - 32, events.y - 32) <= 12
+    fov_inside = np.hypot(fov.x - 32, fov.y - 32) <= 12
+    assert fov_inside.sum() >= inside.sum()
+
+    benchmark(downsample, events, 4, 1000)

@@ -1,0 +1,134 @@
+"""ABL-CODE — Section III-A: spike encoding formats for ANN→SNN conversion.
+
+"the activity of a spiking neuron is used as an approximation of a
+continuous value … most commonly rate-coding.  Although, this can result
+in excessively active neurons and unevenness error.  Conversion based on
+temporal-difference coding [37] or even by interpreting spikes as bits
+of digital words [38] can lead to sparser network activities."
+
+Measured: spikes-per-value and reconstruction error for rate, latency
+(time-to-first-spike) and temporal-difference coding; and the unevenness
+error of a converted network as a function of the simulation length.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_table
+from repro.snn import (
+    decode_latency,
+    decode_rate,
+    latency_encode,
+    rate_encode,
+    temporal_difference_encode,
+)
+
+from conftest import emit
+
+
+def test_encoding_cost_vs_fidelity(benchmark):
+    rng = np.random.default_rng(0)
+    values = rng.random(500)
+    steps = 128
+    quantum = 1.0 / 32.0
+
+    rate = rate_encode(values, steps, rng)
+    latency = latency_encode(values, steps)
+    # Temporal difference over a static presentation: one onset burst
+    # encodes the value, then silence — rate coding keeps paying per step.
+    seq = np.broadcast_to(values, (steps, values.size))
+    tdelta = temporal_difference_encode(seq, quantum=quantum)
+
+    rows = []
+    spikes = {}
+    errors = {}
+    for name, train, decoded in (
+        ("rate", rate, decode_rate(rate)),
+        ("latency (TTFS)", latency, decode_latency(latency)),
+    ):
+        spikes[name] = float(np.abs(train).sum() / values.size)
+        errors[name] = float(np.abs(decoded - values).mean())
+        rows.append((name, f"{spikes[name]:.2f}", f"{errors[name]:.4f}"))
+    spikes["temporal-diff"] = float(np.abs(tdelta).sum() / values.size)
+    recon = np.cumsum(tdelta, axis=0)[-1] * quantum  # quanta -> value
+    errors["temporal-diff"] = float(np.abs(recon - seq[-1]).mean())
+    rows.append(
+        ("temporal-diff", f"{spikes['temporal-diff']:.2f}", f"{errors['temporal-diff']:.4f}")
+    )
+    emit(
+        "ABL-CODE: spikes per value and reconstruction error (T=128)",
+        ascii_table(["encoding", "spikes/value", "mean |error|"], rows),
+    )
+    # Rate coding is the spike-hungry one; TTFS uses exactly <=1 spike.
+    assert spikes["rate"] > 5 * spikes["latency (TTFS)"]
+    assert spikes["latency (TTFS)"] <= 1.0
+    # Temporal-difference stays sparse on slowly varying signals.
+    assert spikes["temporal-diff"] < spikes["rate"]
+    # All encodings reconstruct to within a timestep quantum.
+    for name in errors:
+        assert errors[name] < 0.15, name
+
+    benchmark(rate_encode, values, steps, np.random.default_rng(1))
+
+
+def test_rate_error_shrinks_with_timesteps(benchmark):
+    rng = np.random.default_rng(0)
+    values = rng.random(300)
+    rows = []
+    errs = []
+    for steps in (8, 32, 128, 512):
+        spikes = rate_encode(values, steps, np.random.default_rng(1))
+        err = float(np.abs(decode_rate(spikes) - values).mean())
+        errs.append(err)
+        rows.append((steps, f"{err:.4f}"))
+    emit(
+        "ABL-CODE: rate-coding error vs simulation length",
+        ascii_table(["timesteps", "mean |error|"], rows),
+    )
+    assert errs[0] > errs[-1]
+    # Monte-Carlo rate: error ~ 1/sqrt(T).
+    assert errs[-1] < errs[0] / 4
+
+    benchmark(rate_encode, values, 128, np.random.default_rng(2))
+
+
+def test_unevenness_and_activity_tradeoff(benchmark):
+    """The conversion artefacts named in Section III-A, on a real net."""
+    from repro.cnn import make_mlp
+    from repro.nn import Adam, Tensor, cross_entropy
+    from repro.snn import conversion_report, convert_relu_mlp
+
+    rng = np.random.default_rng(0)
+    x = rng.random((64, 6))
+    y = (x[:, 0] + x[:, 1] > x[:, 2] + x[:, 3]).astype(np.int64)
+    model = make_mlp(6, 2, hidden=(12,), rng=rng)
+    opt = Adam(model.parameters(), lr=0.02)
+    for _ in range(120):
+        opt.zero_grad()
+        cross_entropy(model(Tensor(x)), y).backward()
+        opt.step()
+    snn = convert_relu_mlp(model, x)
+
+    rows = []
+    reports = {}
+    for steps in (5, 25, 100):
+        rep = conversion_report(model, snn, x, steps, np.random.default_rng(1))
+        reports[steps] = rep
+        rows.append(
+            (
+                steps,
+                f"{rep.agreement:.2f}",
+                f"{rep.mean_unevenness:.4f}",
+                f"{rep.spikes_per_sample:.0f}",
+            )
+        )
+    emit(
+        "ABL-CODE: converted-network unevenness vs simulation length",
+        ascii_table(["timesteps", "ANN agreement", "unevenness", "spikes/sample"], rows),
+    )
+    # Longer simulation: better agreement, lower unevenness, more spikes.
+    assert reports[100].agreement >= reports[5].agreement
+    assert reports[100].mean_unevenness < reports[5].mean_unevenness
+    assert reports[100].spikes_per_sample > reports[5].spikes_per_sample
+
+    benchmark(conversion_report, model, snn, x, 25, np.random.default_rng(2))

@@ -1,0 +1,96 @@
+"""TAB1 — Table I: the 12-axis SNN / CNN / GNN qualitative comparison.
+
+Trains the three instrumented pipelines on a shared motion-gesture
+dataset (whose CW/CCW classes require temporal information), measures
+every quantitative axis, converts the measurements into the paper's
+``++ / + / -`` scale and prints the regenerated table next to the
+published one, together with the cell-by-cell agreement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GNNPipeline,
+    Rating,
+    agreement_with_paper,
+    render_table,
+    run_comparison,
+)
+from repro.gnn import GraphBuildConfig
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    from repro.core import table1_dataset, table1_pipelines
+
+    train, test = table1_dataset(seed=1)
+    result = run_comparison(
+        train, test, temporal_labels=(0, 1), pipelines=table1_pipelines()
+    )
+    return result, train, test
+
+
+def test_table1_regenerated(comparison, benchmark):
+    result, train, test = comparison
+    table = render_table(result)
+    agreement = agreement_with_paper(result)
+    emit(
+        "TABLE I: measured ratings vs the paper's qualitative table",
+        table
+        + f"\n\nagreement with paper: exact {agreement['exact']:.0%}, "
+        + f"within one grade {agreement['within_one']:.0%} "
+        + f"({agreement['cells']} comparable cells)",
+    )
+    # The reproduction's headline: strong qualitative agreement.
+    assert agreement["within_one"] >= 0.75
+    assert agreement["exact"] >= 0.45
+
+    # Benchmark: one GNN classification end-to-end (graph build + forward).
+    gnn_pipe = GNNPipeline(
+        config=GraphBuildConfig(
+            radius=4.0, time_scale_us=3000.0, max_events=250, max_degree=8,
+            include_position=True,
+        ),
+        hidden=12,
+        epochs=1,
+    )
+    gnn_pipe.fit(train.subset(range(4)))
+    stream = test[0].stream
+    benchmark(gnn_pipe.predict, stream)
+
+
+def test_table1_headline_rows(comparison, benchmark):
+    """The rows the paper's argument rests on must come out right."""
+    result, *_ = comparison
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Dense frames discard temporal information (Section III-B / V).
+    assert result.rating("temporal_info", "CNN") is Rating.POOR
+    assert result.rating("temporal_info", "GNN") is Rating.BEST
+    # Event representations are the sparse ones.
+    assert result.rating("data_sparsity", "CNN") is Rating.POOR
+    assert result.rating("data_sparsity", "SNN") is Rating.BEST
+    # Frame accumulation bounds CNN latency from below (Section V).
+    assert result.rating("latency", "CNN") is Rating.POOR
+    assert result.rating("latency", "GNN") is Rating.BEST
+    assert result.rating("latency", "SNN") is Rating.BEST
+    # GNN wins accuracy (Section IV: "already outperformed dense-frame
+    # CNNs on a variety of event-camera benchmarks").
+    assert result.metrics["GNN"].accuracy >= result.metrics["CNN"].accuracy
+
+
+def test_table1_known_deviations(comparison, benchmark):
+    """Documented deviations from the paper's table (see EXPERIMENTS.md).
+
+    At our 24x24 scale the GNN's per-classification operation count does
+    not beat the CNN's (the paper's '# operations ++' for GNNs holds at
+    high resolution, demonstrated in bench_accuracy_comparison's scaling
+    sweep); assert the measured facts so the deviation stays visible.
+    """
+    result, *_ = comparison
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    gnn_ops = result.metrics["GNN"].num_operations
+    snn_ops = result.metrics["SNN"].num_operations
+    assert snn_ops < gnn_ops  # SNN is the op-count winner at this scale

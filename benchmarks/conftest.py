@@ -1,0 +1,21 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md's experiment index) and *prints* the rows/series it reproduces
+— run with ``pytest benchmarks/ --benchmark-only -s`` to see them.
+Assertions encode the *shape* each artefact must have (who wins, rough
+factors, crossovers), so the harness doubles as a regression suite for
+the reproduction's claims.
+"""
+
+import sys
+from pathlib import Path
+
+# Allow `from benchmarks._workloads import ...` style helpers if needed.
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled benchmark artefact (visible with -s)."""
+    bar = "=" * max(len(title), 20)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

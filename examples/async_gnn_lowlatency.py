@@ -1,0 +1,110 @@
+"""Asynchronous event-graph processing: the low-latency scenario.
+
+Section IV's forward-looking pitch: event graphs can be updated and
+convolved *per event*, so the system responds within microseconds of an
+input change instead of waiting out a frame window.  This example
+streams events into an incrementally maintained graph, compares the
+three insertion algorithms (naive scan, k-d tree, spatial hash), and
+contrasts the end-to-end response latency against a frame-based CNN path
+using the hardware models.
+
+Usage::
+
+    python examples/async_gnn_lowlatency.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import ascii_table, event_pipeline_latency, frame_pipeline_latency
+from repro.camera import CameraConfig, EventCamera, TexturePan
+from repro.events import Resolution
+from repro.gnn import HashInserter, KDTreeInserter, NaiveInserter
+from repro.hw import GNNAccelerator, GNNWorkload
+
+
+def main() -> None:
+    # Record a full-field stream (panning texture: the egomotion regime
+    # where the whole sensor is active and local lookups pay off).
+    res = Resolution(48, 48)
+    cam = EventCamera(res, CameraConfig(sample_period_us=500, seed=7))
+    pan = TexturePan(res, vx_px_per_s=600.0, seed=5)
+    events, _ = cam.record(pan, duration_us=40_000)
+    print(f"streaming {len(events)} events into a continuously evolving graph\n")
+
+    # Per-event insertion cost of the three strategies.
+    rows = []
+    inserters = {
+        "naive O(N) scan": NaiveInserter(radius=3.0, time_scale_us=1000.0, window_us=20_000),
+        "k-d tree (ref [75])": KDTreeInserter(
+            radius=3.0, time_scale_us=1000.0, window_us=20_000, rebuild_every=64
+        ),
+        "spatial hash (HUGNet-style)": HashInserter(
+            radius=3.0, time_scale_us=1000.0, window_us=20_000
+        ),
+    }
+    edge_sets = []
+    for name, inserter in inserters.items():
+        t0 = time.perf_counter()
+        inserter.insert_stream(events.x, events.y, events.t)
+        wall_us = (time.perf_counter() - t0) / len(events) * 1e6
+        edge_sets.append(set(map(tuple, inserter.edges())))
+        rows.append(
+            (
+                name,
+                f"{inserter.stats.candidates_per_event:.1f}",
+                f"{wall_us:.2f}",
+                inserter.stats.edges_created,
+            )
+        )
+    assert edge_sets[0] == edge_sets[1] == edge_sets[2], "all build the same graph"
+    print("=== per-event insertion cost (identical output graphs) ===")
+    print(ascii_table(["algorithm", "candidates/event", "wall us/event", "edges"], rows))
+
+    # End-to-end latency: event-driven GNN vs frame-based CNN.
+    hash_ins = inserters["spatial hash (HUGNet-style)"]
+    accel = GNNAccelerator(features_in_dram=False)
+    workload = GNNWorkload(
+        num_nodes=max(hash_ins.num_nodes, 1),
+        num_edges=max(hash_ins.stats.edges_created, 1),
+        feature_dim=16,
+    )
+    per_event = accel.per_event_update(
+        workload,
+        degree=12,
+        insertion_candidates=int(hash_ins.stats.candidates_per_event) + 1,
+    )
+    gnn_latency = event_pipeline_latency(per_event.latency_us)
+    cnn_latency = frame_pipeline_latency(window_us=33_000, compute_us=2_000)
+
+    print("\n=== end-to-end response latency (hardware models) ===")
+    print(
+        ascii_table(
+            ["path", "sensing us", "accumulation us", "compute us", "total us"],
+            [
+                (
+                    "async GNN (per event)",
+                    f"{gnn_latency.sensing_us:.0f}",
+                    f"{gnn_latency.accumulation_us:.0f}",
+                    f"{gnn_latency.compute_us:.2f}",
+                    f"{gnn_latency.total_us:.1f}",
+                ),
+                (
+                    "frame CNN (30 FPS)",
+                    f"{cnn_latency.sensing_us:.0f}",
+                    f"{cnn_latency.accumulation_us:.0f}",
+                    f"{cnn_latency.compute_us:.0f}",
+                    f"{cnn_latency.total_us:.1f}",
+                ),
+            ],
+        )
+    )
+    speedup = cnn_latency.total_us / gnn_latency.total_us
+    print(f"\nthe event-driven path responds {speedup:.0f}x sooner; "
+          f"{cnn_latency.accumulation_fraction:.0%} of the frame path's latency "
+          "is spent waiting for the accumulation window to close.")
+
+
+if __name__ == "__main__":
+    main()

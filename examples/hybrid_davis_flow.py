@@ -1,0 +1,79 @@
+"""Hybrid dual-pixel (DAVIS) sensing with event-based optical flow.
+
+The Section-II "dual active and event pixel" sensor records intensity
+frames and events simultaneously.  This example uses both modalities:
+frames give the scene snapshot, events give the microsecond-resolution
+motion in between — the plane-fit flow estimator recovers the stimulus
+velocity directly from event timestamps and is cross-checked against the
+displacement of the frame centroids.
+
+Usage::
+
+    python examples/hybrid_davis_flow.py
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_table, plane_fit_flow
+from repro.camera import CameraConfig, DualPixelCamera, MovingBar
+from repro.events import Resolution
+
+
+def main() -> None:
+    res = Resolution(32, 32)
+    true_speed = 700.0
+    camera = DualPixelCamera(
+        res, CameraConfig(sample_period_us=250, seed=11), frame_period_us=10_000
+    )
+    stimulus = MovingBar(res, speed_px_per_s=true_speed, bar_width=3.0, x0=0.0)
+    rec = camera.record(stimulus, duration_us=35_000)
+
+    print("=== dual-pixel recording (DAVIS mode) ===")
+    print(f"  events : {len(rec.events)} over {rec.events.duration/1000:.1f} ms")
+    print(f"  frames : {rec.num_frames} at {camera.frame_period_us/1000:.0f} ms period")
+
+    # Event-side: plane-fit optical flow from raw timestamps.
+    flow = plane_fit_flow(
+        rec.events, radius=3, dt_max_us=20_000, polarity=1, refractory_us=8000
+    )
+    vx_ev, vy_ev = flow.median_velocity()
+
+    # Frame-side: bar centroid displacement between the first and last frame.
+    xs = np.arange(res.width)
+
+    def bar_centroid(frame):
+        w = frame - frame.min()
+        return float((w.sum(axis=0) * xs).sum() / w.sum())
+
+    dx = bar_centroid(rec.frames[-1]) - bar_centroid(rec.frames[0])
+    dt_s = (rec.frame_times_us[-1] - rec.frame_times_us[0]) * 1e-6
+    vx_frames = dx / dt_s
+
+    print("\n=== velocity estimates ===")
+    print(
+        ascii_table(
+            ["method", "vx px/s", "error vs truth"],
+            [
+                ("ground truth", f"{true_speed:.0f}", "-"),
+                (
+                    f"event plane-fit ({flow.num_estimates} fits)",
+                    f"{vx_ev:.0f}",
+                    f"{abs(vx_ev - true_speed)/true_speed:.1%}",
+                ),
+                (
+                    "frame centroid displacement",
+                    f"{vx_frames:.0f}",
+                    f"{abs(vx_frames - true_speed)/true_speed:.1%}",
+                ),
+            ],
+        )
+    )
+    print(
+        "\nthe event channel resolves the motion continuously (per event, "
+        f"|vy| = {abs(vy_ev):.0f} px/s residual), while the frame channel "
+        f"only samples it every {camera.frame_period_us/1000:.0f} ms."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""On-chip-friendly SNN learning: STDP and eligibility propagation.
+
+Section III-A argues that surrogate-gradient BPTT "is an unrealistic
+algorithm for on-chip learning due to the prohibitive amount of memory"
+and points to local alternatives: Hebbian STDP (ref [27]) and
+eligibility-trace methods with random feedback (refs [31], [34]).
+
+This example trains both local learners on a two-pattern spike task and
+prints the training-memory comparison that motivates them.
+
+Usage::
+
+    python examples/onchip_learning.py
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_table
+from repro.snn import (
+    EPropNetwork,
+    EPropParams,
+    STDPNetwork,
+    bptt_memory_words,
+    eprop_memory_words,
+)
+
+
+def make_patterns(rng, n_per_class=10, steps=40, channels=16):
+    """Two orthogonal spatial firing patterns as Poisson spike trains."""
+    trains, labels = [], []
+    for cls in range(2):
+        rates = np.full(channels, 0.02)
+        if cls == 0:
+            rates[: channels // 2] = 0.6
+        else:
+            rates[channels // 2 :] = 0.6
+        for _ in range(n_per_class):
+            trains.append((rng.random((steps, channels)) < rates).astype(np.float64))
+            labels.append(cls)
+    return trains, np.array(labels)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    train_x, train_y = make_patterns(rng)
+    test_x, test_y = make_patterns(np.random.default_rng(99))
+
+    # 1. Unsupervised STDP with winner-take-all (Diehl & Cook style).
+    print("=== unsupervised STDP (labels used only for neuron assignment) ===")
+    stdp = STDPNetwork(num_inputs=16, num_neurons=10, rng=np.random.default_rng(1))
+    stdp.fit(train_x, train_y, num_classes=2, epochs=3)
+    print(f"  test accuracy: {stdp.accuracy(test_x, test_y):.2f}")
+    print(f"  neuron class assignments: {stdp.assignments.tolist()}")
+
+    # 2. E-prop with random feedback: online, local, supervised.
+    print("\n=== eligibility propagation + random feedback ===")
+    eprop = EPropNetwork(16, 24, 2, EPropParams(lr=1e-2), rng=np.random.default_rng(2))
+    losses = []
+    for epoch in range(8):
+        epoch_losses = [eprop.train_sample(x, y) for x, y in zip(train_x, train_y)]
+        losses.append(float(np.mean(epoch_losses)))
+    print(f"  loss: {losses[0]:.3f} -> {losses[-1]:.3f} over {len(losses)} epochs")
+    print(f"  test accuracy: {eprop.accuracy(test_x, test_y):.2f}")
+
+    # 3. Why not BPTT on-chip? The memory argument.
+    print("\n=== training-memory comparison (words of state) ===")
+    rows = []
+    for steps in (40, 400, 4000):
+        rows.append(
+            (
+                steps,
+                f"{bptt_memory_words(16, 24, steps):,}",
+                f"{eprop_memory_words(16, 24):,}",
+            )
+        )
+    print(ascii_table(["sequence steps", "BPTT activations", "e-prop traces"], rows))
+    print("\nBPTT memory grows linearly with the sequence; eligibility traces "
+          "are constant — the property that makes on-chip learning plausible.")
+
+
+if __name__ == "__main__":
+    main()

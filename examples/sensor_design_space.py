@@ -1,0 +1,100 @@
+"""Explore the event-sensor design space of Section II.
+
+Reproduces the sensor-technology story: the Fig. 1 scaling trends, the
+readout-saturation problem high-resolution sensors face under egomotion,
+and what each in-sensor mitigation strategy buys back.
+
+Usage::
+
+    python examples/sensor_design_space.py
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_series, ascii_table
+from repro.camera import (
+    CameraConfig,
+    EventCamera,
+    Fovea,
+    ReadoutParams,
+    TexturePan,
+    centre_surround_suppression,
+    downsample,
+    foveate,
+    simulate_readout,
+)
+from repro.events import Resolution
+from repro.sensors import (
+    SENSOR_SURVEY,
+    fill_factor_by_process,
+    fit_array_size_trend,
+    fit_pixel_pitch_trend,
+)
+
+
+def main() -> None:
+    # Fig. 1: a decade of sensor scaling.
+    print("=== Fig. 1: published event-camera sensors ===")
+    print(
+        ascii_table(
+            ["year", "sensor", "pitch um", "Mpx", "process"],
+            [
+                (s.year, s.name, f"{s.pixel_pitch_um:.2f}", f"{s.megapixels:.3f}",
+                 "BSI" if s.backside_illuminated else "FSI")
+                for s in SENSOR_SURVEY
+            ],
+        )
+    )
+    pitch = fit_pixel_pitch_trend()
+    array = fit_array_size_trend()
+    print(f"\npixel pitch trend : x{pitch.factor_per_decade:.2f} per decade "
+          f"(halving every {-pitch.doubling_time_years:.1f} years)")
+    print(f"array size trend  : x{array.factor_per_decade:.0f} per decade")
+    ff = fill_factor_by_process()
+    print(f"fill factor       : FSI {ff['FSI']:.0%} -> BSI {ff['BSI']:.0%} "
+          "(the 3D-stacking step)")
+
+    # The cost of resolution: egomotion event rates.
+    print("\n=== egomotion event rate vs resolution ===")
+    widths = [16, 32, 64]
+    rates = []
+    streams = {}
+    for width in widths:
+        res = Resolution(width, width)
+        cam = EventCamera(res, CameraConfig(sample_period_us=1000, seed=0))
+        pan = TexturePan(res, vx_px_per_s=800.0, seed=3)
+        ev, _ = cam.record(pan, 30_000)
+        streams[width] = ev
+        rates.append(ev.event_rate())
+    print(ascii_series(widths, rates, width=40, label="events/s vs sensor width"))
+
+    # Readout saturation at the largest sensor.
+    ev = streams[64]
+    result = simulate_readout(ev, ReadoutParams(throughput_eps=2e5, fifo_depth=256))
+    print(f"\n64x64 sensor at {ev.event_rate()/1e3:.0f} kEPS through a 200 kEPS readout:")
+    print(f"  dropped {result.drop_fraction:.1%}, "
+          f"mean queueing latency {result.mean_latency_us:.0f} us")
+
+    # Mitigation strategies.
+    print("\n=== in-sensor mitigations (Section II) ===")
+    down = downsample(ev, 4, refractory_us=1000)
+    fov = foveate(ev, Fovea(cx=32, cy=32, radius=12, peripheral_factor=4))
+    cs = centre_surround_suppression(ev, surround_radius=2, window_us=10_000)
+    print(
+        ascii_table(
+            ["strategy", "kept", "rate after"],
+            [
+                ("raw", "100%", f"{ev.event_rate()/1e3:.0f} kEPS"),
+                ("downsample x4 [21]", f"{len(down)/len(ev):.0%}", f"{down.event_rate()/1e3:.0f} kEPS"),
+                ("foveation [22]", f"{len(fov)/len(ev):.0%}", f"{fov.event_rate()/1e3:.0f} kEPS"),
+                ("centre-surround [23]", f"{len(cs)/len(ev):.0%}", f"{cs.event_rate()/1e3:.0f} kEPS"),
+            ],
+        )
+    )
+    after = simulate_readout(down, ReadoutParams(throughput_eps=2e5, fifo_depth=256))
+    print(f"\nafter x4 downsampling the same readout drops {after.drop_fraction:.1%} "
+          f"with {after.mean_latency_us:.1f} us mean latency.")
+
+
+if __name__ == "__main__":
+    main()

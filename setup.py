@@ -1,0 +1,4 @@
+"""Legacy setup shim: metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""Analysis helpers: latency decomposition, sparsity, report rendering."""
+
+from .flow import FlowEstimate, plane_fit_flow
+from .latency import LatencyBreakdown, event_pipeline_latency, frame_pipeline_latency
+from .segmentation import SegmentationResult, segment_events, segmentation_purity
+from .sparsity import density_sweep, relu_activation_sparsity, zero_fraction
+from .tables import ascii_series, ascii_table
+
+__all__ = [
+    "LatencyBreakdown",
+    "FlowEstimate",
+    "plane_fit_flow",
+    "SegmentationResult",
+    "segment_events",
+    "segmentation_purity",
+    "frame_pipeline_latency",
+    "event_pipeline_latency",
+    "zero_fraction",
+    "relu_activation_sparsity",
+    "density_sweep",
+    "ascii_table",
+    "ascii_series",
+]

@@ -1,0 +1,82 @@
+"""End-to-end latency decomposition (the Table I latency row, expanded).
+
+Section V: "CNNs largely lack this potential for data-driven computation
+that puts a lower bound on, for example, how fast they can respond to
+changes in their input data."
+
+The decomposition separates the three latency components of an
+event-vision system — sensing, data preparation/accumulation, and
+compute — for each paradigm, making the structural difference explicit:
+the frame-based path carries an *accumulation* term equal to (on
+average half) the frame window regardless of compute speed, while the
+event-driven paths respond within their per-event processing time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LatencyBreakdown", "frame_pipeline_latency", "event_pipeline_latency"]
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Latency components in microseconds.
+
+    Attributes:
+        sensing_us: pixel + readout latency.
+        accumulation_us: mean wait for the aggregation boundary
+            (0 for event-driven paths).
+        compute_us: model execution time.
+    """
+
+    sensing_us: float
+    accumulation_us: float
+    compute_us: float
+
+    @property
+    def total_us(self) -> float:
+        """End-to-end latency."""
+        return self.sensing_us + self.accumulation_us + self.compute_us
+
+    @property
+    def accumulation_fraction(self) -> float:
+        """Share of the total spent waiting for the frame boundary."""
+        total = self.total_us
+        return self.accumulation_us / total if total > 0 else 0.0
+
+
+def frame_pipeline_latency(
+    window_us: float, compute_us: float, sensing_us: float = 100.0
+) -> LatencyBreakdown:
+    """Latency of a dense-frame pipeline.
+
+    An event lands uniformly inside the accumulation window, so it waits
+    ``window / 2`` on average before the frame is even closed; compute
+    starts only then.
+
+    Args:
+        window_us: frame accumulation window.
+        compute_us: CNN inference time per frame.
+        sensing_us: sensor-side latency.
+    """
+    if window_us <= 0 or compute_us < 0 or sensing_us < 0:
+        raise ValueError("latency components must be non-negative (window positive)")
+    return LatencyBreakdown(sensing_us, window_us / 2.0, compute_us)
+
+
+def event_pipeline_latency(
+    per_event_compute_us: float, sensing_us: float = 100.0
+) -> LatencyBreakdown:
+    """Latency of an event-driven (SNN or asynchronous GNN) pipeline.
+
+    No accumulation term: the decisive event triggers computation
+    directly.
+
+    Args:
+        per_event_compute_us: time to fold one event into the decision.
+        sensing_us: sensor-side latency.
+    """
+    if per_event_compute_us < 0 or sensing_us < 0:
+        raise ValueError("latency components must be non-negative")
+    return LatencyBreakdown(sensing_us, 0.0, per_event_compute_us)

@@ -1,0 +1,53 @@
+"""Sparsity measurement helpers shared by experiments and reports."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers import Module, ReLU
+from ..nn.tensor import Tensor, no_grad
+
+__all__ = ["zero_fraction", "relu_activation_sparsity", "density_sweep"]
+
+
+def zero_fraction(values: np.ndarray) -> float:
+    """Fraction of exactly-zero entries of an array."""
+    arr = np.asarray(values)
+    if arr.size == 0:
+        return 0.0
+    return float(np.count_nonzero(arr == 0) / arr.size)
+
+
+def relu_activation_sparsity(model, x: np.ndarray) -> list[float]:
+    """Zero fraction after every ReLU in a ``Sequential``-like model.
+
+    Args:
+        model: a model exposing ``layers`` (e.g. :class:`repro.nn.Sequential`).
+        x: input batch.
+
+    Returns:
+        One zero-fraction per ReLU layer, in execution order.
+    """
+    if not hasattr(model, "layers"):
+        raise TypeError("model must expose a .layers sequence")
+    fracs: list[float] = []
+    t = Tensor(np.asarray(x, dtype=np.float64))
+    with no_grad():
+        for layer in model.layers:
+            t = layer(t)
+            if isinstance(layer, ReLU):
+                fracs.append(zero_fraction(t.data))
+    return fracs
+
+
+def density_sweep(values: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
+    """Fraction of entries whose magnitude exceeds each threshold.
+
+    Useful for studying how aggressive activation clipping would
+    increase exploitable sparsity.
+    """
+    arr = np.abs(np.asarray(values)).reshape(-1)
+    thresholds = np.asarray(thresholds, dtype=np.float64)
+    if arr.size == 0:
+        return np.zeros_like(thresholds)
+    return np.array([float(np.mean(arr > t)) for t in thresholds])

@@ -1,0 +1,49 @@
+"""ASCII table and series rendering for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["ascii_table", "ascii_series"]
+
+
+def ascii_table(header: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render rows as an aligned ASCII table with a header rule.
+
+    Args:
+        header: column titles.
+        rows: row cell values (stringified with ``str``).
+    """
+    str_rows = [[str(c) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(header):
+            raise ValueError(f"row {i} has {len(row)} cells, header has {len(header)}")
+    all_rows = [list(header)] + str_rows
+    widths = [max(len(r[i]) for r in all_rows) for i in range(len(header))]
+    lines = [" | ".join(c.ljust(w) for c, w in zip(all_rows[0], widths))]
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_series(
+    xs: Sequence[float], ys: Sequence[float], width: int = 50, label: str = ""
+) -> str:
+    """Render an (x, y) series as a horizontal ASCII bar chart.
+
+    Bars are scaled to the maximum y; useful for printing benchmark
+    sweeps (the "figures" of the reproduction) in a terminal.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if width <= 0:
+        raise ValueError("width must be positive")
+    if len(ys) == 0:
+        return f"{label} (empty)"
+    peak = max(abs(float(y)) for y in ys) or 1.0
+    lines = [label] if label else []
+    for x, y in zip(xs, ys):
+        bar = "#" * max(0, int(round(abs(float(y)) / peak * width)))
+        lines.append(f"{x:>12.4g} | {bar} {float(y):.4g}")
+    return "\n".join(lines)

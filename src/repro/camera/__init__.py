@@ -1,0 +1,54 @@
+"""Event-camera simulator: the substitute for physical DVS hardware.
+
+Stimulus videos → DVS pixel model → noise → throughput-limited readout,
+plus the Section-II mitigation strategies for high-resolution sensors.
+"""
+
+from .davis import DualPixelCamera, DualPixelRecording
+from .mitigation import Fovea, centre_surround_suppression, downsample, foveate
+from .noise import NoiseParams, add_noise, background_activity, hot_pixel_events
+from .pixel import PixelArray, PixelParams
+from .readout import ReadoutParams, ReadoutResult, rate_limiter, simulate_readout
+from .sensor import CameraConfig, EventCamera, RecordingStats
+from .video import (
+    CompositeStimulus,
+    DriftingGrating,
+    ExpandingDisk,
+    MovingBar,
+    MovingBox,
+    MovingDisk,
+    RotatingBar,
+    Stimulus,
+    TexturePan,
+)
+
+__all__ = [
+    "EventCamera",
+    "CameraConfig",
+    "RecordingStats",
+    "DualPixelCamera",
+    "DualPixelRecording",
+    "PixelArray",
+    "PixelParams",
+    "NoiseParams",
+    "add_noise",
+    "background_activity",
+    "hot_pixel_events",
+    "ReadoutParams",
+    "ReadoutResult",
+    "simulate_readout",
+    "rate_limiter",
+    "Fovea",
+    "foveate",
+    "centre_surround_suppression",
+    "downsample",
+    "Stimulus",
+    "MovingBar",
+    "MovingBox",
+    "MovingDisk",
+    "ExpandingDisk",
+    "DriftingGrating",
+    "RotatingBar",
+    "TexturePan",
+    "CompositeStimulus",
+]

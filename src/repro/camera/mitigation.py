@@ -1,0 +1,165 @@
+"""High-resolution mitigation strategies (Section II of the paper).
+
+High-resolution sensors can emit overwhelming event rates under
+egomotion.  The paper lists three in-sensor mitigation families:
+
+* **in-sensor down-sampling** (Bouvier et al. 2021, ref [21]) — pool
+  events into super-pixels before readout;
+* **electronically foveated pixels** (Serrano-Gotarredona &
+  Linares-Barranco 2022, ref [22]) — full resolution inside a fovea,
+  aggressive pooling in the periphery;
+* **centre-surround suppression** (Delbruck et al. 2022, ref [23]) —
+  a pixel's event is suppressed when its whole neighbourhood is firing,
+  passing only spatial contrast in activity.
+
+Each mitigation maps an :class:`EventStream` to a cheaper stream; the
+ABL-RES benchmark sweeps them against sensor resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..events.ops import spatial_downsample
+from ..events.stream import EventStream, Resolution
+
+__all__ = ["Fovea", "foveate", "centre_surround_suppression", "downsample"]
+
+# Re-export the shared implementation under the mitigation vocabulary.
+downsample = spatial_downsample
+
+
+@dataclass(frozen=True)
+class Fovea:
+    """A circular full-resolution region of interest.
+
+    Attributes:
+        cx, cy: fovea centre in pixels.
+        radius: fovea radius in pixels.
+        peripheral_factor: pooling factor applied outside the fovea.
+        peripheral_refractory_us: dead time of a pooled peripheral
+            super-pixel after it emits (per polarity).  Pooling N^2 pixels
+            into one necessarily rate-limits the merged output; this is
+            the integration time of that pooled pixel.
+    """
+
+    cx: float
+    cy: float
+    radius: float
+    peripheral_factor: int = 4
+    peripheral_refractory_us: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise ValueError("radius must be non-negative")
+        if self.peripheral_factor < 1:
+            raise ValueError("peripheral_factor must be >= 1")
+        if self.peripheral_refractory_us < 0:
+            raise ValueError("peripheral_refractory_us must be non-negative")
+
+
+def foveate(stream: EventStream, fovea: Fovea) -> EventStream:
+    """Apply electronic foveation: keep the fovea, pool the periphery.
+
+    Peripheral events are pooled onto a grid of
+    ``peripheral_factor x peripheral_factor`` super-pixels whose
+    coordinates are snapped to the super-pixel centre (resolution is
+    unchanged, so foveated streams stay comparable to the input; the
+    saving is in event count, since co-located peripheral events merge).
+
+    Args:
+        stream: input events.
+        fovea: region and pooling configuration.
+
+    Returns:
+        A stream at the same resolution with fewer peripheral events.
+    """
+    if len(stream) == 0 or fovea.peripheral_factor == 1:
+        return stream
+    f = fovea.peripheral_factor
+    dist = np.hypot(stream.x - fovea.cx, stream.y - fovea.cy)
+    inside = dist <= fovea.radius
+
+    x = stream.x.astype(np.int64).copy()
+    y = stream.y.astype(np.int64).copy()
+    # Snap peripheral coordinates to super-pixel centres.
+    x[~inside] = (x[~inside] // f) * f + f // 2
+    y[~inside] = (y[~inside] // f) * f + f // 2
+    x = np.minimum(x, stream.resolution.width - 1)
+    y = np.minimum(y, stream.resolution.height - 1)
+
+    # Each pooled super-pixel emits at most one event per polarity per
+    # refractory window: peripheral events falling inside a super-pixel's
+    # dead time are absorbed into the event that opened it.
+    width = stream.resolution.width
+    refr = fovea.peripheral_refractory_us
+    t = stream.t
+    keep = np.ones(len(stream), dtype=bool)
+    last_emit: dict[tuple[int, int], int] = {}
+    for i in np.nonzero(~inside)[0]:
+        key = (int(y[i] * width + x[i]), int(stream.p[i]))
+        ti = int(t[i])
+        prev = last_emit.get(key)
+        if prev is not None and ti - prev <= refr:
+            keep[i] = False
+        else:
+            last_emit[key] = ti
+    return EventStream.from_arrays(
+        t[keep], x[keep], y[keep], stream.p[keep], stream.resolution
+    )
+
+
+def centre_surround_suppression(
+    stream: EventStream,
+    surround_radius: int = 2,
+    window_us: int = 5000,
+    activity_threshold: float = 0.5,
+) -> EventStream:
+    """Suppress events whose surround is uniformly active.
+
+    For each event, count how many of the pixels in the
+    ``(2r+1)^2 - 1`` surround fired during the trailing ``window_us``.
+    If more than ``activity_threshold`` of them did, the scene is changing
+    everywhere locally (e.g. egomotion over texture) and the event is
+    suppressed; isolated moving edges pass through.
+
+    Args:
+        stream: input events.
+        surround_radius: Chebyshev radius of the surround.
+        window_us: activity integration window.
+        activity_threshold: surround occupancy fraction above which the
+            centre event is suppressed.
+
+    Returns:
+        The surviving (contrast-carrying) events.
+    """
+    if surround_radius < 1:
+        raise ValueError("surround_radius must be >= 1")
+    if window_us <= 0:
+        raise ValueError("window_us must be positive")
+    if not 0.0 < activity_threshold <= 1.0:
+        raise ValueError("activity_threshold must be in (0, 1]")
+    n = len(stream)
+    if n == 0:
+        return stream
+    w, h = stream.resolution.width, stream.resolution.height
+    last_seen = np.full((h, w), np.iinfo(np.int64).min, dtype=np.int64)
+    keep = np.zeros(n, dtype=bool)
+    r = surround_radius
+    xs, ys, ts = stream.x, stream.y, stream.t
+    for i in range(n):
+        x, y, t = int(xs[i]), int(ys[i]), int(ts[i])
+        x0, x1 = max(0, x - r), min(w, x + r + 1)
+        y0, y1 = max(0, y - r), min(h, y + r + 1)
+        patch = last_seen[y0:y1, x0:x1]
+        active = int(np.count_nonzero(patch >= t - window_us))
+        # Exclude the centre pixel itself from the surround count.
+        if last_seen[y, x] >= t - window_us:
+            active -= 1
+        surround_size = (y1 - y0) * (x1 - x0) - 1
+        if surround_size <= 0 or active / surround_size <= activity_threshold:
+            keep[i] = True
+        last_seen[y, x] = t
+    return stream[keep]

@@ -1,0 +1,152 @@
+"""Sensor noise models.
+
+Real DVS pixels fire even without stimulus change: junction leakage and
+comparator noise produce *background activity* (BA) events, and a small
+population of defective *hot pixels* fires quasi-periodically at high
+rate.  These processes set the noise floor that denoising filters
+(:func:`repro.events.ops.neighbourhood_filter`) and all three processing
+paradigms must tolerate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..events.stream import EventStream, Resolution
+
+__all__ = ["NoiseParams", "background_activity", "hot_pixel_events", "add_noise"]
+
+
+@dataclass(frozen=True)
+class NoiseParams:
+    """Noise process parameters.
+
+    Attributes:
+        ba_rate_hz: mean background-activity rate *per pixel* in Hz.
+            Typical DVS figures are 0.05–2 Hz depending on bias settings.
+        ba_on_fraction: fraction of BA events with ON polarity (leakage
+            biases BA towards ON in real sensors).
+        hot_pixel_fraction: fraction of pixels that are hot.
+        hot_pixel_rate_hz: firing rate of each hot pixel in Hz.
+    """
+
+    ba_rate_hz: float = 0.1
+    ba_on_fraction: float = 0.8
+    hot_pixel_fraction: float = 0.0
+    hot_pixel_rate_hz: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.ba_rate_hz < 0:
+            raise ValueError("ba_rate_hz must be non-negative")
+        if not 0.0 <= self.ba_on_fraction <= 1.0:
+            raise ValueError("ba_on_fraction must be in [0, 1]")
+        if not 0.0 <= self.hot_pixel_fraction <= 1.0:
+            raise ValueError("hot_pixel_fraction must be in [0, 1]")
+        if self.hot_pixel_rate_hz < 0:
+            raise ValueError("hot_pixel_rate_hz must be non-negative")
+
+
+def background_activity(
+    resolution: Resolution,
+    duration_us: int,
+    params: NoiseParams,
+    rng: np.random.Generator,
+    t_start: int = 0,
+) -> EventStream:
+    """Draw Poisson background-activity events over ``[t_start, t_start+duration)``.
+
+    Each pixel is an independent Poisson process at ``ba_rate_hz``; the
+    total count is drawn once and events are placed uniformly in space
+    and time, which is equivalent and much faster.
+    """
+    if duration_us < 0:
+        raise ValueError("duration_us must be non-negative")
+    expected = params.ba_rate_hz * resolution.num_pixels * duration_us * 1e-6
+    n = int(rng.poisson(expected))
+    if n == 0:
+        return EventStream.empty(resolution)
+    t = np.sort(rng.integers(t_start, t_start + max(1, duration_us), n))
+    x = rng.integers(0, resolution.width, n)
+    y = rng.integers(0, resolution.height, n)
+    p = np.where(rng.random(n) < params.ba_on_fraction, 1, -1)
+    return EventStream.from_arrays(t, x, y, p, resolution)
+
+
+def hot_pixel_events(
+    resolution: Resolution,
+    duration_us: int,
+    params: NoiseParams,
+    rng: np.random.Generator,
+    t_start: int = 0,
+) -> EventStream:
+    """Generate quasi-periodic events from a random set of hot pixels.
+
+    Hot pixels fire at ``hot_pixel_rate_hz`` with 10% period jitter and a
+    fixed per-pixel polarity, matching the stuck-comparator failure mode.
+    """
+    if duration_us < 0:
+        raise ValueError("duration_us must be non-negative")
+    num_hot = int(round(params.hot_pixel_fraction * resolution.num_pixels))
+    if num_hot == 0 or params.hot_pixel_rate_hz <= 0 or duration_us == 0:
+        return EventStream.empty(resolution)
+    flat = rng.choice(resolution.num_pixels, size=num_hot, replace=False)
+    hx = (flat % resolution.width).astype(np.int32)
+    hy = (flat // resolution.width).astype(np.int32)
+    hp = rng.choice(np.array([-1, 1], dtype=np.int8), size=num_hot)
+    period_us = 1e6 / params.hot_pixel_rate_hz
+
+    ts, xs, ys, ps = [], [], [], []
+    for i in range(num_hot):
+        n_fires = int(duration_us / period_us)
+        if n_fires == 0:
+            continue
+        base = t_start + (np.arange(1, n_fires + 1) * period_us)
+        jitter = rng.normal(0.0, 0.1 * period_us, n_fires)
+        t = np.clip(base + jitter, t_start, t_start + duration_us - 1).astype(np.int64)
+        ts.append(np.sort(t))
+        xs.append(np.full(n_fires, hx[i]))
+        ys.append(np.full(n_fires, hy[i]))
+        ps.append(np.full(n_fires, hp[i]))
+    if not ts:
+        return EventStream.empty(resolution)
+    t_all = np.concatenate(ts)
+    order = np.argsort(t_all, kind="stable")
+    return EventStream.from_arrays(
+        t_all[order],
+        np.concatenate(xs)[order],
+        np.concatenate(ys)[order],
+        np.concatenate(ps)[order],
+        resolution,
+    )
+
+
+def add_noise(
+    stream: EventStream,
+    params: NoiseParams,
+    rng: np.random.Generator,
+    duration_us: int | None = None,
+) -> EventStream:
+    """Merge background-activity and hot-pixel noise into a signal stream.
+
+    Args:
+        stream: clean signal events.
+        params: noise parameters.
+        rng: random generator.
+        duration_us: noise window length; defaults to the stream duration.
+
+    Returns:
+        The time-sorted union of signal and noise events.
+    """
+    if duration_us is None:
+        duration_us = max(stream.duration, 1)
+    t0 = int(stream.t[0]) if len(stream) else 0
+    ba = background_activity(stream.resolution, duration_us, params, rng, t_start=t0)
+    hot = hot_pixel_events(stream.resolution, duration_us, params, rng, t_start=t0)
+    arrays = [s.raw for s in (stream, ba, hot) if len(s)]
+    if not arrays:
+        return EventStream.empty(stream.resolution)
+    merged = np.concatenate(arrays)
+    merged = merged[np.argsort(merged["t"], kind="stable")]
+    return EventStream(merged, stream.resolution, check=False)

@@ -1,0 +1,230 @@
+"""The DVS pixel front-end model.
+
+A dynamic-vision-sensor pixel (Lichtsteiner et al. 2008, ref [6] of the
+paper) continuously monitors the natural log of its photocurrent.  When
+the log luminance rises by more than the ON contrast threshold above the
+pixel's stored reference level, the pixel emits an ON event and resets
+its reference; a fall of more than the OFF threshold emits an OFF event.
+After any event the pixel is blind for a refractory period.
+
+This module implements that mechanism for a whole array at once, with
+
+* per-pixel threshold mismatch (fixed-pattern noise),
+* linear sub-interval timestamp interpolation between video samples
+  (ESIM-style), giving event timestamps far finer than the stimulus
+  sampling period, and
+* a per-pixel refractory period.
+
+The model is deliberately agnostic of where the log-luminance samples
+come from; :mod:`repro.camera.sensor` feeds it from a
+:class:`~repro.camera.video.Stimulus`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..events.stream import EventStream, Resolution
+
+__all__ = ["PixelParams", "PixelArray"]
+
+
+@dataclass(frozen=True)
+class PixelParams:
+    """Electrical parameters of the DVS pixel.
+
+    Attributes:
+        threshold_on: nominal ON contrast threshold (log-luminance units).
+        threshold_off: nominal OFF contrast threshold (positive number;
+            the pixel fires OFF when log luminance *falls* by this much).
+        threshold_mismatch_sigma: relative standard deviation of the
+            per-pixel threshold spread (fixed-pattern noise); 0 disables.
+        refractory_us: per-pixel dead time after an event.
+        photoreceptor_cutoff_hz: first-order low-pass bandwidth of the
+            photoreceptor front-end.  Real DVS photoreceptors are
+            bandwidth-limited (bias-dependent, ~100 Hz – 10 kHz); fast
+            transients are attenuated before the change detector sees
+            them.  0 disables the filter (ideal front-end).
+    """
+
+    threshold_on: float = 0.2
+    threshold_off: float = 0.2
+    threshold_mismatch_sigma: float = 0.0
+    refractory_us: int = 0
+    photoreceptor_cutoff_hz: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.threshold_on <= 0 or self.threshold_off <= 0:
+            raise ValueError("contrast thresholds must be positive")
+        if self.threshold_mismatch_sigma < 0:
+            raise ValueError("threshold_mismatch_sigma must be non-negative")
+        if self.refractory_us < 0:
+            raise ValueError("refractory_us must be non-negative")
+        if self.photoreceptor_cutoff_hz < 0:
+            raise ValueError("photoreceptor_cutoff_hz must be non-negative")
+
+
+class PixelArray:
+    """Stateful array of DVS pixels.
+
+    Feed successive log-luminance samples with :meth:`step`; each call
+    returns the events generated between the previous sample and this one.
+    State (reference levels, refractory deadlines) persists across calls
+    so a long recording can be simulated frame by frame.
+
+    Args:
+        resolution: array size.
+        params: pixel electrical parameters.
+        rng: generator used to draw the per-pixel threshold mismatch.
+    """
+
+    def __init__(
+        self,
+        resolution: Resolution,
+        params: PixelParams = PixelParams(),
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.resolution = resolution
+        self.params = params
+        shape = (resolution.height, resolution.width)
+        if params.threshold_mismatch_sigma > 0:
+            if rng is None:
+                rng = np.random.default_rng(0)
+            spread_on = rng.normal(1.0, params.threshold_mismatch_sigma, shape)
+            spread_off = rng.normal(1.0, params.threshold_mismatch_sigma, shape)
+            # Clip so no pixel gets a vanishing or negative threshold.
+            self._theta_on = params.threshold_on * np.clip(spread_on, 0.1, None)
+            self._theta_off = params.threshold_off * np.clip(spread_off, 0.1, None)
+        else:
+            self._theta_on = np.full(shape, params.threshold_on)
+            self._theta_off = np.full(shape, params.threshold_off)
+        self._ref: np.ndarray | None = None  # stored log-luminance reference
+        self._lp: np.ndarray | None = None  # photoreceptor low-pass state
+        self._refractory_until = np.full(shape, np.iinfo(np.int64).min, dtype=np.int64)
+        self._last_t: int | None = None
+
+    @property
+    def threshold_on_map(self) -> np.ndarray:
+        """Per-pixel effective ON thresholds (read-only view)."""
+        return self._theta_on
+
+    @property
+    def threshold_off_map(self) -> np.ndarray:
+        """Per-pixel effective OFF thresholds (read-only view)."""
+        return self._theta_off
+
+    def reset(self) -> None:
+        """Forget all pixel state; the next sample re-initialises references."""
+        self._ref = None
+        self._lp = None
+        self._refractory_until.fill(np.iinfo(np.int64).min)
+        self._last_t = None
+
+    def _photoreceptor(self, log_frame: np.ndarray, dt_us: float) -> np.ndarray:
+        """Apply the first-order photoreceptor low-pass (if enabled)."""
+        if self.params.photoreceptor_cutoff_hz <= 0:
+            return log_frame.astype(np.float64)
+        if self._lp is None:
+            self._lp = log_frame.astype(np.float64).copy()
+            return self._lp
+        tau_us = 1e6 / (2.0 * np.pi * self.params.photoreceptor_cutoff_hz)
+        beta = 1.0 - np.exp(-dt_us / tau_us)
+        self._lp = self._lp + beta * (log_frame - self._lp)
+        return self._lp
+
+    def step(self, log_frame: np.ndarray, t_us: int) -> EventStream:
+        """Advance the array to the sample ``log_frame`` taken at ``t_us``.
+
+        The first call initialises the per-pixel references and produces
+        no events.  Subsequent calls compare the new sample against each
+        pixel's reference, emit one event per full threshold crossing
+        (multiple events per pixel per step when the change spans several
+        thresholds), linearly interpolating each event's timestamp inside
+        the ``(previous_t, t_us]`` interval.
+
+        Args:
+            log_frame: ``(H, W)`` array of log luminance at ``t_us``.
+            t_us: sample time; must strictly increase call over call.
+
+        Returns:
+            Events generated in the interval, time-sorted.
+        """
+        expected = (self.resolution.height, self.resolution.width)
+        if log_frame.shape != expected:
+            raise ValueError(f"log_frame shape {log_frame.shape} != {expected}")
+        t_us = int(t_us)
+        if self._ref is None:
+            filtered0 = self._photoreceptor(log_frame, dt_us=1.0)
+            self._ref = np.array(filtered0, dtype=np.float64, copy=True)
+            self._last_t = t_us
+            return EventStream.empty(self.resolution)
+        if self._last_t is None or t_us <= self._last_t:
+            raise ValueError(f"time must strictly increase ({t_us} <= {self._last_t})")
+
+        t_prev = self._last_t
+        dt = t_us - t_prev
+        filtered = self._photoreceptor(log_frame, dt_us=float(dt))
+        delta = filtered - self._ref
+
+        ts_list: list[np.ndarray] = []
+        xs_list: list[np.ndarray] = []
+        ys_list: list[np.ndarray] = []
+        ps_list: list[np.ndarray] = []
+
+        for polarity, theta in ((1, self._theta_on), (-1, self._theta_off)):
+            signed = delta if polarity == 1 else -delta
+            n_cross = np.floor(signed / theta).astype(np.int64)
+            n_cross = np.maximum(n_cross, 0)
+            if not n_cross.any():
+                continue
+            ys, xs = np.nonzero(n_cross)
+            counts = n_cross[ys, xs]
+            total = int(counts.sum())
+            ev_y = np.repeat(ys, counts)
+            ev_x = np.repeat(xs, counts)
+            # k-th crossing (1-based) of each firing pixel.
+            k = np.concatenate([np.arange(1, c + 1) for c in counts]) if total else np.empty(0)
+            # Fraction of the sampling interval at which crossing k occurs,
+            # assuming linear log-luminance change across the interval.
+            frac = (k * theta[ev_y, ev_x]) / np.abs(delta[ev_y, ev_x])
+            frac = np.clip(frac, 0.0, 1.0)
+            ev_t = t_prev + np.maximum(1, np.round(frac * dt)).astype(np.int64)
+            ts_list.append(ev_t)
+            xs_list.append(ev_x.astype(np.int32))
+            ys_list.append(ev_y.astype(np.int32))
+            ps_list.append(np.full(total, polarity, dtype=np.int8))
+            # Update references by the integer number of thresholds crossed.
+            self._ref[ys, xs] += polarity * counts * theta[ys, xs]
+
+        self._last_t = t_us
+        if not ts_list:
+            return EventStream.empty(self.resolution)
+
+        t_all = np.concatenate(ts_list)
+        x_all = np.concatenate(xs_list)
+        y_all = np.concatenate(ys_list)
+        p_all = np.concatenate(ps_list)
+        order = np.argsort(t_all, kind="stable")
+        t_all, x_all, y_all, p_all = t_all[order], x_all[order], y_all[order], p_all[order]
+
+        if self.params.refractory_us > 0:
+            keep = self._apply_refractory(t_all, x_all, y_all)
+            t_all, x_all, y_all, p_all = t_all[keep], x_all[keep], y_all[keep], p_all[keep]
+
+        return EventStream.from_arrays(t_all, x_all, y_all, p_all, self.resolution)
+
+    def _apply_refractory(
+        self, t: np.ndarray, x: np.ndarray, y: np.ndarray
+    ) -> np.ndarray:
+        """Sequentially enforce the per-pixel refractory period."""
+        keep = np.zeros(t.size, dtype=bool)
+        refr = self.params.refractory_us
+        until = self._refractory_until
+        for i in range(t.size):
+            yi, xi = int(y[i]), int(x[i])
+            if t[i] >= until[yi, xi]:
+                keep[i] = True
+                until[yi, xi] = t[i] + refr
+        return keep

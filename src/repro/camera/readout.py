@@ -1,0 +1,174 @@
+"""Sensor readout and event-rate control.
+
+Events generated in the pixel array leave the chip through an arbitered
+readout whose throughput is finite — modern HD sensors reach ~1 GEPS
+(Finateu et al. 2020, ref [10]).  When instantaneous event rates exceed
+that capacity, events queue in on-chip FIFOs, picking up latency, and are
+dropped once the FIFO overflows.  Sensors therefore include a
+programmable *event-rate controller* that sheds load before saturation.
+
+This module models both mechanisms, so experiments can show the
+high-resolution side effects Section II discusses (Gehrig & Scaramuzza
+2022) and quantify what the mitigation strategies buy back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..events.stream import EventStream
+
+__all__ = ["ReadoutParams", "ReadoutResult", "simulate_readout", "rate_limiter"]
+
+
+@dataclass(frozen=True)
+class ReadoutParams:
+    """Readout pipeline parameters.
+
+    Attributes:
+        throughput_eps: sustained readout capacity in events per second.
+        fifo_depth: on-chip FIFO capacity in events; events arriving when
+            the FIFO is full are dropped.
+    """
+
+    throughput_eps: float = 100e6
+    fifo_depth: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.throughput_eps <= 0:
+            raise ValueError("throughput_eps must be positive")
+        if self.fifo_depth <= 0:
+            raise ValueError("fifo_depth must be positive")
+
+
+@dataclass(frozen=True)
+class ReadoutResult:
+    """Outcome of pushing a stream through the readout model.
+
+    Attributes:
+        stream: surviving events with their *output* (post-queue)
+            timestamps.
+        num_dropped: events lost to FIFO overflow.
+        mean_latency_us: mean queueing latency of surviving events.
+        max_latency_us: worst-case queueing latency.
+    """
+
+    stream: EventStream
+    num_dropped: int
+    mean_latency_us: float
+    max_latency_us: int
+
+    @property
+    def drop_fraction(self) -> float:
+        """Fraction of input events that were dropped."""
+        total = len(self.stream) + self.num_dropped
+        return self.num_dropped / total if total else 0.0
+
+
+def simulate_readout(stream: EventStream, params: ReadoutParams) -> ReadoutResult:
+    """Serve events through a single-server FIFO with deterministic rate.
+
+    Each event takes ``1 / throughput_eps`` seconds to read out.  An event
+    arriving while ``fifo_depth`` events are still pending is dropped.
+
+    Args:
+        stream: sensor events with generation timestamps.
+        params: readout capacity and buffering.
+
+    Returns:
+        The surviving stream (timestamps moved to readout-completion
+        times) plus drop and latency statistics.
+    """
+    n = len(stream)
+    if n == 0:
+        return ReadoutResult(stream, 0, 0.0, 0)
+
+    service_us = 1e6 / params.throughput_eps
+    t_in = stream.t.astype(np.float64)
+    t_out = np.empty(n, dtype=np.float64)
+    keep = np.zeros(n, dtype=bool)
+
+    server_free_at = -np.inf  # when the readout finishes its current event
+    # Completion times of queued-or-in-service events, kept as a rolling
+    # window: an arrival is admitted iff fewer than fifo_depth events are
+    # still pending at its arrival instant.
+    pending: list[float] = []
+
+    for i in range(n):
+        now = t_in[i]
+        # Retire events whose readout completed.
+        while pending and pending[0] <= now:
+            pending.pop(0)
+        if len(pending) >= params.fifo_depth:
+            continue  # FIFO full: drop
+        start = max(now, server_free_at)
+        done = start + service_us
+        server_free_at = done
+        pending.append(done)
+        t_out[i] = done
+        keep[i] = True
+
+    kept_idx = np.nonzero(keep)[0]
+    num_dropped = n - kept_idx.size
+    if kept_idx.size == 0:
+        return ReadoutResult(EventStream.empty(stream.resolution), num_dropped, 0.0, 0)
+
+    latency = t_out[kept_idx] - t_in[kept_idx]
+    out_t = np.ceil(t_out[kept_idx]).astype(np.int64)
+    out = EventStream.from_arrays(
+        out_t,
+        stream.x[kept_idx],
+        stream.y[kept_idx],
+        stream.p[kept_idx],
+        stream.resolution,
+        sort=True,
+    )
+    return ReadoutResult(
+        stream=out,
+        num_dropped=num_dropped,
+        mean_latency_us=float(latency.mean()),
+        max_latency_us=int(np.ceil(latency.max())),
+    )
+
+
+def rate_limiter(
+    stream: EventStream,
+    max_rate_eps: float,
+    window_us: int = 1000,
+    rng: np.random.Generator | None = None,
+) -> EventStream:
+    """Programmable event-rate controller: shed load to stay under a target.
+
+    The controller measures the event count in consecutive windows and,
+    whenever a window exceeds ``max_rate_eps``, uniformly subsamples that
+    window down to the budget.  This is the front-line defence against
+    egomotion-induced rate spikes.
+
+    Args:
+        stream: input events.
+        max_rate_eps: target maximum rate in events per second.
+        window_us: control-loop window.
+        rng: generator for the subsampling choice (defaults to seed 0 so
+            the limiter is deterministic).
+    """
+    if max_rate_eps <= 0:
+        raise ValueError("max_rate_eps must be positive")
+    if window_us <= 0:
+        raise ValueError("window_us must be positive")
+    n = len(stream)
+    if n == 0:
+        return stream
+    if rng is None:
+        rng = np.random.default_rng(0)
+    budget = max(1, int(max_rate_eps * window_us * 1e-6))
+    t0 = int(stream.t[0])
+    bins = (stream.t - t0) // window_us
+    keep = np.ones(n, dtype=bool)
+    for b in np.unique(bins):
+        idx = np.nonzero(bins == b)[0]
+        if idx.size > budget:
+            victims = rng.choice(idx, size=idx.size - budget, replace=False)
+            keep[victims] = False
+    return stream[keep]

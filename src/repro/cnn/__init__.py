@@ -1,0 +1,60 @@
+"""Dense-frame CNN pipeline: representations, models, sparsity tooling."""
+
+from .frames import (
+    REPRESENTATIONS,
+    FrameRepresentation,
+    count_and_surface,
+    count_frame,
+    time_surface,
+    tore_volume,
+    two_channel_frame,
+    voxel_grid,
+)
+from .models import TrainResult, evaluate, fit_classifier, make_mlp, make_small_cnn
+from .pruning import (
+    PruningMask,
+    magnitude_prune,
+    structured_prune_channels,
+    weight_sparsity,
+)
+from .quantization import (
+    QuantizationReport,
+    QuantLinear,
+    dequantize,
+    quantize_model_weights,
+    quantize_symmetric,
+    ste_quantize,
+)
+from .recurrent import ConvGRUCell, RecurrentFrameClassifier
+from .sparse import AsyncSparseConv2d, SparseConvStats, dense_conv_macs
+
+__all__ = [
+    "count_frame",
+    "two_channel_frame",
+    "time_surface",
+    "count_and_surface",
+    "voxel_grid",
+    "tore_volume",
+    "FrameRepresentation",
+    "REPRESENTATIONS",
+    "make_small_cnn",
+    "make_mlp",
+    "TrainResult",
+    "fit_classifier",
+    "evaluate",
+    "AsyncSparseConv2d",
+    "SparseConvStats",
+    "dense_conv_macs",
+    "PruningMask",
+    "magnitude_prune",
+    "structured_prune_channels",
+    "weight_sparsity",
+    "quantize_symmetric",
+    "dequantize",
+    "ste_quantize",
+    "QuantLinear",
+    "quantize_model_weights",
+    "QuantizationReport",
+    "ConvGRUCell",
+    "RecurrentFrameClassifier",
+]

@@ -1,0 +1,157 @@
+"""CNN classifier architectures for dense event frames.
+
+Small convolutional classifiers sized for the synthetic datasets, plus a
+training loop helper shared by the benchmark harnesses.  The models are
+deliberately conventional — the paper's point is that dense-frame CNNs
+reuse mature architectures and hardware unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn import (
+    Adam,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+    Tensor,
+    accuracy,
+    cross_entropy,
+    no_grad,
+)
+
+__all__ = ["make_small_cnn", "make_mlp", "TrainResult", "fit_classifier", "evaluate"]
+
+
+def make_small_cnn(
+    in_channels: int,
+    num_classes: int,
+    input_hw: tuple[int, int],
+    base_width: int = 8,
+    rng: np.random.Generator | None = None,
+) -> Sequential:
+    """Two-conv-block CNN sized to the input resolution.
+
+    Args:
+        in_channels: frame channel count (depends on the representation).
+        num_classes: output classes.
+        input_hw: input spatial size ``(H, W)``; must be divisible by 4.
+        base_width: channels of the first conv block.
+        rng: initialisation generator.
+
+    Returns:
+        ``conv-relu-pool ×2 → flatten → linear`` Sequential.
+    """
+    h, w = input_hw
+    if h % 4 or w % 4:
+        raise ValueError(f"input size {h}x{w} must be divisible by 4")
+    rng = rng or np.random.default_rng(0)
+    return Sequential(
+        Conv2d(in_channels, base_width, 3, padding=1, rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(base_width, base_width * 2, 3, padding=1, rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+        Linear(base_width * 2 * (h // 4) * (w // 4), num_classes, rng=rng),
+    )
+
+
+def make_mlp(
+    in_features: int,
+    num_classes: int,
+    hidden: tuple[int, ...] = (64,),
+    rng: np.random.Generator | None = None,
+) -> Sequential:
+    """ReLU MLP (used for the ANN→SNN conversion experiments)."""
+    rng = rng or np.random.default_rng(0)
+    layers: list[Module] = []
+    prev = in_features
+    for width in hidden:
+        layers.append(Linear(prev, width, rng=rng))
+        layers.append(ReLU())
+        prev = width
+    layers.append(Linear(prev, num_classes, rng=rng))
+    return Sequential(*layers)
+
+
+@dataclass
+class TrainResult:
+    """Training-run summary.
+
+    Attributes:
+        train_losses: mean loss per epoch.
+        train_accuracy: final training accuracy.
+    """
+
+    train_losses: list[float]
+    train_accuracy: float
+
+
+def fit_classifier(
+    model: Module,
+    x: np.ndarray,
+    y: np.ndarray,
+    epochs: int = 20,
+    batch_size: int = 16,
+    lr: float = 1e-3,
+    rng: np.random.Generator | None = None,
+) -> TrainResult:
+    """Train a classifier with Adam and cross-entropy.
+
+    Args:
+        model: any model mapping ``(N, ...)`` inputs to ``(N, C)`` logits.
+        x: inputs.
+        y: integer labels.
+        epochs: passes over the data.
+        batch_size: minibatch size.
+        lr: learning rate.
+        rng: shuffling generator.
+
+    Returns:
+        Loss history and final training accuracy.
+    """
+    if len(x) != len(y):
+        raise ValueError("x and y must have equal length")
+    if epochs <= 0 or batch_size <= 0:
+        raise ValueError("epochs and batch_size must be positive")
+    rng = rng or np.random.default_rng(0)
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.int64)
+    opt = Adam(model.parameters(), lr=lr)
+    losses: list[float] = []
+    model.train()
+    for _ in range(epochs):
+        order = rng.permutation(len(x))
+        epoch_loss = 0.0
+        num_batches = 0
+        for lo in range(0, len(x), batch_size):
+            idx = order[lo : lo + batch_size]
+            opt.zero_grad()
+            loss = cross_entropy(model(Tensor(x[idx])), y[idx])
+            loss.backward()
+            opt.step()
+            epoch_loss += loss.item()
+            num_batches += 1
+        losses.append(epoch_loss / num_batches)
+    model.eval()
+    return TrainResult(losses, evaluate(model, x, y))
+
+
+def evaluate(model: Module, x: np.ndarray, y: np.ndarray, batch_size: int = 64) -> float:
+    """Accuracy of ``model`` on ``(x, y)`` without building autograd graphs."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.int64)
+    preds: list[np.ndarray] = []
+    with no_grad():
+        for lo in range(0, len(x), batch_size):
+            preds.append(model(Tensor(x[lo : lo + batch_size])).data)
+    return accuracy(np.concatenate(preds), y)

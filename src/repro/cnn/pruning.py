@@ -1,0 +1,132 @@
+"""Weight pruning (Section III-B, ref [51]).
+
+"Techniques such as pruning and weight quantization result in many
+zero-valued weights — making the CNN itself sparse."  This module
+implements global and per-layer magnitude pruning with persistent masks
+(so fine-tuning keeps pruned weights at zero), plus the sparsity
+measurements the zero-skipping hardware model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.layers import Conv2d, Linear, Module
+from ..nn.tensor import Tensor
+
+__all__ = ["PruningMask", "magnitude_prune", "weight_sparsity", "structured_prune_channels"]
+
+
+@dataclass
+class PruningMask:
+    """Binary keep-masks for a model's prunable parameters.
+
+    Attributes:
+        masks: parameter tensor id → {0, 1} mask array.
+    """
+
+    masks: dict[int, np.ndarray]
+
+    def apply(self, model: Module) -> None:
+        """Zero out pruned weights in place (call after every optimizer step)."""
+        for p in model.parameters():
+            mask = self.masks.get(id(p))
+            if mask is not None:
+                p.data *= mask
+
+    def sparsity(self) -> float:
+        """Fraction of masked-out weights across all covered parameters."""
+        total = sum(m.size for m in self.masks.values())
+        kept = sum(int(m.sum()) for m in self.masks.values())
+        return 1.0 - kept / total if total else 0.0
+
+
+def _prunable_weights(model: Module) -> list[Tensor]:
+    """Weight matrices/kernels of Linear and Conv2d layers (biases excluded)."""
+    weights: list[Tensor] = []
+    for module in model.modules():
+        if isinstance(module, (Linear, Conv2d)):
+            weights.append(module.weight)
+    return weights
+
+
+def magnitude_prune(model: Module, fraction: float, per_layer: bool = False) -> PruningMask:
+    """Prune the smallest-magnitude weights.
+
+    Args:
+        model: model whose Linear/Conv2d weights are pruned.
+        fraction: fraction of weights to remove, in [0, 1).
+        per_layer: prune each layer to ``fraction`` separately (True) or
+            use one global magnitude threshold (False).
+
+    Returns:
+        The mask (already applied once to the model).
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError("fraction must be in [0, 1)")
+    weights = _prunable_weights(model)
+    if not weights:
+        raise ValueError("model has no prunable Linear/Conv2d weights")
+    masks: dict[int, np.ndarray] = {}
+    if per_layer:
+        for wt in weights:
+            flat = np.abs(wt.data).reshape(-1)
+            k = int(fraction * flat.size)
+            mask = np.ones(flat.size)
+            if k > 0:
+                mask[np.argpartition(flat, k - 1)[:k]] = 0.0
+            masks[id(wt)] = mask.reshape(wt.data.shape)
+    else:
+        all_mags = np.concatenate([np.abs(wt.data).reshape(-1) for wt in weights])
+        k = int(fraction * all_mags.size)
+        global_mask = np.ones(all_mags.size)
+        if k > 0:
+            global_mask[np.argpartition(all_mags, k - 1)[:k]] = 0.0
+        offset = 0
+        for wt in weights:
+            n = wt.data.size
+            masks[id(wt)] = global_mask[offset : offset + n].reshape(wt.data.shape)
+            offset += n
+    mask = PruningMask(masks)
+    mask.apply(model)
+    return mask
+
+
+def structured_prune_channels(conv: Conv2d, fraction: float) -> np.ndarray:
+    """Structured pruning: zero whole output channels by kernel L1 norm.
+
+    Structured sparsity keeps memory access patterns regular — the
+    property Section III-B notes benefits both zero-skipping and systolic
+    hardware (ref [65]).
+
+    Args:
+        conv: convolution layer pruned in place.
+        fraction: fraction of output channels to remove.
+
+    Returns:
+        Boolean keep-mask over output channels.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError("fraction must be in [0, 1)")
+    norms = np.abs(conv.weight.data).sum(axis=(1, 2, 3))
+    k = int(fraction * norms.size)
+    keep = np.ones(norms.size, dtype=bool)
+    if k > 0:
+        drop = np.argsort(norms)[:k]
+        keep[drop] = False
+        conv.weight.data[drop] = 0.0
+        if conv.bias is not None:
+            conv.bias.data[drop] = 0.0
+    return keep
+
+
+def weight_sparsity(model: Module) -> float:
+    """Fraction of exactly-zero weights across prunable layers."""
+    weights = _prunable_weights(model)
+    if not weights:
+        return 0.0
+    total = sum(wt.size for wt in weights)
+    zeros = sum(int(np.count_nonzero(wt.data == 0.0)) for wt in weights)
+    return zeros / total

@@ -1,0 +1,148 @@
+"""Weight quantization with the straight-through estimator.
+
+Section III-B cites incremental network quantization (ref [52]) as a
+source of CNN weight sparsity and efficiency; Section III-A notes that
+ANN→SNN conversion pipelines constrain "the non-spiking neurons to a
+low-precision integer number and train using the straight-through
+estimator" (ref [39]).
+
+This module provides symmetric uniform quantization, quantization-aware
+layers whose forward uses quantized weights but whose backward passes
+gradients straight through the rounding, and a post-training
+quantization helper with accuracy reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.layers import Linear, Module
+from ..nn.tensor import Tensor, custom_gradient
+
+__all__ = [
+    "quantize_symmetric",
+    "dequantize",
+    "ste_quantize",
+    "QuantLinear",
+    "quantize_model_weights",
+    "QuantizationReport",
+]
+
+
+def quantize_symmetric(
+    values: np.ndarray, num_bits: int
+) -> tuple[np.ndarray, float]:
+    """Symmetric uniform quantization to signed ``num_bits`` integers.
+
+    Args:
+        values: float array.
+        num_bits: total bit width (>= 2); one bit is the sign.
+
+    Returns:
+        ``(q, scale)`` where ``q`` holds integers in
+        ``[-(2^(b-1) - 1), 2^(b-1) - 1]`` and ``values ≈ q * scale``.
+    """
+    if num_bits < 2:
+        raise ValueError("num_bits must be >= 2")
+    qmax = 2 ** (num_bits - 1) - 1
+    max_abs = float(np.abs(values).max()) if values.size else 0.0
+    scale = max_abs / qmax if max_abs > 0 else 1.0
+    q = np.clip(np.round(values / scale), -qmax, qmax)
+    return q, scale
+
+
+def dequantize(q: np.ndarray, scale: float) -> np.ndarray:
+    """Map quantized integers back to floats."""
+    return q * scale
+
+
+def ste_quantize(weight: Tensor, num_bits: int) -> Tensor:
+    """Quantize a weight tensor in the forward pass, identity backward.
+
+    The straight-through estimator: rounding has zero gradient almost
+    everywhere, so the backward pass pretends it is the identity and the
+    underlying float (shadow) weights keep receiving useful gradients.
+    """
+    q, scale = quantize_symmetric(weight.data, num_bits)
+    return custom_gradient(dequantize(q, scale), [weight], lambda g: [g])
+
+
+class QuantLinear(Module):
+    """Quantization-aware fully connected layer.
+
+    Holds float shadow weights; every forward quantizes them to
+    ``num_bits`` with the STE, so training converges to weights that
+    survive quantization.
+
+    Args:
+        in_features, out_features: layer size.
+        num_bits: weight bit width.
+        rng: initialisation generator.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        num_bits: int = 4,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if num_bits < 2:
+            raise ValueError("num_bits must be >= 2")
+        self.inner = Linear(in_features, out_features, rng=rng)
+        self.num_bits = num_bits
+
+    def forward(self, x: Tensor) -> Tensor:
+        w_q = ste_quantize(self.inner.weight, self.num_bits)
+        out = x @ w_q.T
+        if self.inner.bias is not None:
+            out = out + self.inner.bias
+        return out
+
+
+@dataclass(frozen=True)
+class QuantizationReport:
+    """Post-training quantization outcome.
+
+    Attributes:
+        num_bits: bit width used.
+        weight_zero_fraction: fraction of weights quantized exactly to 0.
+        max_abs_error: worst-case weight reconstruction error.
+    """
+
+    num_bits: int
+    weight_zero_fraction: float
+    max_abs_error: float
+
+
+def quantize_model_weights(model: Module, num_bits: int) -> QuantizationReport:
+    """Quantize every parameter of a trained model in place.
+
+    Args:
+        model: model whose parameters are replaced by their quantized
+            reconstruction.
+        num_bits: bit width.
+
+    Returns:
+        Quantization statistics (zero fraction feeds the zero-skipping
+        hardware model).
+    """
+    total = 0
+    zeros = 0
+    max_err = 0.0
+    for p in model.parameters():
+        q, scale = quantize_symmetric(p.data, num_bits)
+        recon = dequantize(q, scale)
+        max_err = max(max_err, float(np.abs(recon - p.data).max()))
+        zeros += int(np.count_nonzero(q == 0))
+        total += q.size
+        p.data[...] = recon
+    return QuantizationReport(
+        num_bits=num_bits,
+        weight_zero_fraction=zeros / total if total else 0.0,
+        max_abs_error=max_err,
+    )

@@ -1,0 +1,111 @@
+"""Recurrent convolutional block for temporal memory in CNNs.
+
+Section V: "While it may be argued that SNNs are required for tasks
+relying on temporal memory, recurrent blocks can be readily incorporated
+into CNNs for this purpose, too [76]" (Perot et al. 2020, the 1-Mpx
+recurrent event detector).
+
+This module provides a convolutional gated recurrent unit (ConvGRU) and
+a sequence classifier that consumes a *sequence* of dense frames — the
+recurrent-CNN counterpart of the SNN's intrinsic temporal state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.layers import Conv2d, Flatten, Linear, Module
+from ..nn.tensor import Tensor
+
+__all__ = ["ConvGRUCell", "RecurrentFrameClassifier"]
+
+
+class ConvGRUCell(Module):
+    """Convolutional gated recurrent unit.
+
+    Update and reset gates and the candidate state are each computed by a
+    'same' convolution over the concatenated input and hidden planes.
+
+    Args:
+        in_channels: input frame channels.
+        hidden_channels: recurrent state channels.
+        kernel: odd square kernel size.
+        rng: initialisation generator.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        hidden_channels: int,
+        kernel: int = 3,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if kernel % 2 == 0:
+            raise ValueError("kernel must be odd for 'same' padding")
+        rng = rng or np.random.default_rng(0)
+        pad = kernel // 2
+        both = in_channels + hidden_channels
+        self.hidden_channels = hidden_channels
+        self.update_gate = Conv2d(both, hidden_channels, kernel, padding=pad, rng=rng)
+        self.reset_gate = Conv2d(both, hidden_channels, kernel, padding=pad, rng=rng)
+        self.candidate = Conv2d(both, hidden_channels, kernel, padding=pad, rng=rng)
+
+    def forward(self, x: Tensor, h: Tensor | None = None) -> Tensor:
+        """One recurrent step.
+
+        Args:
+            x: ``(N, C_in, H, W)`` input frame.
+            h: ``(N, C_h, H, W)`` previous state (zeros when None).
+
+        Returns:
+            New hidden state ``(N, C_h, H, W)``.
+        """
+        if x.ndim != 4:
+            raise ValueError(f"expected (N, C, H, W) input, got {x.shape}")
+        n, _, height, width = x.shape
+        if h is None:
+            h = Tensor(np.zeros((n, self.hidden_channels, height, width)))
+        xh = F.concatenate([x, h], axis=1)
+        z = self.update_gate(xh).sigmoid()
+        r = self.reset_gate(xh).sigmoid()
+        xh_reset = F.concatenate([x, h * r], axis=1)
+        h_tilde = self.candidate(xh_reset).tanh()
+        return h * (1.0 - z) + h_tilde * z
+
+
+class RecurrentFrameClassifier(Module):
+    """ConvGRU over a frame sequence followed by a linear readout.
+
+    Args:
+        in_channels: channels of each input frame.
+        hidden_channels: recurrent state width.
+        num_classes: output classes.
+        input_hw: spatial size ``(H, W)``.
+        rng: initialisation generator.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        hidden_channels: int,
+        num_classes: int,
+        input_hw: tuple[int, int],
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.cell = ConvGRUCell(in_channels, hidden_channels, rng=rng)
+        h, w = input_hw
+        self.flatten = Flatten()
+        self.head = Linear(hidden_channels * h * w, num_classes, rng=rng)
+
+    def forward(self, frames: Tensor) -> Tensor:
+        """Classify a ``(T, N, C, H, W)`` frame sequence into ``(N, classes)``."""
+        if frames.ndim != 5:
+            raise ValueError(f"expected (T, N, C, H, W), got {frames.shape}")
+        h: Tensor | None = None
+        for t in range(frames.shape[0]):
+            h = self.cell(frames[t], h)
+        return self.head(self.flatten(h))

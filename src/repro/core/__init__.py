@@ -1,0 +1,32 @@
+"""The paradigm-comparison framework: the paper's Table I, regenerated."""
+
+from .comparison import (
+    ComparisonResult,
+    agreement_with_paper,
+    render_table,
+    run_comparison,
+    to_markdown,
+)
+from .metrics import AXES, Axis, PipelineMetrics
+from .pipeline import CNNPipeline, GNNPipeline, ParadigmPipeline, SNNPipeline
+from .presets import table1_dataset, table1_pipelines
+from .ratings import Rating, rate_values
+
+__all__ = [
+    "Rating",
+    "rate_values",
+    "Axis",
+    "AXES",
+    "PipelineMetrics",
+    "ParadigmPipeline",
+    "SNNPipeline",
+    "CNNPipeline",
+    "GNNPipeline",
+    "ComparisonResult",
+    "run_comparison",
+    "render_table",
+    "to_markdown",
+    "agreement_with_paper",
+    "table1_pipelines",
+    "table1_dataset",
+]

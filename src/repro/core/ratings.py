@@ -1,0 +1,94 @@
+"""The qualitative rating scale of Table I.
+
+The paper scores each comparison axis with ``++`` ("has better metrics
+in"), ``+``, ``-`` and ``?`` (unknown — no hardware exists to measure).
+This module defines the scale and the procedure that converts measured
+quantities into ratings: on each axis the three paradigms are ranked and
+binned — best gets ``++``, worst gets ``-``, the middle gets ``+`` —
+with ties (within a tolerance factor) sharing the higher rating, exactly
+the semantics of a qualitative comparison table.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["Rating", "rate_values"]
+
+
+class Rating(str, Enum):
+    """Qualitative score of one paradigm on one axis."""
+
+    BEST = "++"
+    GOOD = "+"
+    POOR = "-"
+    UNKNOWN = "?"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Ratings ordered worst → best, for comparisons in tests.
+_ORDER = {Rating.POOR: 0, Rating.GOOD: 1, Rating.BEST: 2}
+
+
+def rating_rank(rating: Rating) -> int:
+    """Numeric rank of a rating (higher = better); UNKNOWN raises."""
+    if rating is Rating.UNKNOWN:
+        raise ValueError("UNKNOWN has no rank")
+    return _ORDER[rating]
+
+
+def rate_values(
+    values: dict[str, float],
+    higher_is_better: bool,
+    tie_tolerance: float = 1.5,
+) -> dict[str, Rating]:
+    """Convert measured values into the ++ / + / - scale.
+
+    Values are ranked (respecting the axis direction); the best value
+    anchors ``++``.  Any paradigm within ``tie_tolerance`` (ratio) of the
+    best also gets ``++``; within ``tie_tolerance**2`` gets ``+``; the
+    rest get ``-``.  Non-finite values map to ``?``.
+
+    Args:
+        values: paradigm name → measured value (all same units).
+        higher_is_better: axis direction.
+        tie_tolerance: ratio within which two values count as a tie.
+
+    Returns:
+        paradigm name → rating.
+    """
+    if tie_tolerance < 1.0:
+        raise ValueError("tie_tolerance must be >= 1")
+    if not values:
+        raise ValueError("values must not be empty")
+    finite = {k: v for k, v in values.items() if np.isfinite(v)}
+    out: dict[str, Rating] = {
+        k: Rating.UNKNOWN for k in values if k not in finite
+    }
+    if not finite:
+        return out
+    eps = 1e-12
+    if higher_is_better:
+        best = max(finite.values())
+        for k, v in finite.items():
+            ratio = (best + eps) / (max(v, 0.0) + eps)
+            out[k] = _bin(ratio, tie_tolerance)
+    else:
+        best = min(finite.values())
+        for k, v in finite.items():
+            ratio = (max(v, 0.0) + eps) / (best + eps)
+            out[k] = _bin(ratio, tie_tolerance)
+    return out
+
+
+def _bin(ratio_from_best: float, tol: float) -> Rating:
+    """Map a distance-from-best ratio (>= 1) to a rating."""
+    if ratio_from_best <= tol:
+        return Rating.BEST
+    if ratio_from_best <= tol * tol * tol:
+        return Rating.GOOD
+    return Rating.POOR

@@ -1,0 +1,32 @@
+"""Synthetic labelled event datasets generated through the camera simulator."""
+
+from .base import (
+    EventDataset,
+    EventSample,
+    cache_dataset,
+    load_cached_dataset,
+    train_test_split,
+)
+from .detection import DetectionSample, centroid_baseline, make_detection_dataset
+from .digits import DIGIT_BITMAPS, DIGIT_CLASSES, SaccadeDigit, make_digits_dataset
+from .gestures import GESTURE_CLASSES, make_gestures_dataset
+from .shapes import SHAPE_CLASSES, make_shapes_dataset
+
+__all__ = [
+    "EventSample",
+    "EventDataset",
+    "train_test_split",
+    "cache_dataset",
+    "load_cached_dataset",
+    "DetectionSample",
+    "make_detection_dataset",
+    "centroid_baseline",
+    "SHAPE_CLASSES",
+    "make_shapes_dataset",
+    "GESTURE_CLASSES",
+    "make_gestures_dataset",
+    "DIGIT_CLASSES",
+    "DIGIT_BITMAPS",
+    "SaccadeDigit",
+    "make_digits_dataset",
+]

@@ -1,0 +1,119 @@
+"""Object-localisation dataset (detection substrate).
+
+Section III-A: "event-cameras may be used not only for classification,
+but also for event-based segmentation and detection [35]" — and the
+event-GNN results the paper highlights (ref [70]) are object-detection
+results.  This dataset provides the minimal detection task: a single
+bright disk moves through the scene and the label is its ground-truth
+centre position at the end of the recording, so localisation error is
+directly measurable in pixels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..camera.noise import NoiseParams
+from ..camera.sensor import CameraConfig, EventCamera
+from ..camera.video import MovingDisk
+from ..events.stream import EventStream, Resolution
+
+__all__ = ["DetectionSample", "make_detection_dataset", "centroid_baseline"]
+
+
+@dataclass(frozen=True)
+class DetectionSample:
+    """One localisation recording.
+
+    Attributes:
+        stream: the recorded events.
+        cx, cy: ground-truth object centre at the recording's end.
+        radius: object radius in pixels.
+    """
+
+    stream: EventStream
+    cx: float
+    cy: float
+    radius: float
+
+
+def make_detection_dataset(
+    num_samples: int = 20,
+    resolution: Resolution = Resolution(32, 32),
+    duration_us: int = 40_000,
+    noise: NoiseParams | None = None,
+    sample_period_us: int = 1000,
+    seed: int = 0,
+) -> list[DetectionSample]:
+    """Generate localisation recordings of a moving disk.
+
+    The disk starts at a random interior position, moves with a random
+    velocity, and the label is its exact analytic position at
+    ``duration_us``.
+
+    Args:
+        num_samples: number of recordings.
+        resolution: sensor size.
+        duration_us: recording length.
+        noise: optional sensor noise.
+        sample_period_us: camera sampling period.
+        seed: master seed.
+    """
+    if num_samples <= 0:
+        raise ValueError("num_samples must be positive")
+    rng = np.random.default_rng(seed)
+    w, h = resolution.width, resolution.height
+    samples: list[DetectionSample] = []
+    for i in range(num_samples):
+        radius = float(rng.uniform(2.5, 4.5))
+        x0 = float(rng.uniform(0.25 * w, 0.75 * w))
+        y0 = float(rng.uniform(0.25 * h, 0.75 * h))
+        speed = float(rng.uniform(150.0, 450.0))
+        angle = float(rng.uniform(0.0, 2.0 * np.pi))
+        vx = speed * np.cos(angle)
+        vy = speed * np.sin(angle)
+        stim = MovingDisk(
+            resolution, radius=radius, x0=x0, y0=y0, vx_px_per_s=vx, vy_px_per_s=vy
+        )
+        cam = EventCamera(
+            resolution,
+            CameraConfig(noise=noise, sample_period_us=sample_period_us, seed=seed * 1000 + i),
+        )
+        stream, _ = cam.record(stim, duration_us)
+        t_s = duration_us * 1e-6
+        samples.append(
+            DetectionSample(
+                stream.rezero_time(),
+                cx=x0 + vx * t_s,
+                cy=y0 + vy * t_s,
+                radius=radius,
+            )
+        )
+    return samples
+
+
+def centroid_baseline(
+    sample: DetectionSample, window_us: int = 10_000
+) -> tuple[float, float]:
+    """Event-centroid localiser: mean position of the trailing window.
+
+    The simplest event-native detector — no learning, O(events) — used
+    as the baseline that learned detectors must beat under noise.
+
+    Args:
+        sample: the recording.
+        window_us: trailing window over which events are averaged.
+    """
+    if window_us <= 0:
+        raise ValueError("window_us must be positive")
+    s = sample.stream
+    if len(s) == 0:
+        res = s.resolution
+        return res.width / 2.0, res.height / 2.0
+    t_end = int(s.t[-1])
+    recent = s.time_window(t_end - window_us, t_end + 1)
+    if len(recent) == 0:
+        recent = s
+    return float(recent.x.mean()), float(recent.y.mean())

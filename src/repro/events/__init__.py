@@ -1,0 +1,50 @@
+"""Event data structures and stream operations.
+
+The substrate every paradigm shares: the :class:`EventStream` container,
+the AER link codec, and generic stream transformations (windowing,
+filtering, downsampling) plus rate statistics.
+"""
+
+from .aer import AERCodec, AERLinkStats
+from .io import load_events, save_events
+from .ops import (
+    drop_events,
+    hot_pixel_filter,
+    event_count_map,
+    jitter_time,
+    merge_polarities,
+    neighbourhood_filter,
+    refractory_filter,
+    spatial_downsample,
+    split_by_count,
+    split_by_time,
+)
+from .rate import GEPS, KEPS, MEPS, RateProfile, peak_rate, rate_profile
+from .stream import EVENT_DTYPE, EventStream, Resolution, concatenate
+
+__all__ = [
+    "EVENT_DTYPE",
+    "EventStream",
+    "Resolution",
+    "concatenate",
+    "AERCodec",
+    "AERLinkStats",
+    "save_events",
+    "load_events",
+    "split_by_time",
+    "split_by_count",
+    "refractory_filter",
+    "neighbourhood_filter",
+    "hot_pixel_filter",
+    "spatial_downsample",
+    "merge_polarities",
+    "jitter_time",
+    "drop_events",
+    "event_count_map",
+    "RateProfile",
+    "rate_profile",
+    "peak_rate",
+    "GEPS",
+    "MEPS",
+    "KEPS",
+]

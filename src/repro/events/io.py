@@ -1,0 +1,57 @@
+"""Event-stream persistence.
+
+Recordings are saved as ``.npz`` archives holding the structured event
+array plus the sensor resolution, so datasets and experiment inputs can
+be cached to disk and reloaded exactly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .stream import EVENT_DTYPE, EventStream, Resolution
+
+__all__ = ["save_events", "load_events"]
+
+_FORMAT_VERSION = 1
+
+
+def save_events(stream: EventStream, path: str | Path) -> None:
+    """Write a stream to ``path`` (``.npz`` appended if missing).
+
+    Args:
+        stream: the events to persist.
+        path: destination file.
+    """
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        events=stream.raw,
+        width=np.int64(stream.resolution.width),
+        height=np.int64(stream.resolution.height),
+    )
+
+
+def load_events(path: str | Path) -> EventStream:
+    """Read a stream previously written by :func:`save_events`.
+
+    Args:
+        path: source file.
+
+    Raises:
+        ValueError: on missing fields or an unsupported format version.
+    """
+    path = Path(path)
+    with np.load(path) as data:
+        for field in ("version", "events", "width", "height"):
+            if field not in data:
+                raise ValueError(f"{path} is not an event archive (missing {field!r})")
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported event archive version {version}")
+        events = np.asarray(data["events"], dtype=EVENT_DTYPE)
+        resolution = Resolution(int(data["width"]), int(data["height"]))
+    return EventStream(events, resolution)

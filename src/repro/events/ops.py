@@ -1,0 +1,264 @@
+"""Stream-level operations on event data.
+
+These are the generic manipulations every paradigm needs before its own
+preprocessing: windowing/chunking for frame construction, refractory and
+neighbourhood-support filters for denoising, and spatial downsampling as
+used by in-sensor mitigation schemes (Section II of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .stream import EventStream, Resolution
+
+__all__ = [
+    "split_by_time",
+    "split_by_count",
+    "refractory_filter",
+    "neighbourhood_filter",
+    "hot_pixel_filter",
+    "spatial_downsample",
+    "merge_polarities",
+    "jitter_time",
+    "drop_events",
+    "event_count_map",
+]
+
+
+def split_by_time(stream: EventStream, window_us: int) -> Iterator[EventStream]:
+    """Split a stream into consecutive fixed-duration windows.
+
+    Windows are aligned to the first event's timestamp; every window in
+    ``[t0, t_last]`` is yielded, including empty ones, so frame sequences
+    built from the chunks have uniform temporal spacing.
+
+    Args:
+        stream: input events.
+        window_us: window length in microseconds (> 0).
+
+    Yields:
+        One :class:`EventStream` per window, each re-zeroed relative to
+        the global stream start (timestamps stay absolute).
+    """
+    if window_us <= 0:
+        raise ValueError("window_us must be positive")
+    if len(stream) == 0:
+        return
+    t0 = int(stream.t[0])
+    t_end = int(stream.t[-1])
+    start = t0
+    while start <= t_end:
+        yield stream.time_window(start, start + window_us)
+        start += window_us
+
+
+def split_by_count(stream: EventStream, count: int) -> Iterator[EventStream]:
+    """Split a stream into consecutive fixed-size chunks of events.
+
+    The final chunk may be shorter.  Fixed-count slicing is the windowing
+    strategy used by event-count frame methods that adapt to scene
+    activity rather than wall-clock time.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    for lo in range(0, len(stream), count):
+        yield stream[lo : lo + count]
+
+
+def refractory_filter(stream: EventStream, refractory_us: int) -> EventStream:
+    """Drop events that follow a previous event at the same pixel too soon.
+
+    Models a per-pixel refractory period: after a pixel fires, further
+    events from that pixel within ``refractory_us`` are discarded
+    (regardless of polarity).  This is both a denoising filter and a
+    component of the DVS pixel circuit.
+    """
+    if refractory_us < 0:
+        raise ValueError("refractory_us must be non-negative")
+    n = len(stream)
+    if n == 0 or refractory_us == 0:
+        return stream
+    pix = stream.pixel_index()
+    t = stream.t
+    last_fire: dict[int, int] = {}
+    keep = np.zeros(n, dtype=bool)
+    for i in range(n):
+        key = int(pix[i])
+        ti = int(t[i])
+        prev = last_fire.get(key)
+        if prev is None or ti - prev > refractory_us:
+            keep[i] = True
+            last_fire[key] = ti
+    return stream[keep]
+
+
+def neighbourhood_filter(
+    stream: EventStream, window_us: int, radius: int = 1
+) -> EventStream:
+    """Background-activity filter: keep events supported by a recent neighbour.
+
+    An event survives only if some event occurred within ``radius`` pixels
+    (Chebyshev distance) during the preceding ``window_us`` microseconds.
+    Isolated shot-noise events have no such support and are removed.  This
+    is the classic nearest-neighbour denoise used on DVS output.
+    """
+    if window_us <= 0:
+        raise ValueError("window_us must be positive")
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    n = len(stream)
+    if n == 0:
+        return stream
+    w, h = stream.resolution.width, stream.resolution.height
+    last_seen = np.full((h, w), np.iinfo(np.int64).min, dtype=np.int64)
+    keep = np.zeros(n, dtype=bool)
+    xs, ys, ts = stream.x, stream.y, stream.t
+    for i in range(n):
+        x, y, t = int(xs[i]), int(ys[i]), int(ts[i])
+        x0, x1 = max(0, x - radius), min(w, x + radius + 1)
+        y0, y1 = max(0, y - radius), min(h, y + radius + 1)
+        patch = last_seen[y0:y1, x0:x1]
+        if np.any(patch >= t - window_us):
+            keep[i] = True
+        last_seen[y, x] = t
+    return stream[keep]
+
+
+def hot_pixel_filter(
+    stream: EventStream, rate_factor: float = 10.0, min_events: int = 8
+) -> EventStream:
+    """Remove events from statistically over-active ("hot") pixels.
+
+    A pixel is hot when its event count exceeds ``rate_factor`` times the
+    mean count of all *active* pixels (and at least ``min_events``) —
+    the standard rate-outlier criterion used to mask stuck comparators.
+
+    Args:
+        stream: input events.
+        rate_factor: multiple of the mean active-pixel count that marks
+            a pixel hot.
+        min_events: hot pixels must additionally exceed this absolute
+            count (protects short recordings).
+    """
+    if rate_factor <= 1.0:
+        raise ValueError("rate_factor must be > 1")
+    if min_events < 1:
+        raise ValueError("min_events must be >= 1")
+    if len(stream) == 0:
+        return stream
+    pix = stream.pixel_index()
+    counts = np.bincount(pix, minlength=stream.resolution.num_pixels)
+    active = counts[counts > 0]
+    threshold = max(float(active.mean()) * rate_factor, float(min_events))
+    hot = counts > threshold
+    keep = ~hot[pix]
+    return stream[keep]
+
+
+def spatial_downsample(
+    stream: EventStream, factor: int, refractory_us: int = 0
+) -> EventStream:
+    """Pool events into ``factor x factor`` super-pixels.
+
+    Implements the in-sensor down-sampling mitigation for high-resolution
+    sensors (Bouvier et al. 2021, cited in Section II): coordinates are
+    integer-divided by ``factor``, and events landing on the same
+    super-pixel with the same polarity within ``refractory_us`` merge
+    into one (a pooled pixel shares one comparator, so it can emit at
+    most once per refractory window).  With ``refractory_us=0`` only
+    exactly simultaneous duplicates merge.
+    """
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    if refractory_us < 0:
+        raise ValueError("refractory_us must be non-negative")
+    if factor == 1 or len(stream) == 0:
+        new_res = Resolution(
+            max(1, stream.resolution.width // factor),
+            max(1, stream.resolution.height // factor),
+        )
+        if factor == 1:
+            return stream
+        return EventStream.empty(new_res)
+    new_res = Resolution(
+        max(1, stream.resolution.width // factor),
+        max(1, stream.resolution.height // factor),
+    )
+    x = np.minimum(stream.x // factor, new_res.width - 1).astype(np.int64)
+    y = np.minimum(stream.y // factor, new_res.height - 1).astype(np.int64)
+    pol_bit = (stream.p == 1).astype(np.int64)
+    keys = (y * new_res.width + x) * 2 + pol_bit
+    t = stream.t
+    keep = np.ones(len(stream), dtype=bool)
+    last_emit: dict[int, int] = {}
+    for i in range(len(stream)):
+        key = int(keys[i])
+        ti = int(t[i])
+        prev = last_emit.get(key)
+        if prev is not None and ti - prev <= refractory_us:
+            keep[i] = False
+        else:
+            last_emit[key] = ti
+    return EventStream.from_arrays(
+        t[keep], x[keep], y[keep], stream.p[keep], new_res
+    )
+
+
+def merge_polarities(stream: EventStream) -> EventStream:
+    """Map every event to ON polarity, discarding sign information."""
+    arr = stream.raw.copy()
+    arr["p"] = 1
+    return EventStream(arr, stream.resolution, check=False)
+
+
+def jitter_time(
+    stream: EventStream, sigma_us: float, rng: np.random.Generator
+) -> EventStream:
+    """Add Gaussian timestamp jitter and re-sort (data augmentation / sensor model).
+
+    Args:
+        stream: input events.
+        sigma_us: standard deviation of the jitter in microseconds.
+        rng: NumPy random generator (explicit for reproducibility).
+    """
+    if sigma_us < 0:
+        raise ValueError("sigma_us must be non-negative")
+    if len(stream) == 0 or sigma_us == 0:
+        return stream
+    t = stream.t + np.round(rng.normal(0.0, sigma_us, len(stream))).astype(np.int64)
+    t = np.maximum(t, 0)
+    order = np.argsort(t, kind="stable")
+    return EventStream.from_arrays(
+        t[order], stream.x[order], stream.y[order], stream.p[order], stream.resolution
+    )
+
+
+def drop_events(
+    stream: EventStream, drop_probability: float, rng: np.random.Generator
+) -> EventStream:
+    """Randomly drop a fraction of events (augmentation / lossy-link model)."""
+    if not 0.0 <= drop_probability <= 1.0:
+        raise ValueError("drop_probability must be in [0, 1]")
+    if len(stream) == 0 or drop_probability == 0.0:
+        return stream
+    keep = rng.random(len(stream)) >= drop_probability
+    return stream[keep]
+
+
+def event_count_map(stream: EventStream, signed: bool = False) -> np.ndarray:
+    """Per-pixel event counts as an ``(H, W)`` array.
+
+    Args:
+        stream: input events.
+        signed: when True, OFF events subtract instead of adding (so the
+            map is the net polarity balance per pixel).
+    """
+    h, w = stream.resolution.height, stream.resolution.width
+    weights = stream.p.astype(np.int64) if signed else None
+    flat = np.bincount(
+        stream.pixel_index(), weights=weights, minlength=h * w
+    )
+    return flat.reshape(h, w).astype(np.int64)

@@ -1,0 +1,91 @@
+"""Event-rate statistics.
+
+Section II of the paper discusses readout throughput in GEPS (giga-events
+per second) and the high instantaneous rates that high-resolution sensors
+can produce under egomotion.  These helpers compute the rate profiles that
+the readout model (:mod:`repro.camera.readout`) and the resolution
+experiment (ABL-RES) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .stream import EventStream
+
+__all__ = ["RateProfile", "rate_profile", "peak_rate", "GEPS", "MEPS", "KEPS"]
+
+#: One kilo-event per second.
+KEPS = 1e3
+#: One mega-event per second.
+MEPS = 1e6
+#: One giga-event per second (the readout scale of modern HD sensors).
+GEPS = 1e9
+
+
+@dataclass(frozen=True)
+class RateProfile:
+    """Event rate measured over consecutive fixed bins.
+
+    Attributes:
+        bin_edges_us: bin boundary timestamps, length ``num_bins + 1``.
+        counts: events per bin.
+        bin_us: bin width in microseconds.
+    """
+
+    bin_edges_us: np.ndarray
+    counts: np.ndarray
+    bin_us: int
+
+    @property
+    def rates_eps(self) -> np.ndarray:
+        """Per-bin rate in events per second."""
+        return self.counts / (self.bin_us * 1e-6)
+
+    @property
+    def mean_rate_eps(self) -> float:
+        """Mean rate over the profile in events per second."""
+        if self.counts.size == 0:
+            return 0.0
+        return float(self.counts.sum() / (self.counts.size * self.bin_us * 1e-6))
+
+    @property
+    def peak_rate_eps(self) -> float:
+        """Highest per-bin rate in events per second."""
+        if self.counts.size == 0:
+            return 0.0
+        return float(self.counts.max() / (self.bin_us * 1e-6))
+
+    @property
+    def burstiness(self) -> float:
+        """Peak-to-mean rate ratio (1.0 for a perfectly uniform stream)."""
+        mean = self.mean_rate_eps
+        if mean == 0.0:
+            return 0.0
+        return self.peak_rate_eps / mean
+
+
+def rate_profile(stream: EventStream, bin_us: int = 1000) -> RateProfile:
+    """Histogram the stream's event rate over fixed time bins.
+
+    Args:
+        stream: input events.
+        bin_us: bin width in microseconds (default 1 ms).
+    """
+    if bin_us <= 0:
+        raise ValueError("bin_us must be positive")
+    if len(stream) == 0:
+        return RateProfile(np.array([0, bin_us], dtype=np.int64), np.zeros(1, dtype=np.int64), bin_us)
+    t0 = int(stream.t[0])
+    t1 = int(stream.t[-1])
+    num_bins = max(1, (t1 - t0) // bin_us + 1)
+    edges = t0 + np.arange(num_bins + 1, dtype=np.int64) * bin_us
+    counts, _ = np.histogram(stream.t, bins=edges)
+    return RateProfile(edges, counts.astype(np.int64), bin_us)
+
+
+def peak_rate(stream: EventStream, bin_us: int = 1000) -> float:
+    """Peak event rate (events/s) measured over ``bin_us`` bins."""
+    return rate_profile(stream, bin_us).peak_rate_eps

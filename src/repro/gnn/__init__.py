@@ -1,0 +1,58 @@
+"""Event-graph neural networks: construction, layers, models, async updates."""
+
+from .async_network import AsyncEventGNN, AsyncStepReport
+from .asynchronous import HashInserter, InsertionStats, KDTreeInserter, NaiveInserter
+from .build import (
+    knn_graph,
+    limit_in_degree,
+    make_causal,
+    radius_graph_kdtree,
+    radius_graph_naive,
+    radius_graph_spatial_hash,
+)
+from .detection import EventGNNLocalizer, fit_localizer, localisation_error
+from .graph import EventGraph
+from .hierarchical import HierarchicalEventGNN
+from .layers import EdgeConv, GCNConv, SplineConvLite, scatter_max, scatter_mean, scatter_sum
+from .models import (
+    EventGNNClassifier,
+    GraphBuildConfig,
+    build_event_graph,
+    evaluate_gnn,
+    fit_gnn,
+)
+from .pooling import global_max_pool, global_mean_pool, voxel_pool_graph
+
+__all__ = [
+    "EventGraph",
+    "HierarchicalEventGNN",
+    "EventGNNLocalizer",
+    "fit_localizer",
+    "localisation_error",
+    "radius_graph_naive",
+    "radius_graph_kdtree",
+    "radius_graph_spatial_hash",
+    "knn_graph",
+    "make_causal",
+    "limit_in_degree",
+    "NaiveInserter",
+    "KDTreeInserter",
+    "HashInserter",
+    "InsertionStats",
+    "AsyncEventGNN",
+    "AsyncStepReport",
+    "scatter_sum",
+    "scatter_mean",
+    "scatter_max",
+    "GCNConv",
+    "EdgeConv",
+    "SplineConvLite",
+    "voxel_pool_graph",
+    "global_mean_pool",
+    "global_max_pool",
+    "GraphBuildConfig",
+    "build_event_graph",
+    "EventGNNClassifier",
+    "fit_gnn",
+    "evaluate_gnn",
+]

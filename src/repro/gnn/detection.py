@@ -1,0 +1,137 @@
+"""Event-graph object localisation (the detection task of ref [70]).
+
+AEGNN's headline results are object-detection results; this module
+provides the graph-native counterpart of the CNN localiser: graph
+convolutions produce per-node features, and the object centre is read
+out as an attention-weighted average of node *positions* — each node
+learns how strongly it belongs to the object, and the soft-argmax over
+positions turns that into coordinates.  Because the readout is built
+from node positions, the prediction degrades gracefully with noise
+events (they learn near-zero attention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.detection import DetectionSample
+from ..nn import functional as F
+from ..nn.layers import Linear, Module
+from ..nn.optim import Adam
+from ..nn.tensor import Tensor, no_grad
+from .graph import EventGraph
+from .layers import EdgeConv
+from .models import GraphBuildConfig, build_event_graph
+
+__all__ = ["EventGNNLocalizer", "fit_localizer", "localisation_error"]
+
+
+class EventGNNLocalizer(Module):
+    """Attention-pooled event-graph coordinate regressor.
+
+    Args:
+        hidden: graph-conv feature width.
+        in_features: node input feature width.
+        rng: initialisation generator.
+    """
+
+    def __init__(
+        self,
+        hidden: int = 12,
+        in_features: int = 2,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.conv1 = EdgeConv(in_features, hidden, hidden=hidden, rng=rng)
+        self.conv2 = EdgeConv(hidden, hidden, hidden=hidden, rng=rng)
+        self.attention = Linear(hidden, 1, rng=rng)
+
+    def forward(self, graph: EventGraph) -> Tensor:
+        """Predicted object centre ``(1, 2)`` in pixel coordinates."""
+        x = Tensor(graph.features)
+        x = self.conv1(x, graph.edges, graph.positions).relu()
+        x = self.conv2(x, graph.edges, graph.positions).relu()
+        logits = self.attention(x)  # (N, 1)
+        weights = F.softmax(logits.reshape(1, -1), axis=1)  # (1, N)
+        xy = Tensor(graph.positions[:, :2])  # (N, 2)
+        return weights @ xy
+
+    def attention_weights(self, graph: EventGraph) -> np.ndarray:
+        """Per-node attention (sums to 1) — which events the model trusts."""
+        with no_grad():
+            x = Tensor(graph.features)
+            x = self.conv1(x, graph.edges, graph.positions).relu()
+            x = self.conv2(x, graph.edges, graph.positions).relu()
+            logits = self.attention(x)
+            return F.softmax(logits.reshape(1, -1), axis=1).data[0]
+
+
+@dataclass
+class LocalizerTrainResult:
+    """Training summary.
+
+    Attributes:
+        losses: mean squared pixel error per epoch.
+    """
+
+    losses: list[float]
+
+
+def fit_localizer(
+    model: EventGNNLocalizer,
+    samples: list[DetectionSample],
+    config: GraphBuildConfig,
+    epochs: int = 15,
+    lr: float = 5e-3,
+    rng: np.random.Generator | None = None,
+) -> LocalizerTrainResult:
+    """Train the localiser with squared pixel-coordinate error.
+
+    Args:
+        model: the regressor.
+        samples: labelled recordings.
+        config: graph-construction configuration.
+        epochs, lr: optimisation hyper-parameters.
+        rng: shuffling generator.
+    """
+    if epochs <= 0:
+        raise ValueError("epochs must be positive")
+    if not samples:
+        raise ValueError("need at least one sample")
+    rng = rng or np.random.default_rng(0)
+    graphs = [build_event_graph(s.stream, config) for s in samples]
+    targets = [np.array([[s.cx, s.cy]]) for s in samples]
+    opt = Adam(model.parameters(), lr=lr)
+    losses: list[float] = []
+    for _ in range(epochs):
+        order = rng.permutation(len(graphs))
+        epoch_loss = 0.0
+        for i in order:
+            opt.zero_grad()
+            pred = model(graphs[i])
+            diff = pred - Tensor(targets[i])
+            loss = (diff * diff).mean()
+            loss.backward()
+            opt.step()
+            epoch_loss += loss.item()
+        losses.append(epoch_loss / len(graphs))
+    return LocalizerTrainResult(losses)
+
+
+def localisation_error(
+    model: EventGNNLocalizer,
+    samples: list[DetectionSample],
+    config: GraphBuildConfig,
+) -> float:
+    """Mean Euclidean pixel error over a sample list."""
+    if not samples:
+        raise ValueError("need at least one sample")
+    errors = []
+    with no_grad():
+        for s in samples:
+            pred = model(build_event_graph(s.stream, config)).data[0]
+            errors.append(float(np.hypot(pred[0] - s.cx, pred[1] - s.cy)))
+    return float(np.mean(errors))

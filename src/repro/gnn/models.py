@@ -1,0 +1,206 @@
+"""Event-graph classifiers and their training loop.
+
+The end-to-end GNN pipeline of Section IV: stream → point cloud →
+radius graph (optionally causal) → graph convolutions → global pooling →
+linear head.  The model also reports the operation counts that back the
+paper's claim of "orders of magnitude fewer neural network calculations
+and parameters" relative to dense-frame CNNs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.base import EventDataset
+from ..events.stream import EventStream
+from ..nn import Adam, Tensor, cross_entropy, no_grad
+from ..nn.layers import Linear, Module
+from .build import limit_in_degree, make_causal, radius_graph_spatial_hash
+from .graph import EventGraph
+from .layers import EdgeConv, SplineConvLite
+from .pooling import global_max_pool
+
+__all__ = ["GraphBuildConfig", "build_event_graph", "EventGNNClassifier", "fit_gnn", "evaluate_gnn"]
+
+
+@dataclass(frozen=True)
+class GraphBuildConfig:
+    """Graph-construction hyper-parameters.
+
+    Attributes:
+        radius: connection radius in scaled spatiotemporal units.
+        time_scale_us: microseconds per temporal unit.
+        max_events: subsample the stream to at most this many events
+            (uniform stride) to bound graph size.
+        max_degree: in-degree cap.
+        causal: keep only past → future edges (required for asynchronous
+            operation).
+        include_position: append normalised absolute coordinates to the
+            node features (see :meth:`EventGraph.from_stream`).
+    """
+
+    radius: float = 4.0
+    time_scale_us: float = 5000.0
+    max_events: int = 512
+    max_degree: int = 12
+    causal: bool = True
+    include_position: bool = False
+
+    @property
+    def num_node_features(self) -> int:
+        """Node feature width produced under this configuration."""
+        return 4 if self.include_position else 2
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0 or self.time_scale_us <= 0:
+            raise ValueError("radius and time_scale_us must be positive")
+        if self.max_events <= 0 or self.max_degree <= 0:
+            raise ValueError("max_events and max_degree must be positive")
+
+
+def build_event_graph(stream: EventStream, config: GraphBuildConfig) -> EventGraph:
+    """Construct the classification graph for one recording."""
+    if len(stream) > config.max_events:
+        idx = np.linspace(0, len(stream) - 1, config.max_events).astype(np.int64)
+        stream = stream[np.unique(idx)]
+    points = stream.as_point_cloud(config.time_scale_us)
+    edges = radius_graph_spatial_hash(points, config.radius)
+    if config.causal:
+        edges = make_causal(edges, points)
+    edges = limit_in_degree(edges, points, config.max_degree)
+    return EventGraph.from_stream(
+        stream, edges, config.time_scale_us, include_position=config.include_position
+    )
+
+
+class EventGNNClassifier(Module):
+    """Two graph-conv layers + global max pooling + linear head.
+
+    Args:
+        num_classes: output classes.
+        hidden: feature width of the conv layers.
+        conv: "edge" for :class:`EdgeConv`, "spline" for
+            :class:`SplineConvLite`.
+        in_features: node feature width (2, or 4 with positions).
+        rng: initialisation generator.
+    """
+
+    def __init__(
+        self,
+        num_classes: int,
+        hidden: int = 16,
+        conv: str = "edge",
+        in_features: int = 2,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if conv not in ("edge", "spline"):
+            raise ValueError("conv must be 'edge' or 'spline'")
+        if in_features <= 0:
+            raise ValueError("in_features must be positive")
+        rng = rng or np.random.default_rng(0)
+        if conv == "edge":
+            self.conv1: Module = EdgeConv(in_features, hidden, hidden=hidden, rng=rng)
+            self.conv2: Module = EdgeConv(hidden, hidden, hidden=hidden, rng=rng)
+        else:
+            self.conv1 = SplineConvLite(in_features, hidden, rng=rng)
+            self.conv2 = SplineConvLite(hidden, hidden, rng=rng)
+        self.head = Linear(hidden, num_classes, rng=rng)
+
+    def forward(self, graph: EventGraph) -> Tensor:
+        """Logits ``(1, num_classes)`` for one event graph."""
+        x = Tensor(graph.features)
+        x = self.conv1(x, graph.edges, graph.positions).relu()
+        x = self.conv2(x, graph.edges, graph.positions).relu()
+        return self.head(global_max_pool(x))
+
+    def operation_count(self, graph: EventGraph) -> int:
+        """Approximate multiply-accumulate count of one forward pass.
+
+        Message MLP / kernel work scales with edges; node transforms
+        scale with nodes.  This is the number compared against the dense
+        CNN's MAC count in the Table I "# operations" row.
+        """
+        n, e = graph.num_nodes, max(graph.num_edges, 1)
+        total = 0
+        for conv in (self.conv1, self.conv2):
+            if isinstance(conv, EdgeConv):
+                per_edge = sum(
+                    layer.in_features * layer.out_features
+                    for layer in conv.mlp.layers
+                    if isinstance(layer, Linear)
+                )
+                total += e * per_edge
+                total += n * conv.self_mlp.in_features * conv.self_mlp.out_features
+            else:  # SplineConvLite
+                b, f_out, f_in = conv.weights.shape
+                total += e * b * f_out * f_in
+                total += n * conv.root.in_features * conv.root.out_features
+        total += self.head.in_features * self.head.out_features
+        return total
+
+
+@dataclass
+class GNNTrainResult:
+    """Training summary.
+
+    Attributes:
+        losses: mean loss per epoch.
+        train_accuracy: final accuracy on the training set.
+    """
+
+    losses: list[float]
+    train_accuracy: float
+
+
+def fit_gnn(
+    model: EventGNNClassifier,
+    dataset: EventDataset,
+    config: GraphBuildConfig,
+    epochs: int = 10,
+    lr: float = 5e-3,
+    rng: np.random.Generator | None = None,
+) -> GNNTrainResult:
+    """Train a graph classifier, one graph per step.
+
+    Graphs are pre-built once (construction is deterministic) and
+    shuffled between epochs.
+    """
+    if epochs <= 0:
+        raise ValueError("epochs must be positive")
+    rng = rng or np.random.default_rng(0)
+    graphs = [build_event_graph(s.stream, config) for s in dataset]
+    labels = dataset.labels()
+    opt = Adam(model.parameters(), lr=lr)
+    losses: list[float] = []
+    for _ in range(epochs):
+        order = rng.permutation(len(graphs))
+        epoch_loss = 0.0
+        for i in order:
+            opt.zero_grad()
+            loss = cross_entropy(model(graphs[i]), labels[i : i + 1])
+            loss.backward()
+            opt.step()
+            epoch_loss += loss.item()
+        losses.append(epoch_loss / len(graphs))
+    return GNNTrainResult(losses, evaluate_gnn(model, dataset, config, graphs=graphs))
+
+
+def evaluate_gnn(
+    model: EventGNNClassifier,
+    dataset: EventDataset,
+    config: GraphBuildConfig,
+    graphs: list[EventGraph] | None = None,
+) -> float:
+    """Accuracy of the classifier on a dataset."""
+    if graphs is None:
+        graphs = [build_event_graph(s.stream, config) for s in dataset]
+    labels = dataset.labels()
+    correct = 0
+    with no_grad():
+        for g, y in zip(graphs, labels):
+            pred = int(model(g).data.argmax())
+            correct += pred == y
+    return correct / len(graphs)

@@ -1,0 +1,43 @@
+"""Hardware cost models: energy tables and accelerator analytical models."""
+
+from .analog import AnalogNeuromorphicProcessor, apply_mismatch
+from .energy import ENERGY_45NM, EnergyTable
+from .gnn_accel import GNNAccelerator
+from .memory import MemoryHierarchy, MemoryLevel, default_hierarchy
+from .neuromorphic import NeuromorphicCore, analytic_snn_counters
+from .report import CostReport
+from .smart_imager import IOEnergyParams, SmartImagerModel
+from .systolic import ReuseFactors, SystolicArray, dataflow_reuse
+from .workload import ConvLayerWorkload, GNNWorkload, SNNLayerWorkload
+from .zeroskip import (
+    ZeroSkipAccelerator,
+    compression_ratio,
+    nullhop_compressed_bits,
+    rle_compressed_bits,
+)
+
+__all__ = [
+    "EnergyTable",
+    "ENERGY_45NM",
+    "CostReport",
+    "SmartImagerModel",
+    "IOEnergyParams",
+    "ConvLayerWorkload",
+    "SNNLayerWorkload",
+    "GNNWorkload",
+    "SystolicArray",
+    "ReuseFactors",
+    "dataflow_reuse",
+    "ZeroSkipAccelerator",
+    "rle_compressed_bits",
+    "nullhop_compressed_bits",
+    "compression_ratio",
+    "NeuromorphicCore",
+    "analytic_snn_counters",
+    "GNNAccelerator",
+    "MemoryLevel",
+    "MemoryHierarchy",
+    "default_hierarchy",
+    "AnalogNeuromorphicProcessor",
+    "apply_mismatch",
+]

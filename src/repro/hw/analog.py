@@ -1,0 +1,105 @@
+"""Analog / mixed-signal neuromorphic processor model (Section III-A, V).
+
+"Analogue neuromorphic processors seem to be better adapted for seamless
+event-based operation … time implicitly represents itself and state
+variables evolve naturally using the physics of the analogue circuit."
+And from the discussion: "analogue spiking processors generally consume
+an order of magnitude less power [46] … However, transistor mismatch and
+other physical nonidealities limit the robustness of this approach."
+
+The model has two parts:
+
+* an energy model where synaptic events cost sub-picojoule analog charge
+  transfers and neuron dynamics are free (physics integrates the state),
+  plus a static bias-current floor — matching the DYNAP-class operating
+  points (ref [46]);
+* a mismatch model that perturbs network weights and thresholds with the
+  device-to-device variability analog arrays suffer, so its accuracy
+  impact can be measured on a real task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..snn.event_driven import SimCounters
+from .report import CostReport
+
+__all__ = ["AnalogNeuromorphicProcessor", "apply_mismatch"]
+
+
+@dataclass(frozen=True)
+class AnalogNeuromorphicProcessor:
+    """An analog spiking processor energy model.
+
+    Attributes:
+        synaptic_event_pj: charge-packet energy per synaptic event
+            (sub-pJ in DYNAP-class silicon).
+        spike_event_pj: energy per output spike (AER encoding etc.).
+        static_power_uw: bias-current static power floor in microwatts.
+        mismatch_sigma: relative device mismatch (weights/thresholds).
+    """
+
+    synaptic_event_pj: float = 0.1
+    spike_event_pj: float = 1.0
+    static_power_uw: float = 100.0
+    mismatch_sigma: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.synaptic_event_pj <= 0 or self.spike_event_pj <= 0:
+            raise ValueError("event energies must be positive")
+        if self.static_power_uw < 0:
+            raise ValueError("static_power_uw must be non-negative")
+        if self.mismatch_sigma < 0:
+            raise ValueError("mismatch_sigma must be non-negative")
+
+    def cost_from_counters(
+        self, counters: SimCounters, duration_us: float, name: str = "analog-snn"
+    ) -> CostReport:
+        """Energy of a spiking workload on the analog substrate.
+
+        Neuron state updates are free (the membrane capacitor integrates
+        physically); only synaptic events, output spikes and the static
+        floor cost energy.
+
+        Args:
+            counters: counted workload (synapse_reads = synaptic events).
+            duration_us: wall-clock duration for the static-power term.
+        """
+        if duration_us <= 0:
+            raise ValueError("duration_us must be positive")
+        e_syn = counters.synapse_reads * self.synaptic_event_pj
+        e_spk = counters.spikes * self.spike_event_pj
+        e_static = self.static_power_uw * 1e-6 * duration_us * 1e-6 * 1e12  # -> pJ
+        return CostReport(
+            name=name,
+            energy_pj=e_syn + e_spk + e_static,
+            latency_us=0.0,  # analog dynamics run in real time
+            macs=0,
+            memory_accesses=0,
+            sram_bytes=0,
+            breakdown={"synaptic": e_syn, "spikes": e_spk, "static": e_static},
+        )
+
+    def power_mw(self, counters: SimCounters, duration_us: float) -> float:
+        """Mean power of the workload in milliwatts."""
+        report = self.cost_from_counters(counters, duration_us)
+        return report.power_mw(duration_us)
+
+
+def apply_mismatch(
+    weights: np.ndarray, sigma: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Perturb weights with multiplicative log-normal device mismatch.
+
+    Analog synapse conductances vary device-to-device roughly
+    log-normally; ``sigma`` is the relative spread.  Returns a new array.
+    """
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    if sigma == 0:
+        return np.asarray(weights, dtype=np.float64).copy()
+    factors = rng.lognormal(mean=0.0, sigma=sigma, size=np.shape(weights))
+    return np.asarray(weights, dtype=np.float64) * factors

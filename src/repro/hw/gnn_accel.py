@@ -1,0 +1,126 @@
+"""GNN accelerator cost model (Section IV, refs [73], [74]).
+
+"While dedicated GNN accelerators have recently been proposed for
+datacenters, they are poorly adapted for the sparse streaming nature of
+event-data and low-power operation at the edge."
+
+The model follows the hybrid-architecture decomposition of HyGCN /
+EnGN: an *aggregation* phase dominated by irregular gather traffic (one
+feature-vector read per edge — from DRAM in the datacenter
+configuration, from SRAM in a hypothetical edge configuration) and a
+*combination* phase of dense MACs.  An asynchronous per-event cost is
+also provided: the work of updating the graph locally when one event
+arrives, which is what a future event-graph processor would execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .energy import ENERGY_45NM, EnergyTable
+from .report import CostReport
+from .workload import GNNWorkload
+
+__all__ = ["GNNAccelerator"]
+
+
+@dataclass(frozen=True)
+class GNNAccelerator:
+    """A two-phase (aggregate / combine) GNN accelerator.
+
+    Attributes:
+        num_macs: parallel MAC units for the combination phase.
+        clock_mhz: operating frequency.
+        features_in_dram: aggregation gathers hit DRAM (datacenter
+            design) instead of on-chip SRAM (edge design).
+        energy: per-op energy table.
+    """
+
+    num_macs: int = 64
+    clock_mhz: float = 200.0
+    features_in_dram: bool = True
+    energy: EnergyTable = ENERGY_45NM
+
+    def __post_init__(self) -> None:
+        if self.num_macs <= 0:
+            raise ValueError("num_macs must be positive")
+        if self.clock_mhz <= 0:
+            raise ValueError("clock_mhz must be positive")
+
+    def _gather_cost_pj(self) -> float:
+        return self.energy.dram_pj if self.features_in_dram else self.energy.sram_large_pj
+
+    def run_graph(self, workload: GNNWorkload) -> CostReport:
+        """Cost of one full forward pass over the graph.
+
+        Aggregation: per layer, one ``feature_dim`` gather per edge plus
+        an accumulate.  Combination: per layer, a dense
+        ``feature_dim x feature_dim`` transform per node.
+        """
+        f = workload.feature_dim
+        layers = workload.num_layers
+        gathers = workload.num_edges * f * layers
+        agg_adds = workload.num_edges * f * layers
+        combine_macs = workload.num_nodes * f * f * layers
+
+        e_gather = gathers * self._gather_cost_pj()
+        e_agg = agg_adds * self.energy.add_float_pj
+        e_combine = combine_macs * self.energy.mac_pj
+        e_weights = f * f * layers * self.energy.sram_large_pj
+
+        cycles = combine_macs / self.num_macs + gathers  # gathers serialise
+        word_bytes = max(1, workload.bits // 8)
+        sram = workload.num_nodes * f * word_bytes + f * f * layers * word_bytes
+
+        mode = "dram" if self.features_in_dram else "sram"
+        return CostReport(
+            name=f"gnn-accel/{mode}",
+            energy_pj=e_gather + e_agg + e_combine + e_weights,
+            latency_us=cycles / self.clock_mhz,
+            macs=combine_macs,
+            memory_accesses=gathers + f * f * layers,
+            sram_bytes=sram,
+            breakdown={
+                "mem_gather": e_gather,
+                "mem_weights": e_weights,
+                "alu_aggregate": e_agg,
+                "mac_combine": e_combine,
+            },
+        )
+
+    def per_event_update(
+        self, workload: GNNWorkload, degree: int, insertion_candidates: int
+    ) -> CostReport:
+        """Cost of asynchronously folding ONE new event into the graph.
+
+        Graph search examines ``insertion_candidates`` nodes; the new
+        node's neighbourhood (``degree`` edges) is gathered and convolved
+        through every layer (local recompute only).
+
+        Args:
+            workload: network dimensions (num_nodes/num_edges unused).
+            degree: edges touching the new node.
+            insertion_candidates: candidate comparisons of the insertion
+                algorithm (from :class:`repro.gnn.asynchronous` stats).
+        """
+        if degree < 0 or insertion_candidates < 0:
+            raise ValueError("degree and insertion_candidates must be non-negative")
+        f = workload.feature_dim
+        layers = workload.num_layers
+        search_reads = insertion_candidates * 3  # x, y, t words
+        gathers = degree * f * layers
+        macs = (degree + 1) * f * f * layers
+
+        e_search = search_reads * self.energy.sram_large_pj
+        e_gather = gathers * self._gather_cost_pj()
+        e_mac = macs * self.energy.mac_pj
+        cycles = insertion_candidates + gathers + macs / self.num_macs
+        return CostReport(
+            name="gnn-accel/event",
+            energy_pj=e_search + e_gather + e_mac,
+            latency_us=cycles / self.clock_mhz,
+            macs=macs,
+            memory_accesses=search_reads + gathers,
+            sram_bytes=0,
+            breakdown={"mem_search": e_search, "mem_gather": e_gather, "mac": e_mac},
+        )

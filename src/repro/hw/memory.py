@@ -1,0 +1,120 @@
+"""On-chip memory hierarchy model.
+
+SNN cores "contain a memory hierarchy (i.e., SRAM, standard cell memory
+and register files) which store information on the state of neurons and
+synapses" (Section III-A).  This module models that hierarchy explicitly:
+a footprint is placed into the smallest level that holds it, and its
+access energy follows.  The model quantifies the paper's distributed-core
+trade-off (ref [43]): splitting a model across many small cores keeps
+every access in cheap near memory at the price of more silicon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .energy import ENERGY_45NM, EnergyTable
+
+__all__ = ["MemoryLevel", "MemoryHierarchy", "default_hierarchy"]
+
+
+@dataclass(frozen=True)
+class MemoryLevel:
+    """One level of the hierarchy.
+
+    Attributes:
+        name: level label.
+        capacity_bytes: storage capacity.
+        access_pj: energy per word access.
+        area_mm2_per_kb: silicon cost per kilobyte (for the distributed
+            -core area accounting).
+    """
+
+    name: str
+    capacity_bytes: int
+    access_pj: float
+    area_mm2_per_kb: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        if self.access_pj <= 0:
+            raise ValueError("access_pj must be positive")
+        if self.area_mm2_per_kb <= 0:
+            raise ValueError("area_mm2_per_kb must be positive")
+
+
+@dataclass(frozen=True)
+class MemoryHierarchy:
+    """An ordered (smallest/cheapest first) memory hierarchy.
+
+    Attributes:
+        levels: the hierarchy, ordered by increasing capacity.
+    """
+
+    levels: tuple[MemoryLevel, ...]
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ValueError("hierarchy needs at least one level")
+        caps = [lv.capacity_bytes for lv in self.levels]
+        if caps != sorted(caps):
+            raise ValueError("levels must be ordered by increasing capacity")
+        costs = [lv.access_pj for lv in self.levels]
+        if costs != sorted(costs):
+            raise ValueError("access energy must not decrease with capacity")
+
+    def place(self, footprint_bytes: int) -> MemoryLevel:
+        """Smallest level that holds ``footprint_bytes``.
+
+        Falls through to the last (largest) level when nothing fits —
+        the model's stand-in for off-chip spill.
+        """
+        if footprint_bytes < 0:
+            raise ValueError("footprint_bytes must be non-negative")
+        for level in self.levels:
+            if footprint_bytes <= level.capacity_bytes:
+                return level
+        return self.levels[-1]
+
+    def access_energy_pj(self, footprint_bytes: int, num_accesses: int) -> float:
+        """Energy of ``num_accesses`` word accesses to a resident footprint."""
+        if num_accesses < 0:
+            raise ValueError("num_accesses must be non-negative")
+        return self.place(footprint_bytes).access_pj * num_accesses
+
+    def distributed_core_tradeoff(
+        self, total_bytes: int, num_cores: int, accesses_per_byte: float = 1.0
+    ) -> dict[str, float]:
+        """Energy and area of splitting a model over ``num_cores`` cores.
+
+        Each core holds ``total_bytes / num_cores``; smaller slices land
+        in cheaper levels (ref [43]'s one-to-one extreme is
+        ``num_cores -> num_synapses``), but every core pays its slice's
+        silicon area.
+
+        Returns:
+            ``{"energy_pj", "area_mm2", "level"}`` for the configuration.
+        """
+        if total_bytes <= 0 or num_cores <= 0:
+            raise ValueError("total_bytes and num_cores must be positive")
+        if accesses_per_byte < 0:
+            raise ValueError("accesses_per_byte must be non-negative")
+        slice_bytes = max(1, total_bytes // num_cores)
+        level = self.place(slice_bytes)
+        total_accesses = total_bytes * accesses_per_byte
+        energy = level.access_pj * total_accesses
+        area = num_cores * (slice_bytes / 1024.0) * level.area_mm2_per_kb
+        return {"energy_pj": energy, "area_mm2": area, "level": level.name}
+
+
+def default_hierarchy(energy: EnergyTable = ENERGY_45NM) -> MemoryHierarchy:
+    """The register-file / small-SRAM / large-SRAM / DRAM default stack."""
+    return MemoryHierarchy(
+        (
+            MemoryLevel("register-file", 512, energy.rf_access_pj, 2.0),
+            MemoryLevel("sram-8KB", 8 * 1024, energy.sram_small_pj, 0.4),
+            MemoryLevel("sram-1MB", 1024 * 1024, energy.sram_large_pj, 0.15),
+            MemoryLevel("dram", 1 << 40, energy.dram_pj, 0.001),
+        )
+    )

@@ -1,0 +1,131 @@
+"""Digital neuromorphic (SNN) core cost model (Section III-A).
+
+"SNN accelerators … often group neurons in time-multiplexed cores …
+composed of separate neuron and synapse modules.  Each contain a memory
+hierarchy … In such approaches memory accesses dominate energy
+consumption as high as 99% of the total.  As a result, the fact that
+SNNs rely mainly on addition operations, instead of multiplication, is
+largely irrelevant."
+
+The model maps the operation counters of
+:mod:`repro.snn.event_driven` (or an analytic workload) onto the energy
+table: neuron state lives in small SRAM, synaptic weights in large SRAM,
+synaptic accumulation uses additions (not MACs) and event-driven decay
+pays the exponential-evaluation cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..snn.event_driven import SimCounters
+from .energy import ENERGY_45NM, EnergyTable
+from .report import CostReport
+from .workload import SNNLayerWorkload
+
+__all__ = ["NeuromorphicCore", "analytic_snn_counters"]
+
+
+def analytic_snn_counters(
+    workload: SNNLayerWorkload, update: str = "clock"
+) -> SimCounters:
+    """Expected operation counters for a dense LIF layer without simulating.
+
+    Mirrors the counting rules of :func:`repro.snn.event_driven`:
+    synaptic work scales with input spikes either way; state work scales
+    with steps (clock) or with *active* steps (event).
+
+    Args:
+        workload: layer dimensions and mean activity.
+        update: "clock" or "event".
+    """
+    if update not in ("clock", "event"):
+        raise ValueError("update must be 'clock' or 'event'")
+    n = workload.num_neurons
+    steps = workload.num_steps
+    spikes = workload.input_spikes
+    c = SimCounters()
+    c.synapse_reads = spikes * n
+    c.alu_simple = spikes * n  # accumulates
+    if update == "clock":
+        c.neuron_state_reads = steps * n
+        c.neuron_state_writes = steps * n
+        c.alu_simple += steps * n * 3  # decay, integrate, compare
+    else:
+        # A step is "active" if at least one input spiked; for independent
+        # channels that is 1 - (1 - a)^F, but we approximate with the
+        # min(1, activity * F) rate used in the simulator's regime.
+        p_active = min(1.0, workload.input_activity * workload.num_inputs)
+        active_steps = int(round(steps * p_active))
+        c.neuron_state_reads = active_steps * 2 * n
+        c.neuron_state_writes = active_steps * 2 * n
+        c.alu_exp = active_steps * n
+        c.alu_simple += active_steps * n * 3
+    return c
+
+
+@dataclass(frozen=True)
+class NeuromorphicCore:
+    """A time-multiplexed digital SNN core.
+
+    Attributes:
+        clock_mhz: operating frequency.
+        ops_per_cycle: parallel lanes (synaptic ops per cycle).
+        energy: per-op energy table.
+        state_in_small_sram: neuron state held in small (cheap) SRAM;
+            large cores spill to the expensive array.
+    """
+
+    clock_mhz: float = 100.0
+    ops_per_cycle: int = 8
+    energy: EnergyTable = ENERGY_45NM
+    state_in_small_sram: bool = True
+
+    def __post_init__(self) -> None:
+        if self.clock_mhz <= 0:
+            raise ValueError("clock_mhz must be positive")
+        if self.ops_per_cycle <= 0:
+            raise ValueError("ops_per_cycle must be positive")
+
+    def cost_from_counters(
+        self, counters: SimCounters, name: str = "snn-core", state_bytes: int = 0
+    ) -> CostReport:
+        """Translate simulation counters into energy and latency.
+
+        Args:
+            counters: operation counts from a counted simulation.
+            name: report label.
+            state_bytes: on-chip state footprint to report.
+        """
+        e = self.energy
+        state_cost = e.sram_small_pj if self.state_in_small_sram else e.sram_large_pj
+        e_state = (counters.neuron_state_reads + counters.neuron_state_writes) * state_cost
+        e_weights = counters.synapse_reads * e.sram_large_pj
+        e_alu = counters.alu_simple * e.add_int_pj
+        e_exp = counters.alu_exp * e.exp_pj
+        total_ops = counters.alu_simple + counters.alu_exp
+        cycles = total_ops / self.ops_per_cycle
+        return CostReport(
+            name=name,
+            energy_pj=e_state + e_weights + e_alu + e_exp,
+            latency_us=cycles / self.clock_mhz,
+            macs=0,
+            memory_accesses=counters.memory_accesses,
+            sram_bytes=state_bytes,
+            breakdown={
+                "mem_state": e_state,
+                "mem_weights": e_weights,
+                "alu_add": e_alu,
+                "alu_exp": e_exp,
+            },
+        )
+
+    def run_layer(self, workload: SNNLayerWorkload, update: str = "clock") -> CostReport:
+        """Analytic cost of a dense LIF layer under either update discipline."""
+        counters = analytic_snn_counters(workload, update)
+        word_bytes = max(1, workload.bits // 8)
+        state_bytes = workload.num_neurons * 2 * word_bytes
+        state_bytes += workload.num_neurons * workload.num_inputs * word_bytes
+        return self.cost_from_counters(
+            counters, name=f"snn-core/{update}", state_bytes=state_bytes
+        )

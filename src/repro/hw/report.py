@@ -1,0 +1,58 @@
+"""Cost-report structures shared by all accelerator models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CostReport"]
+
+
+@dataclass
+class CostReport:
+    """Energy / latency / memory summary of one workload on one accelerator.
+
+    Attributes:
+        name: accelerator + workload identifier.
+        energy_pj: total energy in picojoules.
+        latency_us: end-to-end latency in microseconds.
+        macs: multiply-accumulate operations performed.
+        memory_accesses: memory words touched.
+        sram_bytes: on-chip storage required.
+        breakdown: free-form energy breakdown in picojoules by component.
+    """
+
+    name: str
+    energy_pj: float = 0.0
+    latency_us: float = 0.0
+    macs: int = 0
+    memory_accesses: int = 0
+    sram_bytes: int = 0
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def energy_uj(self) -> float:
+        """Energy in microjoules."""
+        return self.energy_pj * 1e-6
+
+    @property
+    def memory_energy_fraction(self) -> float:
+        """Fraction of energy spent on memory accesses (needs a breakdown
+        with keys containing 'mem')."""
+        if not self.breakdown or self.energy_pj == 0:
+            return 0.0
+        mem = sum(v for k, v in self.breakdown.items() if "mem" in k)
+        return mem / self.energy_pj
+
+    def power_mw(self, duty_period_us: float) -> float:
+        """Mean power in milliwatts when this workload repeats every
+        ``duty_period_us`` microseconds."""
+        if duty_period_us <= 0:
+            raise ValueError("duty_period_us must be positive")
+        return self.energy_pj * 1e-12 / (duty_period_us * 1e-6) * 1e3
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.name}: {self.energy_uj:.3f} uJ, {self.latency_us:.1f} us, "
+            f"{self.macs} MACs, {self.memory_accesses} mem accesses"
+        )

@@ -1,0 +1,127 @@
+"""3-D-integrated smart imager model (Section I's forward-looking goal).
+
+"A particularly exciting forward-looking goal is a multi-layer
+3D-integrated smart imager chip whereby the event-camera is tightly
+integrated with an AI co-processor that can operate very effectively
+near the data-generating pixels … to achieve in-sensor processing [9]."
+
+The model quantifies what 3-D integration buys: instead of streaming
+every event off-chip over the AER link to a remote processor, the
+stacked AI layer consumes events locally (through-silicon vias at a
+fraction of the pad-driver energy) and only the *decisions* (or regions
+of interest) leave the chip.  Off-chip I/O is the expensive part —
+driving a chip-to-chip link costs an order of magnitude more energy per
+bit than on-chip wires — so the win scales with the event rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .report import CostReport
+
+__all__ = ["SmartImagerModel", "IOEnergyParams"]
+
+
+@dataclass(frozen=True)
+class IOEnergyParams:
+    """Interconnect energy parameters.
+
+    Attributes:
+        offchip_pj_per_bit: chip-to-chip link driver energy.
+        tsv_pj_per_bit: through-silicon-via (3-D stack) energy.
+        onchip_pj_per_bit: on-chip wire energy.
+    """
+
+    offchip_pj_per_bit: float = 10.0
+    tsv_pj_per_bit: float = 0.5
+    onchip_pj_per_bit: float = 0.05
+
+    def __post_init__(self) -> None:
+        if min(self.offchip_pj_per_bit, self.tsv_pj_per_bit, self.onchip_pj_per_bit) <= 0:
+            raise ValueError("all I/O energies must be positive")
+        if not self.offchip_pj_per_bit > self.tsv_pj_per_bit > self.onchip_pj_per_bit:
+            raise ValueError("expected offchip > TSV > onchip energy ordering")
+
+
+@dataclass(frozen=True)
+class SmartImagerModel:
+    """Compare off-chip streaming against in-sensor (3-D stacked) processing.
+
+    Attributes:
+        io: interconnect energy parameters.
+        event_bits: AER word width (from :class:`repro.events.AERCodec`).
+        decision_bits: bits per output decision/ROI message.
+    """
+
+    io: IOEnergyParams = IOEnergyParams()
+    event_bits: int = 40
+    decision_bits: int = 64
+
+    def __post_init__(self) -> None:
+        if self.event_bits <= 0 or self.decision_bits <= 0:
+            raise ValueError("bit widths must be positive")
+
+    def stream_out(
+        self, num_events: int, duration_us: float, compute_energy_pj: float = 0.0
+    ) -> CostReport:
+        """Cost of streaming all events off-chip to a remote processor.
+
+        Args:
+            num_events: events in the window.
+            duration_us: window length.
+            compute_energy_pj: the remote processor's compute energy
+                (added so totals stay comparable).
+        """
+        if num_events < 0 or duration_us <= 0:
+            raise ValueError("invalid workload")
+        bits = num_events * self.event_bits
+        e_io = bits * self.io.offchip_pj_per_bit
+        return CostReport(
+            name="stream-out",
+            energy_pj=e_io + compute_energy_pj,
+            latency_us=0.0,
+            memory_accesses=0,
+            breakdown={"io_offchip": e_io, "compute": compute_energy_pj},
+        )
+
+    def in_sensor(
+        self,
+        num_events: int,
+        duration_us: float,
+        compute_energy_pj: float,
+        decisions_per_second: float = 100.0,
+    ) -> CostReport:
+        """Cost of processing in the stacked AI layer, emitting decisions only.
+
+        Events cross one TSV layer; only compact decisions leave the
+        chip.
+
+        Args:
+            num_events: events in the window.
+            duration_us: window length.
+            compute_energy_pj: the stacked co-processor's compute energy.
+            decisions_per_second: output message rate.
+        """
+        if num_events < 0 or duration_us <= 0:
+            raise ValueError("invalid workload")
+        if decisions_per_second <= 0:
+            raise ValueError("decisions_per_second must be positive")
+        e_tsv = num_events * self.event_bits * self.io.tsv_pj_per_bit
+        num_decisions = max(1.0, decisions_per_second * duration_us * 1e-6)
+        e_out = num_decisions * self.decision_bits * self.io.offchip_pj_per_bit
+        return CostReport(
+            name="in-sensor",
+            energy_pj=e_tsv + e_out + compute_energy_pj,
+            latency_us=0.0,
+            memory_accesses=0,
+            breakdown={"io_tsv": e_tsv, "io_offchip": e_out, "compute": compute_energy_pj},
+        )
+
+    def io_saving(
+        self, num_events: int, duration_us: float, decisions_per_second: float = 100.0
+    ) -> float:
+        """Ratio of off-chip-stream I/O energy to in-sensor I/O energy."""
+        stream = self.stream_out(num_events, duration_us)
+        local = self.in_sensor(num_events, duration_us, 0.0, decisions_per_second)
+        return stream.energy_pj / max(local.energy_pj, 1e-12)

@@ -1,0 +1,163 @@
+"""Systolic processing-element array model (Section III-B, refs [60], [61]).
+
+"Systolic processor arrays distribute computation over the array before
+spatially summing the resulting partial feature maps.  While achieving
+massive parallelization and having a deterministic memory access
+pattern, they do not necessarily exploit CNN sparsity."
+
+The model is a weight-stationary R x C array (TPU-style): weights are
+loaded once per tile and reused across the output plane, activations
+stream in, partial sums accumulate locally.  Every MAC is executed
+whether its operands are zero or not — the property the zero-skipping
+comparison turns on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import math
+
+from .energy import ENERGY_45NM, EnergyTable
+from .report import CostReport
+from .workload import ConvLayerWorkload
+
+__all__ = ["SystolicArray", "ReuseFactors", "dataflow_reuse"]
+
+
+@dataclass(frozen=True)
+class ReuseFactors:
+    """How many times each datum is used per memory fetch (ref [66]).
+
+    "Both approaches exploit … data reuse strategies where data is
+    typically used several times for single memory access."  A reuse
+    factor of R means one fetch feeds R MACs.
+
+    Attributes:
+        weight_reuse: MACs per weight fetch.
+        activation_reuse: MACs per input-activation fetch.
+        psum_reuse: accumulations per partial-sum writeback.
+    """
+
+    weight_reuse: float
+    activation_reuse: float
+    psum_reuse: float
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """MACs per memory word moved (harmonic combination of reuses)."""
+        inv = 1.0 / self.weight_reuse + 1.0 / self.activation_reuse + 1.0 / self.psum_reuse
+        return 1.0 / inv
+
+
+@dataclass(frozen=True)
+class SystolicArray:
+    """A weight-stationary systolic array.
+
+    Attributes:
+        rows, cols: PE grid dimensions (rows map input channels x kernel,
+            cols map output channels).
+        clock_mhz: operating frequency.
+        energy: per-op energy table.
+    """
+
+    rows: int = 16
+    cols: int = 16
+    clock_mhz: float = 200.0
+    energy: EnergyTable = ENERGY_45NM
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("array dimensions must be positive")
+        if self.clock_mhz <= 0:
+            raise ValueError("clock_mhz must be positive")
+
+    @property
+    def num_pes(self) -> int:
+        """Processing elements in the array."""
+        return self.rows * self.cols
+
+    def run_layer(self, layer: ConvLayerWorkload) -> CostReport:
+        """Cost of one conv layer on the array.
+
+        The layer is tiled into ``ceil(K/rows) * ceil(C_out/cols)`` weight
+        tiles (K = c_in * kernel^2); each tile streams the full output
+        plane.  Utilisation losses from ragged tiles are modelled; zeros
+        are *not* skipped.
+        """
+        k_dim = layer.c_in * layer.kernel**2
+        tiles_r = math.ceil(k_dim / self.rows)
+        tiles_c = math.ceil(layer.c_out / self.cols)
+        pixels = layer.out_h * layer.out_w
+
+        # Every tile streams all output pixels through the full array.
+        cycles = tiles_r * tiles_c * pixels + (self.rows + self.cols)  # + drain
+        macs = layer.dense_macs  # zeros are computed anyway
+
+        # Memory traffic: weights loaded once per tile (perfect reuse
+        # within a tile), activations re-read once per column tile, and
+        # outputs written once with partial-sum re-reads per row tile.
+        weight_reads = layer.num_weights
+        act_reads = layer.num_input_activations * tiles_c
+        psum_traffic = layer.num_output_activations * (2 * tiles_r - 1)
+        mem_accesses = weight_reads + act_reads + psum_traffic
+
+        e_mac = macs * self.energy.mac_pj
+        e_mem = mem_accesses * self.energy.sram_large_pj
+        e_rf = macs * 2 * self.energy.rf_access_pj  # operand staging
+
+        word_bytes = max(1, layer.bits // 8)
+        sram = (layer.num_weights + layer.num_input_activations
+                + layer.num_output_activations) * word_bytes
+
+        return CostReport(
+            name=f"systolic{self.rows}x{self.cols}",
+            energy_pj=e_mac + e_mem + e_rf,
+            latency_us=cycles / self.clock_mhz,
+            macs=macs,
+            memory_accesses=mem_accesses,
+            sram_bytes=sram,
+            breakdown={"mac": e_mac, "mem_sram": e_mem, "mem_rf": e_rf},
+        )
+
+    def utilization(self, layer: ConvLayerWorkload) -> float:
+        """Fraction of PE-cycles doing useful work (ragged-tile losses)."""
+        k_dim = layer.c_in * layer.kernel**2
+        tiles_r = math.ceil(k_dim / self.rows)
+        tiles_c = math.ceil(layer.c_out / self.cols)
+        used = k_dim * layer.c_out
+        provisioned = tiles_r * self.rows * tiles_c * self.cols
+        return used / provisioned
+
+
+def dataflow_reuse(layer: "ConvLayerWorkload", dataflow: str = "weight_stationary") -> ReuseFactors:
+    """Ideal reuse factors of a conv layer under a dataflow (ref [66]).
+
+    * ``weight_stationary`` (TPU-style): each weight stays in a PE for
+      the whole output plane; activations are re-fetched per output
+      channel; partial sums accumulate across the K dimension before one
+      writeback.
+    * ``output_stationary``: each output pixel's accumulator stays put
+      for all K contributions; weights are re-fetched per output pixel.
+
+    Args:
+        layer: the convolution workload.
+        dataflow: "weight_stationary" or "output_stationary".
+
+    Returns:
+        Ideal (infinite on-chip buffer) reuse factors.
+    """
+    if dataflow not in ("weight_stationary", "output_stationary"):
+        raise ValueError("dataflow must be 'weight_stationary' or 'output_stationary'")
+    pixels = layer.out_h * layer.out_w
+    k_dim = layer.c_in * layer.kernel**2
+    if dataflow == "weight_stationary":
+        return ReuseFactors(
+            weight_reuse=float(pixels),
+            activation_reuse=float(layer.c_out),
+            psum_reuse=float(k_dim),
+        )
+    return ReuseFactors(
+        weight_reuse=1.0,
+        activation_reuse=float(layer.c_out),
+        psum_reuse=float(k_dim),
+    )

@@ -1,0 +1,118 @@
+"""Workload descriptors consumed by the accelerator cost models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ConvLayerWorkload", "SNNLayerWorkload", "GNNWorkload"]
+
+
+@dataclass(frozen=True)
+class ConvLayerWorkload:
+    """One convolutional layer's execution parameters.
+
+    Attributes:
+        c_in, c_out: channel counts.
+        kernel: square kernel side.
+        out_h, out_w: output spatial size.
+        activation_sparsity: fraction of *input* activations equal to zero.
+        weight_sparsity: fraction of weights equal to zero.
+        bits: word width of activations and weights.
+    """
+
+    c_in: int
+    c_out: int
+    kernel: int
+    out_h: int
+    out_w: int
+    activation_sparsity: float = 0.0
+    weight_sparsity: float = 0.0
+    bits: int = 16
+
+    def __post_init__(self) -> None:
+        if min(self.c_in, self.c_out, self.kernel, self.out_h, self.out_w) <= 0:
+            raise ValueError("layer dimensions must be positive")
+        for frac in (self.activation_sparsity, self.weight_sparsity):
+            if not 0.0 <= frac <= 1.0:
+                raise ValueError("sparsity fractions must be in [0, 1]")
+        if self.bits <= 0:
+            raise ValueError("bits must be positive")
+
+    @property
+    def dense_macs(self) -> int:
+        """MACs of a dense evaluation."""
+        return self.c_in * self.c_out * self.kernel**2 * self.out_h * self.out_w
+
+    @property
+    def num_weights(self) -> int:
+        """Weight parameter count."""
+        return self.c_in * self.c_out * self.kernel**2
+
+    @property
+    def num_input_activations(self) -> int:
+        """Input activation count (approximated as output-plane sized)."""
+        return self.c_in * self.out_h * self.out_w
+
+    @property
+    def num_output_activations(self) -> int:
+        """Output activation count."""
+        return self.c_out * self.out_h * self.out_w
+
+
+@dataclass(frozen=True)
+class SNNLayerWorkload:
+    """One spiking layer's execution parameters over a time window.
+
+    Attributes:
+        num_neurons: LIF population size.
+        num_inputs: input channels (dense fan-in).
+        num_steps: timesteps in the window.
+        input_activity: mean fraction of input channels spiking per step.
+        bits: state/weight word width.
+    """
+
+    num_neurons: int
+    num_inputs: int
+    num_steps: int
+    input_activity: float
+    bits: int = 16
+
+    def __post_init__(self) -> None:
+        if min(self.num_neurons, self.num_inputs, self.num_steps) <= 0:
+            raise ValueError("sizes must be positive")
+        if not 0.0 <= self.input_activity <= 1.0:
+            raise ValueError("input_activity must be in [0, 1]")
+        if self.bits <= 0:
+            raise ValueError("bits must be positive")
+
+    @property
+    def input_spikes(self) -> int:
+        """Expected total input spikes over the window."""
+        return int(round(self.num_steps * self.num_inputs * self.input_activity))
+
+
+@dataclass(frozen=True)
+class GNNWorkload:
+    """One event-graph forward pass.
+
+    Attributes:
+        num_nodes: events in the graph.
+        num_edges: directed edges.
+        feature_dim: node feature width inside the network.
+        num_layers: graph-conv layers.
+        bits: word width.
+    """
+
+    num_nodes: int
+    num_edges: int
+    feature_dim: int
+    num_layers: int = 2
+    bits: int = 16
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0 or self.num_edges < 0:
+            raise ValueError("num_nodes must be positive, num_edges non-negative")
+        if self.feature_dim <= 0 or self.num_layers <= 0:
+            raise ValueError("feature_dim and num_layers must be positive")
+        if self.bits <= 0:
+            raise ValueError("bits must be positive")

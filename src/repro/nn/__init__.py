@@ -1,0 +1,81 @@
+"""From-scratch autograd and neural-network substrate.
+
+A reverse-mode automatic-differentiation engine over NumPy plus the layer
+zoo, losses and optimizers that the SNN, CNN and GNN pipelines all train
+with.  This replaces the PyTorch dependency the original event-vision
+stacks assume.
+"""
+
+from . import functional
+from .functional import (
+    avg_pool2d,
+    concatenate,
+    conv2d,
+    dropout,
+    log_softmax,
+    max_pool2d,
+    softmax,
+    stack,
+    where,
+)
+from .init import kaiming_uniform, xavier_uniform, zeros
+from .layers import (
+    AvgPool2d,
+    BatchNorm,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from .losses import accuracy, cross_entropy, mse_loss, nll_loss
+from .optim import SGD, Adam, Optimizer, StepLR
+from .serialization import load_state, save_state
+from .tensor import Tensor, custom_gradient, is_grad_enabled, no_grad
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "custom_gradient",
+    "functional",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "softmax",
+    "log_softmax",
+    "stack",
+    "concatenate",
+    "where",
+    "dropout",
+    "Module",
+    "Linear",
+    "Conv2d",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "MaxPool2d",
+    "AvgPool2d",
+    "Flatten",
+    "Dropout",
+    "BatchNorm",
+    "Sequential",
+    "cross_entropy",
+    "mse_loss",
+    "nll_loss",
+    "accuracy",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "StepLR",
+    "save_state",
+    "load_state",
+    "kaiming_uniform",
+    "xavier_uniform",
+    "zeros",
+]

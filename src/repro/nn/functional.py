@@ -1,0 +1,261 @@
+"""Differentiable functional operations.
+
+Convolution, pooling, softmax-family and structural ops built on the
+:class:`~repro.nn.tensor.Tensor` autograd core.  Convolutions use the
+im2col/col2im lowering — the same dense lowering a systolic-array
+accelerator performs in hardware, which is why the hardware cost models
+in :mod:`repro.hw` can count its MACs directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, custom_gradient
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "softmax",
+    "log_softmax",
+    "stack",
+    "concatenate",
+    "where",
+    "dropout",
+    "pad2d",
+]
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, padding: int
+) -> tuple[np.ndarray, int, int]:
+    """Lower ``(N, C, H, W)`` input into convolution patch columns.
+
+    Returns:
+        ``(cols, out_h, out_w)`` where ``cols`` has shape
+        ``(N, C*kh*kw, out_h*out_w)``.
+    """
+    n, c, h, w = x.shape
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"kernel {kh}x{kw} with stride {stride}, padding {padding} "
+            f"does not fit input {h}x{w}"
+        )
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    # Gather every patch with stride tricks, then reshape to columns.
+    s0, s1, s2, s3 = x.strides
+    patches = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, kh, kw, out_h, out_w),
+        strides=(s0, s1, s2, s3, s2 * stride, s3 * stride),
+        writeable=False,
+    )
+    cols = patches.reshape(n, c * kh * kw, out_h * out_w, order="C").copy()
+    return cols, out_h, out_w
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Scatter-add patch columns back into an input-shaped array (im2col adjoint)."""
+    n, c, h, w = x_shape
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding))
+    patches = cols.reshape(n, c, kh, kw, out_h, out_w)
+    for i in range(kh):
+        for j in range(kw):
+            padded[:, :, i : i + out_h * stride : stride, j : j + out_w * stride : stride] += (
+                patches[:, :, i, j]
+            )
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D convolution (cross-correlation) with autograd.
+
+    Args:
+        x: input of shape ``(N, C_in, H, W)``.
+        weight: kernels of shape ``(C_out, C_in, kh, kw)``.
+        bias: optional per-output-channel bias ``(C_out,)``.
+        stride: spatial stride.
+        padding: symmetric zero padding.
+
+    Returns:
+        Output tensor of shape ``(N, C_out, out_h, out_w)``.
+    """
+    if x.ndim != 4:
+        raise ValueError(f"conv2d input must be 4-D (N, C, H, W), got {x.shape}")
+    if weight.ndim != 4:
+        raise ValueError(f"conv2d weight must be 4-D, got {weight.shape}")
+    if x.shape[1] != weight.shape[1]:
+        raise ValueError(
+            f"input channels {x.shape[1]} != weight channels {weight.shape[1]}"
+        )
+    n = x.shape[0]
+    c_out, _, kh, kw = weight.shape
+    cols, out_h, out_w = im2col(x.data, kh, kw, stride, padding)
+    w_flat = weight.data.reshape(c_out, -1)
+    out_data = np.einsum("of,nfp->nop", w_flat, cols).reshape(n, c_out, out_h, out_w)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, c_out, 1, 1)
+
+    parents = [x, weight] + ([bias] if bias is not None else [])
+
+    def backward(g: np.ndarray):
+        g4 = g.reshape(n, c_out, out_h * out_w)
+        grad_w = np.einsum("nop,nfp->of", g4, cols).reshape(weight.shape)
+        grad_cols = np.einsum("of,nop->nfp", w_flat, g4)
+        grad_x = col2im(grad_cols, x.data.shape, kh, kw, stride, padding)
+        grads = [grad_x, grad_w]
+        if bias is not None:
+            grads.append(g.sum(axis=(0, 2, 3)))
+        return grads
+
+    return custom_gradient(out_data, parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Max pooling over non-overlapping (or strided) square windows."""
+    if stride is None:
+        stride = kernel
+    if x.ndim != 4:
+        raise ValueError(f"max_pool2d input must be 4-D, got {x.shape}")
+    n, c, h, w = x.shape
+    cols, out_h, out_w = im2col(
+        x.data.reshape(n * c, 1, h, w), kernel, kernel, stride, 0
+    )
+    # cols: (n*c, k*k, out_h*out_w)
+    argmax = cols.argmax(axis=1)
+    out_data = np.take_along_axis(cols, argmax[:, None, :], axis=1)[:, 0, :]
+    out_data = out_data.reshape(n, c, out_h, out_w)
+
+    def backward(g: np.ndarray):
+        g_flat = g.reshape(n * c, out_h * out_w)
+        grad_cols = np.zeros_like(cols)
+        np.put_along_axis(grad_cols, argmax[:, None, :], g_flat[:, None, :], axis=1)
+        grad_x = col2im(grad_cols, (n * c, 1, h, w), kernel, kernel, stride, 0)
+        return [grad_x.reshape(n, c, h, w)]
+
+    return custom_gradient(out_data, [x], backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Average pooling over square windows."""
+    if stride is None:
+        stride = kernel
+    if x.ndim != 4:
+        raise ValueError(f"avg_pool2d input must be 4-D, got {x.shape}")
+    n, c, h, w = x.shape
+    cols, out_h, out_w = im2col(
+        x.data.reshape(n * c, 1, h, w), kernel, kernel, stride, 0
+    )
+    out_data = cols.mean(axis=1).reshape(n, c, out_h, out_w)
+    k2 = kernel * kernel
+
+    def backward(g: np.ndarray):
+        g_flat = g.reshape(n * c, 1, out_h * out_w) / k2
+        grad_cols = np.broadcast_to(g_flat, cols.shape).copy()
+        grad_x = col2im(grad_cols, (n * c, 1, h, w), kernel, kernel, stride, 0)
+        return [grad_x.reshape(n, c, h, w)]
+
+    return custom_gradient(out_data, [x], backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    e = shifted.exp()
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis, differentiably."""
+    if not tensors:
+        raise ValueError("stack needs at least one tensor")
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g: np.ndarray):
+        return [np.take(g, i, axis=axis) for i in range(len(tensors))]
+
+    return custom_gradient(out_data, tensors, backward)
+
+
+def concatenate(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along an existing axis, differentiably."""
+    if not tensors:
+        raise ValueError("concatenate needs at least one tensor")
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    splits = np.cumsum(sizes)[:-1]
+
+    def backward(g: np.ndarray):
+        return list(np.split(g, splits, axis=axis))
+
+    return custom_gradient(out_data, tensors, backward)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise select with gradient routing to the chosen branch."""
+    cond = np.asarray(condition, dtype=bool)
+    out_data = np.where(cond, a.data, b.data)
+
+    def backward(g: np.ndarray):
+        return [np.where(cond, g, 0.0), np.where(cond, 0.0, g)]
+
+    return custom_gradient(out_data, [a, b], backward)
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: zero a fraction ``p`` and rescale survivors."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError("dropout probability must be in [0, 1)")
+    if not training or p == 0.0:
+        return x
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+
+    def backward(g: np.ndarray):
+        return [g * mask]
+
+    return custom_gradient(x.data * mask, [x], backward)
+
+
+def pad2d(x: Tensor, padding: int) -> Tensor:
+    """Zero-pad the trailing two axes of a 4-D tensor."""
+    if padding < 0:
+        raise ValueError("padding must be non-negative")
+    if padding == 0:
+        return x
+    out_data = np.pad(
+        x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding))
+    )
+
+    def backward(g: np.ndarray):
+        return [g[:, :, padding:-padding, padding:-padding]]
+
+    return custom_gradient(out_data, [x], backward)

@@ -1,0 +1,40 @@
+"""Parameter initialisation schemes."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["kaiming_uniform", "xavier_uniform", "zeros"]
+
+
+def kaiming_uniform(
+    shape: tuple[int, ...], fan_in: int, rng: np.random.Generator
+) -> np.ndarray:
+    """He/Kaiming uniform initialisation for ReLU-family networks.
+
+    Args:
+        shape: parameter shape.
+        fan_in: number of inputs feeding each unit.
+        rng: random generator.
+    """
+    if fan_in <= 0:
+        raise ValueError("fan_in must be positive")
+    bound = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, shape)
+
+
+def xavier_uniform(
+    shape: tuple[int, ...], fan_in: int, fan_out: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for saturating activations."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fans must be positive")
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    return np.zeros(shape)

@@ -1,0 +1,364 @@
+"""Neural-network layers (modules) on the autograd core.
+
+A small module system in the familiar style: a :class:`Module` owns
+parameters and sub-modules, :meth:`Module.parameters` walks the tree, and
+``__call__`` dispatches to ``forward``.  These layers are shared by the
+dense-frame CNN pipeline, the readout heads of the SNN pipeline and the
+per-node transforms of the GNN pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .init import kaiming_uniform, zeros
+from .tensor import Tensor
+
+__all__ = [
+    "Module",
+    "Linear",
+    "Conv2d",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "MaxPool2d",
+    "AvgPool2d",
+    "Flatten",
+    "Dropout",
+    "BatchNorm",
+    "Sequential",
+]
+
+
+class Module:
+    """Base class for layers and models.
+
+    Sub-classes assign :class:`Tensor` parameters and child modules as
+    attributes; :meth:`parameters` discovers both recursively.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    def forward(self, *args, **kwargs) -> Tensor:
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs) -> Tensor:
+        return self.forward(*args, **kwargs)
+
+    def parameters(self) -> list[Tensor]:
+        """All trainable parameter tensors in this module tree."""
+        params: list[Tensor] = []
+        seen: set[int] = set()
+        for value in self.__dict__.values():
+            self._collect(value, params, seen)
+        return params
+
+    def _collect(self, value, params: list[Tensor], seen: set[int]) -> None:
+        if isinstance(value, Tensor) and value.requires_grad and id(value) not in seen:
+            seen.add(id(value))
+            params.append(value)
+        elif isinstance(value, Module):
+            for p in value.parameters():
+                if id(p) not in seen:
+                    seen.add(id(p))
+                    params.append(p)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                self._collect(item, params, seen)
+
+    def modules(self) -> list["Module"]:
+        """This module plus all descendants, depth-first."""
+        out: list[Module] = [self]
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                out.extend(value.modules())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        out.extend(item.modules())
+        return out
+
+    def train(self) -> "Module":
+        """Switch the whole tree into training mode."""
+        for m in self.modules():
+            m.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Switch the whole tree into inference mode."""
+        for m in self.modules():
+            m.training = False
+        return self
+
+    def zero_grad(self) -> None:
+        """Clear gradients of every parameter."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat name → array mapping of all parameters (copyable snapshot)."""
+        out: dict[str, np.ndarray] = {}
+        self._state("", out)
+        return out
+
+    def _state(self, prefix: str, out: dict[str, np.ndarray]) -> None:
+        for name, value in self.__dict__.items():
+            key = f"{prefix}{name}"
+            if isinstance(value, Tensor) and value.requires_grad:
+                out[key] = value.data.copy()
+            elif isinstance(value, Module):
+                value._state(f"{key}.", out)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        item._state(f"{key}.{i}.", out)
+                    elif isinstance(item, Tensor) and item.requires_grad:
+                        out[f"{key}.{i}"] = item.data.copy()
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameters from a :meth:`state_dict` snapshot (in place)."""
+        current = {}
+        self._named_params("", current)
+        missing = set(current) - set(state)
+        if missing:
+            raise KeyError(f"state dict missing keys: {sorted(missing)}")
+        for key, tensor in current.items():
+            if state[key].shape != tensor.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {key}: {state[key].shape} vs {tensor.data.shape}"
+                )
+            tensor.data[...] = state[key]
+
+    def _named_params(self, prefix: str, out: dict[str, Tensor]) -> None:
+        for name, value in self.__dict__.items():
+            key = f"{prefix}{name}"
+            if isinstance(value, Tensor) and value.requires_grad:
+                out[key] = value
+            elif isinstance(value, Module):
+                value._named_params(f"{key}.", out)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        item._named_params(f"{key}.{i}.", out)
+                    elif isinstance(item, Tensor) and item.requires_grad:
+                        out[f"{key}.{i}"] = item
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x W^T + b``.
+
+    Args:
+        in_features: input dimensionality.
+        out_features: output dimensionality.
+        bias: include an additive bias.
+        rng: initialisation generator (defaults to seed 0).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature counts must be positive")
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(
+            kaiming_uniform((out_features, in_features), in_features, rng),
+            requires_grad=True,
+        )
+        self.bias = Tensor(zeros((out_features,)), requires_grad=True) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Conv2d(Module):
+    """2-D convolution layer.
+
+    Args:
+        in_channels, out_channels: channel counts.
+        kernel_size: square kernel side.
+        stride: spatial stride.
+        padding: symmetric zero padding.
+        bias: include per-channel bias.
+        rng: initialisation generator.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if kernel_size <= 0 or stride <= 0 or padding < 0:
+            raise ValueError("invalid convolution geometry")
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Tensor(
+            kaiming_uniform(
+                (out_channels, in_channels, kernel_size, kernel_size), fan_in, rng
+            ),
+            requires_grad=True,
+        )
+        self.bias = Tensor(zeros((out_channels,)), requires_grad=True) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+
+class ReLU(Module):
+    """Rectified linear activation — the sparsity-inducing non-linearity
+    Section III-B credits for CNN feature-map sparsity."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    """Logistic activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class MaxPool2d(Module):
+    """Square max pooling."""
+
+    def __init__(self, kernel: int, stride: int | None = None) -> None:
+        super().__init__()
+        self.kernel = kernel
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel, self.stride)
+
+
+class AvgPool2d(Module):
+    """Square average pooling."""
+
+    def __init__(self, kernel: int, stride: int | None = None) -> None:
+        super().__init__()
+        self.kernel = kernel
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel, self.stride)
+
+
+class Flatten(Module):
+    """Flatten all axes but the batch axis."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+
+class Dropout(Module):
+    """Inverted dropout (active only in training mode)."""
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = rng or np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self._rng, training=self.training)
+
+
+class BatchNorm(Module):
+    """Batch normalisation over the batch (and spatial) axes.
+
+    Works for 2-D ``(N, F)`` and 4-D ``(N, C, H, W)`` inputs; running
+    statistics are tracked for inference mode.
+
+    Args:
+        num_features: feature/channel count.
+        momentum: running-statistics update rate.
+        eps: variance floor.
+    """
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Tensor(np.ones(num_features), requires_grad=True)
+        self.beta = Tensor(np.zeros(num_features), requires_grad=True)
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim == 2:
+            axes: tuple[int, ...] = (0,)
+            shape = (1, self.num_features)
+        elif x.ndim == 4:
+            axes = (0, 2, 3)
+            shape = (1, self.num_features, 1, 1)
+        else:
+            raise ValueError(f"BatchNorm expects 2-D or 4-D input, got {x.shape}")
+        if self.training:
+            mean = x.data.mean(axis=axes)
+            var = x.data.var(axis=axes)
+            self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * mean
+            self.running_var = (1 - self.momentum) * self.running_var + self.momentum * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        # Statistics are treated as constants (no grad through them); this
+        # is the standard "frozen statistics" simplification and keeps the
+        # backward pass simple while remaining a valid descent direction.
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - Tensor(mean.reshape(shape))) * Tensor(inv_std.reshape(shape))
+        return x_hat * self.gamma.reshape(shape) + self.beta.reshape(shape)
+
+
+class Sequential(Module):
+    """Run sub-modules in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __getitem__(self, idx: int) -> Module:
+        return self.layers[idx]
+
+    def __len__(self) -> int:
+        return len(self.layers)

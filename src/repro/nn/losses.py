@@ -1,0 +1,49 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functional import log_softmax
+from .tensor import Tensor
+
+__all__ = ["cross_entropy", "mse_loss", "nll_loss", "accuracy"]
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Softmax cross-entropy against integer class labels.
+
+    Args:
+        logits: ``(N, num_classes)`` unnormalised scores.
+        targets: ``(N,)`` integer labels.
+
+    Returns:
+        Scalar mean loss tensor.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (N, C), got {logits.shape}")
+    if targets.shape != (logits.shape[0],):
+        raise ValueError(f"targets shape {targets.shape} != ({logits.shape[0]},)")
+    return nll_loss(log_softmax(logits, axis=1), targets)
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
+    """Negative log likelihood over pre-computed log probabilities."""
+    n = log_probs.shape[0]
+    picked = log_probs[np.arange(n), targets]
+    return -picked.mean()
+
+
+def mse_loss(pred: Tensor, target: np.ndarray | Tensor) -> Tensor:
+    """Mean squared error."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = pred - target.detach()
+    return (diff * diff).mean()
+
+
+def accuracy(logits: Tensor | np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 classification accuracy in [0, 1]."""
+    scores = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    pred = scores.argmax(axis=1)
+    return float(np.mean(pred == np.asarray(targets)))

@@ -1,0 +1,52 @@
+"""Model parameter persistence.
+
+Thin ``.npz`` save/load over :meth:`repro.nn.Module.state_dict`, so
+trained pipelines can be checkpointed and experiments resumed exactly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = ["save_state", "load_state"]
+
+_FORMAT_VERSION = 1
+
+
+def save_state(model: Module, path: str | Path) -> None:
+    """Write a model's parameters to an ``.npz`` checkpoint.
+
+    Args:
+        model: any :class:`Module`.
+        path: destination file.
+    """
+    state = model.state_dict()
+    np.savez_compressed(
+        Path(path), __version__=np.int64(_FORMAT_VERSION), **state
+    )
+
+
+def load_state(model: Module, path: str | Path) -> None:
+    """Restore a model's parameters from :func:`save_state` output.
+
+    The model must have the same architecture (same parameter names and
+    shapes) as the one that was saved.
+
+    Args:
+        model: the model to fill in place.
+        path: checkpoint file.
+
+    Raises:
+        ValueError: on version mismatch or missing/misshapen parameters.
+    """
+    with np.load(Path(path)) as data:
+        if "__version__" not in data:
+            raise ValueError(f"{path} is not a repro checkpoint")
+        if int(data["__version__"]) != _FORMAT_VERSION:
+            raise ValueError(f"unsupported checkpoint version {int(data['__version__'])}")
+        state = {k: data[k] for k in data.files if k != "__version__"}
+    model.load_state_dict(state)

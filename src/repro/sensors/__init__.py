@@ -1,0 +1,19 @@
+"""Published event-camera sensor survey and scaling trends (Fig. 1)."""
+
+from .survey import (
+    SENSOR_SURVEY,
+    SensorRecord,
+    TrendFit,
+    fill_factor_by_process,
+    fit_array_size_trend,
+    fit_pixel_pitch_trend,
+)
+
+__all__ = [
+    "SensorRecord",
+    "SENSOR_SURVEY",
+    "TrendFit",
+    "fit_pixel_pitch_trend",
+    "fit_array_size_trend",
+    "fill_factor_by_process",
+]

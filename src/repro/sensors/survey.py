@@ -1,0 +1,179 @@
+"""Survey database of published event-camera sensors (Fig. 1 substrate).
+
+Fig. 1 of the paper plots pixel pitch and array size of event cameras
+over the decade 2008–2022, showing pixel pitch falling towards the
+conventional global-shutter range (<= 5 um) while array sizes climb into
+the megapixel range, driven by back-side illumination (BSI) and 3-D
+wafer stacking.
+
+This module records the sensors the paper's Section II cites (with the
+publicly documented figures from the respective ISSCC / JSSC / ISCAS
+papers) and provides the trend fits the FIG1 benchmark regenerates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SensorRecord", "SENSOR_SURVEY", "TrendFit", "fit_pixel_pitch_trend", "fit_array_size_trend", "fill_factor_by_process"]
+
+
+@dataclass(frozen=True)
+class SensorRecord:
+    """One published event-camera sensor.
+
+    Attributes:
+        name: common sensor designation.
+        organisation: developing company or institute.
+        year: publication year.
+        width, height: pixel array dimensions.
+        pixel_pitch_um: pixel pitch in micrometres.
+        fill_factor: photodiode area fraction (0–1) where published.
+        backside_illuminated: True for BSI / 3-D stacked processes.
+        max_throughput_eps: peak readout rate in events/s where published.
+        reference: citation key in the paper's bibliography.
+    """
+
+    name: str
+    organisation: str
+    year: int
+    width: int
+    height: int
+    pixel_pitch_um: float
+    fill_factor: float | None
+    backside_illuminated: bool
+    max_throughput_eps: float | None
+    reference: str
+
+    @property
+    def num_pixels(self) -> int:
+        """Total pixel count of the array."""
+        return self.width * self.height
+
+    @property
+    def megapixels(self) -> float:
+        """Array size in megapixels."""
+        return self.num_pixels / 1e6
+
+
+#: Sensors cited in Section II of the paper, in publication order.
+#: Figures are the publicly documented ones from the cited papers.
+SENSOR_SURVEY: tuple[SensorRecord, ...] = (
+    SensorRecord(
+        "DVS128", "ETH Zurich / iniLabs", 2008, 128, 128, 40.0, 0.086, False, 1e6, "[6]"
+    ),
+    SensorRecord(
+        "ATIS", "AIT", 2010, 304, 240, 30.0, 0.20, False, 10e6, "[16]"
+    ),
+    SensorRecord(
+        "sDVS128", "IMSE-CNM", 2013, 128, 128, 35.0, 0.10, False, 4e6, "[14]"
+    ),
+    SensorRecord(
+        "DAVIS240", "ETH Zurich / iniLabs", 2014, 240, 180, 18.5, 0.22, False, 12e6, "[13]"
+    ),
+    SensorRecord(
+        "CeleX-V", "CelePixel / Omnivision", 2019, 1280, 800, 9.8, None, False, 160e6, "[12]"
+    ),
+    SensorRecord(
+        "Prophesee Gen4 (IMX636)", "Prophesee / Sony", 2020, 1280, 720, 4.86, 0.77, True, 1.066e9, "[10]"
+    ),
+    SensorRecord(
+        "Samsung DVS-Gen4", "Samsung", 2020, 1280, 960, 4.95, 0.75, True, 1.2e9, "[11]"
+    ),
+    SensorRecord(
+        "Hybrid APS-DVS", "CEA-Leti", 2021, 132, 104, 15.0, None, False, 5e6, "[15]"
+    ),
+)
+
+
+@dataclass(frozen=True)
+class TrendFit:
+    """Exponential (log-linear) trend ``value = a * exp(b * (year - year0))``.
+
+    Attributes:
+        year0: reference year (first sensor in the fit).
+        log_intercept: natural log of the value at ``year0``.
+        log_slope: per-year log change (negative = shrinking).
+        r_squared: goodness of fit in log space.
+    """
+
+    year0: int
+    log_intercept: float
+    log_slope: float
+    r_squared: float
+
+    def predict(self, year: float | np.ndarray) -> np.ndarray:
+        """Trend value at ``year``."""
+        years = np.asarray(year, dtype=np.float64)
+        return np.exp(self.log_intercept + self.log_slope * (years - self.year0))
+
+    @property
+    def doubling_time_years(self) -> float:
+        """Years for the value to double (negative = halving time)."""
+        if self.log_slope == 0.0:
+            return math.inf
+        return math.log(2.0) / self.log_slope
+
+    @property
+    def factor_per_decade(self) -> float:
+        """Multiplicative change over ten years."""
+        return math.exp(self.log_slope * 10.0)
+
+
+def _log_linear_fit(years: np.ndarray, values: np.ndarray) -> TrendFit:
+    """Least-squares fit of ``log(value)`` against ``year``."""
+    if years.size < 2:
+        raise ValueError("need at least two points to fit a trend")
+    year0 = int(years.min())
+    x = years - year0
+    y = np.log(values)
+    slope, intercept = np.polyfit(x, y, 1)
+    pred = intercept + slope * x
+    ss_res = float(np.sum((y - pred) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return TrendFit(year0, float(intercept), float(slope), r2)
+
+
+def fit_pixel_pitch_trend(
+    survey: tuple[SensorRecord, ...] = SENSOR_SURVEY,
+) -> TrendFit:
+    """Fit the pixel-pitch shrink trend across the survey.
+
+    The paper's Fig. 1 shows pitch falling from ~40 um (2008) towards the
+    global-shutter range (<= 5 um) by 2020; the fitted ``factor_per_decade``
+    should be well below 1.
+    """
+    years = np.array([s.year for s in survey], dtype=np.float64)
+    pitch = np.array([s.pixel_pitch_um for s in survey], dtype=np.float64)
+    return _log_linear_fit(years, pitch)
+
+
+def fit_array_size_trend(
+    survey: tuple[SensorRecord, ...] = SENSOR_SURVEY,
+) -> TrendFit:
+    """Fit the array-size growth trend (pixels per sensor) across the survey."""
+    years = np.array([s.year for s in survey], dtype=np.float64)
+    pixels = np.array([s.num_pixels for s in survey], dtype=np.float64)
+    return _log_linear_fit(years, pixels)
+
+
+def fill_factor_by_process(
+    survey: tuple[SensorRecord, ...] = SENSOR_SURVEY,
+) -> dict[str, float]:
+    """Mean fill factor for front-side vs back-side illuminated sensors.
+
+    Reproduces the Section II statement that BSI/3-D stacking lifted fill
+    factor "from around one fifth to more than three quarters".
+    """
+    fsi = [s.fill_factor for s in survey if not s.backside_illuminated and s.fill_factor]
+    bsi = [s.fill_factor for s in survey if s.backside_illuminated and s.fill_factor]
+    out: dict[str, float] = {}
+    if fsi:
+        out["FSI"] = float(np.mean(fsi))
+    if bsi:
+        out["BSI"] = float(np.mean(bsi))
+    return out

@@ -1,0 +1,81 @@
+"""Spiking neural networks: neurons, surrogate-gradient training,
+encodings, ANN conversion, local learning rules and counted simulation.
+"""
+
+from .conversion import ConversionReport, ConvertedSNN, conversion_report, convert_relu_mlp
+from .encoding import (
+    bit_encode,
+    decode_bits,
+    decode_latency,
+    decode_rate,
+    events_to_spike_tensor,
+    latency_encode,
+    rate_encode,
+    temporal_difference_encode,
+)
+from .eprop import EPropNetwork, EPropParams, bptt_memory_words, eprop_memory_words
+from .event_driven import (
+    SimCounters,
+    SimResult,
+    clock_driven_sim,
+    event_driven_sim,
+    network_sim,
+)
+from .layers import LIFReadout, SpikingConv2d, SpikingConvNet, SpikingLinear, SpikingMLP
+from .neuron import (
+    AdaptiveLIFParams,
+    AdaptiveLIFState,
+    LIFParams,
+    LIFState,
+    ResetMode,
+    adaptive_lif_step_np,
+    lif_decay,
+    lif_step_np,
+)
+from .stdp import STDPNetwork, STDPParams
+from .surrogate import ATan, FastSigmoid, SigmoidDerivative, SurrogateGradient, Triangle, spike
+
+__all__ = [
+    "LIFParams",
+    "LIFState",
+    "ResetMode",
+    "lif_decay",
+    "lif_step_np",
+    "AdaptiveLIFParams",
+    "AdaptiveLIFState",
+    "adaptive_lif_step_np",
+    "SurrogateGradient",
+    "FastSigmoid",
+    "ATan",
+    "Triangle",
+    "SigmoidDerivative",
+    "spike",
+    "SpikingLinear",
+    "SpikingConv2d",
+    "LIFReadout",
+    "SpikingMLP",
+    "SpikingConvNet",
+    "events_to_spike_tensor",
+    "rate_encode",
+    "latency_encode",
+    "temporal_difference_encode",
+    "bit_encode",
+    "decode_bits",
+    "decode_rate",
+    "decode_latency",
+    "ConvertedSNN",
+    "ConversionReport",
+    "convert_relu_mlp",
+    "conversion_report",
+    "STDPNetwork",
+    "STDPParams",
+    "EPropNetwork",
+    "EPropParams",
+    "bptt_memory_words",
+    "eprop_memory_words",
+    "SimCounters",
+    "SimResult",
+    "clock_driven_sim",
+    "event_driven_sim",
+    "network_sim",
+]

@@ -1,0 +1,227 @@
+"""ANN → SNN conversion with threshold balancing.
+
+Section III-A: "SNNs are obtained through the conversion of a pre-trained
+neural network with continuous-valued outputs … the activity of a spiking
+neuron is used as an approximation of a continuous value … most commonly
+rate-coding.  Although, this can result in excessively active neurons and
+unevenness error."
+
+This module implements the classic recipe (Diehl et al. 2015, ref [36]):
+
+1. Train a ReLU MLP conventionally (caller's job).
+2. *Threshold balancing*: scale each layer so the maximum activation seen
+   on calibration data maps to the firing threshold.
+3. Replace every ReLU unit with an integrate-and-fire neuron (no leak,
+   subtract reset) and run rate-coded input for T timesteps.
+
+It also measures the conversion artefacts the paper names: spike counts
+(excessive activity) and unevenness error (deviation between the ANN
+activation and the realised firing rate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.layers import Linear, Module, ReLU, Sequential
+from ..nn.tensor import Tensor
+from .encoding import rate_encode
+
+__all__ = ["ConvertedSNN", "ConversionReport", "convert_relu_mlp"]
+
+
+@dataclass(frozen=True)
+class ConversionReport:
+    """Fidelity statistics of a converted network on one batch.
+
+    Attributes:
+        agreement: fraction of samples where SNN and ANN predictions match.
+        mean_unevenness: mean |ANN activation − realised rate| over the
+            final hidden layer (rate-approximation error).
+        spikes_per_sample: mean total hidden spikes emitted per sample.
+    """
+
+    agreement: float
+    mean_unevenness: float
+    spikes_per_sample: float
+
+
+class ConvertedSNN:
+    """A rate-coded spiking executor for a converted ReLU MLP.
+
+    Hidden units are integrate-and-fire neurons with subtract reset; the
+    output layer accumulates input current without spiking and the class
+    with the largest accumulated potential wins.
+
+    Args:
+        weights: per-layer ``(W, b)`` pairs, already threshold-balanced.
+        threshold: shared firing threshold.
+    """
+
+    def __init__(
+        self, weights: list[tuple[np.ndarray, np.ndarray]], threshold: float = 1.0
+    ) -> None:
+        if not weights:
+            raise ValueError("need at least one layer")
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.weights = weights
+        self.threshold = threshold
+
+    def run(
+        self, x: np.ndarray, num_steps: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, dict]:
+        """Simulate the converted network.
+
+        Args:
+            x: ``(N, F)`` analog inputs in [0, 1] (rate-encoded internally).
+            num_steps: simulation length T.
+            rng: generator for the Bernoulli input spikes.
+
+        Returns:
+            ``(scores, stats)`` where scores is ``(N, C)`` accumulated
+            output potential and stats holds per-layer firing rates and
+            total spike counts.
+        """
+        if num_steps <= 0:
+            raise ValueError("num_steps must be positive")
+        x = np.asarray(x, dtype=np.float64)
+        n = x.shape[0]
+        spikes_in = rate_encode(np.clip(x, 0.0, 1.0), num_steps, rng)
+
+        num_hidden = len(self.weights) - 1
+        v = [np.zeros((n, w.shape[0])) for w, _ in self.weights]
+        spike_totals = [0.0] * num_hidden
+        out_acc = np.zeros((n, self.weights[-1][0].shape[0]))
+
+        for t in range(num_steps):
+            layer_in = spikes_in[t]
+            for li in range(num_hidden):
+                w, b = self.weights[li]
+                v[li] += layer_in @ w.T + b / num_steps
+                fired = v[li] >= self.threshold
+                v[li] -= fired * self.threshold
+                layer_in = fired.astype(np.float64)
+                spike_totals[li] += float(fired.sum())
+            w, b = self.weights[-1]
+            out_acc += layer_in @ w.T + b / num_steps
+
+        rates = [s / (num_steps * n) for s in spike_totals]
+        stats = {
+            "hidden_rates": rates,
+            "total_hidden_spikes": float(sum(spike_totals)),
+            "spikes_per_sample": float(sum(spike_totals)) / n,
+        }
+        return out_acc, stats
+
+
+def _relu_mlp_layers(model: Sequential) -> list[Linear]:
+    """Extract the Linear layers of a strictly Linear/ReLU-alternating MLP."""
+    layers: list[Linear] = []
+    for layer in model.layers:
+        if isinstance(layer, Linear):
+            layers.append(layer)
+        elif not isinstance(layer, ReLU):
+            raise ValueError(
+                f"conversion supports Linear/ReLU Sequential models only, found {type(layer).__name__}"
+            )
+    if not layers:
+        raise ValueError("model has no Linear layers")
+    return layers
+
+
+def convert_relu_mlp(
+    model: Sequential, calibration_x: np.ndarray, threshold: float = 1.0
+) -> ConvertedSNN:
+    """Threshold-balance and convert a trained ReLU MLP.
+
+    Each layer's weights are rescaled by the ratio of the maximum
+    activations of consecutive layers observed on calibration data, so
+    a firing rate of 1 spike/step corresponds to the layer's maximum
+    calibration activation (model-based normalisation, ref [36]).
+
+    Args:
+        model: a ``Sequential`` of alternating Linear and ReLU layers
+            (final layer Linear, no ReLU after it).
+        calibration_x: ``(N, F)`` analog calibration inputs in [0, 1].
+        threshold: spiking threshold of the converted units.
+
+    Returns:
+        The converted rate-coded SNN.
+    """
+    linears = _relu_mlp_layers(model)
+    x = np.asarray(calibration_x, dtype=np.float64)
+
+    # Forward pass collecting per-layer maximum activations.
+    max_act_prev = max(float(np.abs(x).max()), 1e-12)
+    scaled: list[tuple[np.ndarray, np.ndarray]] = []
+    act = x
+    for i, lin in enumerate(linears):
+        w = lin.weight.data.copy()
+        b = lin.bias.data.copy() if lin.bias is not None else np.zeros(w.shape[0])
+        pre = act @ w.T + b
+        act = np.maximum(pre, 0.0) if i < len(linears) - 1 else pre
+        max_act = max(float(np.abs(act).max()), 1e-12)
+        # Scale so the layer's max activation maps to `threshold` per step.
+        w_scaled = w * (max_act_prev / max_act) * threshold
+        b_scaled = b * (threshold / max_act)
+        scaled.append((w_scaled, b_scaled))
+        max_act_prev = max_act
+    return ConvertedSNN(scaled, threshold)
+
+
+def conversion_report(
+    model: Sequential,
+    snn: ConvertedSNN,
+    x: np.ndarray,
+    num_steps: int,
+    rng: np.random.Generator,
+) -> ConversionReport:
+    """Measure ANN/SNN agreement and conversion artefacts on a batch.
+
+    Args:
+        model: the original ANN.
+        snn: its converted counterpart.
+        x: ``(N, F)`` analog inputs in [0, 1].
+        num_steps: simulation length.
+        rng: input-encoding generator.
+    """
+    ann_scores = model(Tensor(np.asarray(x, dtype=np.float64))).data
+    snn_scores, stats = snn.run(x, num_steps, rng)
+    agreement = float(np.mean(ann_scores.argmax(axis=1) == snn_scores.argmax(axis=1)))
+
+    # Unevenness at the last hidden layer: ANN normalised activation vs
+    # realised firing rate.
+    linears = _relu_mlp_layers(model)
+    act = np.asarray(x, dtype=np.float64)
+    for lin in linears[:-1]:
+        b = lin.bias.data if lin.bias is not None else 0.0
+        act = np.maximum(act @ lin.weight.data.T + b, 0.0)
+    max_act = max(float(act.max()), 1e-12)
+    ann_rates = act / max_act
+
+    # Re-run recording the last hidden layer's empirical rates.
+    n = x.shape[0]
+    spikes_in = rate_encode(np.clip(x, 0.0, 1.0), num_steps, rng)
+    num_hidden = len(snn.weights) - 1
+    v = [np.zeros((n, w.shape[0])) for w, _ in snn.weights[:-1]]
+    last_hidden_count = np.zeros((n, snn.weights[num_hidden - 1][0].shape[0]))
+    for t in range(num_steps):
+        layer_in = spikes_in[t]
+        for li in range(num_hidden):
+            w, b = snn.weights[li]
+            v[li] += layer_in @ w.T + b / num_steps
+            fired = v[li] >= snn.threshold
+            v[li] -= fired * snn.threshold
+            layer_in = fired.astype(np.float64)
+        last_hidden_count += layer_in
+    emp_rates = last_hidden_count / num_steps
+    unevenness = float(np.abs(ann_rates - emp_rates).mean())
+
+    return ConversionReport(
+        agreement=agreement,
+        mean_unevenness=unevenness,
+        spikes_per_sample=stats["spikes_per_sample"],
+    )

@@ -1,0 +1,223 @@
+"""Spike encodings: events → spike tensors, and value → spike-train codes.
+
+Two encoding families live here:
+
+* **Event binning** — the natural SNN input path: the raw event stream is
+  discretised into ``T`` timesteps with separate ON/OFF channels,
+  preserving (at timestep granularity) the temporal structure the sensor
+  captured.
+
+* **Value coding** — the codes used when converting continuous-valued
+  ANNs to SNNs (Section III-A): rate coding (Diehl et al. 2015,
+  ref [36]), time-to-first-spike latency coding (Mostafa 2017, ref [32])
+  and sparse temporal-difference coding (Rueckauer & Liu 2018, ref [37]),
+  where a neuron only spikes to signal *changes* in its analog value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..events.stream import EventStream
+
+__all__ = [
+    "events_to_spike_tensor",
+    "rate_encode",
+    "latency_encode",
+    "temporal_difference_encode",
+    "bit_encode",
+    "decode_rate",
+    "decode_latency",
+    "decode_bits",
+]
+
+
+def events_to_spike_tensor(
+    stream: EventStream,
+    num_steps: int,
+    duration_us: int | None = None,
+    pool: int = 1,
+    binary: bool = True,
+) -> np.ndarray:
+    """Bin an event stream into a dense spike tensor ``(T, 2, H, W)``.
+
+    Channel 0 holds ON events, channel 1 OFF events.  Events are assigned
+    to timesteps by uniform binning of ``[t0, t0 + duration)``.
+
+    Args:
+        stream: input events.
+        num_steps: number of timesteps T.
+        duration_us: total window; defaults to the stream duration.
+        pool: spatial pooling factor applied to coordinates.
+        binary: clip multiple events per (step, pixel) bin to one spike
+            (True, the physical interpretation) or keep counts (False).
+
+    Returns:
+        float64 array of shape ``(T, 2, H/pool, W/pool)``.
+    """
+    if num_steps <= 0:
+        raise ValueError("num_steps must be positive")
+    if pool <= 0:
+        raise ValueError("pool must be positive")
+    h = max(1, stream.resolution.height // pool)
+    w = max(1, stream.resolution.width // pool)
+    out = np.zeros((num_steps, 2, h, w), dtype=np.float64)
+    if len(stream) == 0:
+        return out
+    t0 = int(stream.t[0])
+    dur = duration_us if duration_us is not None else max(stream.duration, 1)
+    if dur <= 0:
+        dur = 1
+    step_idx = np.minimum(((stream.t - t0) * num_steps) // dur, num_steps - 1)
+    step_idx = np.maximum(step_idx, 0)
+    chan = (stream.p < 0).astype(np.int64)  # 0 = ON, 1 = OFF
+    px = np.minimum(stream.x // pool, w - 1)
+    py = np.minimum(stream.y // pool, h - 1)
+    np.add.at(out, (step_idx, chan, py, px), 1.0)
+    if binary:
+        np.clip(out, 0.0, 1.0, out=out)
+    return out
+
+
+def rate_encode(
+    values: np.ndarray, num_steps: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Bernoulli rate coding: spike probability per step equals the value.
+
+    Args:
+        values: analog values in [0, 1], any shape.
+        num_steps: spike-train length.
+        rng: random generator.
+
+    Returns:
+        ``(T, *values.shape)`` binary array whose time-average approaches
+        ``values`` as T grows.
+    """
+    if num_steps <= 0:
+        raise ValueError("num_steps must be positive")
+    values = np.asarray(values, dtype=np.float64)
+    if np.any(values < 0) or np.any(values > 1):
+        raise ValueError("rate coding requires values in [0, 1]")
+    return (rng.random((num_steps, *values.shape)) < values).astype(np.float64)
+
+
+def latency_encode(values: np.ndarray, num_steps: int) -> np.ndarray:
+    """Time-to-first-spike coding: larger values spike earlier, exactly once.
+
+    Value 1.0 spikes at step 0; value → 0 spikes at the last step; exact
+    zeros never spike.
+
+    Args:
+        values: analog values in [0, 1], any shape.
+        num_steps: spike-train length.
+    """
+    if num_steps <= 0:
+        raise ValueError("num_steps must be positive")
+    values = np.asarray(values, dtype=np.float64)
+    if np.any(values < 0) or np.any(values > 1):
+        raise ValueError("latency coding requires values in [0, 1]")
+    out = np.zeros((num_steps, *values.shape), dtype=np.float64)
+    fire_step = np.round((1.0 - values) * (num_steps - 1)).astype(np.int64)
+    nonzero = values > 0
+    idx = np.nonzero(nonzero)
+    out[(fire_step[idx], *idx)] = 1.0
+    return out
+
+
+def temporal_difference_encode(
+    value_sequence: np.ndarray, quantum: float = 0.1
+) -> np.ndarray:
+    """Delta coding of a value sequence: spikes signal quantised *changes*.
+
+    For a sequence of analog values over time, a positive (negative)
+    spike is emitted for every ``quantum`` of cumulative increase
+    (decrease) since the last emission — exactly the sigma-delta
+    mechanism of the DVS pixel, applied to neuron activations.  Static
+    inputs produce no spikes at all, which is where the sparsity gain of
+    temporal-difference conversion comes from.
+
+    Args:
+        value_sequence: ``(T, ...)`` analog values over time.
+        quantum: value change per spike.
+
+    Returns:
+        ``(T, ...)`` signed integer array: number of +/- quanta emitted
+        per step (0 almost everywhere for slowly varying input).
+    """
+    if quantum <= 0:
+        raise ValueError("quantum must be positive")
+    seq = np.asarray(value_sequence, dtype=np.float64)
+    if seq.ndim < 1 or seq.shape[0] < 1:
+        raise ValueError("value_sequence must have a leading time axis")
+    out = np.zeros_like(seq)
+    ref = np.zeros_like(seq[0])
+    for t in range(seq.shape[0]):
+        delta = seq[t] - ref
+        n = np.trunc(delta / quantum)
+        out[t] = n
+        ref = ref + n * quantum
+    return out
+
+
+def bit_encode(values: np.ndarray, num_bits: int) -> np.ndarray:
+    """Temporal-pattern (spikes-as-bits) coding (Rueckauer & Liu 2021, ref [38]).
+
+    The analog value is quantised to ``num_bits`` binary digits and each
+    timestep transmits one digit, most significant first: a value is
+    conveyed in exactly ``num_bits`` steps with ``popcount`` spikes —
+    logarithmically fewer than rate coding needs for the same precision.
+
+    Args:
+        values: analog values in [0, 1], any shape.
+        num_bits: digits (= timesteps) per value.
+
+    Returns:
+        ``(num_bits, *values.shape)`` binary array.
+    """
+    if num_bits <= 0:
+        raise ValueError("num_bits must be positive")
+    values = np.asarray(values, dtype=np.float64)
+    if np.any(values < 0) or np.any(values > 1):
+        raise ValueError("bit coding requires values in [0, 1]")
+    levels = (1 << num_bits) - 1
+    q = np.round(values * levels).astype(np.int64)
+    out = np.zeros((num_bits, *values.shape), dtype=np.float64)
+    for bit in range(num_bits):
+        shift = num_bits - 1 - bit  # MSB first
+        out[bit] = (q >> shift) & 1
+    return out
+
+
+def decode_bits(spikes: np.ndarray) -> np.ndarray:
+    """Invert :func:`bit_encode`: binary digits back to the analog value."""
+    spikes = np.asarray(spikes, dtype=np.float64)
+    if spikes.ndim < 1 or spikes.shape[0] < 1:
+        raise ValueError("expected a (num_bits, ...) spike train")
+    num_bits = spikes.shape[0]
+    levels = (1 << num_bits) - 1
+    weights = 2.0 ** np.arange(num_bits - 1, -1, -1)
+    q = np.tensordot(weights, spikes, axes=(0, 0))
+    return q / levels
+
+
+def decode_rate(spikes: np.ndarray) -> np.ndarray:
+    """Invert rate coding: time-average of the spike train."""
+    spikes = np.asarray(spikes, dtype=np.float64)
+    if spikes.ndim < 1:
+        raise ValueError("expected a (T, ...) spike train")
+    return spikes.mean(axis=0)
+
+
+def decode_latency(spikes: np.ndarray) -> np.ndarray:
+    """Invert latency coding: earlier first-spikes decode to larger values.
+
+    Neurons that never spike decode to 0.
+    """
+    spikes = np.asarray(spikes, dtype=np.float64)
+    num_steps = spikes.shape[0]
+    if num_steps == 0:
+        raise ValueError("empty spike train")
+    fired = spikes.any(axis=0)
+    first = spikes.argmax(axis=0)
+    values = 1.0 - first / max(num_steps - 1, 1)
+    return np.where(fired, values, 0.0)

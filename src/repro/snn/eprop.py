@@ -1,0 +1,188 @@
+"""Eligibility propagation (e-prop) style local learning.
+
+Section III-A: "surrogate gradient backpropagation is an unrealistic
+algorithm for on-chip learning due to the prohibitive amount of memory
+…  Approaches such as eligibility propagation [34] and event-based
+random feedback alignment [31] are more realistic solutions whereby
+gradients can be approximated using neuron state variables without
+resorting to backpropagation."
+
+This module implements a single-hidden-layer e-prop learner:
+
+* each synapse carries an *eligibility trace* — a low-pass filter of
+  (pre-synaptic activity x post-synaptic pseudo-derivative) — updated
+  forward in time with O(#synapses) memory, independent of sequence
+  length (this is the memory argument against BPTT);
+* the output error is broadcast back through a *fixed random feedback*
+  matrix (random feedback alignment) rather than the transposed output
+  weights, avoiding weight transport;
+* the weight update is (learning signal x eligibility trace), applied
+  online at every step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .neuron import LIFParams, lif_decay
+from .surrogate import FastSigmoid, SurrogateGradient
+
+__all__ = ["EPropParams", "EPropNetwork", "bptt_memory_words", "eprop_memory_words"]
+
+
+@dataclass(frozen=True)
+class EPropParams:
+    """E-prop hyper-parameters.
+
+    Attributes:
+        lr: learning rate for both layers.
+        trace_decay: eligibility-trace low-pass factor (kappa).
+        lif: hidden-neuron parameters.
+        dt_us: simulation timestep.
+    """
+
+    lr: float = 5e-3
+    trace_decay: float = 0.9
+    lif: LIFParams = LIFParams()
+    dt_us: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.lr <= 0:
+            raise ValueError("lr must be positive")
+        if not 0.0 <= self.trace_decay < 1.0:
+            raise ValueError("trace_decay must be in [0, 1)")
+
+
+class EPropNetwork:
+    """Input → recurrent-free LIF hidden layer → leaky readout, trained online.
+
+    Args:
+        num_inputs: input channels.
+        num_hidden: hidden LIF neurons.
+        num_outputs: classes.
+        params: e-prop hyper-parameters.
+        surrogate: hidden pseudo-derivative.
+        rng: initialisation generator.
+    """
+
+    def __init__(
+        self,
+        num_inputs: int,
+        num_hidden: int,
+        num_outputs: int,
+        params: EPropParams = EPropParams(),
+        surrogate: SurrogateGradient | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if min(num_inputs, num_hidden, num_outputs) <= 0:
+            raise ValueError("sizes must be positive")
+        rng = rng or np.random.default_rng(0)
+        self.params = params
+        self.surrogate = surrogate or FastSigmoid()
+        scale_in = 1.0 / np.sqrt(num_inputs)
+        scale_h = 1.0 / np.sqrt(num_hidden)
+        self.w_in = rng.normal(0.0, scale_in, (num_hidden, num_inputs))
+        self.w_out = rng.normal(0.0, scale_h, (num_outputs, num_hidden))
+        # Fixed random feedback matrix (never trained): random feedback
+        # alignment avoids transporting w_out backwards.
+        self.feedback = rng.normal(0.0, scale_h, (num_outputs, num_hidden))
+        self.alpha = lif_decay(params.lif, params.dt_us)
+
+    def _forward_step(
+        self, x: np.ndarray, v: np.ndarray, y: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """One timestep: returns (spikes, new_v, new_y, pseudo_derivative)."""
+        p = self.params.lif
+        v = self.alpha * v + self.w_in @ x
+        pseudo = self.surrogate.derivative(v - p.threshold)
+        spikes = (v >= p.threshold).astype(np.float64)
+        v = v - spikes * p.threshold
+        y = self.params.trace_decay * y + self.w_out @ spikes
+        return spikes, v, y, pseudo
+
+    def train_sample(self, spike_train: np.ndarray, label: int) -> float:
+        """Online e-prop update on one ``(T, num_inputs)`` spike train.
+
+        Returns:
+            The mean per-step cross-entropy loss over the presentation.
+        """
+        spike_train = np.asarray(spike_train, dtype=np.float64)
+        num_hidden, num_inputs = self.w_in.shape
+        num_outputs = self.w_out.shape[0]
+        if spike_train.ndim != 2 or spike_train.shape[1] != num_inputs:
+            raise ValueError(f"expected (T, {num_inputs}) input, got {spike_train.shape}")
+        target = np.zeros(num_outputs)
+        target[label] = 1.0
+
+        v = np.zeros(num_hidden)
+        y = np.zeros(num_outputs)
+        elig = np.zeros_like(self.w_in)  # eligibility per input synapse
+        in_trace = np.zeros(num_inputs)
+        out_trace = np.zeros(num_hidden)
+        kappa = self.params.trace_decay
+        lr = self.params.lr
+        total_loss = 0.0
+        steps = spike_train.shape[0]
+
+        for t in range(steps):
+            x = spike_train[t]
+            spikes, v, y, pseudo = self._forward_step(x, v, y)
+            in_trace = self.alpha * in_trace + (1.0 - self.alpha) * x
+            # Eligibility: low-pass of pseudo-derivative x pre-trace.
+            elig = kappa * elig + pseudo[:, None] * in_trace[None, :]
+            out_trace = kappa * out_trace + spikes
+
+            # Softmax readout error.
+            exp_y = np.exp(y - y.max())
+            probs = exp_y / exp_y.sum()
+            err = probs - target
+            total_loss += -float(np.log(max(probs[label], 1e-12)))
+
+            # Learning signal through the fixed random feedback.
+            learning_signal = self.feedback.T @ err  # (num_hidden,)
+            self.w_in -= lr * learning_signal[:, None] * elig
+            self.w_out -= lr * np.outer(err, out_trace)
+        return total_loss / steps
+
+    def predict(self, spike_train: np.ndarray) -> int:
+        """Classify by the accumulated readout over the presentation."""
+        spike_train = np.asarray(spike_train, dtype=np.float64)
+        v = np.zeros(self.w_in.shape[0])
+        y = np.zeros(self.w_out.shape[0])
+        acc = np.zeros_like(y)
+        for t in range(spike_train.shape[0]):
+            _, v, y, _ = self._forward_step(spike_train[t], v, y)
+            acc += y
+        return int(acc.argmax())
+
+    def accuracy(self, spike_trains: list[np.ndarray], labels: np.ndarray) -> float:
+        """Classification accuracy over a list of spike trains."""
+        labels = np.asarray(labels, dtype=np.int64)
+        preds = np.array([self.predict(t) for t in spike_trains])
+        return float(np.mean(preds == labels))
+
+
+def bptt_memory_words(
+    num_inputs: int, num_hidden: int, num_steps: int, batch: int = 1
+) -> int:
+    """Words of activation memory BPTT must hold for one backward pass.
+
+    BPTT stores every hidden state for every timestep: this is the
+    "prohibitive amount of memory" argument of Section III-A.
+    """
+    if min(num_inputs, num_hidden, num_steps, batch) <= 0:
+        raise ValueError("all sizes must be positive")
+    # Membrane + spikes per hidden neuron per step, plus the inputs.
+    return batch * num_steps * (2 * num_hidden + num_inputs)
+
+
+def eprop_memory_words(num_inputs: int, num_hidden: int) -> int:
+    """Words of state memory e-prop needs, independent of sequence length.
+
+    One eligibility value per input synapse plus per-neuron traces.
+    """
+    if min(num_inputs, num_hidden) <= 0:
+        raise ValueError("all sizes must be positive")
+    return num_hidden * num_inputs + 2 * num_hidden + num_inputs

@@ -1,0 +1,288 @@
+"""Differentiable spiking layers trained with surrogate-gradient BPTT.
+
+Each layer owns a weight matrix and a LIF population; calling it on a
+spike sequence tensor of shape ``(T, B, F_in)`` unrolls the membrane
+dynamics over all T steps inside the autograd graph, so the loss
+gradient backpropagates through time with the surrogate pseudo-
+derivative at every spike (Section III-A, ref [30]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers import Conv2d, Linear, Module
+from ..nn.tensor import Tensor
+from ..nn import functional as F
+from .neuron import LIFParams, ResetMode, lif_decay
+from .surrogate import FastSigmoid, SurrogateGradient, spike
+
+__all__ = ["SpikingLinear", "SpikingConv2d", "LIFReadout", "SpikingMLP", "SpikingConvNet"]
+
+
+class SpikingLinear(Module):
+    """Fully-connected layer of LIF neurons over a spike sequence.
+
+    Args:
+        in_features: input dimensionality.
+        out_features: number of LIF neurons.
+        params: LIF parameters.
+        dt_us: simulation timestep.
+        surrogate: surrogate gradient (default fast sigmoid).
+        rng: weight initialisation generator.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        params: LIFParams = LIFParams(),
+        dt_us: float = 1000.0,
+        surrogate: SurrogateGradient | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.linear = Linear(in_features, out_features, bias=True, rng=rng)
+        self.params = params
+        self.dt_us = dt_us
+        self.alpha = lif_decay(params, dt_us)
+        self.surrogate = surrogate or FastSigmoid()
+
+    def forward(self, x_seq: Tensor) -> Tensor:
+        """Run the layer over a ``(T, B, F_in)`` sequence.
+
+        Returns:
+            Spike sequence ``(T, B, F_out)``.
+        """
+        if x_seq.ndim != 3:
+            raise ValueError(f"expected (T, B, F) input, got {x_seq.shape}")
+        t_steps, batch, _ = x_seq.shape
+        v = Tensor(np.zeros((batch, self.linear.out_features)))
+        outputs: list[Tensor] = []
+        for t in range(t_steps):
+            i_t = self.linear(x_seq[t])
+            v = v * self.alpha + i_t
+            s_t = spike(v, self.params.threshold, self.surrogate)
+            if self.params.reset is ResetMode.SUBTRACT:
+                v = v - s_t * self.params.threshold
+            else:
+                v = v * (1.0 - s_t)
+            outputs.append(s_t)
+        return F.stack(outputs, axis=0)
+
+
+class SpikingConv2d(Module):
+    """Convolutional layer of LIF neurons over a spike-frame sequence.
+
+    The spiking counterpart of a CNN layer: each output-map unit is a
+    LIF neuron whose input current is the convolution of the incoming
+    spike frame.  Used for deeper SNNs on spatial event input (the
+    architecture family of Spiking-YOLO-style detectors, ref [35]).
+
+    Args:
+        in_channels, out_channels: channel counts.
+        kernel_size, stride, padding: convolution geometry.
+        params: LIF parameters.
+        dt_us: simulation timestep.
+        surrogate: surrogate gradient.
+        rng: weight initialisation generator.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        params: LIFParams = LIFParams(),
+        dt_us: float = 1000.0,
+        surrogate: SurrogateGradient | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.conv = Conv2d(
+            in_channels, out_channels, kernel_size, stride=stride, padding=padding, rng=rng
+        )
+        self.params = params
+        self.alpha = lif_decay(params, dt_us)
+        self.surrogate = surrogate or FastSigmoid()
+
+    def forward(self, x_seq: Tensor) -> Tensor:
+        """Run over a ``(T, B, C, H, W)`` spike-frame sequence.
+
+        Returns:
+            Spike sequence ``(T, B, C_out, H_out, W_out)``.
+        """
+        if x_seq.ndim != 5:
+            raise ValueError(f"expected (T, B, C, H, W) input, got {x_seq.shape}")
+        t_steps = x_seq.shape[0]
+        v: Tensor | None = None
+        outputs: list[Tensor] = []
+        for t in range(t_steps):
+            i_t = self.conv(x_seq[t])
+            v = i_t if v is None else v * self.alpha + i_t
+            s_t = spike(v, self.params.threshold, self.surrogate)
+            if self.params.reset is ResetMode.SUBTRACT:
+                v = v - s_t * self.params.threshold
+            else:
+                v = v * (1.0 - s_t)
+            outputs.append(s_t)
+        return F.stack(outputs, axis=0)
+
+
+class LIFReadout(Module):
+    """Non-spiking leaky-integrator readout layer.
+
+    The network output layer integrates synaptic input without firing;
+    the loss is defined on the membrane potential (the "loss functions
+    based on the membrane potential" option in Section III-A).  Returns
+    the maximum membrane potential over time per class, a standard
+    readout for classification.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        params: LIFParams = LIFParams(),
+        dt_us: float = 1000.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.linear = Linear(in_features, out_features, bias=True, rng=rng)
+        self.alpha = lif_decay(params, dt_us)
+
+    def forward(self, x_seq: Tensor) -> Tensor:
+        """Integrate a ``(T, B, F_in)`` sequence into ``(B, F_out)`` scores."""
+        if x_seq.ndim != 3:
+            raise ValueError(f"expected (T, B, F) input, got {x_seq.shape}")
+        t_steps, batch, _ = x_seq.shape
+        v = Tensor(np.zeros((batch, self.linear.out_features)))
+        potentials: list[Tensor] = []
+        for t in range(t_steps):
+            v = v * self.alpha + self.linear(x_seq[t])
+            potentials.append(v)
+        stacked = F.stack(potentials, axis=0)  # (T, B, C)
+        return stacked.max(axis=0)
+
+
+class SpikingMLP(Module):
+    """Multi-layer spiking classifier: hidden SpikingLinear layers + readout.
+
+    Args:
+        layer_sizes: ``[in, hidden..., out]`` feature sizes.
+        params: shared LIF parameters.
+        dt_us: simulation timestep.
+        surrogate: surrogate gradient for hidden layers.
+        rng: initialisation generator.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: list[int],
+        params: LIFParams = LIFParams(),
+        dt_us: float = 1000.0,
+        surrogate: SurrogateGradient | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least input and output sizes")
+        rng = rng or np.random.default_rng(0)
+        self.hidden = [
+            SpikingLinear(layer_sizes[i], layer_sizes[i + 1], params, dt_us, surrogate, rng)
+            for i in range(len(layer_sizes) - 2)
+        ]
+        self.readout = LIFReadout(layer_sizes[-2], layer_sizes[-1], params, dt_us, rng)
+
+    def forward(self, x_seq: Tensor) -> Tensor:
+        """Map a ``(T, B, F_in)`` spike sequence to ``(B, num_classes)`` scores."""
+        for layer in self.hidden:
+            x_seq = layer(x_seq)
+        return self.readout(x_seq)
+
+    def spike_counts(self, x_seq: Tensor) -> list[float]:
+        """Mean spikes per neuron per timestep in each hidden layer.
+
+        Measures network activity — the quantity hardware energy scales
+        with (Section III-A).
+        """
+        counts: list[float] = []
+        for layer in self.hidden:
+            x_seq = layer(x_seq)
+            counts.append(float(x_seq.data.mean()))
+        return counts
+
+
+class SpikingConvNet(Module):
+    """Convolutional spiking classifier: SpikingConv2d stages + LIF readout.
+
+    The deep-SNN architecture family of Spiking-YOLO-class networks
+    (ref [35]), trained end to end with surrogate gradients: each stage
+    halves the spatial size (stride 2) while widening the channels; the
+    final leaky-integrator readout scores classes from the flattened
+    spike maps.
+
+    Args:
+        in_channels: input spike-frame channels (2 for ON/OFF).
+        num_classes: output classes.
+        input_hw: input spatial size ``(H, W)``; each stage needs it
+            divisible by 2.
+        channel_widths: output channels of each conv stage.
+        params: shared LIF parameters.
+        dt_us: simulation timestep.
+        surrogate: surrogate gradient for the conv stages.
+        rng: initialisation generator.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        num_classes: int,
+        input_hw: tuple[int, int],
+        channel_widths: tuple[int, ...] = (8, 16),
+        params: LIFParams = LIFParams(),
+        dt_us: float = 1000.0,
+        surrogate: SurrogateGradient | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if not channel_widths:
+            raise ValueError("need at least one conv stage")
+        h, w = input_hw
+        if h % (2 ** len(channel_widths)) or w % (2 ** len(channel_widths)):
+            raise ValueError(
+                f"input {h}x{w} must be divisible by 2^{len(channel_widths)}"
+            )
+        rng = rng or np.random.default_rng(0)
+        self.stages = []
+        prev = in_channels
+        for width in channel_widths:
+            self.stages.append(
+                SpikingConv2d(
+                    prev, width, 3, stride=2, padding=1,
+                    params=params, dt_us=dt_us, surrogate=surrogate, rng=rng,
+                )
+            )
+            prev = width
+        out_h = h // (2 ** len(channel_widths))
+        out_w = w // (2 ** len(channel_widths))
+        self.readout = LIFReadout(prev * out_h * out_w, num_classes, params, dt_us, rng)
+
+    def forward(self, x_seq: Tensor) -> Tensor:
+        """Map ``(T, B, C, H, W)`` spike frames to ``(B, classes)`` scores."""
+        if x_seq.ndim != 5:
+            raise ValueError(f"expected (T, B, C, H, W), got {x_seq.shape}")
+        for stage in self.stages:
+            x_seq = stage(x_seq)
+        t, b = x_seq.shape[0], x_seq.shape[1]
+        return self.readout(x_seq.reshape(t, b, -1))
+
+    def spike_activity(self, x_seq: Tensor) -> list[float]:
+        """Mean spikes per unit per step at each conv stage's output."""
+        activities: list[float] = []
+        for stage in self.stages:
+            x_seq = stage(x_seq)
+            activities.append(float(x_seq.data.mean()))
+        return activities

@@ -1,0 +1,209 @@
+"""Spiking neuron models.
+
+The Leaky-Integrate-and-Fire (LIF) neuron — "the model of choice for most
+SNNs" (Section III-A) — integrates weighted input into a membrane
+potential that leaks towards rest with time constant ``tau``, fires when
+the potential crosses threshold, then resets.  The membrane equation is
+the one-resistor-one-capacitor circuit of Fig. 2 (left):
+
+``tau * dv/dt = -(v - v_rest) + R * i(t)``
+
+discretised in the standard SNN-training convention as
+``v[t+1] = alpha * v[t] + i[t]`` with ``alpha = exp(-dt / tau)`` (input
+charge is injected directly, so a constant supra-threshold drive always
+reaches threshold).
+
+Two reset conventions are provided: *subtract* (soft reset — subtract
+the threshold, preserving super-threshold charge, the convention used
+for ANN→SNN conversion because it minimises unevenness error) and
+*zero* (hard reset to rest).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+__all__ = [
+    "ResetMode",
+    "LIFParams",
+    "lif_decay",
+    "LIFState",
+    "lif_step_np",
+    "AdaptiveLIFParams",
+    "AdaptiveLIFState",
+    "adaptive_lif_step_np",
+]
+
+
+class ResetMode(str, Enum):
+    """Post-spike reset convention."""
+
+    SUBTRACT = "subtract"
+    ZERO = "zero"
+
+
+@dataclass(frozen=True)
+class LIFParams:
+    """LIF neuron parameters.
+
+    Attributes:
+        tau_us: membrane time constant in microseconds.
+        threshold: firing threshold (dimensionless potential units).
+        reset: reset convention after a spike.
+        v_rest: resting potential the membrane leaks towards.
+        refractory_steps: timesteps the neuron stays silent after firing.
+    """
+
+    tau_us: float = 20_000.0
+    threshold: float = 1.0
+    reset: ResetMode = ResetMode.SUBTRACT
+    v_rest: float = 0.0
+    refractory_steps: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tau_us <= 0:
+            raise ValueError("tau_us must be positive")
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if self.refractory_steps < 0:
+            raise ValueError("refractory_steps must be non-negative")
+
+
+def lif_decay(params: LIFParams, dt_us: float) -> float:
+    """Per-step decay factor ``alpha = exp(-dt / tau)``."""
+    if dt_us <= 0:
+        raise ValueError("dt_us must be positive")
+    return math.exp(-dt_us / params.tau_us)
+
+
+@dataclass
+class LIFState:
+    """Mutable LIF population state for plain-NumPy (inference) simulation.
+
+    Attributes:
+        v: membrane potentials.
+        refractory: remaining refractory steps per neuron.
+    """
+
+    v: np.ndarray
+    refractory: np.ndarray
+
+    @classmethod
+    def zeros(cls, shape: tuple[int, ...], params: LIFParams) -> "LIFState":
+        """State at rest for a population of the given shape."""
+        return cls(
+            v=np.full(shape, params.v_rest, dtype=np.float64),
+            refractory=np.zeros(shape, dtype=np.int64),
+        )
+
+
+def lif_step_np(
+    state: LIFState, current: np.ndarray, params: LIFParams, dt_us: float
+) -> np.ndarray:
+    """Advance a LIF population one timestep (in place), returning spikes.
+
+    This is the non-differentiable fast path used by inference, the
+    event-driven simulator and the hardware cost models; training uses
+    the autograd version in :mod:`repro.snn.layers`.
+
+    Args:
+        state: population state, updated in place.
+        current: input current for this step (same shape as ``state.v``).
+        params: neuron parameters.
+        dt_us: timestep length.
+
+    Returns:
+        Binary float spike array.
+    """
+    alpha = lif_decay(params, dt_us)
+    state.v = params.v_rest + alpha * (state.v - params.v_rest) + current
+    active = state.refractory == 0
+    spikes = (state.v >= params.threshold) & active
+    if params.reset is ResetMode.SUBTRACT:
+        state.v = np.where(spikes, state.v - params.threshold, state.v)
+    else:
+        state.v = np.where(spikes, params.v_rest, state.v)
+    if params.refractory_steps:
+        state.refractory = np.maximum(state.refractory - 1, 0)
+        state.refractory = np.where(spikes, params.refractory_steps, state.refractory)
+    # Neurons in refractory hold their potential at rest (blind period).
+    state.v = np.where(active | spikes, state.v, params.v_rest)
+    return spikes.astype(np.float64)
+
+
+@dataclass(frozen=True)
+class AdaptiveLIFParams:
+    """Adaptive LIF (ALIF) parameters: spike-frequency adaptation.
+
+    Each spike raises an adaptation variable that is added to the firing
+    threshold and decays with its own (slower) time constant — the
+    "spike-frequency adaptation" behaviour Section III-A lists among the
+    neuron dynamics analog neuromorphic circuits implement natively, and
+    the neuron model e-prop-class learning exploits (ref [34]).
+
+    Attributes:
+        lif: the underlying LIF parameters.
+        tau_adapt_us: adaptation time constant (>> membrane tau).
+        beta: threshold increment per spike, in threshold units.
+    """
+
+    lif: LIFParams = LIFParams()
+    tau_adapt_us: float = 200_000.0
+    beta: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.tau_adapt_us <= 0:
+            raise ValueError("tau_adapt_us must be positive")
+        if self.beta < 0:
+            raise ValueError("beta must be non-negative")
+
+
+@dataclass
+class AdaptiveLIFState:
+    """Mutable ALIF population state.
+
+    Attributes:
+        v: membrane potentials.
+        a: adaptation variables (added to the threshold).
+    """
+
+    v: np.ndarray
+    a: np.ndarray
+
+    @classmethod
+    def zeros(cls, shape: tuple[int, ...], params: AdaptiveLIFParams) -> "AdaptiveLIFState":
+        """State at rest for a population of the given shape."""
+        return cls(
+            v=np.full(shape, params.lif.v_rest, dtype=np.float64),
+            a=np.zeros(shape, dtype=np.float64),
+        )
+
+
+def adaptive_lif_step_np(
+    state: AdaptiveLIFState,
+    current: np.ndarray,
+    params: AdaptiveLIFParams,
+    dt_us: float,
+) -> np.ndarray:
+    """Advance an ALIF population one timestep (in place), returning spikes.
+
+    The effective threshold is ``threshold * (1 + a)``; each spike adds
+    ``beta`` to ``a``, which decays with ``tau_adapt_us``.  Sustained
+    drive therefore produces a decelerating spike train.
+    """
+    p = params.lif
+    alpha = lif_decay(p, dt_us)
+    rho = math.exp(-dt_us / params.tau_adapt_us)
+    state.v = p.v_rest + alpha * (state.v - p.v_rest) + current
+    threshold_eff = p.threshold * (1.0 + state.a)
+    spikes = state.v >= threshold_eff
+    if p.reset is ResetMode.SUBTRACT:
+        state.v = np.where(spikes, state.v - threshold_eff, state.v)
+    else:
+        state.v = np.where(spikes, p.v_rest, state.v)
+    state.a = rho * state.a + params.beta * spikes
+    return spikes.astype(np.float64)

@@ -1,0 +1,169 @@
+"""Unsupervised spike-timing-dependent plasticity (Diehl & Cook 2015).
+
+Section III-A cites bio-inspired Hebbian learning (ref [27]) as one of
+the on-chip-friendly training routes: no backpropagation, purely local
+weight updates driven by pre/post spike timing.  This module implements
+a compact version of the Diehl & Cook digit-recognition network:
+
+* one excitatory LIF layer with all-to-all plastic input synapses,
+* winner-take-all lateral inhibition (hard, one winner per step),
+* exponential pre-synaptic traces driving pair-based STDP,
+* adaptive thresholds (homeostasis) so all neurons stay in the game,
+* post-hoc class assignment: each neuron is labelled with the class it
+  responds to most, and inference is a vote of the labelled neurons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["STDPParams", "STDPNetwork"]
+
+
+@dataclass(frozen=True)
+class STDPParams:
+    """Hyper-parameters of the STDP layer.
+
+    Attributes:
+        lr_pre: weight depression rate on pre-without-post activity.
+        lr_post: weight potentiation rate at post-spike on traced inputs.
+        trace_decay: per-step decay of the pre-synaptic trace.
+        tau_us: membrane time constant.
+        threshold: base firing threshold.
+        theta_plus: adaptive threshold increment per post spike.
+        theta_decay: per-step decay of the adaptive threshold component.
+        w_max: maximum synaptic weight.
+    """
+
+    lr_pre: float = 1e-4
+    lr_post: float = 1e-2
+    trace_decay: float = 0.9
+    tau_us: float = 20_000.0
+    threshold: float = 0.5
+    theta_plus: float = 0.05
+    theta_decay: float = 0.999
+    w_max: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.lr_pre < 0 or self.lr_post < 0:
+            raise ValueError("learning rates must be non-negative")
+        if not 0.0 <= self.trace_decay < 1.0:
+            raise ValueError("trace_decay must be in [0, 1)")
+        if self.w_max <= 0:
+            raise ValueError("w_max must be positive")
+
+
+class STDPNetwork:
+    """One-layer unsupervised STDP classifier.
+
+    Args:
+        num_inputs: input spike-channel count.
+        num_neurons: excitatory neuron count.
+        params: STDP hyper-parameters.
+        dt_us: timestep length.
+        rng: weight-initialisation generator.
+    """
+
+    def __init__(
+        self,
+        num_inputs: int,
+        num_neurons: int,
+        params: STDPParams = STDPParams(),
+        dt_us: float = 1000.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if num_inputs <= 0 or num_neurons <= 0:
+            raise ValueError("sizes must be positive")
+        rng = rng or np.random.default_rng(0)
+        self.params = params
+        self.num_inputs = num_inputs
+        self.num_neurons = num_neurons
+        self.alpha = float(np.exp(-dt_us / params.tau_us))
+        self.weights = rng.uniform(0.0, 0.3, (num_neurons, num_inputs))
+        self.theta = np.zeros(num_neurons)  # adaptive threshold component
+        self.assignments = np.zeros(num_neurons, dtype=np.int64)
+        self._response_counts: np.ndarray | None = None
+
+    def present(self, spike_train: np.ndarray, learn: bool = True) -> np.ndarray:
+        """Present one ``(T, num_inputs)`` spike train; return spike counts.
+
+        Args:
+            spike_train: binary input spikes over time.
+            learn: apply STDP updates (disable for inference).
+
+        Returns:
+            Per-neuron output spike counts over the presentation.
+        """
+        spike_train = np.asarray(spike_train, dtype=np.float64)
+        if spike_train.ndim != 2 or spike_train.shape[1] != self.num_inputs:
+            raise ValueError(
+                f"expected (T, {self.num_inputs}) spike train, got {spike_train.shape}"
+            )
+        p = self.params
+        v = np.zeros(self.num_neurons)
+        trace = np.zeros(self.num_inputs)
+        counts = np.zeros(self.num_neurons)
+        for t in range(spike_train.shape[0]):
+            x = spike_train[t]
+            trace = trace * p.trace_decay + x
+            v = self.alpha * v + self.weights @ x
+            over = v - (p.threshold + self.theta)
+            winner = int(np.argmax(over))
+            if over[winner] >= 0.0:
+                counts[winner] += 1
+                v[:] = 0.0  # hard winner-take-all resets the whole layer
+                self.theta[winner] += p.theta_plus
+                if learn:
+                    # Potentiate traced inputs, depress silent ones.
+                    dw = p.lr_post * (trace - 0.2) * (p.w_max - self.weights[winner])
+                    self.weights[winner] = np.clip(
+                        self.weights[winner] + dw, 0.0, p.w_max
+                    )
+            if learn:
+                # Slow pre-synaptic depression keeps weights bounded.
+                self.weights -= p.lr_pre * x[None, :] * self.weights
+                np.clip(self.weights, 0.0, p.w_max, out=self.weights)
+            self.theta *= p.theta_decay
+        return counts
+
+    def fit(
+        self,
+        spike_trains: list[np.ndarray],
+        labels: np.ndarray,
+        num_classes: int,
+        epochs: int = 1,
+    ) -> None:
+        """Unsupervised training followed by neuron → class assignment.
+
+        Labels are used *only* for the post-hoc assignment step, exactly
+        as in Diehl & Cook: learning itself is unsupervised.
+        """
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(spike_trains) != labels.size:
+            raise ValueError("one label per spike train required")
+        for _ in range(epochs):
+            for train in spike_trains:
+                self.present(train, learn=True)
+        # Assignment pass (no learning).
+        responses = np.zeros((self.num_neurons, num_classes))
+        for train, label in zip(spike_trains, labels):
+            counts = self.present(train, learn=False)
+            responses[:, label] += counts
+        self._response_counts = responses
+        self.assignments = responses.argmax(axis=1)
+
+    def predict(self, spike_train: np.ndarray) -> int:
+        """Classify one spike train by the labelled-neuron vote."""
+        counts = self.present(spike_train, learn=False)
+        votes = np.zeros(int(self.assignments.max()) + 1)
+        for neuron, count in enumerate(counts):
+            votes[self.assignments[neuron]] += count
+        return int(votes.argmax())
+
+    def accuracy(self, spike_trains: list[np.ndarray], labels: np.ndarray) -> float:
+        """Classification accuracy over a list of spike trains."""
+        labels = np.asarray(labels, dtype=np.int64)
+        preds = np.array([self.predict(t) for t in spike_trains])
+        return float(np.mean(preds == labels))

@@ -1,0 +1,117 @@
+"""Surrogate gradient functions for spiking neurons.
+
+The derivative of the spiking activation is a Dirac delta — zero
+everywhere except at threshold — so plain backpropagation cannot train
+SNNs.  The surrogate gradient method (Neftci, Mostafa & Zenke 2019,
+ref [30]) replaces that derivative with a smooth pseudo-derivative on
+the backward pass only.  This module provides the standard surrogate
+family and the :func:`spike` function that applies a hard threshold
+forward and the chosen surrogate backward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..nn.tensor import Tensor, custom_gradient
+
+__all__ = [
+    "SurrogateGradient",
+    "FastSigmoid",
+    "ATan",
+    "Triangle",
+    "SigmoidDerivative",
+    "spike",
+]
+
+
+@dataclass(frozen=True)
+class SurrogateGradient:
+    """A named surrogate pseudo-derivative ``g(v)`` of the Heaviside step.
+
+    ``v`` is the membrane potential minus threshold; the pseudo-derivative
+    peaks at ``v = 0`` and decays with ``|v|`` at a rate set by ``slope``.
+    """
+
+    name: str = "base"
+    slope: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.slope <= 0:
+            raise ValueError("slope must be positive")
+
+    def derivative(self, v: np.ndarray) -> np.ndarray:
+        """Pseudo-derivative evaluated at centred potential ``v``."""
+        raise NotImplementedError
+
+
+class FastSigmoid(SurrogateGradient):
+    """Zenke & Ganguli's fast-sigmoid surrogate: ``1 / (1 + k|v|)^2``."""
+
+    def __init__(self, slope: float = 10.0) -> None:
+        super().__init__(name="fast_sigmoid", slope=slope)
+
+    def derivative(self, v: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + self.slope * np.abs(v)) ** 2
+
+
+class ATan(SurrogateGradient):
+    """Arctangent surrogate: ``k / (2 * (1 + (pi/2 * k * v)^2))``."""
+
+    def __init__(self, slope: float = 2.0) -> None:
+        super().__init__(name="atan", slope=slope)
+
+    def derivative(self, v: np.ndarray) -> np.ndarray:
+        return self.slope / (2.0 * (1.0 + (np.pi / 2.0 * self.slope * v) ** 2))
+
+
+class Triangle(SurrogateGradient):
+    """Piecewise-linear (triangular) surrogate: ``max(0, 1 - k|v|) * k``."""
+
+    def __init__(self, slope: float = 1.0) -> None:
+        super().__init__(name="triangle", slope=slope)
+
+    def derivative(self, v: np.ndarray) -> np.ndarray:
+        return np.maximum(0.0, 1.0 - self.slope * np.abs(v)) * self.slope
+
+
+class SigmoidDerivative(SurrogateGradient):
+    """Derivative-of-sigmoid surrogate: ``k * s(kv) * (1 - s(kv))``."""
+
+    def __init__(self, slope: float = 4.0) -> None:
+        super().__init__(name="sigmoid", slope=slope)
+
+    def derivative(self, v: np.ndarray) -> np.ndarray:
+        s = 1.0 / (1.0 + np.exp(-self.slope * v))
+        return self.slope * s * (1.0 - s)
+
+
+def spike(
+    membrane: Tensor, threshold: float, surrogate: SurrogateGradient
+) -> Tensor:
+    """Threshold the membrane potential into binary spikes.
+
+    Forward: ``spikes = 1 if membrane >= threshold else 0``.
+    Backward: gradient is scaled by ``surrogate.derivative(membrane - threshold)``
+    instead of the true (zero-almost-everywhere) derivative.
+
+    Args:
+        membrane: membrane potentials (any shape).
+        threshold: firing threshold.
+        surrogate: pseudo-derivative to use on the backward pass.
+
+    Returns:
+        A {0, 1} tensor of the same shape, differentiable through the
+        surrogate.
+    """
+    centred = membrane.data - threshold
+    spikes = (centred >= 0.0).astype(np.float64)
+    pseudo = surrogate.derivative(centred)
+
+    def backward(g: np.ndarray):
+        return [g * pseudo]
+
+    return custom_gradient(spikes, [membrane], backward)

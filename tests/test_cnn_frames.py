@@ -1,0 +1,188 @@
+"""Tests for event -> dense-frame representations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cnn import (
+    REPRESENTATIONS,
+    count_and_surface,
+    count_frame,
+    time_surface,
+    tore_volume,
+    two_channel_frame,
+    voxel_grid,
+)
+from repro.events import EventStream, Resolution
+
+RES = Resolution(8, 6)
+
+
+def make_stream(n=50, seed=0, max_dt=1000):
+    rng = np.random.default_rng(seed)
+    t = np.cumsum(rng.integers(1, max_dt, n))
+    return EventStream.from_arrays(
+        t,
+        rng.integers(0, RES.width, n),
+        rng.integers(0, RES.height, n),
+        rng.choice([-1, 1], n),
+        RES,
+    )
+
+
+class TestCountFrames:
+    def test_signed_count(self):
+        s = EventStream.from_arrays([0, 1, 2], [0, 0, 1], [0, 0, 0], [1, -1, 1], RES)
+        f = count_frame(s, signed=True)
+        assert f.shape == (1, 6, 8)
+        assert f[0, 0, 0] == 0.0  # +1 - 1
+        assert f[0, 0, 1] == 1.0
+
+    def test_unsigned_count(self):
+        s = EventStream.from_arrays([0, 1], [0, 0], [0, 0], [1, -1], RES)
+        assert count_frame(s, signed=False)[0, 0, 0] == 2.0
+
+    def test_two_channel(self):
+        s = EventStream.from_arrays([0, 1, 2], [0, 0, 0], [0, 0, 0], [1, 1, -1], RES)
+        f = two_channel_frame(s)
+        assert f.shape == (2, 6, 8)
+        assert f[0, 0, 0] == 2.0
+        assert f[1, 0, 0] == 1.0
+
+    def test_total_preserved(self):
+        s = make_stream(200)
+        assert two_channel_frame(s).sum() == len(s)
+
+    def test_empty(self):
+        e = EventStream.empty(RES)
+        assert count_frame(e).sum() == 0
+        assert two_channel_frame(e).sum() == 0
+
+
+class TestTimeSurface:
+    def test_recent_pixels_brighter(self):
+        s = EventStream.from_arrays([0, 50_000], [0, 3], [0, 0], [1, 1], RES)
+        ts = time_surface(s, tau_us=30_000)
+        assert ts[0, 0, 3] > ts[0, 0, 0]
+        assert ts[0, 0, 3] == pytest.approx(1.0)  # t_ref = its own timestamp
+
+    def test_polarity_channels_separate(self):
+        s = EventStream.from_arrays([0, 1], [0, 1], [0, 0], [1, -1], RES)
+        ts = time_surface(s)
+        assert ts[0, 0, 0] > 0 and ts[0, 0, 1] == 0
+        assert ts[1, 0, 1] > 0 and ts[1, 0, 0] == 0
+
+    def test_linear_decay_reaches_zero(self):
+        s = EventStream.from_arrays([0, 100_000], [0, 1], [0, 0], [1, 1], RES)
+        ts = time_surface(s, tau_us=50_000, decay="linear")
+        assert ts[0, 0, 0] == 0.0  # older than the window
+
+    def test_exp_decay_value(self):
+        s = EventStream.from_arrays([0, 30_000], [0, 1], [0, 0], [1, 1], RES)
+        ts = time_surface(s, tau_us=30_000)
+        assert ts[0, 0, 0] == pytest.approx(np.exp(-1.0))
+
+    def test_latest_event_wins(self):
+        s = EventStream.from_arrays([0, 10_000, 20_000], [0, 0, 0], [0, 0, 0], [1, 1, 1], RES)
+        ts = time_surface(s, tau_us=30_000, t_ref=20_000)
+        assert ts[0, 0, 0] == pytest.approx(1.0)
+
+    def test_validation(self):
+        s = make_stream(5)
+        with pytest.raises(ValueError):
+            time_surface(s, tau_us=0)
+        with pytest.raises(ValueError):
+            time_surface(s, decay="bogus")
+
+    def test_count_and_surface_stacks(self):
+        f = count_and_surface(make_stream(20))
+        assert f.shape == (4, 6, 8)
+
+
+class TestVoxelGrid:
+    def test_shape_and_mass(self):
+        s = make_stream(100)
+        v = voxel_grid(s, num_bins=5)
+        assert v.shape == (5, 6, 8)
+        # Bilinear weights sum to the signed polarity total.
+        assert v.sum() == pytest.approx(float(s.p.sum()))
+
+    def test_temporal_localisation(self):
+        # One early, one late event: they land in the first and last bins.
+        s = EventStream.from_arrays([0, 100_000], [0, 3], [0, 0], [1, 1], RES)
+        v = voxel_grid(s, num_bins=4)
+        assert v[0, 0, 0] == pytest.approx(1.0)
+        assert v[3, 0, 3] == pytest.approx(1.0)
+
+    def test_midpoint_split(self):
+        s = EventStream.from_arrays([0, 50_000, 100_000], [0, 1, 2], [0, 0, 0], [1, 1, 1], RES)
+        v = voxel_grid(s, num_bins=3)
+        # Middle event sits exactly on bin 1.
+        assert v[1, 0, 1] == pytest.approx(1.0)
+
+    def test_single_bin(self):
+        s = make_stream(30)
+        v = voxel_grid(s, num_bins=1)
+        assert v.sum() == pytest.approx(float(s.p.sum()))
+
+    def test_validation_and_empty(self):
+        with pytest.raises(ValueError):
+            voxel_grid(make_stream(5), 0)
+        assert voxel_grid(EventStream.empty(RES), 3).sum() == 0
+
+
+class TestToreVolume:
+    def test_shape(self):
+        v = tore_volume(make_stream(100), k=3)
+        assert v.shape == (6, 6, 8)
+
+    def test_values_in_unit_range(self):
+        v = tore_volume(make_stream(200, seed=2), k=2)
+        assert v.min() >= 0.0
+        assert v.max() <= 1.0
+
+    def test_keeps_multiple_events(self):
+        # Three ON events at one pixel: with k=2 the two most recent ages
+        # fill both channel slots.
+        s = EventStream.from_arrays(
+            [0, 10_000, 20_000], [0, 0, 0], [0, 0, 0], [1, 1, 1], RES
+        )
+        v = tore_volume(s, k=2)
+        assert v[0, 0, 0] > 0  # most recent
+        assert v[1, 0, 0] > 0  # second most recent
+        assert v[0, 0, 0] > v[1, 0, 0]
+
+    def test_validation_and_empty(self):
+        with pytest.raises(ValueError):
+            tore_volume(make_stream(5), k=0)
+        with pytest.raises(ValueError):
+            tore_volume(make_stream(5), tau_us=0)
+        assert tore_volume(EventStream.empty(RES)).sum() == 0
+
+
+class TestRepresentationZoo:
+    @pytest.mark.parametrize("name", sorted(REPRESENTATIONS))
+    def test_declared_channels_match(self, name):
+        rep = REPRESENTATIONS[name]
+        out = rep(make_stream(50))
+        assert out.shape == (rep.channels, RES.height, RES.width)
+
+    @pytest.mark.parametrize("name", sorted(REPRESENTATIONS))
+    def test_empty_stream_ok(self, name):
+        rep = REPRESENTATIONS[name]
+        out = rep(EventStream.empty(RES))
+        assert out.shape[0] == rep.channels
+        assert np.all(out == 0)
+
+    def test_timing_flags(self):
+        assert not REPRESENTATIONS["count"].preserves_timing
+        assert REPRESENTATIONS["time_surface"].preserves_timing
+        assert REPRESENTATIONS["voxel"].preserves_timing
+
+    @given(st.integers(1, 100), st.integers(0, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_count_mass_conserved(self, n, seed):
+        s = make_stream(n, seed=seed)
+        assert two_channel_frame(s).sum() == n
+        assert count_frame(s, signed=False).sum() == n

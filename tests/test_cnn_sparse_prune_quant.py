@@ -1,0 +1,282 @@
+"""Tests for submanifold sparse conv, pruning, quantization and ConvGRU."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.cnn import (
+    AsyncSparseConv2d,
+    ConvGRUCell,
+    QuantLinear,
+    RecurrentFrameClassifier,
+    dense_conv_macs,
+    dequantize,
+    magnitude_prune,
+    quantize_model_weights,
+    quantize_symmetric,
+    ste_quantize,
+    structured_prune_channels,
+    weight_sparsity,
+)
+from repro.nn import Tensor
+
+
+def random_sparse_input(c, h, w, density, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((c, h, w))
+    mask = rng.random((h, w)) < density
+    return x * mask[None, :, :]
+
+
+class TestAsyncSparseConv:
+    def _layer(self, c_in=2, c_out=3, k=3, seed=1):
+        rng = np.random.default_rng(seed)
+        return AsyncSparseConv2d(
+            rng.standard_normal((c_out, c_in, k, k)), rng.standard_normal(c_out)
+        )
+
+    def test_matches_dense_at_active_sites(self):
+        layer = self._layer()
+        x = random_sparse_input(2, 10, 12, 0.2)
+        layer.set_input(x)
+        np.testing.assert_allclose(layer.output, layer.dense_reference(), atol=1e-12)
+
+    def test_inactive_sites_zero(self):
+        layer = self._layer()
+        x = random_sparse_input(2, 8, 8, 0.15, seed=3)
+        layer.set_input(x)
+        inactive = ~layer.active_mask
+        assert np.all(layer.output[:, inactive] == 0.0)
+
+    def test_savings_grow_with_sparsity(self):
+        layer = self._layer()
+        s_dense = layer.set_input(random_sparse_input(2, 16, 16, 0.9, seed=1))
+        layer2 = self._layer()
+        s_sparse = layer2.set_input(random_sparse_input(2, 16, 16, 0.05, seed=1))
+        assert s_sparse.savings > s_dense.savings
+        assert s_sparse.savings > 0.8
+
+    def test_incremental_update_matches_recompute(self):
+        layer = self._layer()
+        x = random_sparse_input(2, 9, 9, 0.2, seed=5)
+        layer.set_input(x)
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            cx, cy = int(rng.integers(0, 9)), int(rng.integers(0, 9))
+            val = rng.standard_normal(2) * (rng.random() > 0.3)
+            layer.update_pixel(cx, cy, val)
+            np.testing.assert_allclose(
+                layer.output, layer.dense_reference(), atol=1e-12
+            )
+
+    def test_update_cost_local(self):
+        layer = self._layer()
+        x = random_sparse_input(2, 32, 32, 0.5, seed=2)
+        full = layer.set_input(x)
+        inc = layer.update_pixel(16, 16, np.array([1.0, -1.0]))
+        assert inc.macs < full.macs / 10
+        # At most k*k sites recomputed.
+        assert inc.active_sites <= 9
+
+    def test_event_deactivation(self):
+        layer = self._layer()
+        x = np.zeros((2, 5, 5))
+        x[:, 2, 2] = 1.0
+        layer.set_input(x)
+        assert layer.active_mask[2, 2]
+        layer.update_pixel(2, 2, np.zeros(2))
+        assert not layer.active_mask[2, 2]
+        assert np.all(layer.output == 0.0)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            AsyncSparseConv2d(rng.standard_normal((2, 2, 2, 2)))  # even kernel
+        with pytest.raises(ValueError):
+            AsyncSparseConv2d(rng.standard_normal((2, 2, 3)))
+        layer = self._layer()
+        with pytest.raises(RuntimeError):
+            _ = layer.output
+        with pytest.raises(ValueError):
+            layer.set_input(np.zeros((5, 4, 4)))
+        layer.set_input(np.zeros((2, 4, 4)))
+        with pytest.raises(ValueError):
+            layer.update_pixel(10, 0, np.zeros(2))
+        with pytest.raises(ValueError):
+            layer.update_pixel(0, 0, np.zeros(3))
+
+    def test_dense_macs_formula(self):
+        assert dense_conv_macs(2, 3, 3, 4, 5) == 2 * 3 * 9 * 20
+
+
+class TestPruning:
+    def _model(self, seed=0):
+        rng = np.random.default_rng(seed)
+        return nn.Sequential(
+            nn.Conv2d(1, 4, 3, rng=rng), nn.ReLU(), nn.Flatten(),
+            nn.Linear(4 * 36, 3, rng=rng),
+        )
+
+    def test_global_prune_fraction(self):
+        model = self._model()
+        mask = magnitude_prune(model, 0.5)
+        assert 0.45 < weight_sparsity(model) < 0.55
+        assert 0.45 < mask.sparsity() < 0.55
+
+    def test_per_layer_prune(self):
+        model = self._model()
+        magnitude_prune(model, 0.7, per_layer=True)
+        for module in model.modules():
+            if isinstance(module, (nn.Linear, nn.Conv2d)):
+                zeros = np.count_nonzero(module.weight.data == 0)
+                assert zeros / module.weight.size >= 0.65
+
+    def test_mask_reapplies_after_update(self):
+        model = self._model()
+        mask = magnitude_prune(model, 0.5)
+        for p in model.parameters():
+            p.data += 1.0  # simulate an optimizer step reviving weights
+        mask.apply(model)
+        assert weight_sparsity(model) > 0.4
+
+    def test_prunes_smallest_weights(self):
+        model = nn.Sequential(nn.Linear(4, 4))
+        w = model[0].weight
+        w.data[...] = np.arange(16, dtype=np.float64).reshape(4, 4) - 8
+        magnitude_prune(model, 0.25)
+        # The 4 smallest-magnitude entries (-1, 0, 1 and one of +-2) are zeroed.
+        assert np.count_nonzero(w.data == 0) == 4
+
+    def test_structured_prune(self):
+        conv = nn.Conv2d(2, 8, 3, rng=np.random.default_rng(0))
+        keep = structured_prune_channels(conv, 0.5)
+        assert keep.sum() == 4
+        dropped = ~keep
+        assert np.all(conv.weight.data[dropped] == 0)
+        assert np.all(conv.bias.data[dropped] == 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            magnitude_prune(self._model(), 1.0)
+        with pytest.raises(ValueError):
+            magnitude_prune(nn.Sequential(nn.ReLU()), 0.5)
+        with pytest.raises(ValueError):
+            structured_prune_channels(nn.Conv2d(1, 2, 3), -0.1)
+
+
+class TestQuantization:
+    def test_roundtrip_error_bounded(self):
+        rng = np.random.default_rng(0)
+        w = rng.standard_normal(1000)
+        for bits in (2, 4, 8):
+            q, scale = quantize_symmetric(w, bits)
+            err = np.abs(dequantize(q, scale) - w).max()
+            assert err <= scale / 2 + 1e-12
+
+    def test_more_bits_less_error(self):
+        rng = np.random.default_rng(0)
+        w = rng.standard_normal(1000)
+        errs = []
+        for bits in (2, 4, 8):
+            q, scale = quantize_symmetric(w, bits)
+            errs.append(np.abs(dequantize(q, scale) - w).max())
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_integer_range(self):
+        q, _ = quantize_symmetric(np.linspace(-5, 5, 100), 4)
+        assert q.min() >= -7 and q.max() <= 7
+        assert np.allclose(q, np.round(q))
+
+    def test_zeros_created(self):
+        # Aggressive quantization maps small weights to exactly zero.
+        rng = np.random.default_rng(0)
+        w = rng.standard_normal(1000) * np.concatenate([np.ones(500) * 0.01, np.ones(500)])
+        q, _ = quantize_symmetric(w, 3)
+        assert np.count_nonzero(q == 0) > 300
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quantize_symmetric(np.ones(4), 1)
+
+    def test_ste_backward_identity(self):
+        w = Tensor(np.array([0.11, -0.52, 0.93]), requires_grad=True)
+        ste_quantize(w, 4).sum().backward()
+        np.testing.assert_allclose(w.grad, np.ones(3))
+
+    def test_quant_linear_trains(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((32, 4))
+        y = (x[:, 0] > x[:, 1]).astype(np.int64)
+        model = nn.Sequential(QuantLinear(4, 16, num_bits=4, rng=rng), nn.ReLU(),
+                              QuantLinear(16, 2, num_bits=4, rng=rng))
+        opt = nn.Adam(model.parameters(), lr=0.02)
+        for _ in range(150):
+            opt.zero_grad()
+            nn.cross_entropy(model(Tensor(x)), y).backward()
+            opt.step()
+        assert nn.accuracy(model(Tensor(x)), y) >= 0.9
+
+    def test_quantize_model_weights_inplace(self):
+        model = nn.Sequential(nn.Linear(4, 4, rng=np.random.default_rng(0)))
+        report = quantize_model_weights(model, 4)
+        w = model[0].weight.data
+        q, scale = quantize_symmetric(w, 4)
+        np.testing.assert_allclose(w, dequantize(q, scale), atol=1e-12)
+        assert report.num_bits == 4
+        assert 0.0 <= report.weight_zero_fraction <= 1.0
+
+
+class TestConvGRU:
+    def test_cell_shapes(self):
+        cell = ConvGRUCell(2, 4, rng=np.random.default_rng(0))
+        x = Tensor(np.random.default_rng(1).standard_normal((3, 2, 8, 8)))
+        h = cell(x)
+        assert h.shape == (3, 4, 8, 8)
+        h2 = cell(x, h)
+        assert h2.shape == (3, 4, 8, 8)
+
+    def test_cell_validation(self):
+        with pytest.raises(ValueError):
+            ConvGRUCell(2, 4, kernel=2)
+        cell = ConvGRUCell(2, 4)
+        with pytest.raises(ValueError):
+            cell(Tensor(np.zeros((2, 8, 8))))
+
+    def test_state_carries_information(self):
+        cell = ConvGRUCell(1, 2, rng=np.random.default_rng(0))
+        burst = Tensor(np.ones((1, 1, 4, 4)))
+        silence = Tensor(np.zeros((1, 1, 4, 4)))
+        h = cell(burst)
+        h_after = cell(silence, h)
+        h_cold = cell(silence)
+        assert not np.allclose(h_after.data, h_cold.data)
+
+    def test_classifier_learns_temporal_order(self):
+        # Class 0: left half flashes before right half; class 1 reversed.
+        rng = np.random.default_rng(0)
+        t, n, hw = 4, 24, 8
+
+        def batch(num):
+            xs = np.zeros((t, num, 1, hw, hw))
+            ys = rng.integers(0, 2, num)
+            for i, y in enumerate(ys):
+                first = slice(0, hw // 2) if y == 0 else slice(hw // 2, hw)
+                second = slice(hw // 2, hw) if y == 0 else slice(0, hw // 2)
+                xs[:2, i, 0, :, first] = 1.0
+                xs[2:, i, 0, :, second] = 1.0
+            return xs, ys
+
+        model = RecurrentFrameClassifier(1, 4, 2, (hw, hw), rng=np.random.default_rng(1))
+        opt = nn.Adam(model.parameters(), lr=0.01)
+        for _ in range(30):
+            xs, ys = batch(n)
+            opt.zero_grad()
+            nn.cross_entropy(model(Tensor(xs)), ys).backward()
+            opt.step()
+        xs, ys = batch(32)
+        assert nn.accuracy(model(Tensor(xs)), ys) >= 0.9
+
+    def test_classifier_validation(self):
+        model = RecurrentFrameClassifier(1, 2, 2, (4, 4))
+        with pytest.raises(ValueError):
+            model(Tensor(np.zeros((2, 1, 4, 4))))

@@ -1,0 +1,106 @@
+"""Tests for the rating scale, axes and metric containers."""
+
+import math
+
+import pytest
+
+from repro.core import AXES, PipelineMetrics, Rating, rate_values
+from repro.core.metrics import LITERATURE_SCORES
+from repro.core.ratings import rating_rank
+
+
+class TestRatings:
+    def test_clear_ordering(self):
+        out = rate_values({"a": 100.0, "b": 10.0, "c": 1.0}, higher_is_better=True)
+        assert out["a"] is Rating.BEST
+        assert out["c"] is Rating.POOR
+
+    def test_lower_is_better(self):
+        out = rate_values({"a": 1.0, "b": 1000.0}, higher_is_better=False)
+        assert out["a"] is Rating.BEST
+        assert out["b"] is Rating.POOR
+
+    def test_ties_share_best(self):
+        out = rate_values({"a": 10.0, "b": 9.0, "c": 0.01}, True, tie_tolerance=1.5)
+        assert out["a"] is Rating.BEST
+        assert out["b"] is Rating.BEST
+        assert out["c"] is Rating.POOR
+
+    def test_middle_band(self):
+        out = rate_values({"a": 10.0, "b": 5.0, "c": 0.1}, True, tie_tolerance=1.5)
+        assert out["b"] is Rating.GOOD
+
+    def test_nan_maps_to_unknown(self):
+        out = rate_values({"a": 1.0, "b": float("nan")}, True)
+        assert out["b"] is Rating.UNKNOWN
+        assert out["a"] is Rating.BEST
+
+    def test_all_nan(self):
+        out = rate_values({"a": float("nan")}, True)
+        assert out["a"] is Rating.UNKNOWN
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rate_values({}, True)
+        with pytest.raises(ValueError):
+            rate_values({"a": 1.0}, True, tie_tolerance=0.5)
+
+    def test_rating_rank(self):
+        assert rating_rank(Rating.BEST) > rating_rank(Rating.GOOD) > rating_rank(Rating.POOR)
+        with pytest.raises(ValueError):
+            rating_rank(Rating.UNKNOWN)
+
+    def test_zero_values_handled(self):
+        out = rate_values({"a": 0.0, "b": 1.0}, True)
+        assert out["b"] is Rating.BEST
+        assert out["a"] is Rating.POOR
+
+
+class TestAxes:
+    def test_twelve_rows(self):
+        assert len(AXES) == 12
+
+    def test_keys_unique_and_on_metrics(self):
+        keys = [a.key for a in AXES]
+        assert len(set(keys)) == 12
+        m = PipelineMetrics(paradigm="SNN")
+        for a in AXES:
+            assert hasattr(m, a.key)
+
+    def test_down_arrows_lower_better(self):
+        for axis in AXES:
+            if "(down)" in axis.label:
+                assert not axis.higher_is_better
+
+    def test_paper_column_counts(self):
+        for axis in AXES:
+            assert len(axis.paper_ratings) == 3
+
+    def test_unmeasured_axes(self):
+        unmeasured = {a.key for a in AXES if not a.measured}
+        assert unmeasured == {"hw_maturity", "configurability"}
+        assert set(LITERATURE_SCORES) == unmeasured
+
+
+class TestPipelineMetrics:
+    def test_literature_constants_injected(self):
+        snn = PipelineMetrics(paradigm="SNN")
+        cnn = PipelineMetrics(paradigm="CNN")
+        gnn = PipelineMetrics(paradigm="GNN")
+        assert cnn.hw_maturity > snn.hw_maturity > gnn.hw_maturity
+        assert cnn.configurability > snn.configurability
+
+    def test_defaults_nan(self):
+        m = PipelineMetrics(paradigm="CNN")
+        assert math.isnan(m.accuracy)
+        assert math.isnan(m.latency)
+
+    def test_value_accessor(self):
+        m = PipelineMetrics(paradigm="SNN")
+        m.accuracy = 0.9
+        axis = next(a for a in AXES if a.key == "accuracy")
+        assert m.value(axis) == 0.9
+
+    def test_invalid_paradigm(self):
+        with pytest.raises(ValueError):
+            PipelineMetrics(paradigm="XYZ")

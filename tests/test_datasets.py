@@ -1,0 +1,190 @@
+"""Tests for the synthetic event datasets."""
+
+import numpy as np
+import pytest
+
+from repro.camera import NoiseParams
+from repro.datasets import (
+    DIGIT_BITMAPS,
+    EventDataset,
+    EventSample,
+    SaccadeDigit,
+    make_digits_dataset,
+    make_gestures_dataset,
+    make_shapes_dataset,
+    train_test_split,
+)
+from repro.events import EventStream, Resolution
+
+RES = Resolution(24, 24)
+
+
+def tiny_dataset(n_per_class=4, num_classes=3):
+    rng = np.random.default_rng(0)
+    samples = []
+    for cls in range(num_classes):
+        for _ in range(n_per_class):
+            n = int(rng.integers(5, 20))
+            t = np.sort(rng.integers(0, 10_000, n))
+            s = EventStream.from_arrays(
+                t,
+                rng.integers(0, RES.width, n),
+                rng.integers(0, RES.height, n),
+                rng.choice([-1, 1], n),
+                RES,
+            )
+            samples.append(EventSample(s, cls))
+    return EventDataset(samples, [f"c{i}" for i in range(num_classes)])
+
+
+class TestEventDataset:
+    def test_basic_accessors(self):
+        ds = tiny_dataset()
+        assert len(ds) == 12
+        assert ds.num_classes == 3
+        assert ds.resolution == RES
+        assert ds.class_counts().tolist() == [4, 4, 4]
+        assert ds.mean_events_per_sample() > 0
+
+    def test_label_validation(self):
+        s = EventStream.empty(RES)
+        with pytest.raises(ValueError, match="label"):
+            EventDataset([EventSample(s, 5)], ["a", "b"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EventDataset([], ["a"])
+
+    def test_subset_and_shuffle(self):
+        ds = tiny_dataset()
+        sub = ds.subset([0, 5, 11])
+        assert len(sub) == 3
+        shuf = ds.shuffled(np.random.default_rng(1))
+        assert len(shuf) == len(ds)
+        assert sorted(shuf.labels().tolist()) == sorted(ds.labels().tolist())
+
+    def test_split_stratified(self):
+        ds = tiny_dataset(n_per_class=8)
+        train, test = train_test_split(ds, 0.25, np.random.default_rng(0))
+        assert len(train) + len(test) == len(ds)
+        assert test.class_counts().tolist() == [2, 2, 2]
+
+    def test_split_validation(self):
+        ds = tiny_dataset()
+        with pytest.raises(ValueError):
+            train_test_split(ds, 0.0)
+        with pytest.raises(ValueError):
+            train_test_split(ds, 1.0)
+
+
+class TestShapesDataset:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return make_shapes_dataset(num_per_class=3, resolution=RES, duration_us=40_000, seed=1)
+
+    def test_structure(self, ds):
+        assert len(ds) == 9
+        assert ds.num_classes == 3
+        assert ds.class_counts().tolist() == [3, 3, 3]
+
+    def test_samples_nonempty(self, ds):
+        for s in ds:
+            assert len(s.stream) > 5, f"sample of class {s.label} nearly empty"
+
+    def test_deterministic(self, ds):
+        ds2 = make_shapes_dataset(num_per_class=3, resolution=RES, duration_us=40_000, seed=1)
+        for a, b in zip(ds, ds2):
+            assert a.stream == b.stream
+
+    def test_seed_changes_data(self, ds):
+        ds2 = make_shapes_dataset(num_per_class=3, resolution=RES, duration_us=40_000, seed=2)
+        assert any(a.stream != b.stream for a, b in zip(ds, ds2))
+
+    def test_noise_increases_events(self):
+        clean = make_shapes_dataset(num_per_class=2, resolution=RES, duration_us=30_000, seed=3)
+        noisy = make_shapes_dataset(
+            num_per_class=2,
+            resolution=RES,
+            duration_us=30_000,
+            noise=NoiseParams(ba_rate_hz=50.0),
+            seed=3,
+        )
+        assert noisy.mean_events_per_sample() > clean.mean_events_per_sample()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_shapes_dataset(num_per_class=0)
+
+
+class TestGesturesDataset:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return make_gestures_dataset(
+            num_per_class=2, resolution=RES, duration_us=60_000, seed=1
+        )
+
+    def test_structure(self, ds):
+        assert len(ds) == 8
+        assert ds.num_classes == 4
+
+    def test_rotations_similar_event_counts(self, ds):
+        # CW and CCW are mirror processes: their event counts should be
+        # the same order of magnitude.
+        cw = [len(s.stream) for s in ds if s.label == 0]
+        ccw = [len(s.stream) for s in ds if s.label == 1]
+        assert 0.3 < np.mean(cw) / np.mean(ccw) < 3.0
+
+    def test_all_nonempty(self, ds):
+        for s in ds:
+            assert len(s.stream) > 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_gestures_dataset(num_per_class=-1)
+
+
+class TestSaccadeDigit:
+    def test_bitmaps_complete(self):
+        assert set(DIGIT_BITMAPS) == set(range(10))
+        for bm in DIGIT_BITMAPS.values():
+            assert bm.shape == (7, 5)
+            assert bm.max() == 1.0
+
+    def test_stimulus_contract(self):
+        stim = SaccadeDigit(RES, 3)
+        f = stim.frame(0.0)
+        assert f.shape == (RES.height, RES.width)
+        assert np.all(f > 0)
+        assert f.max() > 0.9  # glyph visible
+
+    def test_saccade_is_periodic(self):
+        stim = SaccadeDigit(RES, 7, saccade_period_us=30_000)
+        np.testing.assert_allclose(stim.frame(1000.0), stim.frame(31_000.0), atol=1e-9)
+
+    def test_saccade_moves_glyph(self):
+        stim = SaccadeDigit(RES, 7, saccade_period_us=30_000, amplitude_px=4.0)
+        assert not np.allclose(stim.frame(0.0), stim.frame(10_000.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SaccadeDigit(RES, 11)
+        with pytest.raises(ValueError):
+            SaccadeDigit(RES, 1, scale=0)
+        with pytest.raises(ValueError):
+            SaccadeDigit(RES, 1, saccade_period_us=0)
+
+    def test_digits_dataset(self):
+        ds = make_digits_dataset(
+            num_per_class=2, digits=(0, 1), resolution=RES, duration_us=30_000, seed=5
+        )
+        assert len(ds) == 4
+        assert ds.num_classes == 2
+        assert ds.class_names == ["0", "1"]
+        for s in ds:
+            assert len(s.stream) > 10
+
+    def test_digits_validation(self):
+        with pytest.raises(ValueError):
+            make_digits_dataset(num_per_class=0)
+        with pytest.raises(ValueError):
+            make_digits_dataset(digits=())

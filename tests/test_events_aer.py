@@ -1,0 +1,108 @@
+"""Tests for the AER codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import AERCodec, EventStream, Resolution
+
+
+def make_stream(n, width=64, height=48, max_dt=5000, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.cumsum(rng.integers(0, max_dt, n))
+    return EventStream.from_arrays(
+        t,
+        rng.integers(0, width, n),
+        rng.integers(0, height, n),
+        rng.choice([-1, 1], n),
+        Resolution(width, height),
+    )
+
+
+class TestAERCodec:
+    def test_word_width(self):
+        codec = AERCodec(Resolution(640, 480), timestamp_bits=15)
+        # 10 bits for x (640), 9 for y (480), 1 polarity, 15 timestamp.
+        assert codec.x_bits == 10
+        assert codec.y_bits == 9
+        assert codec.word_bits == 35
+
+    def test_roundtrip_small(self):
+        res = Resolution(16, 16)
+        codec = AERCodec(res)
+        s = EventStream.from_arrays([0, 5, 5, 100], [1, 2, 3, 15], [0, 8, 8, 15], [1, -1, 1, -1], res)
+        assert codec.decode(codec.encode(s), t_origin=0) == s
+
+    def test_roundtrip_with_wraps(self):
+        res = Resolution(8, 8)
+        codec = AERCodec(res, timestamp_bits=4)  # max delta 14 us
+        s = EventStream.from_arrays([0, 100, 101], [0, 1, 2], [0, 0, 0], [1, 1, -1], res)
+        words = codec.encode(s)
+        assert len(words) > 3  # wrap words were inserted
+        assert codec.decode(words, t_origin=0) == s
+
+    def test_empty_stream(self):
+        res = Resolution(8, 8)
+        codec = AERCodec(res)
+        assert codec.encode(EventStream.empty(res)).size == 0
+        assert len(codec.decode(np.empty(0, dtype=np.uint64))) == 0
+
+    def test_resolution_mismatch(self):
+        codec = AERCodec(Resolution(8, 8))
+        s = EventStream.empty(Resolution(16, 16))
+        with pytest.raises(ValueError, match="resolution"):
+            codec.encode(s)
+
+    def test_t_origin(self):
+        res = Resolution(4, 4)
+        codec = AERCodec(res)
+        s = EventStream.from_arrays([50, 60], [0, 1], [0, 0], [1, 1], res)
+        words = codec.encode(s, t_origin=40)
+        dec = codec.decode(words, t_origin=40)
+        assert dec == s
+        with pytest.raises(ValueError, match="t_origin"):
+            codec.encode(s, t_origin=60)
+
+    def test_too_wide_word_rejected(self):
+        with pytest.raises(ValueError, match="63"):
+            AERCodec(Resolution(1 << 24, 1 << 24), timestamp_bits=20)
+
+    def test_timestamp_bits_validation(self):
+        with pytest.raises(ValueError):
+            AERCodec(Resolution(4, 4), timestamp_bits=1)
+
+    def test_link_stats(self):
+        res = Resolution(32, 32)
+        codec = AERCodec(res)
+        s = make_stream(100, width=32, height=32)
+        stats = codec.link_stats(s)
+        assert stats.num_events == 100
+        assert stats.num_words >= 100
+        assert stats.total_bits == stats.num_words * codec.word_bits
+        assert stats.bandwidth_bps > 0
+        assert stats.events_per_second == pytest.approx(s.event_rate())
+
+    def test_link_stats_instantaneous(self):
+        res = Resolution(4, 4)
+        codec = AERCodec(res)
+        s = EventStream.from_arrays([5], [0], [0], [1], res)
+        stats = codec.link_stats(s)
+        assert stats.bandwidth_bps == 0.0
+        assert stats.events_per_second == 0.0
+
+
+class TestAERProperty:
+    @given(
+        n=st.integers(1, 60),
+        tbits=st.integers(3, 16),
+        seed=st.integers(0, 1000),
+        max_dt=st.integers(1, 100_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, n, tbits, seed, max_dt):
+        res = Resolution(32, 24)
+        codec = AERCodec(res, timestamp_bits=tbits)
+        s = make_stream(n, width=32, height=24, max_dt=max_dt, seed=seed)
+        t0 = int(s.t[0])
+        assert codec.decode(codec.encode(s), t_origin=t0) == s

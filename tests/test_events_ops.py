@@ -1,0 +1,251 @@
+"""Tests for repro.events.ops and repro.events.rate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import (
+    EventStream,
+    Resolution,
+    drop_events,
+    event_count_map,
+    jitter_time,
+    merge_polarities,
+    neighbourhood_filter,
+    peak_rate,
+    rate_profile,
+    refractory_filter,
+    spatial_downsample,
+    split_by_count,
+    split_by_time,
+)
+
+
+def make_stream(n=100, width=16, height=16, max_dt=100, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.cumsum(rng.integers(0, max_dt, n))
+    return EventStream.from_arrays(
+        t,
+        rng.integers(0, width, n),
+        rng.integers(0, height, n),
+        rng.choice([-1, 1], n),
+        Resolution(width, height),
+    )
+
+
+class TestSplitting:
+    def test_split_by_time_covers_all(self):
+        s = make_stream(200)
+        chunks = list(split_by_time(s, 500))
+        assert sum(len(c) for c in chunks) == len(s)
+
+    def test_split_by_time_includes_empty_windows(self):
+        res = Resolution(4, 4)
+        s = EventStream.from_arrays([0, 2500], [0, 1], [0, 0], [1, 1], res)
+        chunks = list(split_by_time(s, 1000))
+        assert len(chunks) == 3
+        assert [len(c) for c in chunks] == [1, 0, 1]
+
+    def test_split_by_time_empty_stream(self):
+        assert list(split_by_time(EventStream.empty(Resolution(2, 2)), 100)) == []
+
+    def test_split_by_time_invalid(self):
+        with pytest.raises(ValueError):
+            list(split_by_time(make_stream(), 0))
+
+    def test_split_by_count(self):
+        s = make_stream(10)
+        chunks = list(split_by_count(s, 3))
+        assert [len(c) for c in chunks] == [3, 3, 3, 1]
+
+    def test_split_by_count_invalid(self):
+        with pytest.raises(ValueError):
+            list(split_by_count(make_stream(), 0))
+
+
+class TestRefractoryFilter:
+    def test_drops_rapid_repeats(self):
+        res = Resolution(2, 2)
+        s = EventStream.from_arrays(
+            [0, 10, 200, 205], [0, 0, 0, 0], [0, 0, 0, 0], [1, 1, 1, -1], res
+        )
+        f = refractory_filter(s, refractory_us=50)
+        assert f.t.tolist() == [0, 200]
+
+    def test_different_pixels_unaffected(self):
+        res = Resolution(2, 2)
+        s = EventStream.from_arrays([0, 1, 2], [0, 1, 0], [0, 0, 1], [1, 1, 1], res)
+        assert len(refractory_filter(s, 100)) == 3
+
+    def test_zero_refractory_is_identity(self):
+        s = make_stream(50)
+        assert refractory_filter(s, 0) == s
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            refractory_filter(make_stream(), -1)
+
+    def test_empty(self):
+        s = EventStream.empty(Resolution(2, 2))
+        assert len(refractory_filter(s, 10)) == 0
+
+
+class TestNeighbourhoodFilter:
+    def test_removes_isolated_noise(self):
+        res = Resolution(10, 10)
+        # A tight cluster plus one isolated event far away.
+        s = EventStream.from_arrays(
+            [0, 5, 10, 500],
+            [2, 3, 2, 9],
+            [2, 2, 3, 9],
+            [1, 1, 1, 1],
+            res,
+        )
+        f = neighbourhood_filter(s, window_us=100, radius=1)
+        assert 9 not in f.x.tolist()
+        # The clustered followers survive (first event has no support).
+        assert len(f) == 2
+
+    def test_support_expires(self):
+        res = Resolution(4, 4)
+        s = EventStream.from_arrays([0, 1000], [0, 1], [0, 0], [1, 1], res)
+        f = neighbourhood_filter(s, window_us=10, radius=1)
+        assert len(f) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            neighbourhood_filter(make_stream(), 0)
+        with pytest.raises(ValueError):
+            neighbourhood_filter(make_stream(), 10, radius=-1)
+
+
+class TestSpatialDownsample:
+    def test_coordinates_divided(self):
+        res = Resolution(8, 8)
+        s = EventStream.from_arrays([0, 1], [7, 0], [7, 0], [1, 1], res)
+        d = spatial_downsample(s, 2)
+        assert d.resolution == Resolution(4, 4)
+        assert d.x.tolist() == [3, 0]
+
+    def test_duplicate_merge(self):
+        res = Resolution(4, 4)
+        # Two events in the same super-pixel at the same time and polarity merge.
+        s = EventStream.from_arrays([5, 5, 5], [0, 1, 0], [0, 1, 0], [1, 1, -1], res)
+        d = spatial_downsample(s, 2)
+        assert len(d) == 2  # merged ON pair + the OFF event
+
+    def test_factor_one_identity(self):
+        s = make_stream(20)
+        assert spatial_downsample(s, 1) == s
+
+    def test_reduces_event_count(self):
+        s = make_stream(500, width=32, height=32, max_dt=3)
+        d = spatial_downsample(s, 4)
+        assert len(d) <= len(s)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            spatial_downsample(make_stream(), 0)
+
+
+class TestMiscOps:
+    def test_merge_polarities(self):
+        s = make_stream(30)
+        m = merge_polarities(s)
+        assert np.all(m.p == 1)
+        assert len(m) == len(s)
+
+    def test_jitter_preserves_count_and_order(self):
+        s = make_stream(50)
+        rng = np.random.default_rng(42)
+        j = jitter_time(s, 10.0, rng)
+        assert len(j) == len(s)
+        assert np.all(np.diff(j.t) >= 0)
+        assert np.all(j.t >= 0)
+
+    def test_jitter_zero_identity(self):
+        s = make_stream(10)
+        assert jitter_time(s, 0.0, np.random.default_rng(0)) == s
+
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError):
+            jitter_time(make_stream(), -1.0, np.random.default_rng(0))
+
+    def test_drop_events(self):
+        s = make_stream(1000)
+        d = drop_events(s, 0.5, np.random.default_rng(0))
+        assert 300 < len(d) < 700
+        assert drop_events(s, 0.0, np.random.default_rng(0)) == s
+        with pytest.raises(ValueError):
+            drop_events(s, 1.5, np.random.default_rng(0))
+
+    def test_event_count_map(self):
+        res = Resolution(3, 2)
+        s = EventStream.from_arrays([0, 1, 2], [0, 0, 2], [0, 0, 1], [1, -1, 1], res)
+        m = event_count_map(s)
+        assert m.shape == (2, 3)
+        assert m[0, 0] == 2
+        assert m[1, 2] == 1
+        signed = event_count_map(s, signed=True)
+        assert signed[0, 0] == 0
+
+
+class TestRate:
+    def test_rate_profile_total(self):
+        s = make_stream(200, max_dt=50)
+        prof = rate_profile(s, bin_us=1000)
+        assert prof.counts.sum() == len(s)
+
+    def test_uniform_stream_burstiness(self):
+        res = Resolution(2, 2)
+        t = np.arange(0, 100_000, 100)
+        s = EventStream.from_arrays(t, np.zeros_like(t), np.zeros_like(t), np.ones_like(t), res)
+        prof = rate_profile(s, bin_us=10_000)
+        assert prof.burstiness == pytest.approx(1.0, rel=0.05)
+
+    def test_bursty_stream(self):
+        res = Resolution(2, 2)
+        # 100 events in the first ms, then silence for 99 ms, then one event.
+        t = np.concatenate([np.arange(100) * 10, [100_000]])
+        s = EventStream.from_arrays(
+            t, np.zeros_like(t), np.zeros_like(t), np.ones_like(t), res
+        )
+        prof = rate_profile(s, bin_us=1000)
+        assert prof.burstiness > 10
+
+    def test_peak_rate_at_least_profile_mean(self):
+        s = make_stream(100, max_dt=10)
+        prof = rate_profile(s, bin_us=100)
+        assert peak_rate(s, bin_us=100) >= prof.mean_rate_eps
+
+    def test_empty_profile(self):
+        prof = rate_profile(EventStream.empty(Resolution(2, 2)))
+        assert prof.mean_rate_eps == 0.0
+        assert prof.peak_rate_eps == 0.0
+        assert prof.burstiness == 0.0
+
+    def test_invalid_bin(self):
+        with pytest.raises(ValueError):
+            rate_profile(make_stream(), 0)
+
+
+class TestOpsProperties:
+    @given(st.integers(1, 200), st.integers(1, 8), st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_downsample_bounds(self, n, factor, seed):
+        s = make_stream(n, width=16, height=16, seed=seed)
+        d = spatial_downsample(s, factor)
+        if len(d):
+            assert d.x.max() < d.resolution.width
+            assert d.y.max() < d.resolution.height
+        assert len(d) <= len(s)
+
+    @given(st.integers(1, 100), st.integers(0, 500), st.integers(0, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_refractory_monotone(self, n, refr, seed):
+        s = make_stream(n, seed=seed)
+        f = refractory_filter(s, refr)
+        assert len(f) <= len(s)
+        # Filtering is idempotent.
+        assert refractory_filter(f, refr) == f

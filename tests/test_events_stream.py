@@ -1,0 +1,266 @@
+"""Tests for repro.events.stream."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import EVENT_DTYPE, EventStream, Resolution, concatenate
+
+
+def make_stream(n=10, width=32, height=24, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.sort(rng.integers(0, 100_000, n))
+    x = rng.integers(0, width, n)
+    y = rng.integers(0, height, n)
+    p = rng.choice([-1, 1], n)
+    return EventStream.from_arrays(t, x, y, p, Resolution(width, height))
+
+
+class TestResolution:
+    def test_num_pixels(self):
+        assert Resolution(640, 480).num_pixels == 307200
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Resolution(0, 10)
+        with pytest.raises(ValueError):
+            Resolution(10, -1)
+
+    def test_contains(self):
+        res = Resolution(4, 3)
+        x = np.array([0, 3, 4, -1])
+        y = np.array([0, 2, 0, 0])
+        assert res.contains(x, y).tolist() == [True, True, False, False]
+
+    def test_str(self):
+        assert str(Resolution(128, 128)) == "128x128"
+
+
+class TestEventStreamConstruction:
+    def test_from_arrays_roundtrip(self):
+        s = EventStream.from_arrays([1, 2, 3], [0, 1, 2], [0, 0, 1], [1, -1, 1], Resolution(4, 4))
+        assert len(s) == 3
+        assert s.t.tolist() == [1, 2, 3]
+        assert s.p.dtype == np.int8
+
+    def test_empty(self):
+        s = EventStream.empty(Resolution(8, 8))
+        assert len(s) == 0
+        assert s.duration == 0
+        assert s.event_rate() == 0.0
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            EventStream.from_arrays([3, 1], [0, 0], [0, 0], [1, 1], Resolution(4, 4))
+
+    def test_sort_flag(self):
+        s = EventStream.from_arrays(
+            [3, 1], [0, 1], [0, 0], [1, -1], Resolution(4, 4), sort=True
+        )
+        assert s.t.tolist() == [1, 3]
+        assert s.x.tolist() == [1, 0]
+
+    def test_rejects_out_of_bounds(self):
+        with pytest.raises(ValueError, match="out of bounds"):
+            EventStream.from_arrays([1], [5], [0], [1], Resolution(4, 4))
+
+    def test_rejects_bad_polarity(self):
+        with pytest.raises(ValueError, match="polarity"):
+            EventStream.from_arrays([1], [0], [0], [0], Resolution(4, 4))
+
+    def test_rejects_2d(self):
+        arr = np.zeros((2, 2), dtype=EVENT_DTYPE)
+        with pytest.raises(ValueError, match="1-D"):
+            EventStream(arr, Resolution(4, 4))
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="equal lengths"):
+            EventStream.from_arrays([1, 2], [0], [0], [1], Resolution(4, 4))
+
+    def test_equal_timestamps_allowed(self):
+        s = EventStream.from_arrays([5, 5, 5], [0, 1, 2], [0, 0, 0], [1, 1, -1], Resolution(4, 4))
+        assert len(s) == 3
+
+
+class TestEventStreamAccessors:
+    def test_duration_and_rate(self):
+        s = EventStream.from_arrays(
+            [0, 500_000, 1_000_000], [0, 1, 2], [0, 0, 0], [1, 1, 1], Resolution(4, 4)
+        )
+        assert s.duration == 1_000_000
+        assert s.event_rate() == pytest.approx(3.0)
+
+    def test_polarity_counts(self):
+        s = EventStream.from_arrays([0, 1, 2], [0, 0, 0], [0, 0, 0], [1, -1, 1], Resolution(2, 2))
+        assert s.polarity_counts() == (2, 1)
+
+    def test_sparsity(self):
+        s = EventStream.from_arrays([0, 1], [0, 0], [0, 0], [1, 1], Resolution(2, 2))
+        assert s.sparsity() == pytest.approx(0.75)
+        assert EventStream.empty(Resolution(2, 2)).sparsity() == 1.0
+
+    def test_getitem_slice(self):
+        s = make_stream(20)
+        sub = s[5:10]
+        assert len(sub) == 5
+        assert isinstance(sub, EventStream)
+
+    def test_getitem_scalar_returns_stream(self):
+        s = make_stream(5)
+        sub = s[2]
+        assert isinstance(sub, EventStream)
+        assert len(sub) == 1
+
+    def test_getitem_mask(self):
+        s = make_stream(20)
+        sub = s[s.p == 1]
+        assert np.all(sub.p == 1)
+
+    def test_equality(self):
+        a = make_stream(5, seed=1)
+        b = make_stream(5, seed=1)
+        c = make_stream(5, seed=2)
+        assert a == b
+        assert a != c
+
+    def test_repr(self):
+        assert "EventStream" in repr(make_stream(3))
+        assert "n=0" in repr(EventStream.empty(Resolution(2, 2)))
+
+    def test_pixel_index(self):
+        s = EventStream.from_arrays([0, 1], [1, 3], [0, 2], [1, 1], Resolution(4, 4))
+        assert s.pixel_index().tolist() == [1, 11]
+
+
+class TestEventStreamTransforms:
+    def test_time_window(self):
+        s = EventStream.from_arrays(
+            [0, 10, 20, 30], [0, 1, 2, 3], [0, 0, 0, 0], [1, 1, 1, 1], Resolution(4, 4)
+        )
+        w = s.time_window(10, 30)
+        assert w.t.tolist() == [10, 20]
+
+    def test_time_window_invalid(self):
+        with pytest.raises(ValueError):
+            make_stream().time_window(10, 5)
+
+    def test_crop(self):
+        s = EventStream.from_arrays(
+            [0, 1, 2], [0, 2, 3], [0, 2, 3], [1, 1, 1], Resolution(4, 4)
+        )
+        c = s.crop(2, 2, 4, 4)
+        assert len(c) == 2
+        assert c.x.tolist() == [0, 1]
+        assert c.resolution == Resolution(2, 2)
+
+    def test_crop_invalid(self):
+        with pytest.raises(ValueError):
+            make_stream().crop(3, 0, 2, 4)
+
+    def test_shift_and_rezero(self):
+        s = EventStream.from_arrays([100, 200], [0, 0], [0, 0], [1, 1], Resolution(2, 2))
+        assert s.shift_time(50).t.tolist() == [150, 250]
+        assert s.rezero_time().t.tolist() == [0, 100]
+
+    def test_rezero_empty(self):
+        s = EventStream.empty(Resolution(2, 2))
+        assert len(s.rezero_time()) == 0
+
+    def test_with_polarity(self):
+        s = make_stream(50)
+        on = s.with_polarity(1)
+        off = s.with_polarity(-1)
+        assert len(on) + len(off) == len(s)
+        with pytest.raises(ValueError):
+            s.with_polarity(0)
+
+    def test_flip_polarity(self):
+        s = make_stream(10)
+        assert np.array_equal(s.flip_polarity().p, -s.p)
+
+    def test_flip_x_involution(self):
+        s = make_stream(10)
+        assert s.flip_x().flip_x() == s
+
+    def test_flip_y_involution(self):
+        s = make_stream(10)
+        assert s.flip_y().flip_y() == s
+
+    def test_point_cloud(self):
+        s = EventStream.from_arrays([0, 1000], [1, 2], [3, 4], [1, -1], Resolution(8, 8))
+        pts = s.as_point_cloud(time_scale_us=1000.0)
+        assert pts.shape == (2, 3)
+        assert pts[1].tolist() == [2.0, 4.0, 1.0]
+        with pytest.raises(ValueError):
+            s.as_point_cloud(0)
+
+
+class TestConcatenate:
+    def test_basic(self):
+        a = EventStream.from_arrays([0, 1], [0, 0], [0, 0], [1, 1], Resolution(2, 2))
+        b = EventStream.from_arrays([2, 3], [1, 1], [1, 1], [-1, -1], Resolution(2, 2))
+        c = concatenate([a, b])
+        assert len(c) == 4
+        assert c.t.tolist() == [0, 1, 2, 3]
+
+    def test_mixed_resolution_rejected(self):
+        a = EventStream.empty(Resolution(2, 2))
+        b = EventStream.empty(Resolution(4, 4))
+        with pytest.raises(ValueError, match="mixed"):
+            concatenate([a, b])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            concatenate([])
+
+    def test_out_of_order_rejected(self):
+        a = EventStream.from_arrays([10], [0], [0], [1], Resolution(2, 2))
+        b = EventStream.from_arrays([5], [0], [0], [1], Resolution(2, 2))
+        with pytest.raises(ValueError):
+            concatenate([a, b])
+
+
+@st.composite
+def stream_strategy(draw, max_events=50):
+    width = draw(st.integers(2, 16))
+    height = draw(st.integers(2, 16))
+    n = draw(st.integers(0, max_events))
+    t = sorted(draw(st.lists(st.integers(0, 10_000), min_size=n, max_size=n)))
+    x = draw(st.lists(st.integers(0, width - 1), min_size=n, max_size=n))
+    y = draw(st.lists(st.integers(0, height - 1), min_size=n, max_size=n))
+    p = draw(st.lists(st.sampled_from([-1, 1]), min_size=n, max_size=n))
+    return EventStream.from_arrays(t, x, y, p, Resolution(width, height))
+
+
+class TestStreamProperties:
+    @given(stream_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_flip_x_preserves_everything_but_x(self, s):
+        f = s.flip_x()
+        assert np.array_equal(f.t, s.t)
+        assert np.array_equal(f.y, s.y)
+        assert np.array_equal(f.p, s.p)
+        assert f.flip_x() == s
+
+    @given(stream_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_polarity_split_partitions(self, s):
+        on, off = s.with_polarity(1), s.with_polarity(-1)
+        assert len(on) + len(off) == len(s)
+
+    @given(stream_strategy(), st.integers(1, 5000))
+    @settings(max_examples=50, deadline=None)
+    def test_time_window_subset(self, s, w):
+        if len(s) == 0:
+            return
+        sub = s.time_window(int(s.t[0]), int(s.t[0]) + w)
+        assert len(sub) <= len(s)
+        if len(sub):
+            assert sub.t[0] >= s.t[0]
+            assert sub.t[-1] < s.t[0] + w
+
+    @given(stream_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_sparsity_bounds(self, s):
+        assert 0.0 <= s.sparsity() <= 1.0

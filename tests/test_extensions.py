@@ -1,0 +1,191 @@
+"""Tests for extension features: SpikingConv2d, spikes-as-bits coding,
+the 3-D smart-imager model, and the Section-V recurrent-CNN claim."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import IOEnergyParams, SmartImagerModel
+from repro.nn import Adam, Tensor, accuracy, cross_entropy
+from repro.snn import LIFParams, SpikingConv2d, bit_encode, decode_bits, rate_encode
+
+
+class TestSpikingConv2d:
+    def _input(self, t=6, b=2, c=2, hw=8, density=0.3, seed=0):
+        rng = np.random.default_rng(seed)
+        return Tensor((rng.random((t, b, c, hw, hw)) < density).astype(np.float64))
+
+    def test_shapes_and_binary_output(self):
+        layer = SpikingConv2d(2, 4, 3, padding=1, rng=np.random.default_rng(0))
+        out = layer(self._input())
+        assert out.shape == (6, 2, 4, 8, 8)
+        assert set(np.unique(out.data)) <= {0.0, 1.0}
+
+    def test_stride_shapes(self):
+        layer = SpikingConv2d(2, 4, 3, stride=2, padding=1)
+        assert layer(self._input()).shape == (6, 2, 4, 4, 4)
+
+    def test_rejects_wrong_ndim(self):
+        layer = SpikingConv2d(1, 1, 3)
+        with pytest.raises(ValueError):
+            layer(Tensor(np.zeros((2, 1, 8, 8))))
+
+    def test_membrane_integrates_over_time(self):
+        # Sub-threshold per-step input accumulates and eventually fires.
+        layer = SpikingConv2d(
+            1, 1, 1, params=LIFParams(tau_us=1e9, threshold=1.0),
+            rng=np.random.default_rng(0),
+        )
+        layer.conv.weight.data[...] = 0.4
+        layer.conv.bias.data[...] = 0.0
+        x = Tensor(np.ones((5, 1, 1, 2, 2)))
+        out = layer(x)
+        per_step = out.data[:, 0, 0, 0, 0]
+        assert per_step[0] == 0.0  # 0.4 < threshold
+        assert per_step.sum() >= 1.0  # accumulated past threshold later
+
+    def test_gradients_flow(self):
+        layer = SpikingConv2d(2, 3, 3, padding=1, rng=np.random.default_rng(1))
+        out = layer(self._input(density=0.6))
+        out.sum().backward()
+        assert layer.conv.weight.grad is not None
+        assert np.abs(layer.conv.weight.grad).max() > 0
+
+
+class TestBitCoding:
+    def test_exact_on_grid_values(self):
+        # Values on the quantisation grid round-trip exactly.
+        values = np.array([0.0, 1.0, 3 / 15, 9 / 15])
+        spikes = bit_encode(values, num_bits=4)
+        np.testing.assert_allclose(decode_bits(spikes), values, atol=1e-12)
+
+    def test_error_bounded_by_quantum(self):
+        rng = np.random.default_rng(0)
+        values = rng.random(200)
+        for bits in (4, 8):
+            decoded = decode_bits(bit_encode(values, bits))
+            assert np.abs(decoded - values).max() <= 0.5 / (2**bits - 1) + 1e-12
+
+    def test_logarithmically_fewer_spikes_than_rate(self):
+        rng = np.random.default_rng(0)
+        values = rng.random(500)
+        bits = 8
+        bit_spikes = bit_encode(values, bits).sum() / values.size
+        # Rate coding at matched precision needs ~(2^bits) steps.
+        rate_spikes = rate_encode(values, 2**bits, rng).sum() / values.size
+        assert bit_spikes <= bits
+        assert rate_spikes > 10 * bit_spikes
+
+    def test_msb_first(self):
+        spikes = bit_encode(np.array([0.5 + 1e-9]), num_bits=4)
+        # 0.5 * 15 = 7.5 -> rounds to 8 = 0b1000: MSB fires first.
+        assert spikes[:, 0].tolist() == [1.0, 0.0, 0.0, 0.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bit_encode(np.array([0.5]), 0)
+        with pytest.raises(ValueError):
+            bit_encode(np.array([1.5]), 4)
+        with pytest.raises(ValueError):
+            decode_bits(np.zeros(0))
+
+    @given(st.integers(2, 10), st.integers(0, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, bits, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.random(20)
+        decoded = decode_bits(bit_encode(values, bits))
+        assert np.abs(decoded - values).max() <= 1.0 / (2**bits - 1)
+
+
+class TestSmartImager:
+    def test_in_sensor_wins_at_high_rates(self):
+        model = SmartImagerModel()
+        # 1 MEPS for 100 ms.
+        saving = model.io_saving(num_events=100_000, duration_us=100_000)
+        assert saving > 10
+
+    def test_saving_grows_with_event_rate(self):
+        model = SmartImagerModel()
+        low = model.io_saving(1_000, 100_000)
+        high = model.io_saving(1_000_000, 100_000)
+        assert high > low
+
+    def test_stream_out_breakdown(self):
+        model = SmartImagerModel()
+        r = model.stream_out(10_000, 100_000, compute_energy_pj=1e6)
+        assert r.breakdown["io_offchip"] == 10_000 * model.event_bits * model.io.offchip_pj_per_bit
+        assert r.energy_pj == r.breakdown["io_offchip"] + 1e6
+
+    def test_in_sensor_includes_decision_traffic(self):
+        model = SmartImagerModel(decision_bits=64)
+        r = model.in_sensor(0, 1_000_000, 0.0, decisions_per_second=100)
+        # 100 decisions in one second.
+        assert r.breakdown["io_offchip"] == pytest.approx(
+            100 * 64 * model.io.offchip_pj_per_bit
+        )
+
+    def test_asymptote_is_io_ratio(self):
+        model = SmartImagerModel()
+        saving = model.io_saving(10**9, 1_000_000)
+        ratio = model.io.offchip_pj_per_bit / model.io.tsv_pj_per_bit
+        assert saving == pytest.approx(ratio, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IOEnergyParams(offchip_pj_per_bit=0.01)  # breaks the ordering
+        with pytest.raises(ValueError):
+            SmartImagerModel(event_bits=0)
+        model = SmartImagerModel()
+        with pytest.raises(ValueError):
+            model.stream_out(-1, 100)
+        with pytest.raises(ValueError):
+            model.in_sensor(10, 100, 0.0, decisions_per_second=0)
+
+
+class TestRecurrentCNNRecoversTemporal:
+    """Section V: 'recurrent blocks can be readily incorporated into CNNs'
+    to recover the temporal memory single frames discard [76]."""
+
+    def test_convgru_separates_rotation_direction(self):
+        from repro.camera import CameraConfig, EventCamera, RotatingBar
+        from repro.cnn import RecurrentFrameClassifier, two_channel_frame
+        from repro.events import Resolution, split_by_time
+
+        res = Resolution(16, 16)
+        rng = np.random.default_rng(0)
+
+        def make_samples(n, seed0):
+            xs, ys = [], []
+            for i in range(n):
+                direction = i % 2  # 0 = CW, 1 = CCW
+                omega = 2 * np.pi * 6.0 * (1 if direction == 0 else -1)
+                phase = rng.uniform(0, 2 * np.pi)
+                cam = EventCamera(res, CameraConfig(sample_period_us=1000, seed=seed0 + i))
+                stim = RotatingBar(res, angular_speed_rad_per_s=omega, phase0_rad=phase)
+                events, _ = cam.record(stim, 48_000)
+                frames = [
+                    two_channel_frame(chunk)
+                    for chunk in split_by_time(events, 8_000)
+                ][:6]
+                while len(frames) < 6:
+                    frames.append(np.zeros((2, 16, 16)))
+                stack = np.stack(frames)
+                peak = stack.max()
+                xs.append(stack / peak if peak > 0 else stack)
+                ys.append(direction)
+            return np.stack(xs, axis=1), np.array(ys)  # (T, N, C, H, W)
+
+        x_train, y_train = make_samples(40, seed0=0)
+        x_test, y_test = make_samples(12, seed0=500)
+
+        model = RecurrentFrameClassifier(2, 4, 2, (16, 16), rng=np.random.default_rng(1))
+        opt = Adam(model.parameters(), lr=0.01)
+        for _ in range(40):
+            opt.zero_grad()
+            cross_entropy(model(Tensor(x_train)), y_train).backward()
+            opt.step()
+        test_acc = accuracy(model(Tensor(x_test)).data, y_test)
+        # The recurrent CNN separates CW from CCW (single frames cannot).
+        assert test_acc >= 0.8

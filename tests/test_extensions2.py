@@ -1,0 +1,238 @@
+"""Tests for the second extension round: adaptive LIF, memory hierarchy,
+motion segmentation and the StepLR schedule."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import segment_events, segmentation_purity
+from repro.camera import CameraConfig, CompositeStimulus, EventCamera, MovingDisk
+from repro.events import EventStream, Resolution
+from repro.hw import ENERGY_45NM, MemoryHierarchy, MemoryLevel, default_hierarchy
+from repro.nn import SGD, StepLR, Tensor
+from repro.snn import (
+    AdaptiveLIFParams,
+    AdaptiveLIFState,
+    LIFParams,
+    LIFState,
+    adaptive_lif_step_np,
+    lif_step_np,
+)
+
+
+class TestAdaptiveLIF:
+    def test_spike_frequency_adaptation(self):
+        """Sustained drive: inter-spike intervals lengthen over time."""
+        p = AdaptiveLIFParams(
+            lif=LIFParams(tau_us=1e9, threshold=1.0),
+            tau_adapt_us=500_000.0,
+            beta=0.5,
+        )
+        state = AdaptiveLIFState.zeros((1,), p)
+        drive = np.array([0.4])
+        fire_steps = [
+            t for t in range(60) if adaptive_lif_step_np(state, drive, p, 1000.0)[0]
+        ]
+        assert len(fire_steps) >= 3
+        intervals = np.diff(fire_steps)
+        assert intervals[-1] > intervals[0]  # decelerating train
+
+    def test_reduces_to_lif_with_zero_beta(self):
+        p_ad = AdaptiveLIFParams(lif=LIFParams(tau_us=5000.0), beta=0.0)
+        p_plain = LIFParams(tau_us=5000.0)
+        s_ad = AdaptiveLIFState.zeros((4,), p_ad)
+        s_plain = LIFState.zeros((4,), p_plain)
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            drive = rng.random(4) * 0.6
+            a = adaptive_lif_step_np(s_ad, drive, p_ad, 1000.0)
+            b = lif_step_np(s_plain, drive, p_plain, 1000.0)
+            np.testing.assert_array_equal(a, b)
+
+    def test_adaptation_decays(self):
+        p = AdaptiveLIFParams(tau_adapt_us=10_000.0, beta=1.0)
+        state = AdaptiveLIFState.zeros((1,), p)
+        state.a[0] = 1.0
+        adaptive_lif_step_np(state, np.array([0.0]), p, 10_000.0)
+        assert state.a[0] == pytest.approx(np.exp(-1.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveLIFParams(tau_adapt_us=0)
+        with pytest.raises(ValueError):
+            AdaptiveLIFParams(beta=-0.1)
+
+
+class TestMemoryHierarchy:
+    def test_placement(self):
+        h = default_hierarchy()
+        assert h.place(100).name == "register-file"
+        assert h.place(4096).name == "sram-8KB"
+        assert h.place(500_000).name == "sram-1MB"
+        assert h.place(10**9).name == "dram"
+
+    def test_access_energy_grows_with_footprint(self):
+        h = default_hierarchy()
+        small = h.access_energy_pj(100, 1000)
+        large = h.access_energy_pj(500_000, 1000)
+        assert large > 10 * small
+
+    def test_distributed_core_tradeoff(self):
+        """Ref [43]: more cores -> cheaper accesses but more area."""
+        h = default_hierarchy()
+        model_bytes = 4 * 1024 * 1024  # 4 MB of synapses
+        monolithic = h.distributed_core_tradeoff(model_bytes, 1)
+        distributed = h.distributed_core_tradeoff(model_bytes, 1024)
+        assert distributed["energy_pj"] < monolithic["energy_pj"]
+        assert distributed["area_mm2"] > monolithic["area_mm2"]
+        assert distributed["level"] != monolithic["level"]
+
+    def test_ordering_validation(self):
+        lv = MemoryLevel("a", 100, 1.0, 1.0)
+        lv_big_cheap = MemoryLevel("b", 1000, 0.5, 1.0)
+        with pytest.raises(ValueError, match="access energy"):
+            MemoryHierarchy((lv, lv_big_cheap))
+        with pytest.raises(ValueError, match="capacity"):
+            MemoryHierarchy((MemoryLevel("b", 1000, 1.0, 1.0), lv))
+        with pytest.raises(ValueError):
+            MemoryHierarchy(())
+
+    def test_level_validation(self):
+        with pytest.raises(ValueError):
+            MemoryLevel("x", 0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            MemoryLevel("x", 10, 0.0, 1.0)
+
+    def test_misc_validation(self):
+        h = default_hierarchy()
+        with pytest.raises(ValueError):
+            h.place(-1)
+        with pytest.raises(ValueError):
+            h.access_energy_pj(10, -1)
+        with pytest.raises(ValueError):
+            h.distributed_core_tradeoff(0, 1)
+
+
+class TestSegmentation:
+    RES = Resolution(48, 48)
+
+    def _two_disks(self, seed=0):
+        """Two disks moving in opposite corners; ground truth by x side."""
+        cam = EventCamera(self.RES, CameraConfig(sample_period_us=500, seed=seed))
+        stim = CompositeStimulus(
+            [
+                MovingDisk(self.RES, radius=3.5, x0=6, y0=12, vx_px_per_s=400),
+                MovingDisk(self.RES, radius=3.5, x0=40, y0=36, vx_px_per_s=-400),
+            ]
+        )
+        events, _ = cam.record(stim, 25_000)
+        truth = (events.x > self.RES.width / 2).astype(np.int64)
+        return events, truth
+
+    def test_separates_two_objects(self):
+        events, truth = self._two_disks()
+        result = segment_events(events, radius=3.0, time_scale_us=2000.0, min_size=15)
+        assert result.num_segments == 2
+        # Map truth onto the subsample the segmenter used.
+        n = result.labels.size
+        idx = np.unique(np.linspace(0, len(events) - 1, min(len(events), 1500)).astype(int))
+        sub_truth = truth[idx] if n == idx.size else truth[:n]
+        assert segmentation_purity(result.labels, sub_truth) > 0.95
+
+    def test_noise_events_rejected(self):
+        rng = np.random.default_rng(0)
+        # Sparse uniform noise: no component reaches min_size.
+        t = np.sort(rng.integers(0, 1_000_000, 60))
+        s = EventStream.from_arrays(
+            t, rng.integers(0, 48, 60), rng.integers(0, 48, 60),
+            rng.choice([-1, 1], 60), self.RES,
+        )
+        result = segment_events(s, radius=2.0, time_scale_us=500.0, min_size=10)
+        assert result.num_segments == 0
+        assert result.num_noise == 60
+
+    def test_segment_sizes_sorted(self):
+        events, _ = self._two_disks(seed=1)
+        result = segment_events(events, radius=3.0, time_scale_us=2000.0, min_size=15)
+        sizes = result.segment_sizes()
+        assert sizes.size == result.num_segments
+        assert np.all(np.diff(sizes) <= 0)
+
+    def test_empty_stream(self):
+        result = segment_events(EventStream.empty(self.RES))
+        assert result.num_segments == 0
+        assert result.labels.size == 0
+
+    def test_validation(self):
+        events, truth = self._two_disks()
+        with pytest.raises(ValueError):
+            segment_events(events, radius=0)
+        with pytest.raises(ValueError):
+            segment_events(events, min_size=0)
+        with pytest.raises(ValueError):
+            segment_events(events, max_events=0)
+        with pytest.raises(ValueError):
+            segmentation_purity(np.zeros(3), np.zeros(4))
+
+    def test_purity_edge_cases(self):
+        assert segmentation_purity(np.array([-1, -1]), np.array([0, 1])) == 0.0
+        assert segmentation_purity(np.array([0, 0, 1]), np.array([5, 5, 7])) == 1.0
+
+
+class TestStepLR:
+    def test_decay_schedule(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([p], lr=1.0)
+        sched = StepLR(opt, step_size=3, gamma=0.1)
+        for _ in range(3):
+            sched.step()
+        assert sched.lr == pytest.approx(0.1)
+        for _ in range(3):
+            sched.step()
+        assert sched.lr == pytest.approx(0.01)
+
+    def test_no_decay_before_boundary(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        sched = StepLR(SGD([p], lr=1.0), step_size=5, gamma=0.5)
+        for _ in range(4):
+            sched.step()
+        assert sched.lr == 1.0
+
+    def test_validation(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([p], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=1, gamma=0.0)
+
+
+class TestMultiObjectLocalisation:
+    """Segmentation + per-segment centroid = multi-object detection."""
+
+    def test_locates_both_objects(self):
+        res = Resolution(48, 48)
+        cam = EventCamera(res, CameraConfig(sample_period_us=500, seed=4))
+        stim = CompositeStimulus(
+            [
+                MovingDisk(res, radius=3.5, x0=8, y0=10, vx_px_per_s=300),
+                MovingDisk(res, radius=3.5, x0=38, y0=38, vx_px_per_s=-300),
+            ]
+        )
+        events, _ = cam.record(stim, 25_000)
+        result = segment_events(events, radius=3.0, time_scale_us=2000.0, min_size=15)
+        assert result.num_segments == 2
+
+        # Per-segment centroid should sit near each disk's swept path.
+        idx = np.unique(
+            np.linspace(0, len(events) - 1, min(len(events), 1500)).astype(int)
+        )
+        sub = events[idx]
+        centroids = []
+        for seg in range(result.num_segments):
+            mask = result.labels == seg
+            centroids.append((float(sub.x[mask].mean()), float(sub.y[mask].mean())))
+        centroids.sort()
+        # Disk 1 sweeps x in [8, 15.5] at y=10; disk 2 x in [30.5, 38] at y=38.
+        (x1, y1), (x2, y2) = centroids
+        assert abs(y1 - 10) < 4 and 6 < x1 < 18
+        assert abs(y2 - 38) < 4 and 28 < x2 < 40

@@ -1,0 +1,186 @@
+"""Tests for the third extension round: looming stimulus, contrast
+sensitivity, new tensor ops, scipy cross-validation and the CLI."""
+
+import numpy as np
+import pytest
+from scipy import signal
+
+from repro.camera import CameraConfig, EventCamera, ExpandingDisk, PixelParams
+from repro.events import Resolution
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+from .test_nn_tensor import check_grad
+
+RES = Resolution(32, 32)
+
+
+class TestExpandingDisk:
+    def test_looming_produces_on_dominated_events(self):
+        cam = EventCamera(RES, CameraConfig(sample_period_us=500))
+        loom = ExpandingDisk(RES, r0=2.0, growth_px_per_s=200.0)
+        events, _ = cam.record(loom, 50_000)
+        on, off = events.polarity_counts()
+        assert len(events) > 20
+        assert on > 3 * off  # expansion = brightening ring
+
+    def test_receding_produces_off_dominated_events(self):
+        cam = EventCamera(RES, CameraConfig(sample_period_us=500))
+        recede = ExpandingDisk(RES, r0=12.0, growth_px_per_s=-200.0)
+        events, _ = cam.record(recede, 50_000)
+        on, off = events.polarity_counts()
+        assert off > 3 * on
+
+    def test_event_rate_accelerates_while_looming(self):
+        # Ring circumference grows with radius: later windows hold more events.
+        cam = EventCamera(RES, CameraConfig(sample_period_us=500))
+        loom = ExpandingDisk(RES, r0=1.5, growth_px_per_s=250.0)
+        events, _ = cam.record(loom, 50_000)
+        first = events.time_window(0, 25_000)
+        second = events.time_window(25_000, 50_001)
+        assert len(second) > len(first)
+
+    def test_radius_floor(self):
+        stim = ExpandingDisk(RES, r0=3.0, growth_px_per_s=-1000.0, r_min=1.0)
+        assert stim.radius_at(1_000_000) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExpandingDisk(RES, r0=0)
+        with pytest.raises(ValueError):
+            ExpandingDisk(RES, r_min=0)
+
+
+class TestContrastSensitivity:
+    """Section II: 'finer contrast sensitivity' as a sensor design driver."""
+
+    def _count(self, threshold):
+        cam = EventCamera(
+            RES,
+            CameraConfig(
+                pixel=PixelParams(threshold_on=threshold, threshold_off=threshold),
+                sample_period_us=500,
+            ),
+        )
+        from repro.camera import MovingDisk
+
+        stim = MovingDisk(RES, radius=4.0, x0=4.0, y0=16.0, vx_px_per_s=600.0)
+        events, _ = cam.record(stim, 40_000)
+        return len(events)
+
+    def test_finer_threshold_more_events(self):
+        counts = [self._count(th) for th in (0.1, 0.2, 0.4)]
+        assert counts[0] > counts[1] > counts[2]
+        # Event count scales roughly inversely with the threshold.
+        assert counts[0] > 1.5 * counts[2]
+
+
+class TestNewTensorOps:
+    def test_min_values_and_grad(self):
+        a = Tensor(np.array([3.0, 1.0, 2.0]), requires_grad=True)
+        m = a.min()
+        assert m.item() == 1.0
+        m.backward()
+        assert a.grad.tolist() == [0.0, 1.0, 0.0]
+
+    def test_min_axis(self):
+        a = Tensor(np.array([[3.0, 1.0], [0.0, 2.0]]), requires_grad=True)
+        assert a.min(axis=0).data.tolist() == [0.0, 1.0]
+
+    def test_var_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        arr = rng.standard_normal((4, 5))
+        t = Tensor(arr)
+        assert t.var().item() == pytest.approx(arr.var())
+        np.testing.assert_allclose(t.var(axis=1).data, arr.var(axis=1))
+
+    def test_var_gradcheck(self):
+        check_grad(lambda a: a.var(), (3, 4))
+        check_grad(lambda a: a.var(axis=0), (3, 4))
+
+    def test_sqrt_values_and_gradcheck(self):
+        rng = np.random.default_rng(0)
+        arr = rng.uniform(0.5, 4.0, (3, 3))
+        t = Tensor(arr, requires_grad=True)
+        t.sqrt().sum().backward()
+        np.testing.assert_allclose(t.grad, 0.5 / np.sqrt(arr), rtol=1e-9)
+
+
+class TestConvAgainstScipy:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_forward_matches_scipy_correlate(self, seed):
+        """conv2d (cross-correlation) must agree with scipy exactly."""
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((1, 3, 9, 9))
+        w = rng.standard_normal((4, 3, 3, 3))
+        ours = F.conv2d(Tensor(x), Tensor(w)).data
+        expected = np.zeros_like(ours)
+        for o in range(4):
+            acc = np.zeros((7, 7))
+            for c in range(3):
+                acc += signal.correlate2d(x[0, c], w[o, c], mode="valid")
+            expected[0, o] = acc
+        np.testing.assert_allclose(ours, expected, atol=1e-10)
+
+    def test_strided_matches_scipy_subsampled(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((1, 2, 8, 8))
+        w = rng.standard_normal((1, 2, 3, 3))
+        ours = F.conv2d(Tensor(x), Tensor(w), stride=2).data
+        full = sum(
+            signal.correlate2d(x[0, c], w[0, c], mode="valid") for c in range(2)
+        )
+        np.testing.assert_allclose(ours[0, 0], full[::2, ::2], atol=1e-10)
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "subpackages" in out
+
+    def test_demo(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated" in out
+        assert "ok" in out
+
+    def test_default_is_info(self, capsys):
+        from repro.__main__ import main
+
+        assert main([]) == 0
+        assert "subpackages" in capsys.readouterr().out
+
+
+class TestApiDocsGenerator:
+    def test_generates_all_subpackages(self):
+        import sys
+        sys.path.insert(0, "tools")
+        try:
+            from gen_api_docs import SUBPACKAGES, generate
+        finally:
+            sys.path.pop(0)
+        md = generate()
+        for name in SUBPACKAGES:
+            assert f"## `repro.{name}`" in md
+        # Every documented row carries a summary (no broad empty cells).
+        rows = [l for l in md.splitlines() if l.startswith("| `")]
+        assert len(rows) > 100
+        documented = [r for r in rows if not r.rstrip().endswith("|  |")]
+        assert len(documented) / len(rows) > 0.95
+
+    def test_committed_docs_up_to_date(self):
+        import sys
+        from pathlib import Path
+        sys.path.insert(0, "tools")
+        try:
+            from gen_api_docs import generate
+        finally:
+            sys.path.pop(0)
+        committed = Path("docs/api.md").read_text()
+        assert committed == generate()

@@ -1,0 +1,148 @@
+"""Tests for the fourth extension round: hot-pixel filtering, a deep
+convolutional SNN trained end to end, and autograd fuzzing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.camera import CameraConfig, EventCamera, MovingDisk, NoiseParams
+from repro.events import EventStream, Resolution, hot_pixel_filter
+from repro.nn import Adam, Tensor, accuracy, cross_entropy
+from repro.snn import LIFReadout, SpikingConv2d, events_to_spike_tensor
+
+from .test_nn_tensor import numerical_grad
+
+RES = Resolution(24, 24)
+
+
+class TestHotPixelFilter:
+    def _with_hot_pixels(self, seed=0):
+        cam = EventCamera(
+            RES,
+            CameraConfig(
+                noise=NoiseParams(hot_pixel_fraction=0.01, hot_pixel_rate_hz=2000.0),
+                sample_period_us=1000,
+                seed=seed,
+            ),
+        )
+        disk = MovingDisk(RES, radius=3.5, x0=4, y0=12, vx_px_per_s=400)
+        events, _ = cam.record(disk, 50_000)
+        return events
+
+    def test_removes_hot_pixels(self):
+        events = self._with_hot_pixels()
+        filtered = hot_pixel_filter(events, rate_factor=6.0)
+        assert len(filtered) < len(events)
+        # No remaining pixel should dominate the stream.
+        counts = np.bincount(filtered.pixel_index(), minlength=RES.num_pixels)
+        active = counts[counts > 0]
+        assert counts.max() < 10 * active.mean()
+
+    def test_clean_stream_untouched(self):
+        cam = EventCamera(RES, CameraConfig(sample_period_us=1000, seed=1))
+        events, _ = cam.record(MovingDisk(RES, radius=3.5, x0=4, y0=12, vx_px_per_s=400), 40_000)
+        filtered = hot_pixel_filter(events, rate_factor=10.0)
+        assert len(filtered) > 0.9 * len(events)
+
+    def test_empty_and_validation(self):
+        assert len(hot_pixel_filter(EventStream.empty(RES))) == 0
+        s = EventStream.from_arrays([0], [0], [0], [1], RES)
+        with pytest.raises(ValueError):
+            hot_pixel_filter(s, rate_factor=1.0)
+        with pytest.raises(ValueError):
+            hot_pixel_filter(s, min_events=0)
+
+    def test_min_events_protects_short_streams(self):
+        # Two events at one pixel, one elsewhere: nothing exceeds min_events.
+        s = EventStream.from_arrays([0, 1, 2], [3, 3, 7], [3, 3, 7], [1, 1, 1], RES)
+        assert hot_pixel_filter(s, rate_factor=1.5, min_events=8) == s
+
+
+class TestDeepConvSNN:
+    def test_conv_snn_trains_on_two_shapes(self):
+        """End-to-end surrogate-gradient training of a conv SNN (the
+        Spiking-YOLO-style architecture family, ref [35])."""
+        from repro.datasets import make_shapes_dataset, train_test_split
+        from repro.nn import functional as F
+
+        ds = make_shapes_dataset(
+            num_per_class=8, resolution=RES, duration_us=40_000, seed=2
+        )
+        # Binary task: bar (0) vs disk (2).
+        keep = [i for i, s in enumerate(ds) if s.label in (0, 2)]
+        ds = ds.subset(keep)
+
+        def encode(stream):
+            return events_to_spike_tensor(stream, num_steps=8, pool=2)
+
+        x = np.stack([encode(s.stream) for s in ds], axis=1)  # (T, N, 2, 12, 12)
+        y = (ds.labels() == 2).astype(np.int64)
+
+        rng = np.random.default_rng(0)
+        conv = SpikingConv2d(2, 4, 3, stride=2, padding=1, rng=rng)
+        readout = LIFReadout(4 * 6 * 6, 2, rng=rng)
+
+        def forward(batch):
+            spikes = conv(Tensor(batch))  # (T, N, 4, 6, 6)
+            t, n = spikes.shape[0], spikes.shape[1]
+            flat = spikes.reshape(t, n, -1)
+            return readout(flat)
+
+        params = conv.parameters() + readout.parameters()
+        opt = Adam(params, lr=5e-3)
+        for _ in range(25):
+            opt.zero_grad()
+            loss = cross_entropy(forward(x), y)
+            loss.backward()
+            opt.step()
+        acc = accuracy(forward(x).data, y)
+        assert acc >= 0.85  # separates the two shapes
+
+    def test_conv_snn_spike_sparsity(self):
+        rng = np.random.default_rng(1)
+        conv = SpikingConv2d(2, 4, 3, padding=1, rng=rng)
+        x = Tensor((rng.random((6, 2, 2, 12, 12)) < 0.1).astype(np.float64))
+        out = conv(x)
+        # Spiking activations stay sparse on sparse input.
+        assert out.data.mean() < 0.5
+
+
+class TestAutogradFuzzing:
+    # All ops keep |values| bounded so arbitrary compositions stay finite
+    # (a raw exp chain overflows by design, not by bug).
+    UNARY_OPS = [
+        lambda t: t.relu(),
+        lambda t: t.tanh(),
+        lambda t: t.sigmoid(),
+        lambda t: (t * 0.3).exp() - 1.0,
+        lambda t: t * 0.5 + 0.1,
+        lambda t: (t * t) * 0.3,
+        lambda t: t.reshape(-1).reshape(3, 4),
+        lambda t: t.T.T,
+    ]
+
+    @given(
+        st.lists(st.integers(0, 7), min_size=1, max_size=4),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_op_chains_match_numerical_gradient(self, ops, seed):
+        rng = np.random.default_rng(seed)
+        arr = rng.uniform(-1.5, 1.5, (3, 4))
+
+        def apply_chain(t):
+            for op_idx in ops:
+                t = self.UNARY_OPS[op_idx](t)
+            return t
+
+        x = Tensor(arr.copy(), requires_grad=True)
+        apply_chain(x).sum().backward()
+
+        def f(a):
+            return apply_chain(Tensor(a)).sum().item()
+
+        num = numerical_grad(f, arr.copy(), eps=1e-6)
+        # relu kinks can make finite differences disagree locally; use a
+        # tolerant comparison that still catches systematic errors.
+        np.testing.assert_allclose(x.grad, num, rtol=1e-3, atol=1e-4)

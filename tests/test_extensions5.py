@@ -1,0 +1,101 @@
+"""Tests for the fifth extension round: dataflow reuse analysis and the
+continual-learning (on-chip adaptation) scenario of Section V."""
+
+import numpy as np
+import pytest
+
+from repro.hw import ConvLayerWorkload, ReuseFactors, dataflow_reuse
+from repro.snn import STDPNetwork
+
+
+class TestDataflowReuse:
+    LAYER = ConvLayerWorkload(16, 32, 3, 28, 28)
+
+    def test_weight_stationary_reuses_weights(self):
+        r = dataflow_reuse(self.LAYER, "weight_stationary")
+        assert r.weight_reuse == 28 * 28
+        assert r.psum_reuse == 16 * 9
+        assert r.activation_reuse == 32
+
+    def test_output_stationary_trades_weight_for_psum(self):
+        ws = dataflow_reuse(self.LAYER, "weight_stationary")
+        os_ = dataflow_reuse(self.LAYER, "output_stationary")
+        assert os_.weight_reuse < ws.weight_reuse
+        assert os_.psum_reuse == ws.psum_reuse
+
+    def test_arithmetic_intensity(self):
+        r = ReuseFactors(weight_reuse=10.0, activation_reuse=10.0, psum_reuse=10.0)
+        # Three streams at reuse 10 => 10/3 MACs per word moved.
+        assert r.arithmetic_intensity == pytest.approx(10.0 / 3.0)
+
+    def test_reuse_grows_with_output_plane(self):
+        small = dataflow_reuse(ConvLayerWorkload(8, 8, 3, 8, 8))
+        big = dataflow_reuse(ConvLayerWorkload(8, 8, 3, 64, 64))
+        assert big.weight_reuse > 50 * small.weight_reuse
+        assert big.arithmetic_intensity > small.arithmetic_intensity
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dataflow_reuse(self.LAYER, "bogus")
+
+
+class TestContinualLearning:
+    """Section V: SNNs with local learning 'may be best suited for
+    scenarios where the system will be required to continually learn and
+    update its operation over time without … off-chip retraining.'
+
+    The scenario: an STDP network deployed on two pattern classes; the
+    input distribution then drifts to two NEW classes.  Continued
+    unsupervised exposure plus a cheap re-assignment pass (no gradient
+    training, no weight transport) recovers performance on the new
+    distribution.
+    """
+
+    @staticmethod
+    def _patterns(channel_groups, rng, n_per_class=8, t=40, f=16):
+        trains, labels = [], []
+        for cls, group in enumerate(channel_groups):
+            rates = np.full(f, 0.02)
+            rates[list(group)] = 0.6
+            for _ in range(n_per_class):
+                trains.append((rng.random((t, f)) < rates).astype(np.float64))
+                labels.append(cls)
+        return trains, np.array(labels)
+
+    def test_stdp_adapts_to_distribution_shift(self):
+        rng = np.random.default_rng(0)
+        old_groups = [range(0, 4), range(4, 8)]
+        new_groups = [range(8, 12), range(12, 16)]
+
+        net = STDPNetwork(16, 12, rng=np.random.default_rng(1))
+
+        # Phase 1: learn the original distribution.
+        old_train, old_labels = self._patterns(old_groups, rng)
+        net.fit(old_train, old_labels, num_classes=2, epochs=3)
+        old_test, old_test_labels = self._patterns(old_groups, np.random.default_rng(50))
+        assert net.accuracy(old_test, old_test_labels) >= 0.7
+
+        # The deployed network sees the NEW distribution: before any
+        # adaptation its assignments are stale.
+        new_test, new_test_labels = self._patterns(new_groups, np.random.default_rng(60))
+
+        # Phase 2: continual unsupervised exposure + re-assignment (the
+        # cheap, local, backprop-free update loop).
+        new_train, new_labels = self._patterns(new_groups, rng)
+        net.fit(new_train, new_labels, num_classes=2, epochs=3)
+        adapted_acc = net.accuracy(new_test, new_test_labels)
+        assert adapted_acc >= 0.7
+
+    def test_weights_track_the_new_inputs(self):
+        rng = np.random.default_rng(0)
+        net = STDPNetwork(16, 8, rng=np.random.default_rng(2))
+        old_train, old_labels = self._patterns([range(0, 4), range(4, 8)], rng)
+        net.fit(old_train, old_labels, num_classes=2, epochs=3)
+        mass_old = net.weights[:, :8].sum()
+        mass_new = net.weights[:, 8:].sum()
+        assert mass_old > mass_new  # tuned to the first distribution
+
+        new_train, new_labels = self._patterns([range(8, 12), range(12, 16)], rng)
+        net.fit(new_train, new_labels, num_classes=2, epochs=4)
+        mass_new_after = net.weights[:, 8:].sum()
+        assert mass_new_after > mass_new  # synapses migrated to the new inputs

@@ -1,0 +1,133 @@
+"""Tests for the fully asynchronous event-graph inference engine."""
+
+import numpy as np
+import pytest
+
+from repro.events import EventStream, Resolution
+from repro.gnn import AsyncEventGNN, EventGNNClassifier
+from repro.nn import Tensor, no_grad
+
+RES = Resolution(24, 24)
+
+
+def make_stream(n=80, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.cumsum(rng.integers(100, 1500, n))
+    return EventStream.from_arrays(
+        t,
+        rng.integers(0, RES.width, n),
+        rng.integers(0, RES.height, n),
+        rng.choice([-1, 1], n),
+        Resolution(RES.width, RES.height),
+    )
+
+
+def make_async(model=None, include_position=False, **kw):
+    if model is None:
+        model = EventGNNClassifier(
+            3, hidden=8, in_features=4 if include_position else 2,
+            rng=np.random.default_rng(1),
+        )
+    return AsyncEventGNN(
+        model,
+        radius=4.0,
+        time_scale_us=2000.0,
+        window_us=1_000_000,
+        max_degree=8,
+        resolution=RES if include_position else None,
+        include_position=include_position,
+    )
+
+
+class TestAsyncEquivalence:
+    @pytest.mark.parametrize("include_position", [False, True])
+    def test_matches_batch_forward(self, include_position):
+        """Per-event streaming scores equal a batch pass over the final graph."""
+        stream = make_stream(60, seed=2)
+        engine = make_async(include_position=include_position)
+        reports = engine.process_stream(stream)
+        async_scores = reports[-1].scores
+
+        # built_graph() carries whatever node features the engine used
+        # (including positions when configured), so it feeds the batch
+        # model directly.
+        graph = engine.built_graph()
+        with no_grad():
+            batch_scores = engine.model(graph).data[0]
+        np.testing.assert_allclose(async_scores, batch_scores, atol=1e-9)
+
+    def test_node_features_match_batch(self):
+        stream = make_stream(40, seed=3)
+        engine = make_async()
+        engine.process_stream(stream)
+        graph = engine.built_graph()
+        model = engine.model
+        with no_grad():
+            x = Tensor(graph.features)
+            x = model.conv1(x, graph.edges, graph.positions).relu()
+            x = model.conv2(x, graph.edges, graph.positions).relu()
+        np.testing.assert_allclose(engine.node_features(), x.data, atol=1e-9)
+
+    def test_prediction_matches(self):
+        stream = make_stream(50, seed=4)
+        engine = make_async()
+        engine.process_stream(stream)
+        graph = engine.built_graph()
+        with no_grad():
+            batch_pred = int(engine.model(graph).data.argmax())
+        assert engine.predict() == batch_pred
+
+
+class TestAsyncMechanics:
+    def test_empty_scores(self):
+        engine = make_async()
+        assert np.allclose(engine.scores(), 0.0)
+        assert engine.num_events == 0
+
+    def test_per_event_work_bounded(self):
+        stream = make_stream(100, seed=5)
+        engine = make_async()
+        reports = engine.process_stream(stream)
+        for r in reports:
+            assert r.num_neighbours <= 8  # degree cap
+            assert r.macs > 0
+        # Work per event does not grow with the number of processed events.
+        early = np.mean([r.macs for r in reports[5:20]])
+        late = np.mean([r.macs for r in reports[-15:]])
+        assert late < 5 * early
+
+    def test_scores_evolve(self):
+        stream = make_stream(60, seed=6)
+        engine = make_async()
+        reports = engine.process_stream(stream)
+        first = reports[0].scores
+        last = reports[-1].scores
+        assert not np.allclose(first, last)
+
+    def test_causal_graph_built(self):
+        stream = make_stream(40, seed=7)
+        engine = make_async()
+        engine.process_stream(stream)
+        assert engine.built_graph().is_causal()
+
+    def test_polarity_validation(self):
+        engine = make_async()
+        with pytest.raises(ValueError):
+            engine.process_event(0, 0, 0, 0)
+
+    def test_requires_edgeconv(self):
+        model = EventGNNClassifier(2, hidden=4, conv="spline")
+        with pytest.raises(TypeError):
+            AsyncEventGNN(model)
+
+    def test_position_requires_resolution(self):
+        model = EventGNNClassifier(2, hidden=4, in_features=4)
+        with pytest.raises(ValueError):
+            AsyncEventGNN(model, include_position=True)
+
+    def test_report_fields(self):
+        engine = make_async()
+        r = engine.process_event(5, 5, 100, 1)
+        assert r.node_index == 0
+        assert r.num_neighbours == 0
+        assert r.scores.shape == (3,)

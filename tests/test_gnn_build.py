@@ -1,0 +1,258 @@
+"""Tests for event-graph construction and incremental insertion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import EventStream, Resolution
+from repro.gnn import (
+    EventGraph,
+    HashInserter,
+    KDTreeInserter,
+    NaiveInserter,
+    knn_graph,
+    limit_in_degree,
+    make_causal,
+    radius_graph_kdtree,
+    radius_graph_naive,
+    radius_graph_spatial_hash,
+)
+
+
+def random_points(n, seed=0, scale=20.0):
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(0, scale, (n, 3))
+    pts = pts[np.argsort(pts[:, 2], kind="stable")]
+    return pts
+
+
+def random_stream(n=60, seed=0, width=16, height=16):
+    rng = np.random.default_rng(seed)
+    t = np.cumsum(rng.integers(1, 2000, n))
+    return EventStream.from_arrays(
+        t,
+        rng.integers(0, width, n),
+        rng.integers(0, height, n),
+        rng.choice([-1, 1], n),
+        Resolution(width, height),
+    )
+
+
+class TestEventGraph:
+    def test_from_stream(self):
+        s = random_stream(30)
+        edges = radius_graph_kdtree(s.as_point_cloud(1000.0), 5.0)
+        g = EventGraph.from_stream(s, edges, 1000.0)
+        assert g.num_nodes == 30
+        assert g.features.shape == (30, 2)
+        # Polarity one-hot sums to one per node.
+        np.testing.assert_allclose(g.features.sum(axis=1), 1.0)
+
+    def test_edge_attributes(self):
+        pts = np.array([[0.0, 0.0, 0.0], [1.0, 2.0, 3.0]])
+        g = EventGraph(pts, np.zeros((2, 1)), np.array([[0, 1]]), 1000.0)
+        np.testing.assert_allclose(g.edge_attributes(), [[1.0, 2.0, 3.0]])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EventGraph(np.zeros((3, 2)), np.zeros((3, 1)), np.zeros((0, 2)), 1.0)
+        with pytest.raises(ValueError):
+            EventGraph(np.zeros((3, 3)), np.zeros((2, 1)), np.zeros((0, 2)), 1.0)
+        with pytest.raises(ValueError):
+            EventGraph(np.zeros((3, 3)), np.zeros((3, 1)), np.array([[0, 5]]), 1.0)
+
+    def test_mean_degree(self):
+        pts = random_points(10)
+        edges = radius_graph_naive(pts, 50.0)  # complete graph
+        g = EventGraph(pts, np.zeros((10, 1)), edges, 1.0)
+        assert g.mean_degree == pytest.approx(9.0)
+
+    def test_subgraph(self):
+        pts = random_points(20, seed=1)
+        edges = radius_graph_naive(pts, 8.0)
+        g = EventGraph(pts, np.zeros((20, 1)), edges, 1.0)
+        sub = g.subgraph(np.arange(10))
+        assert sub.num_nodes == 10
+        if sub.num_edges:
+            assert sub.edges.max() < 10
+
+    def test_is_causal(self):
+        pts = random_points(15, seed=2)
+        edges = radius_graph_naive(pts, 10.0)
+        g_all = EventGraph(pts, np.zeros((15, 1)), edges, 1.0)
+        g_causal = EventGraph(pts, np.zeros((15, 1)), make_causal(edges, pts), 1.0)
+        assert g_causal.is_causal()
+        if g_all.num_edges:
+            assert not g_all.is_causal()
+
+
+class TestRadiusGraphEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("radius", [2.0, 5.0, 12.0])
+    def test_three_algorithms_agree(self, seed, radius):
+        pts = random_points(80, seed=seed)
+        e_naive = radius_graph_naive(pts, radius)
+        e_tree = radius_graph_kdtree(pts, radius)
+        e_hash = radius_graph_spatial_hash(pts, radius)
+        np.testing.assert_array_equal(e_naive, e_tree)
+        np.testing.assert_array_equal(e_naive, e_hash)
+
+    def test_empty_and_single(self):
+        for builder in (radius_graph_naive, radius_graph_kdtree, radius_graph_spatial_hash):
+            assert builder(np.zeros((0, 3)), 1.0).shape == (0, 2)
+            assert builder(np.zeros((1, 3)), 1.0).shape == (0, 2)
+
+    def test_symmetric(self):
+        pts = random_points(40, seed=3)
+        edges = radius_graph_kdtree(pts, 6.0)
+        fwd = set(map(tuple, edges))
+        assert all((b, a) in fwd for a, b in fwd)
+
+    def test_validation(self):
+        pts = random_points(5)
+        for builder in (radius_graph_naive, radius_graph_kdtree, radius_graph_spatial_hash):
+            with pytest.raises(ValueError):
+                builder(pts, 0.0)
+            with pytest.raises(ValueError):
+                builder(np.zeros((4, 2)), 1.0)
+
+    @given(st.integers(2, 40), st.integers(0, 20), st.floats(0.5, 20.0))
+    @settings(max_examples=25, deadline=None)
+    def test_hash_equals_naive_property(self, n, seed, radius):
+        pts = random_points(n, seed=seed)
+        np.testing.assert_array_equal(
+            radius_graph_naive(pts, radius), radius_graph_spatial_hash(pts, radius)
+        )
+
+
+class TestKnnAndHelpers:
+    def test_knn_degree(self):
+        pts = random_points(30, seed=4)
+        edges = knn_graph(pts, 5)
+        in_deg = np.bincount(edges[:, 1], minlength=30)
+        assert np.all(in_deg == 5)
+
+    def test_knn_small_n(self):
+        pts = random_points(3)
+        edges = knn_graph(pts, 10)  # k clipped to n-1
+        assert np.all(np.bincount(edges[:, 1], minlength=3) == 2)
+        assert knn_graph(np.zeros((1, 3)), 3).shape == (0, 2)
+
+    def test_knn_validation(self):
+        with pytest.raises(ValueError):
+            knn_graph(random_points(5), 0)
+
+    def test_make_causal_halves_symmetric_graph(self):
+        pts = random_points(30, seed=5)
+        # Ensure strictly increasing time so there are no ties.
+        pts[:, 2] = np.arange(30, dtype=np.float64)
+        edges = radius_graph_naive(pts, 15.0)
+        causal = make_causal(edges, pts)
+        assert causal.shape[0] == edges.shape[0] // 2
+
+    def test_limit_in_degree(self):
+        pts = random_points(40, seed=6)
+        edges = radius_graph_naive(pts, 30.0)
+        capped = limit_in_degree(edges, pts, 3)
+        in_deg = np.bincount(capped[:, 1], minlength=40)
+        assert in_deg.max() <= 3
+
+    def test_limit_keeps_nearest(self):
+        pts = np.array(
+            [[0.0, 0, 0], [1.0, 0, 0], [5.0, 0, 0], [0.1, 0, 0]], dtype=np.float64
+        )
+        edges = np.array([[1, 0], [2, 0], [3, 0]])
+        capped = limit_in_degree(edges, pts, 2)
+        assert set(map(tuple, capped)) == {(1, 0), (3, 0)}
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            limit_in_degree(np.zeros((0, 2)), random_points(3), 0)
+
+
+class TestIncrementalInserters:
+    def _events(self, n=150, seed=0, width=32):
+        rng = np.random.default_rng(seed)
+        t = np.cumsum(rng.integers(50, 500, n))
+        return rng.integers(0, width, n), rng.integers(0, width, n), t
+
+    def _make(self, cls, **kw):
+        return cls(radius=3.0, time_scale_us=1000.0, window_us=20_000, max_neighbours=8, **kw)
+
+    def test_all_strategies_same_edges(self):
+        xs, ys, ts = self._events()
+        results = []
+        for cls, kw in ((NaiveInserter, {}), (KDTreeInserter, {"rebuild_every": 16}), (HashInserter, {})):
+            ins = self._make(cls, **kw)
+            ins.insert_stream(xs, ys, ts)
+            results.append(set(map(tuple, ins.edges())))
+        assert results[0] == results[1] == results[2]
+
+    def test_edges_are_causal(self):
+        xs, ys, ts = self._events(seed=1)
+        ins = self._make(HashInserter)
+        ins.insert_stream(xs, ys, ts)
+        edges = ins.edges()
+        assert np.all(edges[:, 0] < edges[:, 1])
+
+    def test_hash_beats_naive_on_cost(self):
+        xs, ys, ts = self._events(n=400, seed=2)
+        naive = self._make(NaiveInserter)
+        hashed = self._make(HashInserter)
+        naive.insert_stream(xs, ys, ts)
+        hashed.insert_stream(xs, ys, ts)
+        assert hashed.stats.candidates_per_event < naive.stats.candidates_per_event
+
+    def test_naive_cost_grows_with_density(self):
+        # Higher event rate within the window -> more live nodes per insert.
+        rng = np.random.default_rng(3)
+        n = 300
+        slow_t = np.cumsum(rng.integers(400, 800, n))
+        fast_t = np.cumsum(rng.integers(10, 30, n))
+        xs = rng.integers(0, 32, n)
+        ys = rng.integers(0, 32, n)
+        slow = self._make(NaiveInserter)
+        fast = self._make(NaiveInserter)
+        slow.insert_stream(xs, ys, slow_t)
+        fast.insert_stream(xs, ys, fast_t)
+        assert fast.stats.candidates_per_event > slow.stats.candidates_per_event
+
+    def test_degree_cap_respected(self):
+        xs, ys, ts = self._events(n=200, seed=4, width=4)  # dense cluster
+        ins = self._make(HashInserter)
+        ins.insert_stream(xs, ys, ts)
+        edges = ins.edges()
+        in_deg = np.bincount(edges[:, 1], minlength=ins.num_nodes)
+        assert in_deg.max() <= 8
+
+    def test_stats_fields(self):
+        xs, ys, ts = self._events(n=100)
+        ins = self._make(KDTreeInserter, rebuild_every=16)
+        ins.insert_stream(xs, ys, ts)
+        assert ins.stats.events_inserted == 100
+        assert ins.stats.tree_builds >= 5
+        assert ins.stats.candidates_per_event > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NaiveInserter(radius=0)
+        with pytest.raises(ValueError):
+            HashInserter(radius=1, window_us=0)
+        with pytest.raises(ValueError):
+            KDTreeInserter(radius=1, rebuild_every=0)
+        with pytest.raises(ValueError):
+            NaiveInserter(radius=1, max_neighbours=0)
+
+    @given(st.integers(5, 60), st.integers(0, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_hash_equals_naive_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        t = np.cumsum(rng.integers(10, 1000, n))
+        xs = rng.integers(0, 16, n)
+        ys = rng.integers(0, 16, n)
+        a = self._make(NaiveInserter)
+        b = self._make(HashInserter)
+        a.insert_stream(xs, ys, t)
+        b.insert_stream(xs, ys, t)
+        assert set(map(tuple, a.edges())) == set(map(tuple, b.edges()))

@@ -1,0 +1,255 @@
+"""Tests for graph conv layers, pooling and the GNN classifier."""
+
+import numpy as np
+import pytest
+
+from repro.events import EventStream, Resolution
+from repro.gnn import (
+    EdgeConv,
+    EventGNNClassifier,
+    EventGraph,
+    GCNConv,
+    GraphBuildConfig,
+    SplineConvLite,
+    build_event_graph,
+    evaluate_gnn,
+    fit_gnn,
+    global_max_pool,
+    global_mean_pool,
+    scatter_max,
+    scatter_mean,
+    scatter_sum,
+    voxel_pool_graph,
+)
+from repro.datasets import make_shapes_dataset, train_test_split
+from repro.nn import Adam, Tensor, cross_entropy
+
+from .test_nn_tensor import numerical_grad
+
+
+def toy_graph(n=12, seed=0, radius=6.0):
+    from repro.gnn import radius_graph_kdtree
+
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(0, 10, (n, 3))
+    pts = pts[np.argsort(pts[:, 2], kind="stable")]
+    edges = radius_graph_kdtree(pts, radius)
+    feats = rng.standard_normal((n, 2))
+    return EventGraph(pts, feats, edges, 1000.0)
+
+
+class TestScatterOps:
+    def test_scatter_sum_values(self):
+        v = Tensor(np.array([[1.0], [2.0], [3.0]]), requires_grad=True)
+        out = scatter_sum(v, np.array([0, 0, 1]), 2)
+        assert out.data.tolist() == [[3.0], [3.0]]
+        out.sum().backward()
+        np.testing.assert_allclose(v.grad, np.ones((3, 1)))
+
+    def test_scatter_sum_gradcheck(self):
+        rng = np.random.default_rng(0)
+        arr = rng.standard_normal((5, 3))
+        idx = np.array([0, 1, 0, 2, 1])
+        t = Tensor(arr.copy(), requires_grad=True)
+        (scatter_sum(t, idx, 3) * Tensor(rng.standard_normal((3, 3)))).sum().backward()
+        # numerical check
+        w = rng.standard_normal((3, 3))
+
+        def f(x):
+            out = np.zeros((3, 3))
+            np.add.at(out, idx, x)
+            return (out * w).sum()
+
+        t2 = Tensor(arr.copy(), requires_grad=True)
+        (scatter_sum(t2, idx, 3) * Tensor(w)).sum().backward()
+        num = numerical_grad(lambda x: f(x), arr.copy())
+        np.testing.assert_allclose(t2.grad, num, atol=1e-6)
+
+    def test_scatter_mean(self):
+        v = Tensor(np.array([[2.0], [4.0], [5.0]]), requires_grad=True)
+        out = scatter_mean(v, np.array([0, 0, 1]), 3)
+        assert out.data[0, 0] == 3.0
+        assert out.data[1, 0] == 5.0
+        assert out.data[2, 0] == 0.0  # empty bin
+
+    def test_scatter_max_values_and_grad(self):
+        v = Tensor(np.array([[1.0], [5.0], [3.0]]), requires_grad=True)
+        out = scatter_max(v, np.array([0, 0, 1]), 2)
+        assert out.data.tolist() == [[5.0], [3.0]]
+        out.sum().backward()
+        assert v.grad.tolist() == [[0.0], [1.0], [1.0]]
+
+    def test_scatter_max_empty_bin_zero(self):
+        v = Tensor(np.array([[1.0]]))
+        out = scatter_max(v, np.array([1]), 3)
+        assert out.data[0, 0] == 0.0
+        assert out.data[2, 0] == 0.0
+
+    def test_scatter_max_tie_single_winner(self):
+        v = Tensor(np.array([[2.0], [2.0]]), requires_grad=True)
+        out = scatter_max(v, np.array([0, 0]), 1)
+        out.sum().backward()
+        assert v.grad.sum() == 1.0  # exactly one winner gets the gradient
+
+    def test_scatter_validation(self):
+        v = Tensor(np.zeros((3, 1)))
+        with pytest.raises(ValueError):
+            scatter_sum(v, np.zeros(2, dtype=np.int64), 2)
+        with pytest.raises(ValueError):
+            scatter_max(v, np.zeros(2, dtype=np.int64), 2)
+
+
+class TestGraphConvLayers:
+    def test_gcn_shapes_and_grad(self):
+        g = toy_graph()
+        layer = GCNConv(2, 4, rng=np.random.default_rng(0))
+        out = layer(Tensor(g.features), g.edges)
+        assert out.shape == (12, 4)
+        out.sum().backward()
+        assert layer.linear.weight.grad is not None
+
+    def test_gcn_isolated_node_keeps_self(self):
+        # A graph with no edges: GCN reduces to a per-node linear map.
+        g = EventGraph(np.zeros((3, 3)), np.eye(3, 2), np.zeros((0, 2)), 1.0)
+        layer = GCNConv(2, 2, rng=np.random.default_rng(0))
+        out = layer(Tensor(g.features), g.edges)
+        expected = layer.linear(Tensor(g.features))
+        np.testing.assert_allclose(out.data, expected.data)
+
+    @pytest.mark.parametrize("agg", ["max", "mean"])
+    def test_edgeconv_shapes(self, agg):
+        g = toy_graph()
+        layer = EdgeConv(2, 5, aggregation=agg, rng=np.random.default_rng(0))
+        out = layer(Tensor(g.features), g.edges, g.positions)
+        assert out.shape == (12, 5)
+
+    def test_edgeconv_no_edges(self):
+        g = EventGraph(np.zeros((4, 3)), np.ones((4, 2)), np.zeros((0, 2)), 1.0)
+        layer = EdgeConv(2, 3, rng=np.random.default_rng(0))
+        out = layer(Tensor(g.features), g.edges, g.positions)
+        assert out.shape == (4, 3)
+
+    def test_edgeconv_uses_positions(self):
+        g = toy_graph(seed=1)
+        layer = EdgeConv(2, 4, rng=np.random.default_rng(0))
+        out1 = layer(Tensor(g.features), g.edges, g.positions)
+        out2 = layer(Tensor(g.features), g.edges, g.positions * 2.0)
+        assert not np.allclose(out1.data, out2.data)
+
+    def test_edgeconv_validation(self):
+        with pytest.raises(ValueError):
+            EdgeConv(2, 3, aggregation="sum")
+
+    def test_spline_shapes_and_grad(self):
+        g = toy_graph()
+        layer = SplineConvLite(2, 4, num_basis=4, rng=np.random.default_rng(0))
+        out = layer(Tensor(g.features), g.edges, g.positions)
+        assert out.shape == (12, 4)
+        out.sum().backward()
+        assert layer.weights.grad is not None
+
+    def test_spline_basis_properties(self):
+        layer = SplineConvLite(2, 3, num_basis=5, offset_scale=2.0)
+        b = layer.basis(np.zeros((4, 3)))
+        assert b.shape == (4, 5)
+        assert np.all(b > 0) and np.all(b <= 1)
+
+    def test_spline_timing_sensitivity(self):
+        # Changing only the temporal offsets must change the output:
+        # this is the "precise timing deep into the network" property.
+        g = toy_graph(seed=2)
+        layer = SplineConvLite(2, 4, rng=np.random.default_rng(0))
+        out1 = layer(Tensor(g.features), g.edges, g.positions)
+        shifted = g.positions.copy()
+        shifted[:, 2] *= 3.0
+        out2 = layer(Tensor(g.features), g.edges, shifted)
+        assert not np.allclose(out1.data, out2.data)
+
+    def test_spline_validation(self):
+        with pytest.raises(ValueError):
+            SplineConvLite(2, 3, num_basis=0)
+        with pytest.raises(ValueError):
+            SplineConvLite(2, 3, offset_scale=0)
+
+
+class TestPooling:
+    def test_global_pools(self):
+        x = Tensor(np.array([[1.0, 5.0], [3.0, 1.0]]), requires_grad=True)
+        assert global_mean_pool(x).data.tolist() == [[2.0, 3.0]]
+        assert global_max_pool(x).data.tolist() == [[3.0, 5.0]]
+        with pytest.raises(ValueError):
+            global_mean_pool(Tensor(np.zeros(3)))
+        with pytest.raises(ValueError):
+            global_max_pool(Tensor(np.zeros(3)))
+
+    def test_voxel_pool_merges(self):
+        pts = np.array([[0.1, 0.1, 0.0], [0.2, 0.3, 0.1], [5.0, 5.0, 5.0]])
+        feats = np.array([[1.0], [3.0], [10.0]])
+        g = EventGraph(pts, feats, np.array([[0, 2], [1, 2]]), 1.0)
+        pooled, cluster = voxel_pool_graph(g, (1.0, 1.0, 1.0))
+        assert pooled.num_nodes == 2
+        assert cluster[0] == cluster[1]
+        # Mean feature of the merged voxel.
+        merged = pooled.features[cluster[0]]
+        assert merged[0] == pytest.approx(2.0)
+        # Parallel edges dedupe to one.
+        assert pooled.num_edges == 1
+
+    def test_voxel_pool_validation(self):
+        g = toy_graph()
+        with pytest.raises(ValueError):
+            voxel_pool_graph(g, (0.0, 1.0, 1.0))
+
+
+class TestClassifier:
+    def test_forward_and_opcount(self):
+        g = toy_graph()
+        model = EventGNNClassifier(3, hidden=8, rng=np.random.default_rng(0))
+        out = model(g)
+        assert out.shape == (1, 3)
+        assert model.operation_count(g) > 0
+
+    def test_opcount_scales_with_edges(self):
+        model = EventGNNClassifier(3, hidden=8)
+        small = toy_graph(radius=2.0)
+        big = toy_graph(radius=20.0)
+        assert model.operation_count(big) > model.operation_count(small)
+
+    def test_conv_variants(self):
+        g = toy_graph()
+        for conv in ("edge", "spline"):
+            model = EventGNNClassifier(2, hidden=4, conv=conv)
+            assert model(g).shape == (1, 2)
+        with pytest.raises(ValueError):
+            EventGNNClassifier(2, conv="bogus")
+
+    def test_build_event_graph_subsamples(self):
+        rng = np.random.default_rng(0)
+        n = 1000
+        t = np.cumsum(rng.integers(1, 100, n))
+        s = EventStream.from_arrays(
+            t, rng.integers(0, 16, n), rng.integers(0, 16, n), rng.choice([-1, 1], n),
+            Resolution(16, 16),
+        )
+        cfg = GraphBuildConfig(max_events=100)
+        g = build_event_graph(s, cfg)
+        assert g.num_nodes <= 100
+        assert g.is_causal()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GraphBuildConfig(radius=0)
+        with pytest.raises(ValueError):
+            GraphBuildConfig(max_events=0)
+
+    def test_learns_shapes_dataset(self):
+        ds = make_shapes_dataset(
+            num_per_class=6, resolution=Resolution(24, 24), duration_us=40_000, seed=0
+        )
+        train, test = train_test_split(ds, 0.3, np.random.default_rng(0))
+        cfg = GraphBuildConfig(radius=4.0, time_scale_us=5000.0, max_events=120)
+        model = EventGNNClassifier(3, hidden=12, rng=np.random.default_rng(1))
+        result = fit_gnn(model, train, cfg, epochs=14, lr=5e-3)
+        assert result.losses[-1] < result.losses[0]
+        assert result.train_accuracy >= 0.7
+        assert evaluate_gnn(model, test, cfg) >= 0.5

@@ -1,0 +1,338 @@
+"""Tests for the hardware cost models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import (
+    ENERGY_45NM,
+    AnalogNeuromorphicProcessor,
+    ConvLayerWorkload,
+    CostReport,
+    EnergyTable,
+    GNNAccelerator,
+    GNNWorkload,
+    NeuromorphicCore,
+    SNNLayerWorkload,
+    SystolicArray,
+    ZeroSkipAccelerator,
+    analytic_snn_counters,
+    apply_mismatch,
+    compression_ratio,
+    nullhop_compressed_bits,
+    rle_compressed_bits,
+)
+from repro.snn import LIFParams, clock_driven_sim, event_driven_sim
+
+
+LAYER = ConvLayerWorkload(
+    c_in=16, c_out=32, kernel=3, out_h=16, out_w=16,
+    activation_sparsity=0.6, weight_sparsity=0.5,
+)
+
+
+class TestEnergyTable:
+    def test_add_vs_mult_ratio(self):
+        # Paper (ref [40]): additions ~4x cheaper than multiplications.
+        assert 3.0 < ENERGY_45NM.add_vs_mult_ratio < 5.0
+
+    def test_memory_dominates_ops(self):
+        assert ENERGY_45NM.sram_large_pj > 10 * ENERGY_45NM.add_int_pj
+        assert ENERGY_45NM.dram_pj > ENERGY_45NM.sram_large_pj
+
+    def test_scaled(self):
+        half = ENERGY_45NM.scaled(0.5)
+        assert half.mac_pj == pytest.approx(ENERGY_45NM.mac_pj / 2)
+        with pytest.raises(ValueError):
+            ENERGY_45NM.scaled(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyTable(add_int_pj=0)
+
+
+class TestCostReport:
+    def test_power_and_fraction(self):
+        r = CostReport("x", energy_pj=1e6, latency_us=10.0,
+                       breakdown={"mem_a": 9e5, "alu": 1e5})
+        assert r.energy_uj == pytest.approx(1.0)
+        assert r.memory_energy_fraction == pytest.approx(0.9)
+        # 1 uJ every 1000 us -> 1 mW.
+        assert r.power_mw(1000.0) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            r.power_mw(0)
+
+    def test_summary(self):
+        assert "uJ" in CostReport("x").summary()
+
+
+class TestWorkloads:
+    def test_conv_derived(self):
+        assert LAYER.dense_macs == 16 * 32 * 9 * 256
+        assert LAYER.num_weights == 16 * 32 * 9
+        with pytest.raises(ValueError):
+            ConvLayerWorkload(0, 1, 3, 4, 4)
+        with pytest.raises(ValueError):
+            ConvLayerWorkload(1, 1, 3, 4, 4, activation_sparsity=1.5)
+
+    def test_snn_workload(self):
+        w = SNNLayerWorkload(100, 50, 20, 0.1)
+        assert w.input_spikes == 100
+        with pytest.raises(ValueError):
+            SNNLayerWorkload(0, 1, 1, 0.5)
+        with pytest.raises(ValueError):
+            SNNLayerWorkload(1, 1, 1, 2.0)
+
+    def test_gnn_workload(self):
+        with pytest.raises(ValueError):
+            GNNWorkload(0, 1, 4)
+        with pytest.raises(ValueError):
+            GNNWorkload(1, -1, 4)
+
+
+class TestSystolic:
+    def test_dense_macs_always_executed(self):
+        arr = SystolicArray()
+        sparse = arr.run_layer(LAYER)
+        dense_layer = ConvLayerWorkload(16, 32, 3, 16, 16)
+        dense = arr.run_layer(dense_layer)
+        assert sparse.macs == dense.macs  # no zero skipping
+
+    def test_bigger_array_faster(self):
+        small = SystolicArray(rows=8, cols=8)
+        big = SystolicArray(rows=32, cols=32)
+        assert big.run_layer(LAYER).latency_us < small.run_layer(LAYER).latency_us
+
+    def test_utilization_bounds(self):
+        arr = SystolicArray(rows=16, cols=16)
+        u = arr.utilization(LAYER)
+        assert 0 < u <= 1
+        # Perfectly fitting layer: utilization 1.
+        fit = ConvLayerWorkload(16, 16, 1, 8, 8)
+        assert arr.utilization(fit) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystolicArray(rows=0)
+        with pytest.raises(ValueError):
+            SystolicArray(clock_mhz=0)
+
+
+class TestCompression:
+    def test_nullhop_size(self):
+        arr = np.array([0, 5, 0, 0, 7], dtype=np.int64)
+        # 5 mask bits + 2 values * 16 bits.
+        assert nullhop_compressed_bits(arr, 16) == 5 + 32
+
+    def test_rle_size(self):
+        arr = np.array([0, 0, 0, 9], dtype=np.int64)
+        # One run token (5 bits) + one value (16 bits).
+        assert rle_compressed_bits(arr, 16, run_bits=5) == 21
+
+    def test_rle_long_run_continuation(self):
+        arr = np.zeros(100, dtype=np.int64)
+        arr[-1] = 1
+        bits = rle_compressed_bits(arr, 16, run_bits=5)
+        # 99 zeros need ceil(99/31)=3 continuation fields + final run+value.
+        assert bits > 21
+
+    def test_trailing_zeros_counted(self):
+        assert rle_compressed_bits(np.zeros(10), 16, run_bits=5) == 5
+
+    def test_compression_improves_with_sparsity(self):
+        rng = np.random.default_rng(0)
+        dense = rng.standard_normal(1000)
+        sparse = dense * (rng.random(1000) < 0.1)
+        for scheme in ("nullhop", "rle"):
+            assert compression_ratio(sparse, scheme) > compression_ratio(dense, scheme)
+            assert compression_ratio(sparse, scheme) > 3.0
+
+    def test_dense_data_barely_compresses(self):
+        rng = np.random.default_rng(0)
+        dense = rng.standard_normal(500) + 10  # no zeros
+        assert compression_ratio(dense, "nullhop") < 1.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compression_ratio(np.ones(4), "bogus")
+        with pytest.raises(ValueError):
+            rle_compressed_bits(np.ones(4), 0)
+        with pytest.raises(ValueError):
+            nullhop_compressed_bits(np.ones(4), 0)
+        assert compression_ratio(np.zeros(0)) == 1.0
+
+
+class TestZeroSkip:
+    def test_savings_grow_with_sparsity(self):
+        acc = ZeroSkipAccelerator()
+        costs = []
+        for s in (0.0, 0.5, 0.9):
+            layer = ConvLayerWorkload(16, 32, 3, 16, 16, activation_sparsity=s)
+            costs.append(acc.run_layer(layer).energy_pj)
+        assert costs[0] > costs[1] > costs[2]
+
+    def test_beats_systolic_on_sparse_layers(self):
+        sys_cost = SystolicArray(rows=16, cols=16).run_layer(LAYER)
+        zs_cost = ZeroSkipAccelerator(num_macs=256).run_layer(LAYER)
+        assert zs_cost.energy_pj < sys_cost.energy_pj
+        assert zs_cost.macs < sys_cost.macs
+
+    def test_weight_skipping_helps_more(self):
+        plain = ZeroSkipAccelerator(skip_weights=False).run_layer(LAYER)
+        both = ZeroSkipAccelerator(skip_weights=True).run_layer(LAYER)
+        assert both.macs < plain.macs
+
+    def test_structured_removes_overhead(self):
+        layer = ConvLayerWorkload(16, 32, 3, 16, 16, activation_sparsity=0.8)
+        unstructured = ZeroSkipAccelerator(structured=False).run_layer(layer)
+        structured = ZeroSkipAccelerator(structured=True).run_layer(layer)
+        assert structured.latency_us < unstructured.latency_us
+        assert structured.breakdown["control"] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZeroSkipAccelerator(num_macs=0)
+        with pytest.raises(ValueError):
+            ZeroSkipAccelerator(control_overhead=-1)
+
+
+class TestNeuromorphicCore:
+    def test_memory_dominates(self):
+        # The ref [42] claim: memory access energy dominates (>90%).
+        core = NeuromorphicCore()
+        w = SNNLayerWorkload(256, 256, 100, 0.05)
+        report = core.run_layer(w, update="clock")
+        assert report.memory_energy_fraction > 0.9
+
+    def test_event_beats_clock_at_low_activity(self):
+        core = NeuromorphicCore()
+        w = SNNLayerWorkload(128, 64, 200, 0.0005)
+        clock = core.run_layer(w, update="clock")
+        event = core.run_layer(w, update="event")
+        assert event.energy_pj < clock.energy_pj
+
+    def test_clock_beats_event_at_high_activity(self):
+        core = NeuromorphicCore()
+        w = SNNLayerWorkload(128, 64, 200, 0.9)
+        clock = core.run_layer(w, update="clock")
+        event = core.run_layer(w, update="event")
+        assert clock.energy_pj < event.energy_pj
+
+    def test_counters_agree_with_simulation(self):
+        # The analytic counters reproduce simulated counts on a matched workload.
+        rng = np.random.default_rng(0)
+        n, f, t, a = 40, 30, 100, 0.2
+        weights = rng.normal(0, 0.3, (n, f))
+        spikes = (rng.random((t, f)) < a).astype(np.float64)
+        sim = clock_driven_sim(weights, spikes, LIFParams())
+        analytic = analytic_snn_counters(SNNLayerWorkload(n, f, t, a), "clock")
+        assert analytic.neuron_state_reads == sim.counters.neuron_state_reads
+        ratio = analytic.synapse_reads / max(sim.counters.synapse_reads, 1)
+        assert 0.8 < ratio < 1.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NeuromorphicCore(clock_mhz=0)
+        with pytest.raises(ValueError):
+            analytic_snn_counters(SNNLayerWorkload(4, 4, 4, 0.5), "bogus")
+
+
+class TestGNNAccel:
+    WORK = GNNWorkload(num_nodes=500, num_edges=4000, feature_dim=16)
+
+    def test_dram_vs_sram_gathers(self):
+        dc = GNNAccelerator(features_in_dram=True).run_graph(self.WORK)
+        edge = GNNAccelerator(features_in_dram=False).run_graph(self.WORK)
+        assert dc.energy_pj > edge.energy_pj
+        assert dc.breakdown["mem_gather"] > 5 * edge.breakdown["mem_gather"]
+
+    def test_cost_scales_with_edges(self):
+        acc = GNNAccelerator()
+        sparse = GNNWorkload(500, 1000, 16)
+        dense = GNNWorkload(500, 10_000, 16)
+        assert acc.run_graph(dense).energy_pj > acc.run_graph(sparse).energy_pj
+
+    def test_per_event_much_cheaper_than_full(self):
+        acc = GNNAccelerator(features_in_dram=False)
+        full = acc.run_graph(self.WORK)
+        event = acc.per_event_update(self.WORK, degree=12, insertion_candidates=30)
+        assert event.energy_pj < full.energy_pj / 50
+        assert event.latency_us < full.latency_us
+
+    def test_insertion_cost_visible(self):
+        acc = GNNAccelerator()
+        cheap = acc.per_event_update(self.WORK, degree=8, insertion_candidates=10)
+        costly = acc.per_event_update(self.WORK, degree=8, insertion_candidates=10_000)
+        assert costly.latency_us > 10 * cheap.latency_us
+
+    def test_validation(self):
+        acc = GNNAccelerator()
+        with pytest.raises(ValueError):
+            acc.per_event_update(self.WORK, degree=-1, insertion_candidates=0)
+        with pytest.raises(ValueError):
+            GNNAccelerator(num_macs=0)
+
+
+class TestAnalog:
+    def _counters(self, syn=10_000, spikes=100):
+        from repro.snn import SimCounters
+
+        c = SimCounters()
+        c.synapse_reads = syn
+        c.spikes = spikes
+        c.neuron_state_reads = syn * 2
+        c.neuron_state_writes = syn * 2
+        c.alu_simple = syn
+        return c
+
+    def test_order_of_magnitude_below_digital(self):
+        # Discussion section: analog ~10x less power than digital SNN.
+        c = self._counters(syn=100_000, spikes=1000)
+        digital = NeuromorphicCore().cost_from_counters(c)
+        analog = AnalogNeuromorphicProcessor().cost_from_counters(c, duration_us=1000)
+        assert analog.energy_pj < digital.energy_pj / 10
+
+    def test_static_floor(self):
+        c = self._counters(syn=1, spikes=0)
+        proc = AnalogNeuromorphicProcessor(static_power_uw=100.0)
+        # Static floor dominates a near-idle second.
+        r = proc.cost_from_counters(c, duration_us=1_000_000)
+        assert r.breakdown["static"] > 0.99 * r.energy_pj
+        assert proc.power_mw(c, 1_000_000) == pytest.approx(0.1, rel=0.01)
+
+    def test_mismatch_perturbs(self):
+        rng = np.random.default_rng(0)
+        w = np.ones((50, 50))
+        w2 = apply_mismatch(w, 0.2, rng)
+        assert not np.allclose(w, w2)
+        assert np.all(w2 > 0)  # multiplicative, sign-preserving
+        assert apply_mismatch(w, 0.0, rng) is not w  # copy returned
+        np.testing.assert_array_equal(apply_mismatch(w, 0.0, rng), w)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AnalogNeuromorphicProcessor(synaptic_event_pj=0)
+        with pytest.raises(ValueError):
+            apply_mismatch(np.ones(3), -1, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            AnalogNeuromorphicProcessor().cost_from_counters(self._counters(), 0)
+
+
+class TestCrossModelProperties:
+    @given(st.floats(0.0, 0.95), st.floats(0.0, 0.95))
+    @settings(max_examples=25, deadline=None)
+    def test_zeroskip_monotone_in_sparsity(self, s1, s2):
+        lo, hi = sorted([s1, s2])
+        acc = ZeroSkipAccelerator()
+        c_lo = acc.run_layer(ConvLayerWorkload(8, 8, 3, 8, 8, activation_sparsity=hi))
+        c_hi = acc.run_layer(ConvLayerWorkload(8, 8, 3, 8, 8, activation_sparsity=lo))
+        assert c_lo.energy_pj <= c_hi.energy_pj + 1e-9
+
+    @given(st.integers(1, 400), st.integers(1, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_snn_energy_positive(self, steps, neurons):
+        core = NeuromorphicCore()
+        w = SNNLayerWorkload(neurons, 8, steps, 0.1)
+        for update in ("clock", "event"):
+            assert core.run_layer(w, update).energy_pj >= 0

@@ -1,0 +1,380 @@
+"""Tests for functional ops, layers, losses and optimizers."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+from .test_nn_tensor import check_grad, numerical_grad
+
+
+class TestConv2d:
+    def test_forward_matches_direct(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((1, 1, 5, 5))
+        w = rng.standard_normal((1, 1, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w)).data
+        # Direct cross-correlation at one location.
+        expected = (x[0, 0, 1:4, 1:4] * w[0, 0]).sum()
+        assert out[0, 0, 1, 1] == pytest.approx(expected)
+        assert out.shape == (1, 1, 3, 3)
+
+    def test_padding_and_stride_shapes(self):
+        x = Tensor(np.zeros((2, 3, 8, 8)))
+        w = Tensor(np.zeros((4, 3, 3, 3)))
+        assert F.conv2d(x, w, padding=1).shape == (2, 4, 8, 8)
+        assert F.conv2d(x, w, stride=2, padding=1).shape == (2, 4, 4, 4)
+
+    def test_gradcheck(self):
+        check_grad(
+            lambda x, w: F.conv2d(x, w, stride=1, padding=1),
+            (2, 2, 4, 4),
+            (3, 2, 3, 3),
+            tol=1e-4,
+        )
+
+    def test_gradcheck_with_bias(self):
+        check_grad(
+            lambda x, w, b: F.conv2d(x, w, b, stride=2, padding=1),
+            (1, 2, 5, 5),
+            (2, 2, 3, 3),
+            (2,),
+            tol=1e-4,
+        )
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ValueError, match="channels"):
+            F.conv2d(Tensor(np.zeros((1, 2, 4, 4))), Tensor(np.zeros((1, 3, 3, 3))))
+
+    def test_kernel_too_big(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((1, 1, 2, 2))), Tensor(np.zeros((1, 1, 5, 5))))
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((4, 4))), Tensor(np.zeros((1, 1, 3, 3))))
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = F.max_pool2d(x, 2)
+        assert out.data[0, 0].tolist() == [[5.0, 7.0], [13.0, 15.0]]
+
+    def test_max_pool_gradcheck(self):
+        # Use distinct values so argmax is unambiguous for finite differences.
+        rng = np.random.default_rng(3)
+        arr = rng.permutation(32).astype(np.float64).reshape(1, 2, 4, 4)
+        t = Tensor(arr, requires_grad=True)
+        F.max_pool2d(t, 2).sum().backward()
+        num = numerical_grad(
+            lambda x: F.max_pool2d(Tensor(x), 2).sum().item(), arr.copy()
+        )
+        np.testing.assert_allclose(t.grad, num, atol=1e-5)
+
+    def test_avg_pool_values(self):
+        x = Tensor(np.ones((1, 1, 4, 4)))
+        out = F.avg_pool2d(x, 2)
+        assert np.allclose(out.data, 1.0)
+
+    def test_avg_pool_gradcheck(self):
+        check_grad(lambda x: F.avg_pool2d(x, 2), (1, 2, 4, 4), tol=1e-5)
+
+    def test_pool_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            F.max_pool2d(Tensor(np.zeros((4, 4))), 2)
+        with pytest.raises(ValueError):
+            F.avg_pool2d(Tensor(np.zeros((4, 4))), 2)
+
+
+class TestSoftmaxFamily:
+    def test_softmax_normalises(self):
+        x = Tensor(np.random.default_rng(0).standard_normal((3, 5)))
+        s = F.softmax(x, axis=1)
+        np.testing.assert_allclose(s.data.sum(axis=1), 1.0)
+        assert np.all(s.data > 0)
+
+    def test_log_softmax_consistent(self):
+        x = Tensor(np.random.default_rng(0).standard_normal((3, 5)))
+        np.testing.assert_allclose(
+            F.log_softmax(x, axis=1).data, np.log(F.softmax(x, axis=1).data)
+        )
+
+    def test_softmax_stable_large_values(self):
+        x = Tensor(np.array([[1000.0, 1001.0]]))
+        s = F.softmax(x, axis=1)
+        assert np.isfinite(s.data).all()
+
+    def test_softmax_gradcheck(self):
+        check_grad(lambda x: F.softmax(x, axis=1) * Tensor(np.arange(8.0).reshape(2, 4)), (2, 4))
+
+
+class TestStructuralOps:
+    def test_stack_gradcheck(self):
+        check_grad(lambda a, b: F.stack([a, b], axis=0), (3,), (3,))
+
+    def test_concat_gradcheck(self):
+        check_grad(lambda a, b: F.concatenate([a, b], axis=1), (2, 3), (2, 2))
+
+    def test_stack_empty(self):
+        with pytest.raises(ValueError):
+            F.stack([])
+        with pytest.raises(ValueError):
+            F.concatenate([])
+
+    def test_where_routes_gradient(self):
+        cond = np.array([True, False])
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        F.where(cond, a, b).sum().backward()
+        assert a.grad.tolist() == [1.0, 0.0]
+        assert b.grad.tolist() == [0.0, 1.0]
+
+    def test_pad2d(self):
+        x = Tensor(np.ones((1, 1, 2, 2)), requires_grad=True)
+        out = F.pad2d(x, 1)
+        assert out.shape == (1, 1, 4, 4)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((1, 1, 2, 2)))
+        assert F.pad2d(x, 0) is x
+        with pytest.raises(ValueError):
+            F.pad2d(x, -1)
+
+    def test_dropout_train_eval(self):
+        x = Tensor(np.ones((100,)), requires_grad=True)
+        rng = np.random.default_rng(0)
+        out = F.dropout(x, 0.5, rng, training=True)
+        assert (out.data == 0).sum() > 20
+        assert F.dropout(x, 0.5, rng, training=False) is x
+        with pytest.raises(ValueError):
+            F.dropout(x, 1.0, rng)
+
+
+class TestLayers:
+    def test_linear_shapes_and_grad(self):
+        layer = nn.Linear(4, 3, rng=np.random.default_rng(0))
+        x = Tensor(np.random.default_rng(1).standard_normal((5, 4)))
+        out = layer(x)
+        assert out.shape == (5, 3)
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_linear_no_bias(self):
+        layer = nn.Linear(4, 3, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_linear_validation(self):
+        with pytest.raises(ValueError):
+            nn.Linear(0, 3)
+
+    def test_conv_layer(self):
+        layer = nn.Conv2d(2, 4, 3, padding=1)
+        out = layer(Tensor(np.zeros((1, 2, 8, 8))))
+        assert out.shape == (1, 4, 8, 8)
+
+    def test_conv_validation(self):
+        with pytest.raises(ValueError):
+            nn.Conv2d(1, 1, 0)
+
+    def test_sequential(self):
+        model = nn.Sequential(
+            nn.Conv2d(1, 2, 3, padding=1),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Flatten(),
+            nn.Linear(2 * 4 * 4, 3),
+        )
+        out = model(Tensor(np.random.default_rng(0).standard_normal((2, 1, 8, 8))))
+        assert out.shape == (2, 3)
+        assert len(model) == 5
+        assert isinstance(model[1], nn.ReLU)
+
+    def test_parameters_recursion(self):
+        model = nn.Sequential(nn.Linear(2, 3), nn.Linear(3, 4))
+        assert len(model.parameters()) == 4
+        assert model.num_parameters() == 2 * 3 + 3 + 3 * 4 + 4
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Dropout(0.5), nn.Linear(2, 2))
+        model.eval()
+        assert not model[0].training
+        model.train()
+        assert model[0].training
+
+    def test_dropout_layer_eval_identity(self):
+        layer = nn.Dropout(0.9)
+        layer.eval()
+        x = Tensor(np.ones(50))
+        assert np.array_equal(layer(x).data, x.data)
+
+    def test_batchnorm_2d_normalises(self):
+        bn = nn.BatchNorm(4)
+        x = Tensor(np.random.default_rng(0).standard_normal((64, 4)) * 5 + 3)
+        out = bn(x)
+        assert abs(out.data.mean()) < 0.1
+        assert abs(out.data.std() - 1.0) < 0.1
+
+    def test_batchnorm_4d(self):
+        bn = nn.BatchNorm(3)
+        x = Tensor(np.random.default_rng(0).standard_normal((8, 3, 4, 4)))
+        assert bn(x).shape == (8, 3, 4, 4)
+
+    def test_batchnorm_eval_uses_running_stats(self):
+        bn = nn.BatchNorm(2, momentum=0.5)
+        x = Tensor(np.random.default_rng(0).standard_normal((32, 2)) + 10)
+        bn(x)
+        bn.eval()
+        out_eval = bn(Tensor(np.full((4, 2), 10.0)))
+        # Running mean has moved halfway to ~10; output should be small-ish.
+        assert np.all(np.abs(out_eval.data) < 10)
+
+    def test_batchnorm_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            nn.BatchNorm(2)(Tensor(np.zeros((2, 2, 2))))
+
+    def test_state_dict_roundtrip(self):
+        model = nn.Sequential(nn.Linear(3, 4), nn.ReLU(), nn.Linear(4, 2))
+        state = model.state_dict()
+        assert len(state) == 4
+        # Perturb, reload, verify restoration.
+        for p in model.parameters():
+            p.data += 1.0
+        model.load_state_dict(state)
+        for key, arr in model.state_dict().items():
+            np.testing.assert_array_equal(arr, state[key])
+
+    def test_load_state_dict_missing_key(self):
+        model = nn.Linear(2, 2)
+        with pytest.raises(KeyError):
+            model.load_state_dict({})
+
+    def test_load_state_dict_shape_mismatch(self):
+        model = nn.Linear(2, 2)
+        state = {k: np.zeros((9, 9)) for k in model.state_dict()}
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestLosses:
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((4, 10)), requires_grad=True)
+        loss = nn.cross_entropy(logits, np.array([0, 1, 2, 3]))
+        assert loss.item() == pytest.approx(np.log(10))
+
+    def test_cross_entropy_perfect(self):
+        logits = Tensor(np.eye(3) * 100, requires_grad=True)
+        loss = nn.cross_entropy(logits, np.array([0, 1, 2]))
+        assert loss.item() < 1e-6
+
+    def test_cross_entropy_grad_direction(self):
+        logits = Tensor(np.zeros((1, 3)), requires_grad=True)
+        nn.cross_entropy(logits, np.array([1])).backward()
+        # Gradient should push class 1 up (negative grad) and others down.
+        assert logits.grad[0, 1] < 0
+        assert logits.grad[0, 0] > 0
+
+    def test_cross_entropy_validation(self):
+        with pytest.raises(ValueError):
+            nn.cross_entropy(Tensor(np.zeros(3)), np.array([0]))
+        with pytest.raises(ValueError):
+            nn.cross_entropy(Tensor(np.zeros((2, 3))), np.array([0]))
+
+    def test_mse(self):
+        pred = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        loss = nn.mse_loss(pred, np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_accuracy(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        assert nn.accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+
+class TestOptimizers:
+    def _quadratic_descent(self, make_opt, steps=200):
+        target = np.array([3.0, -2.0])
+        p = Tensor(np.zeros(2), requires_grad=True)
+        opt = make_opt([p])
+        for _ in range(steps):
+            opt.zero_grad()
+            loss = ((p - Tensor(target)) ** 2).sum()
+            loss.backward()
+            opt.step()
+        return p.data, target
+
+    def test_sgd_converges(self):
+        got, target = self._quadratic_descent(lambda ps: nn.SGD(ps, lr=0.1))
+        np.testing.assert_allclose(got, target, atol=1e-4)
+
+    def test_sgd_momentum_converges(self):
+        got, target = self._quadratic_descent(lambda ps: nn.SGD(ps, lr=0.05, momentum=0.9))
+        np.testing.assert_allclose(got, target, atol=1e-3)
+
+    def test_adam_converges(self):
+        got, target = self._quadratic_descent(lambda ps: nn.Adam(ps, lr=0.1), steps=500)
+        np.testing.assert_allclose(got, target, atol=1e-3)
+
+    def test_weight_decay_shrinks(self):
+        p = Tensor(np.array([10.0]), requires_grad=True)
+        opt = nn.SGD([p], lr=0.1, weight_decay=0.5)
+        for _ in range(50):
+            opt.zero_grad()
+            (p * 0.0).sum().backward()  # zero task gradient
+            opt.step()
+        assert abs(p.data[0]) < 1.0
+
+    def test_skip_params_without_grad(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = nn.Adam([p], lr=0.1)
+        opt.step()  # no grad accumulated: must be a no-op
+        assert p.data[0] == 1.0
+
+    def test_validation(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        with pytest.raises(ValueError):
+            nn.SGD([p], lr=0)
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+        with pytest.raises(ValueError):
+            nn.SGD([p], lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            nn.Adam([p], betas=(1.0, 0.9))
+
+
+class TestEndToEndTraining:
+    def test_mlp_learns_xor(self):
+        rng = np.random.default_rng(0)
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.float64)
+        y = np.array([0, 1, 1, 0])
+        model = nn.Sequential(
+            nn.Linear(2, 8, rng=rng), nn.Tanh(), nn.Linear(8, 2, rng=rng)
+        )
+        opt = nn.Adam(model.parameters(), lr=0.05)
+        for _ in range(300):
+            opt.zero_grad()
+            loss = nn.cross_entropy(model(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+        assert nn.accuracy(model(Tensor(x)), y) == 1.0
+
+    def test_small_cnn_overfits(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((8, 1, 8, 8))
+        y = np.arange(8) % 2
+        model = nn.Sequential(
+            nn.Conv2d(1, 4, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Flatten(),
+            nn.Linear(4 * 4 * 4, 2, rng=rng),
+        )
+        opt = nn.Adam(model.parameters(), lr=0.01)
+        for _ in range(60):
+            opt.zero_grad()
+            loss = nn.cross_entropy(model(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+        assert nn.accuracy(model(Tensor(x)), y) == 1.0

@@ -1,0 +1,309 @@
+"""Tests for the autograd Tensor core, with numerical gradient checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, custom_gradient, is_grad_enabled, no_grad
+
+
+def numerical_grad(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar f at x."""
+    g = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = g.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = f(x)
+        flat[i] = orig - eps
+        lo = f(x)
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return g
+
+
+def check_grad(op, *shapes, seed=0, tol=1e-5):
+    """Compare autograd and numerical gradients of scalar sum(op(inputs))."""
+    rng = np.random.default_rng(seed)
+    arrays = [rng.standard_normal(s) + 0.5 for s in shapes]
+    tensors = [Tensor(a.copy(), requires_grad=True) for a in arrays]
+    out = op(*tensors)
+    loss = out.sum()
+    loss.backward()
+    for i, (arr, t) in enumerate(zip(arrays, tensors)):
+        def f(x, i=i):
+            args = [Tensor(a) for a in arrays]
+            args[i] = Tensor(x)
+            return op(*args).sum().item()
+
+        num = numerical_grad(f, arr.copy())
+        assert t.grad is not None, f"no grad for input {i}"
+        np.testing.assert_allclose(t.grad, num, rtol=tol, atol=tol)
+
+
+class TestBasicOps:
+    def test_add(self):
+        check_grad(lambda a, b: a + b, (3, 4), (3, 4))
+
+    def test_add_broadcast(self):
+        check_grad(lambda a, b: a + b, (3, 4), (4,))
+
+    def test_add_scalar_broadcast(self):
+        check_grad(lambda a, b: a + b, (2, 3, 4), (1, 4))
+
+    def test_sub(self):
+        check_grad(lambda a, b: a - b, (5,), (5,))
+
+    def test_rsub(self):
+        check_grad(lambda a: 3.0 - a, (4,))
+
+    def test_mul(self):
+        check_grad(lambda a, b: a * b, (3, 4), (3, 4))
+
+    def test_mul_broadcast(self):
+        check_grad(lambda a, b: a * b, (3, 4), (3, 1))
+
+    def test_div(self):
+        check_grad(lambda a, b: a / b, (3,), (3,))
+
+    def test_rdiv(self):
+        check_grad(lambda a: 2.0 / a, (3,))
+
+    def test_neg(self):
+        check_grad(lambda a: -a, (3, 2))
+
+    def test_pow(self):
+        check_grad(lambda a: a**3, (4,))
+
+    def test_pow_type_error(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0], requires_grad=True) ** Tensor([2.0])
+
+    def test_matmul_2d(self):
+        check_grad(lambda a, b: a @ b, (3, 4), (4, 5))
+
+    def test_matmul_vec_vec(self):
+        check_grad(lambda a, b: a @ b, (4,), (4,))
+
+    def test_matmul_vec_mat(self):
+        check_grad(lambda a, b: a @ b, (4,), (4, 3))
+
+    def test_matmul_mat_vec(self):
+        check_grad(lambda a, b: a @ b, (3, 4), (4,))
+
+    def test_matmul_batched(self):
+        check_grad(lambda a, b: a @ b, (2, 3, 4), (2, 4, 5))
+
+    def test_matmul_batched_broadcast(self):
+        check_grad(lambda a, b: a @ b, (2, 3, 4), (4, 5))
+
+
+class TestReductions:
+    def test_sum_all(self):
+        check_grad(lambda a: a.sum() * 2.0, (3, 4))
+
+    def test_sum_axis(self):
+        check_grad(lambda a: a.sum(axis=1), (3, 4))
+
+    def test_sum_keepdims(self):
+        check_grad(lambda a: a.sum(axis=0, keepdims=True), (3, 4))
+
+    def test_mean(self):
+        check_grad(lambda a: a.mean(), (3, 4))
+
+    def test_mean_axis(self):
+        check_grad(lambda a: a.mean(axis=1), (3, 4))
+
+    def test_max_all(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        a.max().backward()
+        assert a.grad.sum() == pytest.approx(1.0)
+
+    def test_max_axis(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        assert a.grad.sum() == pytest.approx(3.0)
+        assert np.count_nonzero(a.grad) == 3
+
+
+class TestShapeOps:
+    def test_reshape(self):
+        check_grad(lambda a: a.reshape(6, 2) @ Tensor(np.ones((2, 3))), (3, 4))
+
+    def test_reshape_minus_one(self):
+        t = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+        out = t.reshape(-1)
+        assert out.shape == (12,)
+
+    def test_transpose(self):
+        check_grad(lambda a: (a.T @ Tensor(np.ones((3, 2)))), (3, 4))
+
+    def test_transpose_axes(self):
+        t = Tensor(np.zeros((2, 3, 4)), requires_grad=True)
+        assert t.transpose(2, 0, 1).shape == (4, 2, 3)
+
+    def test_getitem_int_rows(self):
+        check_grad(lambda a: a[1], (3, 4))
+
+    def test_getitem_slice(self):
+        check_grad(lambda a: a[1:3], (5, 2))
+
+    def test_getitem_fancy(self):
+        idx = np.array([0, 2, 2])
+
+        def op(a):
+            return a[idx]
+
+        rng = np.random.default_rng(0)
+        arr = rng.standard_normal((4, 2))
+        t = Tensor(arr, requires_grad=True)
+        op(t).sum().backward()
+        # Row 2 picked twice must receive gradient 2 in each element.
+        assert np.allclose(t.grad[2], 2.0)
+        assert np.allclose(t.grad[0], 1.0)
+        assert np.allclose(t.grad[1], 0.0)
+
+
+class TestNonlinearities:
+    def test_exp(self):
+        check_grad(lambda a: a.exp(), (3, 3))
+
+    def test_log(self):
+        rng = np.random.default_rng(0)
+        arr = rng.uniform(0.5, 2.0, (3, 3))
+        t = Tensor(arr, requires_grad=True)
+        t.log().sum().backward()
+        np.testing.assert_allclose(t.grad, 1.0 / arr, rtol=1e-9)
+
+    def test_tanh(self):
+        check_grad(lambda a: a.tanh(), (4,))
+
+    def test_sigmoid(self):
+        check_grad(lambda a: a.sigmoid(), (4,))
+
+    def test_relu(self):
+        a = Tensor(np.array([-1.0, 0.5, 2.0]), requires_grad=True)
+        a.relu().sum().backward()
+        assert a.grad.tolist() == [0.0, 1.0, 1.0]
+
+    def test_abs(self):
+        a = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        a.abs().sum().backward()
+        assert a.grad.tolist() == [-1.0, 1.0]
+
+    def test_clip(self):
+        a = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        a.clip(-1.0, 1.0).sum().backward()
+        assert a.grad.tolist() == [0.0, 1.0, 0.0]
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_across_uses(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        (a * a).backward()  # d(a^2)/da = 2a = 4
+        assert a.grad.tolist() == [4.0]
+
+    def test_diamond_graph(self):
+        a = Tensor(np.array([3.0]), requires_grad=True)
+        b = a * 2.0
+        c = a * 4.0
+        (b + c).backward()
+        assert a.grad.tolist() == [6.0]
+
+    def test_deep_chain(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        x = a
+        for _ in range(100):
+            x = x * 1.01
+        x.backward()
+        assert a.grad[0] == pytest.approx(1.01**100)
+
+    def test_backward_without_grad_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_no_grad_context(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            b = a * 2
+        assert is_grad_enabled()
+        assert not b.requires_grad
+
+    def test_detach(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = a.detach() * 3
+        assert not b.requires_grad
+
+    def test_zero_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2).backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_item(self):
+        assert Tensor([5.0]).item() == 5.0
+        with pytest.raises(ValueError):
+            Tensor([1.0, 2.0]).item()
+
+    def test_numpy_is_copy(self):
+        a = Tensor([1.0])
+        arr = a.numpy()
+        arr[0] = 99.0
+        assert a.data[0] == 1.0
+
+    def test_repr(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+
+    def test_comparisons_return_arrays(self):
+        a = Tensor([1.0, 3.0])
+        assert (a > 2.0).tolist() == [False, True]
+        assert (a >= 3.0).tolist() == [False, True]
+        assert (a < 2.0).tolist() == [True, False]
+        assert (a <= 1.0).tolist() == [True, False]
+
+
+class TestCustomGradient:
+    def test_straight_through(self):
+        a = Tensor(np.array([0.3, 0.7]), requires_grad=True)
+        rounded = custom_gradient(np.round(a.data), [a], lambda g: [g])
+        rounded.sum().backward()
+        assert rounded.data.tolist() == [0.0, 1.0]
+        assert a.grad.tolist() == [1.0, 1.0]
+
+    def test_wrong_grad_count_raises(self):
+        a = Tensor([1.0], requires_grad=True)
+        out = custom_gradient(a.data * 2, [a], lambda g: [])
+        with pytest.raises(ValueError):
+            out.backward()
+
+    def test_none_grad_skipped(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([1.0], requires_grad=True)
+        out = custom_gradient(a.data + b.data, [a, b], lambda g: [g, None])
+        out.backward()
+        assert a.grad is not None
+        assert b.grad is None
+
+
+class TestGradProperties:
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_linear_combination_gradient(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.standard_normal((n, m))
+        a = Tensor(rng.standard_normal((n, m)), requires_grad=True)
+        (a * Tensor(w)).sum().backward()
+        np.testing.assert_allclose(a.grad, w)
+
+    @given(st.integers(1, 4), st.integers(0, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_sum_gradient_is_ones(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = Tensor(rng.standard_normal((n, n)), requires_grad=True)
+        a.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((n, n)))

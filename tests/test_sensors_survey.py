@@ -1,0 +1,108 @@
+"""Tests for the sensor survey database and trend fits (Fig. 1 substrate)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sensors import (
+    SENSOR_SURVEY,
+    SensorRecord,
+    fill_factor_by_process,
+    fit_array_size_trend,
+    fit_pixel_pitch_trend,
+)
+from repro.sensors.survey import _log_linear_fit
+
+
+class TestSurveyData:
+    def test_nonempty_and_ordered(self):
+        assert len(SENSOR_SURVEY) >= 6
+        years = [s.year for s in SENSOR_SURVEY]
+        assert years == sorted(years)
+
+    def test_decade_span(self):
+        years = [s.year for s in SENSOR_SURVEY]
+        assert min(years) <= 2010 and max(years) >= 2020
+
+    def test_fields_sane(self):
+        for s in SENSOR_SURVEY:
+            assert s.width > 0 and s.height > 0
+            assert 1.0 < s.pixel_pitch_um < 100.0
+            if s.fill_factor is not None:
+                assert 0.0 < s.fill_factor < 1.0
+            if s.max_throughput_eps is not None:
+                assert s.max_throughput_eps > 0
+
+    def test_megapixels(self):
+        gen4 = next(s for s in SENSOR_SURVEY if "Gen4" in s.name and "Prophesee" in s.name)
+        assert gen4.megapixels == pytest.approx(0.9216)
+        assert gen4.num_pixels == 1280 * 720
+
+    def test_hd_sensors_are_bsi(self):
+        for s in SENSOR_SURVEY:
+            if s.pixel_pitch_um < 6.0:
+                assert s.backside_illuminated
+
+
+class TestTrends:
+    def test_pixel_pitch_shrinks(self):
+        fit = fit_pixel_pitch_trend()
+        assert fit.log_slope < 0
+        # Paper: ~40 um (2008) down to < 5 um (2020): roughly 10x per decade.
+        assert fit.factor_per_decade < 0.5
+
+    def test_array_size_grows(self):
+        fit = fit_array_size_trend()
+        assert fit.log_slope > 0
+        # From 128x128 (16 kpx) to ~1 Mpx plus: a large factor per decade.
+        assert fit.factor_per_decade > 5
+
+    def test_predictions_bracket_data(self):
+        fit = fit_pixel_pitch_trend()
+        assert float(fit.predict(2008)) > float(fit.predict(2020))
+        p2008 = float(fit.predict(2008))
+        assert 10 < p2008 < 100
+
+    def test_doubling_time_sign(self):
+        assert fit_array_size_trend().doubling_time_years > 0
+        assert fit_pixel_pitch_trend().doubling_time_years < 0
+
+    def test_r_squared_reasonable(self):
+        # The survey mixes industrial HD sensors with small research
+        # prototypes, so the array-size scatter is wide (as in Fig. 1).
+        assert fit_pixel_pitch_trend().r_squared > 0.5
+        assert fit_array_size_trend().r_squared > 0.2
+
+    def test_fit_requires_two_points(self):
+        with pytest.raises(ValueError):
+            _log_linear_fit(np.array([2020.0]), np.array([5.0]))
+
+    def test_exact_exponential_recovered(self):
+        years = np.arange(2010, 2020, dtype=np.float64)
+        values = 100.0 * np.exp(-0.2 * (years - 2010))
+        fit = _log_linear_fit(years, values)
+        assert fit.log_slope == pytest.approx(-0.2, abs=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert math.isclose(float(fit.predict(2015)), 100.0 * math.exp(-1.0), rel_tol=1e-9)
+
+    def test_custom_survey(self):
+        mini = (
+            SensorRecord("A", "x", 2010, 100, 100, 30.0, None, False, None, "-"),
+            SensorRecord("B", "x", 2020, 1000, 1000, 3.0, None, True, None, "-"),
+        )
+        fit = fit_pixel_pitch_trend(mini)
+        assert fit.factor_per_decade == pytest.approx(0.1)
+
+
+class TestFillFactor:
+    def test_bsi_step(self):
+        ff = fill_factor_by_process()
+        # "from around one fifth to more than three quarters" (Section II).
+        assert ff["FSI"] < 0.3
+        assert ff["BSI"] > 0.7
+
+    def test_empty_categories_omitted(self):
+        only_fsi = tuple(s for s in SENSOR_SURVEY if not s.backside_illuminated)
+        ff = fill_factor_by_process(only_fsi)
+        assert "BSI" not in ff

@@ -1,0 +1,268 @@
+"""Tests for SNN neurons, surrogates, spiking layers and encodings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Adam, Tensor, cross_entropy
+from repro.snn import (
+    ATan,
+    FastSigmoid,
+    LIFParams,
+    LIFReadout,
+    LIFState,
+    ResetMode,
+    SigmoidDerivative,
+    SpikingLinear,
+    SpikingMLP,
+    Triangle,
+    decode_latency,
+    decode_rate,
+    events_to_spike_tensor,
+    latency_encode,
+    lif_decay,
+    lif_step_np,
+    rate_encode,
+    spike,
+    temporal_difference_encode,
+)
+from repro.events import EventStream, Resolution
+
+SURROGATES = [FastSigmoid(), ATan(), Triangle(), SigmoidDerivative()]
+
+
+class TestLIFNeuron:
+    def test_decay_factor(self):
+        p = LIFParams(tau_us=1000.0)
+        assert lif_decay(p, 1000.0) == pytest.approx(np.exp(-1.0))
+        with pytest.raises(ValueError):
+            lif_decay(p, 0)
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            LIFParams(tau_us=0)
+        with pytest.raises(ValueError):
+            LIFParams(threshold=0)
+        with pytest.raises(ValueError):
+            LIFParams(refractory_steps=-1)
+
+    def test_integration_to_spike(self):
+        p = LIFParams(tau_us=1e9, threshold=1.0)  # negligible leak
+        state = LIFState.zeros((1,), p)
+        spikes = []
+        for _ in range(10):
+            spikes.append(lif_step_np(state, np.array([0.3]), p, 1000.0)[0])
+        assert sum(spikes) >= 1  # integrates up and fires
+
+    def test_leak_prevents_firing(self):
+        p = LIFParams(tau_us=100.0, threshold=1.0)  # strong leak
+        state = LIFState.zeros((1,), p)
+        spikes = [lif_step_np(state, np.array([0.5]), p, 1000.0)[0] for _ in range(20)]
+        assert sum(spikes) == 0
+
+    def test_subtract_vs_zero_reset(self):
+        for reset, expected_more in ((ResetMode.SUBTRACT, True),):
+            p_sub = LIFParams(tau_us=1e9, threshold=1.0, reset=ResetMode.SUBTRACT)
+            p_zero = LIFParams(tau_us=1e9, threshold=1.0, reset=ResetMode.ZERO)
+            drive = np.array([0.7])
+            s_sub = LIFState.zeros((1,), p_sub)
+            s_zero = LIFState.zeros((1,), p_zero)
+            n_sub = sum(lif_step_np(s_sub, drive, p_sub, 1000.0)[0] for _ in range(50))
+            n_zero = sum(lif_step_np(s_zero, drive, p_zero, 1000.0)[0] for _ in range(50))
+            # Subtract reset preserves residual charge => at least as many spikes.
+            assert n_sub >= n_zero
+
+    def test_refractory_blocks(self):
+        p = LIFParams(tau_us=1e9, threshold=0.5, refractory_steps=5)
+        state = LIFState.zeros((1,), p)
+        drive = np.array([1.0])
+        spikes = [lif_step_np(state, drive, p, 1000.0)[0] for _ in range(12)]
+        # After each spike, >= 5 silent steps.
+        fire_steps = [i for i, s in enumerate(spikes) if s]
+        assert all(b - a > 5 for a, b in zip(fire_steps, fire_steps[1:]))
+
+
+class TestSurrogates:
+    @pytest.mark.parametrize("sg", SURROGATES, ids=lambda s: s.name)
+    def test_peak_at_threshold(self, sg):
+        v = np.linspace(-2, 2, 401)
+        d = sg.derivative(v)
+        assert d.argmax() == 200  # v = 0
+        assert np.all(d >= 0)
+
+    @pytest.mark.parametrize("sg", SURROGATES, ids=lambda s: s.name)
+    def test_decays_away_from_threshold(self, sg):
+        assert sg.derivative(np.array([3.0]))[0] < sg.derivative(np.array([0.0]))[0]
+
+    def test_slope_validation(self):
+        with pytest.raises(ValueError):
+            FastSigmoid(slope=0)
+
+    def test_spike_forward_binary(self):
+        v = Tensor(np.array([0.5, 1.0, 1.5]), requires_grad=True)
+        s = spike(v, threshold=1.0, surrogate=FastSigmoid())
+        assert s.data.tolist() == [0.0, 1.0, 1.0]
+
+    def test_spike_backward_uses_surrogate(self):
+        sg = FastSigmoid(slope=10.0)
+        v = Tensor(np.array([0.9, 1.0, 2.0]), requires_grad=True)
+        spike(v, 1.0, sg).sum().backward()
+        expected = sg.derivative(np.array([-0.1, 0.0, 1.0]))
+        np.testing.assert_allclose(v.grad, expected)
+
+
+class TestSpikingLayers:
+    def _input_seq(self, t=10, b=4, f=6, seed=0, density=0.3):
+        rng = np.random.default_rng(seed)
+        return Tensor((rng.random((t, b, f)) < density).astype(np.float64))
+
+    def test_spiking_linear_shapes(self):
+        layer = SpikingLinear(6, 5, rng=np.random.default_rng(0))
+        out = layer(self._input_seq())
+        assert out.shape == (10, 4, 5)
+        assert set(np.unique(out.data)) <= {0.0, 1.0}
+
+    def test_spiking_linear_rejects_2d(self):
+        layer = SpikingLinear(6, 5)
+        with pytest.raises(ValueError):
+            layer(Tensor(np.zeros((4, 6))))
+
+    def test_readout_shapes(self):
+        layer = LIFReadout(6, 3, rng=np.random.default_rng(0))
+        out = layer(self._input_seq())
+        assert out.shape == (4, 3)
+
+    def test_gradients_reach_first_layer(self):
+        mlp = SpikingMLP([6, 8, 3], rng=np.random.default_rng(0))
+        out = mlp(self._input_seq())
+        loss = cross_entropy(out, np.array([0, 1, 2, 0]))
+        loss.backward()
+        first = mlp.hidden[0].linear.weight
+        assert first.grad is not None
+        assert np.abs(first.grad).max() > 0
+
+    def test_mlp_validation(self):
+        with pytest.raises(ValueError):
+            SpikingMLP([5])
+
+    def test_spike_counts_measured(self):
+        mlp = SpikingMLP([6, 8, 3], rng=np.random.default_rng(0))
+        counts = mlp.spike_counts(self._input_seq(density=0.8))
+        assert len(counts) == 1
+        assert 0.0 <= counts[0] <= 1.0
+
+    def test_snn_trains_on_toy_temporal_task(self):
+        # Class 0: channel 0 active early; class 1: channel 1 active early.
+        rng = np.random.default_rng(0)
+        t, f = 12, 4
+
+        def make_batch(n):
+            xs = np.zeros((t, n, f))
+            ys = rng.integers(0, 2, n)
+            for i, y in enumerate(ys):
+                xs[:6, i, y] = 1.0
+                xs[6:, i, 1 - y] = 1.0
+            return Tensor(xs), ys
+
+        mlp = SpikingMLP([f, 16, 2], rng=np.random.default_rng(1))
+        opt = Adam(mlp.parameters(), lr=0.02)
+        for _ in range(40):
+            x, y = make_batch(16)
+            opt.zero_grad()
+            cross_entropy(mlp(x), y).backward()
+            opt.step()
+        x, y = make_batch(32)
+        acc = float(np.mean(mlp(x).data.argmax(axis=1) == y))
+        assert acc >= 0.9
+
+
+class TestEncodings:
+    def test_events_to_spike_tensor_shape(self):
+        res = Resolution(8, 8)
+        s = EventStream.from_arrays(
+            [0, 500, 999], [1, 2, 3], [1, 2, 3], [1, -1, 1], res
+        )
+        t = events_to_spike_tensor(s, num_steps=4, duration_us=1000)
+        assert t.shape == (4, 2, 8, 8)
+        assert t.sum() == 3
+        assert t[0, 0, 1, 1] == 1  # first ON event
+        assert t[2, 1, 2, 2] == 1  # OFF event at t=500 -> step 2
+
+    def test_spike_tensor_pooling(self):
+        res = Resolution(8, 8)
+        s = EventStream.from_arrays([0, 1], [0, 7], [0, 7], [1, 1], res)
+        t = events_to_spike_tensor(s, num_steps=2, pool=4)
+        assert t.shape == (2, 2, 2, 2)
+
+    def test_spike_tensor_binary_clipping(self):
+        res = Resolution(2, 2)
+        s = EventStream.from_arrays([0, 0, 0], [0, 0, 0], [0, 0, 0], [1, 1, 1], res)
+        t_bin = events_to_spike_tensor(s, num_steps=1, duration_us=10)
+        t_cnt = events_to_spike_tensor(s, num_steps=1, duration_us=10, binary=False)
+        assert t_bin[0, 0, 0, 0] == 1.0
+        assert t_cnt[0, 0, 0, 0] == 3.0
+
+    def test_spike_tensor_empty(self):
+        t = events_to_spike_tensor(EventStream.empty(Resolution(4, 4)), 5)
+        assert t.shape == (5, 2, 4, 4)
+        assert t.sum() == 0
+
+    def test_spike_tensor_validation(self):
+        s = EventStream.empty(Resolution(4, 4))
+        with pytest.raises(ValueError):
+            events_to_spike_tensor(s, 0)
+        with pytest.raises(ValueError):
+            events_to_spike_tensor(s, 5, pool=0)
+
+    def test_rate_code_converges(self):
+        rng = np.random.default_rng(0)
+        values = np.array([0.1, 0.5, 0.9])
+        spikes = rate_encode(values, 2000, rng)
+        np.testing.assert_allclose(decode_rate(spikes), values, atol=0.05)
+
+    def test_rate_code_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            rate_encode(np.array([1.5]), 10, rng)
+        with pytest.raises(ValueError):
+            rate_encode(np.array([0.5]), 0, rng)
+
+    def test_latency_code_roundtrip(self):
+        values = np.array([0.0, 0.25, 0.5, 1.0])
+        spikes = latency_encode(values, 9)
+        decoded = decode_latency(spikes)
+        np.testing.assert_allclose(decoded, values, atol=0.07)
+        # Exactly one spike per nonzero value.
+        assert spikes.sum() == 3
+
+    def test_latency_earlier_is_larger(self):
+        spikes = latency_encode(np.array([1.0, 0.5]), 11)
+        assert spikes[:, 0].argmax() < spikes[:, 1].argmax()
+
+    def test_temporal_difference_sparse_on_static(self):
+        seq = np.ones((20, 5)) * 0.55
+        deltas = temporal_difference_encode(seq, quantum=0.1)
+        # One burst at onset, then silence.
+        assert np.abs(deltas[0]).sum() > 0
+        assert np.abs(deltas[1:]).sum() == 0
+
+    def test_temporal_difference_tracks_changes(self):
+        seq = np.linspace(0, 1, 11).reshape(-1, 1)
+        deltas = temporal_difference_encode(seq, quantum=0.1)
+        # Cumulative quanta reconstruct the ramp.
+        recon = np.cumsum(deltas[:, 0]) * 0.1
+        np.testing.assert_allclose(recon, seq[:, 0], atol=0.1)
+
+    def test_temporal_difference_validation(self):
+        with pytest.raises(ValueError):
+            temporal_difference_encode(np.ones((5, 2)), quantum=0)
+
+    @given(st.integers(1, 50), st.integers(2, 30), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_rate_code_mean_bounded(self, n, steps, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.random(n)
+        spikes = rate_encode(values, steps, rng)
+        assert spikes.shape == (steps, n)
+        assert set(np.unique(spikes)) <= {0.0, 1.0}

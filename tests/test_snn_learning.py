@@ -1,0 +1,340 @@
+"""Tests for ANN->SNN conversion, STDP, e-prop and counted simulation."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn import Tensor
+from repro.snn import (
+    ConvertedSNN,
+    EPropNetwork,
+    EPropParams,
+    LIFParams,
+    STDPNetwork,
+    STDPParams,
+    bptt_memory_words,
+    clock_driven_sim,
+    conversion_report,
+    convert_relu_mlp,
+    eprop_memory_words,
+    event_driven_sim,
+    rate_encode,
+)
+from repro.snn.conversion import _relu_mlp_layers
+
+
+def train_toy_ann(seed=0, steps=200):
+    """Train a tiny ReLU MLP on a linearly separable 2-class problem."""
+    rng = np.random.default_rng(seed)
+    x = rng.random((64, 4))
+    y = (x[:, 0] + x[:, 1] > x[:, 2] + x[:, 3]).astype(np.int64)
+    model = nn.Sequential(
+        nn.Linear(4, 12, rng=rng), nn.ReLU(), nn.Linear(12, 2, rng=rng)
+    )
+    opt = nn.Adam(model.parameters(), lr=0.02)
+    for _ in range(steps):
+        opt.zero_grad()
+        nn.cross_entropy(model(Tensor(x)), y).backward()
+        opt.step()
+    return model, x, y
+
+
+class TestConversion:
+    def test_layer_extraction(self):
+        model = nn.Sequential(nn.Linear(2, 3), nn.ReLU(), nn.Linear(3, 2))
+        assert len(_relu_mlp_layers(model)) == 2
+
+    def test_layer_extraction_rejects_other_modules(self):
+        model = nn.Sequential(nn.Linear(2, 3), nn.Tanh())
+        with pytest.raises(ValueError):
+            _relu_mlp_layers(model)
+
+    def test_converted_snn_validation(self):
+        with pytest.raises(ValueError):
+            ConvertedSNN([])
+        with pytest.raises(ValueError):
+            ConvertedSNN([(np.zeros((2, 2)), np.zeros(2))], threshold=0)
+
+    def test_agreement_improves_with_timesteps(self):
+        model, x, y = train_toy_ann()
+        snn = convert_relu_mlp(model, x)
+        rng = np.random.default_rng(0)
+        rep_short = conversion_report(model, snn, x, num_steps=5, rng=rng)
+        rng = np.random.default_rng(0)
+        rep_long = conversion_report(model, snn, x, num_steps=200, rng=rng)
+        assert rep_long.agreement >= rep_short.agreement
+        assert rep_long.agreement >= 0.85
+
+    def test_snn_accuracy_close_to_ann(self):
+        model, x, y = train_toy_ann()
+        ann_acc = nn.accuracy(model(Tensor(x)), y)
+        snn = convert_relu_mlp(model, x)
+        scores, _ = snn.run(x, num_steps=150, rng=np.random.default_rng(1))
+        snn_acc = float(np.mean(scores.argmax(axis=1) == y))
+        assert snn_acc >= ann_acc - 0.1
+
+    def test_unevenness_shrinks_with_timesteps(self):
+        model, x, _ = train_toy_ann()
+        snn = convert_relu_mlp(model, x)
+        rep5 = conversion_report(model, snn, x, 5, np.random.default_rng(0))
+        rep100 = conversion_report(model, snn, x, 100, np.random.default_rng(0))
+        assert rep100.mean_unevenness < rep5.mean_unevenness
+
+    def test_spike_cost_scales_with_timesteps(self):
+        model, x, _ = train_toy_ann()
+        snn = convert_relu_mlp(model, x)
+        _, s1 = snn.run(x, 10, np.random.default_rng(0))
+        _, s2 = snn.run(x, 100, np.random.default_rng(0))
+        assert s2["spikes_per_sample"] > s1["spikes_per_sample"]
+
+    def test_run_validation(self):
+        model, x, _ = train_toy_ann()
+        snn = convert_relu_mlp(model, x)
+        with pytest.raises(ValueError):
+            snn.run(x, 0, np.random.default_rng(0))
+
+
+class TestSTDP:
+    def _patterns(self, rng, n_per_class=6, t=40, f=16):
+        """Two orthogonal spatial patterns as Poisson spike trains."""
+        trains, labels = [], []
+        for cls in range(2):
+            rates = np.zeros(f)
+            if cls == 0:
+                rates[: f // 2] = 0.6
+            else:
+                rates[f // 2 :] = 0.6
+            rates += 0.02
+            for _ in range(n_per_class):
+                trains.append((rng.random((t, f)) < rates).astype(np.float64))
+                labels.append(cls)
+        return trains, np.array(labels)
+
+    def test_learns_two_patterns(self):
+        rng = np.random.default_rng(0)
+        trains, labels = self._patterns(rng)
+        net = STDPNetwork(16, 10, rng=np.random.default_rng(1))
+        net.fit(trains, labels, num_classes=2, epochs=3)
+        test_trains, test_labels = self._patterns(np.random.default_rng(99))
+        assert net.accuracy(test_trains, test_labels) >= 0.75
+
+    def test_weights_stay_bounded(self):
+        rng = np.random.default_rng(0)
+        trains, labels = self._patterns(rng, n_per_class=3)
+        p = STDPParams()
+        net = STDPNetwork(16, 8, p)
+        net.fit(trains, labels, num_classes=2)
+        assert net.weights.min() >= 0.0
+        assert net.weights.max() <= p.w_max
+
+    def test_present_validation(self):
+        net = STDPNetwork(8, 4)
+        with pytest.raises(ValueError):
+            net.present(np.zeros((10, 5)))
+
+    def test_fit_validation(self):
+        net = STDPNetwork(8, 4)
+        with pytest.raises(ValueError):
+            net.fit([np.zeros((5, 8))], np.array([0, 1]), 2)
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            STDPParams(lr_pre=-1)
+        with pytest.raises(ValueError):
+            STDPParams(trace_decay=1.0)
+        with pytest.raises(ValueError):
+            STDPNetwork(0, 4)
+
+
+class TestEProp:
+    def _task(self, rng, n=20, t=25, f=8):
+        """Channel-group task: class = which half of the channels is active."""
+        trains, labels = [], []
+        for _ in range(n):
+            cls = int(rng.integers(0, 2))
+            rates = np.full(f, 0.05)
+            if cls == 0:
+                rates[: f // 2] = 0.5
+            else:
+                rates[f // 2 :] = 0.5
+            trains.append((rng.random((t, f)) < rates).astype(np.float64))
+            labels.append(cls)
+        return trains, np.array(labels)
+
+    def test_loss_decreases(self):
+        rng = np.random.default_rng(0)
+        trains, labels = self._task(rng, n=30)
+        net = EPropNetwork(8, 20, 2, EPropParams(lr=1e-2), rng=np.random.default_rng(1))
+        first_losses, last_losses = [], []
+        for epoch in range(8):
+            losses = [net.train_sample(tr, lb) for tr, lb in zip(trains, labels)]
+            if epoch == 0:
+                first_losses = losses
+            last_losses = losses
+        assert np.mean(last_losses) < np.mean(first_losses)
+
+    def test_learns_task(self):
+        rng = np.random.default_rng(0)
+        trains, labels = self._task(rng, n=40)
+        net = EPropNetwork(8, 24, 2, EPropParams(lr=1e-2), rng=np.random.default_rng(1))
+        for _ in range(10):
+            for tr, lb in zip(trains, labels):
+                net.train_sample(tr, lb)
+        test_trains, test_labels = self._task(np.random.default_rng(7), n=30)
+        assert net.accuracy(test_trains, test_labels) >= 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EPropNetwork(0, 4, 2)
+        with pytest.raises(ValueError):
+            EPropParams(lr=0)
+        net = EPropNetwork(4, 4, 2)
+        with pytest.raises(ValueError):
+            net.train_sample(np.zeros((5, 3)), 0)
+
+    def test_memory_argument(self):
+        # Section III-A: BPTT memory grows with T, e-prop memory does not.
+        m_bptt_short = bptt_memory_words(100, 200, num_steps=10)
+        m_bptt_long = bptt_memory_words(100, 200, num_steps=1000)
+        m_eprop = eprop_memory_words(100, 200)
+        assert m_bptt_long == 100 * m_bptt_short
+        assert m_eprop < m_bptt_long
+        with pytest.raises(ValueError):
+            bptt_memory_words(0, 1, 1)
+        with pytest.raises(ValueError):
+            eprop_memory_words(1, 0)
+
+
+class TestCountedSimulation:
+    def _setup(self, t=50, f=20, n=30, density=0.2, seed=0):
+        rng = np.random.default_rng(seed)
+        weights = rng.normal(0, 0.4, (n, f))
+        spikes = (rng.random((t, f)) < density).astype(np.float64)
+        return weights, spikes
+
+    def test_rasters_identical(self):
+        weights, spikes = self._setup()
+        p = LIFParams(tau_us=5000.0, threshold=0.8)
+        r_clock = clock_driven_sim(weights, spikes, p)
+        r_event = event_driven_sim(weights, spikes, p)
+        np.testing.assert_array_equal(r_clock.spike_raster, r_event.spike_raster)
+
+    def test_rasters_identical_sparse_input(self):
+        weights, spikes = self._setup(density=0.02, seed=3)
+        r_clock = clock_driven_sim(weights, spikes)
+        r_event = event_driven_sim(weights, spikes)
+        np.testing.assert_array_equal(r_clock.spike_raster, r_event.spike_raster)
+
+    def test_clock_cost_independent_of_activity(self):
+        w, _ = self._setup()
+        _, sparse = self._setup(density=0.01, seed=1)
+        _, dense = self._setup(density=0.9, seed=2)
+        c_sparse = clock_driven_sim(w, sparse).counters
+        c_dense = clock_driven_sim(w, dense).counters
+        # State accesses are the clocked sweep: identical.
+        assert c_sparse.neuron_state_reads == c_dense.neuron_state_reads
+        assert c_sparse.neuron_state_writes == c_dense.neuron_state_writes
+
+    def test_event_cost_scales_with_activity(self):
+        w, _ = self._setup()
+        _, sparse = self._setup(density=0.01, seed=1)
+        _, dense = self._setup(density=0.9, seed=2)
+        c_sparse = event_driven_sim(w, sparse).counters
+        c_dense = event_driven_sim(w, dense).counters
+        assert c_sparse.memory_accesses < c_dense.memory_accesses
+
+    def test_event_driven_wins_at_low_activity(self):
+        w, _ = self._setup()
+        _, sparse = self._setup(density=0.005, seed=5)
+        c_clock = clock_driven_sim(w, sparse).counters
+        c_event = event_driven_sim(w, sparse).counters
+        assert c_event.memory_accesses < c_clock.memory_accesses
+
+    def test_clock_wins_at_high_activity(self):
+        # At every-step activity the event-driven scheme pays double state
+        # words (timestamp) plus exponentiations: clocked is cheaper.
+        w, _ = self._setup()
+        _, dense = self._setup(density=0.99, seed=6)
+        c_clock = clock_driven_sim(w, dense).counters
+        c_event = event_driven_sim(w, dense).counters
+        assert c_clock.memory_accesses < c_event.memory_accesses
+        assert c_event.alu_exp > 0
+        assert c_clock.alu_exp == 0
+
+    def test_validation(self):
+        w, spikes = self._setup()
+        with pytest.raises(ValueError):
+            clock_driven_sim(w[0], spikes)
+        with pytest.raises(ValueError):
+            event_driven_sim(w, spikes[:, :3])
+
+
+class TestNetworkSim:
+    def _stack(self, seed=0):
+        rng = np.random.default_rng(seed)
+        return [
+            rng.normal(0, 0.5, (32, 20)),
+            rng.normal(0, 0.5, (16, 32)),
+            rng.normal(0, 0.5, (4, 16)),
+        ]
+
+    def test_disciplines_agree_at_network_level(self):
+        from repro.snn import network_sim
+
+        rng = np.random.default_rng(1)
+        spikes = (rng.random((80, 20)) < 0.15).astype(np.float64)
+        stack = self._stack()
+        r_clock, c_clock = network_sim(stack, spikes, update="clock")
+        r_event, c_event = network_sim(stack, spikes, update="event")
+        np.testing.assert_array_equal(r_clock.spike_raster, r_event.spike_raster)
+        assert c_clock.memory_accesses != c_event.memory_accesses
+
+    def test_counters_aggregate_layers(self):
+        from repro.snn import clock_driven_sim, network_sim
+
+        rng = np.random.default_rng(2)
+        spikes = (rng.random((40, 20)) < 0.2).astype(np.float64)
+        stack = self._stack()
+        _, total = network_sim(stack, spikes, update="clock")
+        # Manually chained single layers must sum to the same counters.
+        acc = 0
+        x = spikes
+        for w in stack:
+            r = clock_driven_sim(w, x)
+            acc += r.counters.memory_accesses
+            x = np.clip(r.spike_raster, 0, 1)
+        assert total.memory_accesses == acc
+
+    def test_validation(self):
+        from repro.snn import network_sim
+
+        with pytest.raises(ValueError):
+            network_sim([], np.zeros((5, 4)))
+        with pytest.raises(ValueError):
+            network_sim(self._stack(), np.zeros((5, 20)), update="bogus")
+
+    @pytest.mark.parametrize("reset", ["subtract", "zero"])
+    def test_equivalence_property_over_random_params(self, reset):
+        """Hypothesis-style sweep: raster equality must hold for any
+        neuron parameterisation and input density."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+        from repro.snn import ResetMode, clock_driven_sim, event_driven_sim
+
+        @given(
+            st.floats(500.0, 1e6),
+            st.floats(0.1, 3.0),
+            st.floats(0.0, 0.9),
+            st.integers(0, 100),
+        )
+        @settings(max_examples=25, deadline=None)
+        def check(tau, threshold, density, seed):
+            rng = np.random.default_rng(seed)
+            weights = rng.normal(0, 0.6, (12, 10))
+            spikes = (rng.random((40, 10)) < density).astype(np.float64)
+            p = LIFParams(tau_us=tau, threshold=threshold, reset=ResetMode(reset))
+            a = clock_driven_sim(weights, spikes, p)
+            b = event_driven_sim(weights, spikes, p)
+            np.testing.assert_array_equal(a.spike_raster, b.spike_raster)
+
+        check()

@@ -1,0 +1,204 @@
+"""Tests for extended substrates: persistence, DAVIS dual pixels,
+plane-fit optical flow and the hierarchical GNN."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import FlowEstimate, plane_fit_flow
+from repro.camera import CameraConfig, DualPixelCamera, EventCamera, MovingBar, MovingDisk
+from repro.events import EventStream, Resolution, load_events, save_events
+from repro.gnn import GraphBuildConfig, HierarchicalEventGNN, build_event_graph
+
+RES = Resolution(32, 32)
+
+
+def make_stream(n=50, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.cumsum(rng.integers(1, 500, n))
+    return EventStream.from_arrays(
+        t,
+        rng.integers(0, RES.width, n),
+        rng.integers(0, RES.height, n),
+        rng.choice([-1, 1], n),
+        RES,
+    )
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        s = make_stream(200, seed=1)
+        path = tmp_path / "rec.npz"
+        save_events(s, path)
+        assert load_events(path) == s
+
+    def test_empty_roundtrip(self, tmp_path):
+        s = EventStream.empty(RES)
+        path = tmp_path / "empty.npz"
+        save_events(s, path)
+        loaded = load_events(path)
+        assert len(loaded) == 0
+        assert loaded.resolution == RES
+
+    def test_rejects_non_archive(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, unrelated=np.zeros(3))
+        with pytest.raises(ValueError, match="missing"):
+            load_events(path)
+
+    def test_rejects_wrong_version(self, tmp_path):
+        s = make_stream(5)
+        path = tmp_path / "v.npz"
+        np.savez(
+            path, version=np.int64(99), events=s.raw, width=np.int64(32), height=np.int64(32)
+        )
+        with pytest.raises(ValueError, match="version"):
+            load_events(path)
+
+
+class TestDualPixelCamera:
+    def test_synchronised_modalities(self):
+        cam = DualPixelCamera(RES, CameraConfig(sample_period_us=500), frame_period_us=10_000)
+        rec = cam.record(MovingDisk(RES, radius=4, x0=4, y0=16, vx_px_per_s=600), 40_000)
+        assert len(rec.events) > 0
+        assert rec.num_frames == 5  # t = 0, 10, 20, 30, 40 ms
+        assert rec.frames.shape == (5, 32, 32)
+        assert np.all(rec.frames > 0)
+
+    def test_frames_track_the_stimulus(self):
+        cam = DualPixelCamera(RES, frame_period_us=20_000)
+        stim = MovingDisk(RES, radius=4, x0=4, y0=16, vx_px_per_s=600)
+        rec = cam.record(stim, 40_000)
+        # The bright centroid moves right between first and last frame.
+        def centroid_x(frame):
+            w = frame - frame.min()
+            xs = np.arange(frame.shape[1])
+            return float((w.sum(axis=0) * xs).sum() / w.sum())
+        assert centroid_x(rec.frames[-1]) > centroid_x(rec.frames[0]) + 5
+
+    def test_frame_nearest_and_intervals(self):
+        cam = DualPixelCamera(RES, frame_period_us=10_000)
+        rec = cam.record(MovingBar(RES, speed_px_per_s=800), 30_000)
+        np.testing.assert_array_equal(rec.frame_nearest(11_000), rec.frames[1])
+        ev = rec.events_between_frames(0)
+        if len(ev):
+            assert ev.t.min() >= 0 and ev.t.max() < 10_000
+        with pytest.raises(ValueError):
+            rec.events_between_frames(10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DualPixelCamera(RES, frame_period_us=0)
+        cam = DualPixelCamera(RES)
+        with pytest.raises(ValueError):
+            cam.record(MovingBar(Resolution(8, 8)), 1000)
+
+
+class TestPlaneFitFlow:
+    def _bar_stream(self, speed=800.0, seed=0):
+        cam = EventCamera(RES, CameraConfig(sample_period_us=250, seed=seed))
+        bar = MovingBar(RES, speed_px_per_s=speed, bar_width=3.0, x0=0.0)
+        events, _ = cam.record(bar, 35_000)
+        return events
+
+    FLOW_KW = dict(radius=3, dt_max_us=20_000, polarity=1, refractory_us=8000)
+
+    def test_recovers_bar_speed(self):
+        speed = 800.0
+        events = self._bar_stream(speed)
+        flow = plane_fit_flow(events, **self.FLOW_KW)
+        assert flow.num_estimates > 30
+        vx, vy = flow.median_velocity()
+        assert vx == pytest.approx(speed, rel=0.15)
+        assert abs(vy) < 0.2 * speed
+
+    def test_direction_sign(self):
+        rightward = self._bar_stream(600.0)
+        # Mirror the stream: motion reverses.
+        leftward = rightward.flip_x()
+        vx_r, _ = plane_fit_flow(rightward, **self.FLOW_KW).median_velocity()
+        vx_l, _ = plane_fit_flow(leftward, **self.FLOW_KW).median_velocity()
+        assert vx_r > 0 > vx_l
+
+    def test_faster_motion_larger_flow(self):
+        slow = plane_fit_flow(self._bar_stream(400.0), **self.FLOW_KW).median_velocity()[0]
+        fast = plane_fit_flow(self._bar_stream(1200.0), **self.FLOW_KW).median_velocity()[0]
+        assert fast > 1.5 * slow
+
+    def test_empty_and_validation(self):
+        empty = plane_fit_flow(EventStream.empty(RES))
+        assert empty.num_estimates == 0
+        assert empty.median_velocity() == (0.0, 0.0)
+        s = make_stream(10)
+        with pytest.raises(ValueError):
+            plane_fit_flow(s, radius=0)
+        with pytest.raises(ValueError):
+            plane_fit_flow(s, dt_max_us=0)
+        with pytest.raises(ValueError):
+            plane_fit_flow(s, min_points=2)
+        with pytest.raises(ValueError):
+            plane_fit_flow(s, max_events=0)
+
+    def test_random_noise_yields_few_estimates(self):
+        noise = make_stream(300, seed=5)
+        flow = plane_fit_flow(noise, radius=2, dt_max_us=5_000, min_points=8)
+        # Uncorrelated events rarely support a consistent local plane.
+        assert flow.num_estimates < 100
+
+
+class TestHierarchicalGNN:
+    def _graph(self, seed=0):
+        stream = make_stream(150, seed=seed)
+        return build_event_graph(
+            stream, GraphBuildConfig(radius=4.0, time_scale_us=2000.0, max_events=150)
+        )
+
+    def test_forward_shape(self):
+        model = HierarchicalEventGNN(3, hidden=8, rng=np.random.default_rng(0))
+        out = model(self._graph())
+        assert out.shape == (1, 3)
+
+    def test_pooling_reduces_nodes(self):
+        model = HierarchicalEventGNN(3, hidden=8, pool_cell=(6.0, 6.0, 10.0))
+        summary = model.pooling_summary(self._graph())
+        assert summary["nodes_pooled"] < summary["nodes_in"]
+
+    def test_gradients_flow_through_pooling(self):
+        model = HierarchicalEventGNN(2, hidden=8, rng=np.random.default_rng(1))
+        out = model(self._graph(seed=2))
+        out.sum().backward()
+        assert model.conv1.self_mlp.weight.grad is not None
+        assert np.abs(model.conv1.self_mlp.weight.grad).max() > 0
+
+    def test_learns_shapes(self):
+        from repro.datasets import make_shapes_dataset, train_test_split
+        from repro.nn import Adam, cross_entropy, no_grad
+
+        ds = make_shapes_dataset(
+            num_per_class=6, resolution=Resolution(24, 24), duration_us=40_000, seed=0
+        )
+        train, test = train_test_split(ds, 0.3, np.random.default_rng(0))
+        cfg = GraphBuildConfig(radius=4.0, time_scale_us=5000.0, max_events=120)
+        model = HierarchicalEventGNN(
+            3, hidden=12, pool_cell=(4.0, 4.0, 6.0), rng=np.random.default_rng(1)
+        )
+        graphs = [build_event_graph(s.stream, cfg) for s in train]
+        labels = train.labels()
+        opt = Adam(model.parameters(), lr=5e-3)
+        rng = np.random.default_rng(0)
+        for _ in range(16):
+            for i in rng.permutation(len(graphs)):
+                opt.zero_grad()
+                cross_entropy(model(graphs[i]), labels[i : i + 1]).backward()
+                opt.step()
+        correct = 0
+        with no_grad():
+            for s in test:
+                g = build_event_graph(s.stream, cfg)
+                correct += int(model(g).data.argmax()) == s.label
+        assert correct / len(test) > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HierarchicalEventGNN(0)
+        with pytest.raises(ValueError):
+            HierarchicalEventGNN(2, pool_cell=(0.0, 1.0, 1.0))

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerate every artefact of the reproduction from scratch:
+# tests, all paper benchmarks (printed tables/series), and the examples.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== test suite =="
+python -m pytest tests/
+
+echo "== paper benchmarks (tables & figures printed below) =="
+python -m pytest benchmarks/ --benchmark-only -s
+
+echo "== examples =="
+for ex in examples/*.py; do
+    echo "--- $ex ---"
+    python "$ex"
+done
