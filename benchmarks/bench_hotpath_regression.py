@@ -1,0 +1,152 @@
+"""Hot-path regression benchmark: loop oracles vs vectorized replacements.
+
+Section IV names graph construction as the latency bottleneck of the
+event-graph paradigm; the same per-event Python loops also sat in the
+denoise filters every paradigm runs first.  Each hot path keeps its
+original loop implementation as a *reference oracle*
+(``*_reference`` / per-event ``insert``), and this benchmark measures
+both sides on identical workloads, asserts the outputs are byte-equal,
+and reports the throughput ratio.
+
+Run standalone via ``tools/run_hotpath_bench.py`` (appends a run record
+to ``BENCH_hotpaths.json`` so the perf trajectory is visible across
+PRs), or under pytest for the shape assertions:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_hotpath_regression.py -s
+"""
+
+import time
+
+import numpy as np
+
+from repro.events import EventStream, Resolution
+from repro.events.ops import (
+    neighbourhood_filter,
+    neighbourhood_filter_reference,
+    refractory_filter,
+    refractory_filter_reference,
+    spatial_downsample,
+    spatial_downsample_reference,
+)
+from repro.gnn import HashInserter
+from repro.gnn.build import (
+    radius_graph_spatial_hash,
+    radius_graph_spatial_hash_reference,
+)
+
+DEFAULT_N = 100_000
+QUICK_N = 5_000
+
+#: Workload geometry: a mid-size sensor at a realistic mean event rate.
+WIDTH = HEIGHT = 128
+MEAN_DT_US = 10
+
+
+def make_stream(n: int, seed: int = 0) -> EventStream:
+    """Random but realistic event stream (uniform spatial, ~100 keps)."""
+    rng = np.random.default_rng(seed)
+    t = np.cumsum(rng.integers(1, 2 * MEAN_DT_US, n))
+    return EventStream.from_arrays(
+        t,
+        rng.integers(0, WIDTH, n),
+        rng.integers(0, HEIGHT, n),
+        rng.choice([-1, 1], n),
+        Resolution(WIDTH, HEIGHT),
+    )
+
+
+def _timed(fn, *args, **kwargs):
+    t0 = time.perf_counter()
+    out = fn(*args, **kwargs)
+    return time.perf_counter() - t0, out
+
+
+def _record(n: int, ref_s: float, vec_s: float) -> dict:
+    return {
+        "n_events": n,
+        "reference_s": ref_s,
+        "vectorized_s": vec_s,
+        "reference_eps": n / ref_s if ref_s > 0 else float("inf"),
+        "vectorized_eps": n / vec_s if vec_s > 0 else float("inf"),
+        "speedup": ref_s / vec_s if vec_s > 0 else float("inf"),
+    }
+
+
+def bench_all(n: int = DEFAULT_N, seed: int = 0) -> dict:
+    """Run every hot-path pairing; returns ``{name: record}``.
+
+    Each pairing asserts reference/vectorized output equality on the
+    benchmark workload itself, so a perf number is never recorded for a
+    divergent implementation.
+    """
+    results: dict[str, dict] = {}
+    stream = make_stream(n, seed)
+
+    ref_s, ref_out = _timed(refractory_filter_reference, stream, 200)
+    vec_s, vec_out = _timed(refractory_filter, stream, 200)
+    assert ref_out == vec_out
+    results["refractory_filter"] = _record(n, ref_s, vec_s)
+
+    ref_s, ref_out = _timed(neighbourhood_filter_reference, stream, 1_000, 1)
+    vec_s, vec_out = _timed(neighbourhood_filter, stream, 1_000, 1)
+    assert ref_out == vec_out
+    results["neighbourhood_filter"] = _record(n, ref_s, vec_s)
+
+    ref_s, ref_out = _timed(spatial_downsample_reference, stream, 4, 100)
+    vec_s, vec_out = _timed(spatial_downsample, stream, 4, 100)
+    assert ref_out == vec_out
+    results["spatial_downsample"] = _record(n, ref_s, vec_s)
+
+    # Graph construction over the (x, y, t/scale) point cloud; the time
+    # scale keeps cell occupancy near one so the hash stays O(N).
+    pts = stream.as_point_cloud(1000.0)
+    ref_s, ref_out = _timed(radius_graph_spatial_hash_reference, pts, 3.0)
+    vec_s, vec_out = _timed(radius_graph_spatial_hash, pts, 3.0)
+    assert np.array_equal(ref_out, vec_out)
+    results["radius_graph_spatial_hash"] = _record(n, ref_s, vec_s)
+
+    # Incremental insertion: per-event insert() vs batched insert_many().
+    kw = dict(radius=3.0, time_scale_us=1000.0, window_us=50_000, max_neighbours=16)
+    seq = HashInserter(**kw)
+    ref_s, _ = _timed(
+        lambda: [
+            seq.insert(float(x), float(y), int(t))
+            for x, y, t in zip(stream.x, stream.y, stream.t)
+        ]
+    )
+    batched = HashInserter(**kw)
+    vec_s, _ = _timed(batched.insert_many, stream.x, stream.y, stream.t)
+    assert np.array_equal(seq.edges(), batched.edges())
+    results["hash_inserter_insert_many"] = _record(n, ref_s, vec_s)
+
+    return results
+
+
+def format_table(results: dict) -> str:
+    rows = ["{:<28} {:>12} {:>12} {:>9}".format("hot path", "ref ev/s", "vec ev/s", "speedup")]
+    for name, r in results.items():
+        rows.append(
+            "{:<28} {:>12.0f} {:>12.0f} {:>8.1f}x".format(
+                name, r["reference_eps"], r["vectorized_eps"], r["speedup"]
+            )
+        )
+    return "\n".join(rows)
+
+
+def test_hotpath_speedups():
+    """Shape claim: every vectorized hot path beats its loop oracle.
+
+    Runs at QUICK_N so the pytest pass stays fast; the full 100k-event
+    numbers come from ``tools/run_hotpath_bench.py``.
+    """
+    from conftest import emit
+
+    results = bench_all(QUICK_N)
+    emit("HOTPATH-REGRESSION (quick, n=%d)" % QUICK_N, format_table(results))
+    for name, r in results.items():
+        assert r["speedup"] > 1.0, f"{name} slower than its reference: {r}"
+
+
+if __name__ == "__main__":
+    out = bench_all()
+    print(format_table(out))

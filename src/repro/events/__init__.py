@@ -14,8 +14,11 @@ from .ops import (
     jitter_time,
     merge_polarities,
     neighbourhood_filter,
+    neighbourhood_filter_reference,
     refractory_filter,
+    refractory_filter_reference,
     spatial_downsample,
+    spatial_downsample_reference,
     split_by_count,
     split_by_time,
 )
@@ -34,9 +37,12 @@ __all__ = [
     "split_by_time",
     "split_by_count",
     "refractory_filter",
+    "refractory_filter_reference",
     "neighbourhood_filter",
+    "neighbourhood_filter_reference",
     "hot_pixel_filter",
     "spatial_downsample",
+    "spatial_downsample_reference",
     "merge_polarities",
     "jitter_time",
     "drop_events",

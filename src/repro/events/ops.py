@@ -12,15 +12,18 @@ from typing import Iterator
 
 import numpy as np
 
-from .stream import EventStream, Resolution
+from .stream import EVENT_DTYPE, EventStream, Resolution
 
 __all__ = [
     "split_by_time",
     "split_by_count",
     "refractory_filter",
+    "refractory_filter_reference",
     "neighbourhood_filter",
+    "neighbourhood_filter_reference",
     "hot_pixel_filter",
     "spatial_downsample",
+    "spatial_downsample_reference",
     "merge_polarities",
     "jitter_time",
     "drop_events",
@@ -40,8 +43,10 @@ def split_by_time(stream: EventStream, window_us: int) -> Iterator[EventStream]:
         window_us: window length in microseconds (> 0).
 
     Yields:
-        One :class:`EventStream` per window, each re-zeroed relative to
-        the global stream start (timestamps stay absolute).
+        One :class:`EventStream` per window, spanning
+        ``[start, start + window_us)``.  Timestamps stay absolute (use
+        :meth:`EventStream.rezero_time` on a chunk for window-relative
+        times).
     """
     if window_us <= 0:
         raise ValueError("window_us must be positive")
@@ -68,6 +73,97 @@ def split_by_count(stream: EventStream, count: int) -> Iterator[EventStream]:
         yield stream[lo : lo + count]
 
 
+def _grouped_refractory_keep(
+    keys: np.ndarray, t: np.ndarray, refractory_us: int
+) -> np.ndarray:
+    """Vectorized greedy refractory selection, grouped by ``keys``.
+
+    Within each group (events in stream order, timestamps
+    non-decreasing) the first event is kept and every subsequent event
+    is kept iff it is more than ``refractory_us`` after the last *kept*
+    event of the group — the sequential-scan semantics of the loop
+    references.
+
+    Two facts remove the sequential chain dependency.  First, any event
+    whose gap to its in-group predecessor exceeds ``refractory_us`` is
+    provably kept (the last kept event can be no later than that
+    predecessor), so group heads and such "anchor" events are decided
+    immediately without any chain-following.  Second, the greedy chain
+    provably lands on every anchor exactly, so only the events inside
+    "uncertain runs" — consecutive stretches whose gaps are all within
+    the refractory period — remain undecided, and each run's chain
+    restarts at the anchor just before it.  Those runs are resolved by
+    one ``searchsorted`` over the packed ``(group, t)`` keys (needles
+    restricted to the runs) plus pointer-jumping confined to the runs,
+    so the chain machinery costs O(u log u) for u uncertain events
+    rather than O(n log n).
+
+    Returns a boolean keep-mask in stream order; ``None`` signals the
+    packed keys would overflow int64 (caller falls back to the loop).
+    """
+    n = keys.size
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    t = t.astype(np.int64)
+    ts_rel = t - int(t[0])  # t is non-decreasing, so t[0] is the minimum
+    span = int(ts_rel[-1]) + refractory_us + 2
+    kmax = int(keys.max())
+    if (
+        float(kmax + 1) * float(n) >= 2**62
+        or float(kmax + 1) * float(span) >= 2**62
+    ):
+        return None
+    # Group by key via a value sort of (key, stream index) packed into
+    # one int64 — stream order (and thus time order) survives within
+    # each group, including timestamp ties, and a plain sort is much
+    # faster than a stable argsort.
+    packed = np.sort(keys * n + np.arange(n))
+    ks = packed // n
+    order = packed - ks * n
+    ts = ts_rel[order]
+
+    # Seeds: group heads plus anchors (gap to in-group predecessor
+    # exceeds the refractory period).  Everything else sits in an
+    # uncertain run and needs its chain followed.
+    seed = np.empty(n, dtype=bool)
+    seed[0] = True
+    seed[1:] = (ks[1:] != ks[:-1]) | (ts[1:] - ts[:-1] > refractory_us)
+    uncertain = np.flatnonzero(~seed)
+    if uncertain.size == 0:
+        return np.ones(n, dtype=bool)
+
+    # Chains only matter on the runs and the seed immediately before
+    # each (its anchor); ``uncertain - 1`` is always valid because index
+    # 0 is a seed.
+    sub = np.unique(np.concatenate([uncertain - 1, uncertain]))
+    comp = ks * span + ts
+    # First event strictly more than refractory_us later; the probe
+    # stays inside the group's key range (ts + refractory_us < span), so
+    # landing in another group hits that group's head — a seed — which
+    # makes the mark a no-op and ends the chain.
+    nxt = np.searchsorted(comp, comp[sub] + refractory_us, side="right")
+    # Translate chain targets into the compact sub-domain; targets
+    # outside it are seeds beyond the run (or n), i.e. chain ends.
+    m = sub.size
+    pos = np.searchsorted(sub, nxt)
+    pos_c = np.minimum(pos, m - 1)
+    inside = (pos < m) & (sub[pos_c] == nxt)
+    jump = np.where(inside, pos_c, np.arange(m))
+    reached = seed[sub]
+    marked = int(np.count_nonzero(reached))
+    while True:
+        reached[jump[reached]] = True
+        now = int(np.count_nonzero(reached))
+        if now == marked:
+            break
+        marked = now
+        jump = jump[jump]
+    seed[sub[reached]] = True  # seeds stay True; reached run events join
+    keep = np.empty(n, dtype=bool)
+    keep[order] = seed
+    return keep
+
+
 def refractory_filter(stream: EventStream, refractory_us: int) -> EventStream:
     """Drop events that follow a previous event at the same pixel too soon.
 
@@ -75,7 +171,26 @@ def refractory_filter(stream: EventStream, refractory_us: int) -> EventStream:
     events from that pixel within ``refractory_us`` are discarded
     (regardless of polarity).  This is both a denoising filter and a
     component of the DVS pixel circuit.
+
+    Vectorized via :func:`_grouped_refractory_keep`;
+    :func:`refractory_filter_reference` is the loop-based oracle it is
+    tested against.
     """
+    if refractory_us < 0:
+        raise ValueError("refractory_us must be non-negative")
+    n = len(stream)
+    if n == 0 or refractory_us == 0:
+        return stream
+    keep = _grouped_refractory_keep(stream.pixel_index(), stream.t, refractory_us)
+    if keep is None:
+        return refractory_filter_reference(stream, refractory_us)
+    return stream[keep]
+
+
+def refractory_filter_reference(
+    stream: EventStream, refractory_us: int
+) -> EventStream:
+    """Loop-based reference oracle for :func:`refractory_filter`."""
     if refractory_us < 0:
         raise ValueError("refractory_us must be non-negative")
     n = len(stream)
@@ -104,7 +219,67 @@ def neighbourhood_filter(
     (Chebyshev distance) during the preceding ``window_us`` microseconds.
     Isolated shot-noise events have no such support and are removed.  This
     is the classic nearest-neighbour denoise used on DVS output.
+
+    Vectorized: events are sorted by a packed ``(pixel, stream index)``
+    key, so "the latest earlier event at pixel q" is one ``searchsorted``
+    per patch offset — ``(2·radius + 1)²`` array-wide lookups replace the
+    per-event Python patch scan of
+    :func:`neighbourhood_filter_reference` (timestamps are
+    non-decreasing, so only each pixel's latest predecessor needs its
+    time checked).
     """
+    if window_us <= 0:
+        raise ValueError("window_us must be positive")
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    n = len(stream)
+    if n == 0:
+        return stream
+    w, h = stream.resolution.width, stream.resolution.height
+    pix = stream.pixel_index()
+    if float(h) * float(w) * float(n) >= 2**62:
+        return neighbourhood_filter_reference(stream, window_us, radius)
+    # Sort by packed (pixel, stream index); stream order survives within
+    # a pixel, so skey is strictly increasing and the sorted order is
+    # recoverable from the key itself.  All lookups below run in this
+    # sorted domain: every probe array is then sorted too, which keeps
+    # the binary searches cache-resident.
+    skey = np.sort(pix * n + np.arange(n))
+    order = skey % n
+    xs = stream.x.astype(np.int64)[order]
+    ys = stream.y.astype(np.int64)[order]
+    ts = stream.t.astype(np.int64)[order]
+    thresh = ts - window_us
+
+    support = np.zeros(n, dtype=bool)
+    xv = {dx: (xs + dx >= 0) & (xs + dx < w) for dx in range(-radius, radius + 1)}
+    yv = {dy: (ys + dy >= 0) & (ys + dy < h) for dy in range(-radius, radius + 1)}
+    for dy in range(-radius, radius + 1):
+        for dx in range(-radius, radius + 1):
+            # Latest event at patch pixel q strictly earlier in the
+            # stream: the last key below q*n + i.  The event itself
+            # (offset 0, 0) has exactly key q*n + i, so it never
+            # supports itself.
+            qkey = skey + (dy * w + dx) * n
+            pred = np.searchsorted(skey, qkey) - 1
+            pred_c = np.maximum(pred, 0)
+            hit = (
+                xv[dx]
+                & yv[dy]
+                & (pred >= 0)
+                & (skey[pred_c] >= qkey - order)
+                & (ts[pred_c] >= thresh)
+            )
+            support |= hit
+    keep = np.zeros(n, dtype=bool)
+    keep[order] = support
+    return stream[keep]
+
+
+def neighbourhood_filter_reference(
+    stream: EventStream, window_us: int, radius: int = 1
+) -> EventStream:
+    """Loop-based reference oracle for :func:`neighbourhood_filter`."""
     if window_us <= 0:
         raise ValueError("window_us must be positive")
     if radius < 0:
@@ -170,6 +345,10 @@ def spatial_downsample(
     into one (a pooled pixel shares one comparator, so it can emit at
     most once per refractory window).  With ``refractory_us=0`` only
     exactly simultaneous duplicates merge.
+
+    Vectorized via :func:`_grouped_refractory_keep` (grouped on
+    super-pixel and polarity); :func:`spatial_downsample_reference` is
+    the loop-based oracle it is tested against.
     """
     if factor <= 0:
         raise ValueError("factor must be positive")
@@ -187,6 +366,39 @@ def spatial_downsample(
         max(1, stream.resolution.width // factor),
         max(1, stream.resolution.height // factor),
     )
+    x = np.minimum(stream.x // factor, new_res.width - 1).astype(np.int64)
+    y = np.minimum(stream.y // factor, new_res.height - 1).astype(np.int64)
+    pol_bit = (stream.p == 1).astype(np.int64)
+    keys = (y * new_res.width + x) * 2 + pol_bit
+    t = stream.t
+    keep = _grouped_refractory_keep(keys, t, refractory_us)
+    if keep is None:
+        return spatial_downsample_reference(stream, factor, refractory_us)
+    # Valid by construction (t[keep] stays ordered, coordinates are
+    # clipped to the new resolution, polarities untouched) — skip
+    # re-validation on this hot path.
+    arr = np.empty(int(np.count_nonzero(keep)), dtype=EVENT_DTYPE)
+    arr["t"] = t[keep]
+    arr["x"] = x[keep]
+    arr["y"] = y[keep]
+    arr["p"] = stream.p[keep]
+    return EventStream(arr, new_res, check=False)
+
+
+def spatial_downsample_reference(
+    stream: EventStream, factor: int, refractory_us: int = 0
+) -> EventStream:
+    """Loop-based reference oracle for :func:`spatial_downsample`."""
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    if refractory_us < 0:
+        raise ValueError("refractory_us must be non-negative")
+    new_res = Resolution(
+        max(1, stream.resolution.width // factor),
+        max(1, stream.resolution.height // factor),
+    )
+    if factor == 1 or len(stream) == 0:
+        return stream if factor == 1 else EventStream.empty(new_res)
     x = np.minimum(stream.x // factor, new_res.width - 1).astype(np.int64)
     y = np.minimum(stream.y // factor, new_res.height - 1).astype(np.int64)
     pol_bit = (stream.p == 1).astype(np.int64)

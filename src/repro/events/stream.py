@@ -330,13 +330,26 @@ def concatenate(streams: Iterable[EventStream]) -> EventStream:
     The streams must already be mutually ordered (each stream's first
     timestamp at or after the previous stream's last); use
     :meth:`EventStream.shift_time` first when stitching recordings.
+
+    Each input stream was validated at construction, so only the
+    cross-stream boundary timestamps are checked here — the merged
+    array is not re-validated.
     """
     streams = list(streams)
     if not streams:
         raise ValueError("need at least one stream to concatenate")
     res = streams[0].resolution
-    for s in streams[1:]:
+    last_t: int | None = None
+    for s in streams:
         if s.resolution != res:
             raise ValueError(f"mixed resolutions: {s.resolution} vs {res}")
+        if len(s) == 0:
+            continue
+        if last_t is not None and int(s.t[0]) < last_t:
+            raise ValueError(
+                "streams are not mutually time-ordered: "
+                f"boundary {s.t[0]} < {last_t}"
+            )
+        last_t = int(s.t[-1])
     arr = np.concatenate([s.raw for s in streams])
-    return EventStream(arr, res)
+    return EventStream(arr, res, check=False)

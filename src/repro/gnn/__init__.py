@@ -9,6 +9,7 @@ from .build import (
     radius_graph_kdtree,
     radius_graph_naive,
     radius_graph_spatial_hash,
+    radius_graph_spatial_hash_reference,
 )
 from .detection import EventGNNLocalizer, fit_localizer, localisation_error
 from .graph import EventGraph
@@ -32,6 +33,7 @@ __all__ = [
     "radius_graph_naive",
     "radius_graph_kdtree",
     "radius_graph_spatial_hash",
+    "radius_graph_spatial_hash_reference",
     "knn_graph",
     "make_causal",
     "limit_in_degree",

@@ -15,7 +15,11 @@ Three per-event insertion strategies over a sliding temporal window:
   keyed on the (x, y) cell, with stale entries pruned lazily; because a
   *causal* (past-only, hemispherical) neighbourhood is used, arriving
   events never modify existing edges — they only append — which is what
-  makes O(1) insertion possible.
+  makes O(1) insertion possible.  :meth:`HashInserter.insert_many` is
+  the batched hot path: cell indices and point coordinates for a whole
+  time-ordered chunk are computed with NumPy up front, and per-event
+  work reduces to bucket list extension plus vectorized candidate
+  filtering.
 
 All three produce identical edge sets (a tested invariant) and count the
 candidate comparisons performed, which is the ABL-GRAPH cost metric.
@@ -63,6 +67,10 @@ class InsertionStats:
 class _InserterBase:
     """Shared state and parameters of the insertion strategies.
 
+    Node positions, timestamps and edges live in capacity-doubled NumPy
+    arrays so candidate gathering and edge retrieval are array slices,
+    not per-element Python work.
+
     Args:
         radius: spatiotemporal connection radius (after time scaling).
         time_scale_us: microseconds per temporal unit.
@@ -90,20 +98,70 @@ class _InserterBase:
         self.window_us = window_us
         self.max_neighbours = max_neighbours
         self.stats = InsertionStats()
-        self._positions: list[np.ndarray] = []  # all inserted points, by index
-        self._times_us: list[int] = []
-        self._edges: list[tuple[int, int]] = []
+        self._num_nodes = 0
+        self._pos = np.empty((64, 3), dtype=np.float64)
+        self._t_us = np.empty(64, dtype=np.int64)
+        self._num_edges = 0
+        self._edge_arr = np.empty((64, 2), dtype=np.int64)
 
     @property
     def num_nodes(self) -> int:
         """Total nodes inserted so far."""
-        return len(self._positions)
+        return self._num_nodes
+
+    @property
+    def _positions(self) -> np.ndarray:
+        """(N, 3) scaled positions of all inserted nodes (view)."""
+        return self._pos[: self._num_nodes]
+
+    @property
+    def _times_us(self) -> np.ndarray:
+        """Raw microsecond timestamps of all inserted nodes (view)."""
+        return self._t_us[: self._num_nodes]
 
     def edges(self) -> np.ndarray:
-        """All (past-node → new-node) edges created, in insertion order."""
-        if not self._edges:
-            return np.zeros((0, 2), dtype=np.int64)
-        return np.asarray(self._edges, dtype=np.int64)
+        """All (past-node → new-node) edges created, in insertion order.
+
+        Returns a view into the internal edge buffer; do not mutate.
+        """
+        return self._edge_arr[: self._num_edges]
+
+    def _reserve_nodes(self, extra: int) -> None:
+        needed = self._num_nodes + extra
+        if needed <= self._pos.shape[0]:
+            return
+        cap = max(needed, 2 * self._pos.shape[0])
+        self._pos = np.concatenate(
+            [self._pos, np.empty((cap - self._pos.shape[0], 3), dtype=np.float64)]
+        )
+        self._t_us = np.concatenate(
+            [self._t_us, np.empty(cap - self._t_us.shape[0], dtype=np.int64)]
+        )
+
+    def _append_node(self, p: np.ndarray, t_us: int) -> int:
+        self._reserve_nodes(1)
+        i = self._num_nodes
+        self._pos[i] = p
+        self._t_us[i] = t_us
+        self._num_nodes = i + 1
+        return i
+
+    def _append_edges(self, src_ids: np.ndarray, dst) -> None:
+        """Append ``(src, dst)`` edges; ``dst`` is a scalar or an array."""
+        m = src_ids.size
+        needed = self._num_edges + m
+        if needed > self._edge_arr.shape[0]:
+            cap = max(needed, 2 * self._edge_arr.shape[0])
+            self._edge_arr = np.concatenate(
+                [
+                    self._edge_arr,
+                    np.empty((cap - self._edge_arr.shape[0], 2), dtype=np.int64),
+                ]
+            )
+        self._edge_arr[self._num_edges : needed, 0] = src_ids
+        self._edge_arr[self._num_edges : needed, 1] = dst
+        self._num_edges = needed
+        self.stats.edges_created += m
 
     def _point(self, x: float, y: float, t_us: int) -> np.ndarray:
         return np.array([x, y, t_us / self.time_scale_us], dtype=np.float64)
@@ -124,9 +182,8 @@ class _InserterBase:
             # strategy selects identical edges.
             order = np.lexsort((ids, dist2))
             ids = ids[order][: self.max_neighbours]
-        for j in sorted(int(i) for i in ids):
-            self._edges.append((j, new_index))
-            self.stats.edges_created += 1
+        if ids.size:
+            self._append_edges(np.sort(ids), new_index)
 
     def insert(self, x: float, y: float, t_us: int) -> int:
         """Insert one event; returns its node index."""
@@ -143,18 +200,13 @@ class NaiveInserter(_InserterBase):
 
     def insert(self, x: float, y: float, t_us: int) -> int:
         p = self._point(x, y, t_us)
-        new_index = self.num_nodes
         cutoff = t_us - self.window_us
-        live = [
-            i for i, ti in enumerate(self._times_us) if ti >= cutoff
-        ]
-        self.stats.candidates_examined += len(live)
-        if live:
-            ids = np.asarray(live, dtype=np.int64)
-            pos = np.stack([self._positions[i] for i in live])
-            self._select_edges(new_index, ids, pos, p)
-        self._positions.append(p)
-        self._times_us.append(t_us)
+        live = np.nonzero(self._times_us >= cutoff)[0]
+        self.stats.candidates_examined += live.size
+        new_index = self._num_nodes
+        if live.size:
+            self._select_edges(new_index, live, self._positions[live], p)
+        self._append_node(p, t_us)
         self.stats.events_inserted += 1
         return new_index
 
@@ -178,13 +230,12 @@ class KDTreeInserter(_InserterBase):
 
     def _rebuild(self, now_us: int) -> None:
         cutoff = now_us - self.window_us
-        live = [i for i, ti in enumerate(self._times_us) if ti >= cutoff]
-        self._tree_ids = np.asarray(live, dtype=np.int64)
-        if live:
-            pts = np.stack([self._positions[i] for i in live])
-            self._tree = cKDTree(pts)
+        live = np.nonzero(self._times_us >= cutoff)[0]
+        self._tree_ids = live.astype(np.int64)
+        if live.size:
+            self._tree = cKDTree(self._positions[live])
             # Tree construction touches every live point.
-            self.stats.candidates_examined += len(live)
+            self.stats.candidates_examined += live.size
         else:
             self._tree = None
         self._pending = []
@@ -192,40 +243,56 @@ class KDTreeInserter(_InserterBase):
 
     def insert(self, x: float, y: float, t_us: int) -> int:
         p = self._point(x, y, t_us)
-        new_index = self.num_nodes
+        new_index = self._num_nodes
         cutoff = t_us - self.window_us
 
-        ids: list[int] = []
-        pos: list[np.ndarray] = []
+        ids_parts: list[np.ndarray] = []
         if self._tree is not None:
             hits = self._tree.query_ball_point(p, self.radius)
             # A k-d tree range query inspects ~log N + hits nodes.
             self.stats.candidates_examined += max(
                 1, int(np.log2(self._tree.n + 1))
             ) + len(hits)
-            for h in hits:
-                node = int(self._tree_ids[h])
-                if self._times_us[node] >= cutoff:
-                    ids.append(node)
-                    pos.append(self._positions[node])
-        # Linear scan of the pending (not-yet-indexed) nodes.
-        for node in self._pending:
-            self.stats.candidates_examined += 1
-            if self._times_us[node] >= cutoff:
-                ids.append(node)
-                pos.append(self._positions[node])
+            if hits:
+                nodes = self._tree_ids[np.asarray(hits, dtype=np.int64)]
+                ids_parts.append(nodes[self._t_us[nodes] >= cutoff])
+        if self._pending:
+            # Linear scan of the pending (not-yet-indexed) nodes.
+            self.stats.candidates_examined += len(self._pending)
+            pending = np.asarray(self._pending, dtype=np.int64)
+            ids_parts.append(pending[self._t_us[pending] >= cutoff])
 
-        if ids:
-            self._select_edges(
-                new_index, np.asarray(ids, dtype=np.int64), np.stack(pos), p
-            )
-        self._positions.append(p)
-        self._times_us.append(t_us)
+        ids = (
+            np.concatenate(ids_parts) if ids_parts else np.zeros(0, dtype=np.int64)
+        )
+        if ids.size:
+            self._select_edges(new_index, ids, self._positions[ids], p)
+        self._append_node(p, t_us)
         self._pending.append(new_index)
         self.stats.events_inserted += 1
         if len(self._pending) >= self.rebuild_every:
             self._rebuild(t_us)
         return new_index
+
+
+#: Bias that makes signed (cx, cy) cell indices packable into one
+#: unsigned 64-bit key: ``(cx + bias) << 32 | (cy + bias)``.  The
+#: packing needs no data-dependent parameters, so keys from different
+#: batches are directly comparable.
+_XY_BIAS = 1 << 31
+
+
+def _pack_xy(cx: np.ndarray, cy: np.ndarray) -> np.ndarray:
+    """Pack signed (cx, cy) int64 cell indices into sortable uint64 keys."""
+    return ((cx + _XY_BIAS).astype(np.uint64) << np.uint64(32)) | (
+        cy + _XY_BIAS
+    ).astype(np.uint64)
+
+
+#: ``_batch_insert`` outcomes.
+_BATCH_OK = 0  # batch fully processed
+_BATCH_OVERFLOW = 1  # packed keys would overflow: use the per-event path
+_BATCH_SPLIT = 2  # candidate expansion too large: recurse on halves
 
 
 class HashInserter(_InserterBase):
@@ -235,16 +302,26 @@ class HashInserter(_InserterBase):
     (r = connection radius).  Any node within 3-D radius of a new event
     lies in one of the 9 spatially neighbouring cells of the current or
     previous time-cell, so a lookup touches at most 18 buckets.  Whole
-    time-cells expire as time advances (stale buckets are deleted in
-    O(1) amortised), so the candidate count is bounded by the *local*
-    event density — independent of both the sensor size and the
-    liveness-window length.
+    time-cells expire as time advances (pruning is lazy: stale
+    time-cells are only scanned for when one can actually be dropped),
+    so the candidate count is bounded by the *local* event density —
+    independent of both the sensor size and the liveness-window length.
+
+    Live nodes are held in two interchangeable forms: per-event
+    :meth:`insert` appends to plain dict buckets, while
+    :meth:`insert_many` stores each batch as a *block* — a
+    cell-key-sorted id array per time-cell — so batched insertion never
+    pays per-bucket Python bookkeeping.  Lookups (either path) probe
+    both forms; both expire per time-cell.
     """
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
-        # time-cell index -> {(cx, cy): [node ids]}
+        # time-cell index -> {(cx, cy): [node ids]}   (per-event inserts)
         self._tcells: dict[int, dict[tuple[int, int], list[int]]] = {}
+        # time-cell index -> [(sorted packed-xy keys, node ids)]  (batches)
+        self._tblocks: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {}
+        self._min_tcell: int | None = None
 
     def _cell_xy(self, x: float, y: float) -> tuple[int, int]:
         return (int(np.floor(x / self.radius)), int(np.floor(y / self.radius)))
@@ -252,40 +329,354 @@ class HashInserter(_InserterBase):
     def _cell_t(self, t_us: int) -> int:
         return int(np.floor(t_us / (self.time_scale_us * self.radius)))
 
-    def insert(self, x: float, y: float, t_us: int) -> int:
-        p = self._point(x, y, t_us)
-        new_index = self.num_nodes
-        cutoff = t_us - self.window_us
-        cx, cy = self._cell_xy(x, y)
-        ct = self._cell_t(t_us)
+    def _expire(self, ct: int) -> None:
+        """Drop time-cells too old to hold in-radius candidates.
 
-        # Expire time-cells that can no longer hold in-radius candidates.
+        Lazy: the key scan only runs when the oldest live time-cell is
+        actually expirable, so its cost amortises against deletions.
+        """
+        if self._min_tcell is None or self._min_tcell >= ct - 1:
+            return
         for old in [k for k in self._tcells if k < ct - 1]:
             del self._tcells[old]
+        for old in [k for k in self._tblocks if k < ct - 1]:
+            del self._tblocks[old]
+        live = self._tcells.keys() | self._tblocks.keys()
+        self._min_tcell = min(live) if live else None
 
-        ids: list[int] = []
-        pos: list[np.ndarray] = []
+    def _gather(self, cx: int, cy: int, ct: int, cutoff: int) -> np.ndarray:
+        """Candidate node ids from the ≤18 reachable buckets, time-filtered."""
+        merged: list[int] = []
+        parts: list[np.ndarray] = []
+        probes: np.ndarray | None = None
         for tc in (ct - 1, ct):
             grid = self._tcells.get(tc)
-            if not grid:
-                continue
-            for dx in (-1, 0, 1):
-                for dy in (-1, 0, 1):
-                    bucket = grid.get((cx + dx, cy + dy))
-                    if not bucket:
+            if grid:
+                for dx in (-1, 0, 1):
+                    for dy in (-1, 0, 1):
+                        bucket = grid.get((cx + dx, cy + dy))
+                        if bucket:
+                            merged.extend(bucket)
+            blocks = self._tblocks.get(tc)
+            if blocks:
+                if probes is None:
+                    if not (
+                        0 < cx + _XY_BIAS - 1
+                        and cx + _XY_BIAS + 1 < 2**32
+                        and 0 < cy + _XY_BIAS - 1
+                        and cy + _XY_BIAS + 1 < 2**32
+                    ):
+                        # Cells this far out can never be in a block
+                        # (insert_many guards the packing range).
                         continue
-                    for node in bucket:
-                        if self._times_us[node] >= cutoff:
-                            ids.append(node)
-                            pos.append(self._positions[node])
-                            self.stats.candidates_examined += 1
+                    probes = np.empty(9, dtype=np.uint64)
+                    i = 0
+                    for dx in (-1, 0, 1):
+                        for dy in (-1, 0, 1):
+                            probes[i] = ((cx + dx + _XY_BIAS) << 32) | (
+                                cy + dy + _XY_BIAS
+                            )
+                            i += 1
+                for keys_b, ids_b in blocks:
+                    lo = np.searchsorted(keys_b, probes)
+                    hi = np.searchsorted(keys_b, probes, side="right")
+                    for a, b in zip(lo, hi):
+                        if b > a:
+                            parts.append(ids_b[a:b])
+            probes = None  # probe validity is per-tc loop iteration only
+        if merged:
+            parts.append(np.asarray(merged, dtype=np.int64))
+        if not parts:
+            return np.zeros(0, dtype=np.int64)
+        ids = np.concatenate(parts)
+        ids = ids[self._t_us[ids] >= cutoff]
+        self.stats.candidates_examined += ids.size
+        return ids
 
-        if ids:
-            self._select_edges(
-                new_index, np.asarray(ids, dtype=np.int64), np.stack(pos), p
-            )
-        self._positions.append(p)
-        self._times_us.append(t_us)
+    def _insert_cells(
+        self, p: np.ndarray, t_us: int, cx: int, cy: int, ct: int
+    ) -> int:
+        self._expire(ct)
+        ids = self._gather(cx, cy, ct, t_us - self.window_us)
+        new_index = self._num_nodes
+        if ids.size:
+            self._select_edges(new_index, ids, self._positions[ids], p)
+        self._append_node(p, t_us)
         self._tcells.setdefault(ct, {}).setdefault((cx, cy), []).append(new_index)
+        if self._min_tcell is None or ct < self._min_tcell:
+            self._min_tcell = ct
         self.stats.events_inserted += 1
         return new_index
+
+    def insert(self, x: float, y: float, t_us: int) -> int:
+        cx, cy = self._cell_xy(x, y)
+        return self._insert_cells(
+            self._point(x, y, t_us), t_us, cx, cy, self._cell_t(t_us)
+        )
+
+    def insert_many(self, xs, ys, ts) -> np.ndarray:
+        """Insert a time-ordered batch of events; returns their node indices.
+
+        The batched hot path: the whole chunk is treated as one *causal*
+        radius-graph problem.  Live nodes and batch nodes are pooled,
+        sorted once by packed ``(t-cell, x-cell, y-cell)`` key, and each
+        batch event probes its 18 reachable cells with array-wide binary
+        searches; candidate pairs are then filtered (older id, liveness
+        window, radius), capped per event by nearest-first/id-tie-break
+        selection, and bulk-appended.  Because neighbourhoods are causal
+        the result — edges, node indices and stats — is identical to
+        calling :meth:`insert` per event, which remains the tested
+        oracle for this path.
+        """
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        ts = np.asarray(ts, dtype=np.int64)
+        if not (xs.shape == ys.shape == ts.shape) or xs.ndim != 1:
+            raise ValueError("xs, ys, ts must be equal-length 1-D sequences")
+        n = xs.size
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        if np.any(np.diff(ts) < 0):
+            raise ValueError("insert_many requires non-decreasing timestamps")
+        self._reserve_nodes(n)
+        pts = np.empty((n, 3), dtype=np.float64)
+        pts[:, 0] = xs
+        pts[:, 1] = ys
+        pts[:, 2] = ts / self.time_scale_us
+        cxs = np.floor(xs / self.radius).astype(np.int64)
+        cys = np.floor(ys / self.radius).astype(np.int64)
+        cts = np.floor(ts / (self.time_scale_us * self.radius)).astype(np.int64)
+
+        n0 = self._num_nodes
+        status = self._batch_insert(pts, ts, cxs, cys, cts)
+        if status == _BATCH_OK:
+            return n0 + np.arange(n, dtype=np.int64)
+        if status == _BATCH_SPLIT:
+            half = n // 2
+            first = self.insert_many(xs[:half], ys[:half], ts[:half])
+            second = self.insert_many(xs[half:], ys[half:], ts[half:])
+            return np.concatenate([first, second])
+        # Packed cell keys would overflow (astronomical coordinates):
+        # take the per-event path, which packs nothing.
+        out = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            out[i] = self._insert_cells(
+                pts[i], int(ts[i]), int(cxs[i]), int(cys[i]), int(cts[i])
+            )
+        return out
+
+    #: Cap on the expanded candidate-pair array of one batch; denser
+    #: batches recurse on halves so memory stays bounded.
+    _MAX_BATCH_PAIRS = 20_000_000
+
+    def _batch_insert(
+        self,
+        pts: np.ndarray,
+        ts: np.ndarray,
+        cxs: np.ndarray,
+        cys: np.ndarray,
+        cts: np.ndarray,
+    ) -> int:
+        """Vectorized core of :meth:`insert_many`; returns a ``_BATCH_*`` code.
+
+        State is only mutated when ``_BATCH_OK`` is returned.
+        """
+        n = ts.size
+        n0 = self._num_nodes
+        ct_first, ct_last = int(cts[0]), int(cts[-1])
+
+        # --- collect the reachable live pool (dict buckets + blocks) ---
+        # Only time-cells in [ct_first - 1, ct_last] and spatial cells in
+        # the batch's ±1 bounding box can ever be probed.
+        x_lo, x_hi = int(cxs.min()) - 1, int(cxs.max()) + 1
+        y_lo, y_hi = int(cys.min()) - 1, int(cys.max()) + 1
+        id_parts: list[np.ndarray] = []
+        cx_parts: list[np.ndarray] = []
+        cy_parts: list[np.ndarray] = []
+        ct_parts: list[np.ndarray] = []
+        for tc, grid in self._tcells.items():
+            if tc < ct_first - 1 or tc > ct_last:
+                continue
+            for (bx, by), bucket in grid.items():
+                if not (x_lo <= bx <= x_hi and y_lo <= by <= y_hi):
+                    continue
+                m = len(bucket)
+                id_parts.append(np.asarray(bucket, dtype=np.int64))
+                cx_parts.append(np.full(m, bx, dtype=np.int64))
+                cy_parts.append(np.full(m, by, dtype=np.int64))
+                ct_parts.append(np.full(m, tc, dtype=np.int64))
+        for tc, blocks in self._tblocks.items():
+            if tc < ct_first - 1 or tc > ct_last:
+                continue
+            for keys_b, ids_b in blocks:
+                bx = (keys_b >> np.uint64(32)).astype(np.int64) - _XY_BIAS
+                by = (keys_b & np.uint64(0xFFFFFFFF)).astype(np.int64) - _XY_BIAS
+                inside = (bx >= x_lo) & (bx <= x_hi) & (by >= y_lo) & (by <= y_hi)
+                if not inside.any():
+                    continue
+                id_parts.append(ids_b[inside])
+                cx_parts.append(bx[inside])
+                cy_parts.append(by[inside])
+                ct_parts.append(np.full(int(inside.sum()), tc, dtype=np.int64))
+
+        batch_ids = n0 + np.arange(n, dtype=np.int64)
+        pool_id = np.concatenate(id_parts + [batch_ids])
+        pool_cx = np.concatenate(cx_parts + [cxs])
+        pool_cy = np.concatenate(cy_parts + [cys])
+        pool_ct = np.concatenate(ct_parts + [cts])
+        M = pool_id.size
+
+        # --- pack (t-cell, x-cell, y-cell) into one sortable int64 ---
+        mx, my, mt = (
+            int(pool_cx.min()) - 1,
+            int(pool_cy.min()) - 1,
+            int(pool_ct.min()) - 1,
+        )
+        span_x = int(pool_cx.max()) - mx + 2
+        span_y = int(pool_cy.max()) - my + 2
+        span_t = int(pool_ct.max()) - mt + 2
+        if (
+            float(span_t) * float(span_x) * float(span_y) * float(M) >= 2**62
+            or float(n) * float(n0 + n) >= 2**62  # packed (dst, src) edge sort
+            or abs(x_lo) >= _XY_BIAS - 1  # block xy-key packing range
+            or abs(x_hi) >= _XY_BIAS - 1
+            or abs(y_lo) >= _XY_BIAS - 1
+            or abs(y_hi) >= _XY_BIAS - 1
+        ):
+            return _BATCH_OVERFLOW
+        key = ((pool_ct - mt) * span_x + (pool_cx - mx)) * span_y + (pool_cy - my)
+
+        # Value sort of (key, pool index) packed into one int64; the
+        # batch members' sorted keys are then themselves sorted, so the
+        # 18 probe passes below all run with sorted needles.
+        packed = np.sort(key * M + np.arange(M))
+        skey = packed // M
+        order = packed - skey * M
+        new_cell = np.empty(M, dtype=bool)
+        new_cell[0] = True
+        new_cell[1:] = skey[1:] != skey[:-1]
+        cell_start = np.flatnonzero(new_cell)
+        cell_key = skey[cell_start]
+        cell_count = np.diff(np.append(cell_start, M))
+        num_cells = cell_key.size
+
+        old_n = M - n
+        src_spos = np.flatnonzero(order >= old_n)
+        needles = skey[src_spos]
+
+        src_parts: list[np.ndarray] = []
+        qs_parts: list[np.ndarray] = []
+        qc_parts: list[np.ndarray] = []
+        for dt in (-1, 0):
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    dkey = (dt * span_x + dx) * span_y + dy
+                    probe = needles + dkey
+                    slot = np.searchsorted(cell_key, probe)
+                    slot_c = np.minimum(slot, num_cells - 1)
+                    hit = (slot < num_cells) & (cell_key[slot_c] == probe)
+                    if not hit.any():
+                        continue
+                    src_parts.append(src_spos[hit])
+                    qs_parts.append(cell_start[slot_c[hit]])
+                    qc_parts.append(cell_count[slot_c[hit]])
+
+        if src_parts:
+            q_count = np.concatenate(qc_parts)
+            total = int(q_count.sum())
+        else:
+            total = 0
+        if total > self._MAX_BATCH_PAIRS and n > 1:
+            return _BATCH_SPLIT
+
+        # --- commit point: append batch nodes, then build edges ---
+        self._pos[n0 : n0 + n] = pts
+        self._t_us[n0 : n0 + n] = ts
+        self._num_nodes = n0 + n
+        self.stats.events_inserted += n
+
+        if total:
+            src_exp = np.repeat(np.concatenate(src_parts), q_count)
+            q_start = np.concatenate(qs_parts)
+            out_end = np.cumsum(q_count)
+            flat = np.arange(total) - np.repeat(out_end - q_count, q_count)
+            cand_spos = flat + np.repeat(q_start, q_count)
+            src_id = pool_id[order[src_exp]]
+            cand_id = pool_id[order[cand_spos]]
+
+            # Causality (bucket contents at insertion time are exactly
+            # the lower ids) and the liveness window; candidate work is
+            # counted after both, matching the per-event oracle.
+            causal = cand_id < src_id
+            src_id = src_id[causal]
+            cand_id = cand_id[causal]
+            live = self._t_us[cand_id] >= self._t_us[src_id] - self.window_us
+            src_id = src_id[live]
+            cand_id = cand_id[live]
+            self.stats.candidates_examined += int(src_id.size)
+
+            d = self._pos[src_id] - self._pos[cand_id]
+            dist2 = np.einsum("ij,ij->i", d, d)
+            in_radius = dist2 <= self.radius**2
+            src_id = src_id[in_radius]
+            cand_id = cand_id[in_radius]
+            dist2 = dist2[in_radius]
+
+            # Per-event cap: nearest max_neighbours, ties broken by id —
+            # resolved only for the (rare) oversubscribed events.
+            dst_local = src_id - n0
+            if src_id.size:
+                counts = np.bincount(dst_local, minlength=n)
+                if int(counts.max()) > self.max_neighbours:
+                    over = counts[dst_local] > self.max_neighbours
+                    o_idx = np.flatnonzero(over)
+                    by_pref = o_idx[
+                        np.lexsort(
+                            (cand_id[o_idx], dist2[o_idx], dst_local[o_idx])
+                        )
+                    ]
+                    dl = dst_local[by_pref]
+                    grp_head = np.empty(dl.size, dtype=bool)
+                    grp_head[0] = True
+                    grp_head[1:] = dl[1:] != dl[:-1]
+                    starts = np.flatnonzero(grp_head)
+                    rank = np.arange(dl.size) - starts[np.cumsum(grp_head) - 1]
+                    keep = np.ones(src_id.size, dtype=bool)
+                    keep[by_pref] = rank < self.max_neighbours
+                    dst_local = dst_local[keep]
+                    cand_id = cand_id[keep]
+            if cand_id.size:
+                # Insertion order: ascending destination, then ascending
+                # source — one packed value sort.
+                pk = np.sort(dst_local * (n0 + n) + cand_id)
+                dsts = pk // (n0 + n)
+                self._append_edges(pk - dsts * (n0 + n), n0 + dsts)
+
+        # --- store the batch as per-time-cell blocks; expire the old ---
+        self._expire(ct_last)
+        tc_head = np.empty(n, dtype=bool)
+        tc_head[0] = True
+        tc_head[1:] = cts[1:] != cts[:-1]  # cts is non-decreasing
+        starts = np.append(np.flatnonzero(tc_head), n)
+        added_min: int | None = None
+        for i in range(starts.size - 1):
+            a, b = int(starts[i]), int(starts[i + 1])
+            tc = int(cts[a])
+            if tc < ct_last - 1:
+                continue  # would expire immediately
+            keys2 = _pack_xy(cxs[a:b], cys[a:b])
+            o2 = np.argsort(keys2, kind="stable")
+            self._tblocks.setdefault(tc, []).append(
+                (keys2[o2], batch_ids[a:b][o2])
+            )
+            if added_min is None:
+                added_min = tc
+        if added_min is not None and (
+            self._min_tcell is None or added_min < self._min_tcell
+        ):
+            self._min_tcell = added_min
+        return _BATCH_OK
+
+    def insert_stream(self, xs, ys, ts) -> None:
+        """Insert a batch of time-ordered events (batched fast path)."""
+        self.insert_many(xs, ys, ts)

@@ -23,6 +23,7 @@ __all__ = [
     "radius_graph_naive",
     "radius_graph_kdtree",
     "radius_graph_spatial_hash",
+    "radius_graph_spatial_hash_reference",
     "knn_graph",
     "make_causal",
     "limit_in_degree",
@@ -37,11 +38,23 @@ def _check_points(points: np.ndarray) -> np.ndarray:
 
 
 def _canonical(edges: np.ndarray) -> np.ndarray:
-    """Sort an edge list for deterministic, comparable output."""
+    """Sort an edge list for deterministic, comparable output.
+
+    Equivalent to a (src, dst) lexsort, but packs each row into one
+    int64 so a plain value sort does the work (~20x faster on 100k+
+    edge lists).
+    """
     if edges.size == 0:
         return np.zeros((0, 2), dtype=np.int64)
-    order = np.lexsort((edges[:, 1], edges[:, 0]))
-    return edges[order]
+    hi = int(edges.max()) + 1
+    if float(hi) * float(hi) >= 2**62:
+        order = np.lexsort((edges[:, 1], edges[:, 0]))
+        return edges[order]
+    packed = np.sort(edges[:, 0] * hi + edges[:, 1])
+    out = np.empty((packed.size, 2), dtype=np.int64)
+    out[:, 0] = packed // hi
+    out[:, 1] = packed % hi
+    return out
 
 
 def radius_graph_naive(points: np.ndarray, radius: float) -> np.ndarray:
@@ -78,13 +91,14 @@ def radius_graph_kdtree(points: np.ndarray, radius: float) -> np.ndarray:
     return _canonical(both.astype(np.int64))
 
 
-def radius_graph_spatial_hash(points: np.ndarray, radius: float) -> np.ndarray:
-    """Radius graph via uniform-grid spatial hashing.
+def radius_graph_spatial_hash_reference(
+    points: np.ndarray, radius: float
+) -> np.ndarray:
+    """Loop-based reference for :func:`radius_graph_spatial_hash`.
 
-    Points are bucketed into cells of side ``radius``; each point is only
-    compared against the 27 neighbouring cells.  For bounded point
-    density this is O(N) — the algorithmic ingredient behind real-time
-    event-graph updates.
+    Kept as the readable oracle the vectorized implementation is
+    validated against (see ``tests/test_hotpath_equivalence.py``); use
+    the vectorized version everywhere else.
     """
     points = _check_points(points)
     if radius <= 0:
@@ -125,8 +139,111 @@ def radius_graph_spatial_hash(points: np.ndarray, radius: float) -> np.ndarray:
     return _canonical(np.stack([src_list, dst_list], axis=1).astype(np.int64))
 
 
+def radius_graph_spatial_hash(points: np.ndarray, radius: float) -> np.ndarray:
+    """Radius graph via uniform-grid spatial hashing.
+
+    Points are bucketed into cells of side ``radius``; each point is only
+    compared against the 27 neighbouring cells.  For bounded point
+    density this is O(N) — the algorithmic ingredient behind real-time
+    event-graph updates.
+
+    The buckets are sorted cell-key arrays rather than dict-of-lists:
+    points are sorted by a packed integer cell key, each neighbour-cell
+    offset becomes one ``searchsorted`` against the unique keys (probed
+    with sorted needles, so the binary searches stay cache-resident),
+    and all candidate pairs are gathered and distance-tested in a
+    handful of array operations.  Only the 13 lexicographically
+    positive offsets plus the home cell are probed — each unordered
+    pair is distance-tested once and mirrored afterwards.
+    """
+    points = _check_points(points)
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    n = points.shape[0]
+    if n == 0:
+        return np.zeros((0, 2), dtype=np.int64)
+    cells = np.floor(points / radius).astype(np.int64)
+    # Shift to non-negative and pad by one so neighbour offsets of -1
+    # stay representable without wrapping into an adjacent row/plane.
+    cells = cells - cells.min(axis=0) + 1
+    span = cells.max(axis=0) + 2
+    if float(span[0]) * float(span[1]) * float(span[2]) >= 2**62:
+        # Packed keys would overflow int64 (astronomically spread input);
+        # fall back to the dict-based reference.
+        return radius_graph_spatial_hash_reference(points, radius)
+    keys = (cells[:, 0] * span[1] + cells[:, 1]) * span[2] + cells[:, 2]
+
+    if float(keys.max() + 1) * float(n) < 2**62:
+        # Append the point index to the key: a plain value sort then
+        # replaces the much slower stable argsort.
+        packed = np.sort(keys * n + np.arange(n))
+        order = packed % n
+        sorted_keys = packed // n
+    else:
+        order = np.argsort(keys)
+        sorted_keys = keys[order]
+    uniq_keys, bucket_start = np.unique(sorted_keys, return_index=True)
+    bucket_count = np.diff(np.append(bucket_start, n))
+
+    # Home-cell probe: every point against its own bucket (self and the
+    # mirrored half of each pair are filtered triangularly below).
+    slot_home = np.searchsorted(uniq_keys, sorted_keys)
+    src_pos = [np.arange(n)]
+    q_start = [bucket_start[slot_home]]
+    q_count = [bucket_count[slot_home]]
+    for dx in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            for dz in (-1, 0, 1):
+                if (dx, dy, dz) <= (0, 0, 0):
+                    continue
+                d_key = (dx * span[1] + dy) * span[2] + dz
+                probe = sorted_keys + d_key
+                slot = np.searchsorted(uniq_keys, probe)
+                slot_c = np.minimum(slot, uniq_keys.size - 1)
+                hit = uniq_keys[slot_c] == probe
+                src_pos.append(np.flatnonzero(hit))
+                q_start.append(bucket_start[slot_c[hit]])
+                q_count.append(bucket_count[slot_c[hit]])
+
+    home_queries = n
+    src_pos = np.concatenate(src_pos)
+    q_start = np.concatenate(q_start)
+    q_count = np.concatenate(q_count)
+    total = int(q_count.sum())
+    if total == 0:
+        return np.zeros((0, 2), dtype=np.int64)
+    # Expand each (point, bucket) probe into candidate sorted-positions:
+    # candidate m of probe q sits at q_start[q] + m.
+    out_end = np.cumsum(q_count)
+    flat = np.arange(total) - np.repeat(out_end - q_count, q_count)
+    cand_pos = flat + np.repeat(q_start, q_count)
+    src_exp = np.repeat(src_pos, q_count)
+    # Home-cell probes came first: keep each unordered in-cell pair once.
+    home_total = int(out_end[home_queries - 1]) if home_queries else 0
+    keep = np.ones(total, dtype=bool)
+    keep[:home_total] = src_exp[:home_total] < cand_pos[:home_total]
+
+    a = order[src_exp[keep]]
+    b = order[cand_pos[keep]]
+    d = points[a] - points[b]
+    within = np.einsum("ij,ij->i", d, d) <= radius * radius
+    a, b = a[within], b[within]
+    if a.size == 0:
+        return np.zeros((0, 2), dtype=np.int64)
+    both = np.empty((2 * a.size, 2), dtype=np.int64)
+    both[: a.size, 0], both[: a.size, 1] = a, b
+    both[a.size :, 0], both[a.size :, 1] = b, a
+    return _canonical(both)
+
+
 def knn_graph(points: np.ndarray, k: int) -> np.ndarray:
-    """Directed edges from each node's k nearest neighbours into the node."""
+    """Directed edges from each node's k nearest neighbours into the node.
+
+    Self-loops are never emitted, even for duplicate points: with ties at
+    distance zero ``cKDTree.query`` does not guarantee the self-hit comes
+    first, so the query asks for one extra neighbour and the node's own
+    index is dropped explicitly wherever it lands.
+    """
     points = _check_points(points)
     if k <= 0:
         raise ValueError("k must be positive")
@@ -135,10 +252,14 @@ def knn_graph(points: np.ndarray, k: int) -> np.ndarray:
         return np.zeros((0, 2), dtype=np.int64)
     k_eff = min(k, n - 1)
     tree = cKDTree(points)
-    _, idx = tree.query(points, k=k_eff + 1)  # first hit is the point itself
+    _, idx = tree.query(points, k=k_eff + 1)
     idx = np.atleast_2d(idx)
+    keep = idx != np.arange(n)[:, None]
+    # Rows whose self-hit was displaced by a duplicate have k_eff + 1
+    # foreign hits; drop the farthest so every row keeps exactly k_eff.
+    keep[keep.all(axis=1), -1] = False
+    src = idx[keep]  # row-major, so per-node nearest-first order survives
     dst = np.repeat(np.arange(n), k_eff)
-    src = idx[:, 1:].reshape(-1)
     return _canonical(np.stack([src, dst], axis=1).astype(np.int64))
 
 

@@ -50,6 +50,28 @@ class TestSplitting:
     def test_split_by_time_empty_stream(self):
         assert list(split_by_time(EventStream.empty(Resolution(2, 2)), 100)) == []
 
+    def test_split_by_time_timestamps_stay_absolute(self):
+        # Pins the documented contract: chunk timestamps are NOT
+        # rebased to their window; callers use rezero_time for that.
+        res = Resolution(4, 4)
+        s = EventStream.from_arrays(
+            [100, 1150, 2200], [0, 1, 2], [0, 1, 2], [1, 1, 1], res
+        )
+        chunks = list(split_by_time(s, 1000))
+        assert [c.t.tolist() for c in chunks] == [[100], [1150], [2200]]
+        # Windows are aligned to the first timestamp, not to zero.
+        assert chunks[1].t[0] - s.t[0] >= 1000
+
+    def test_split_by_time_exact_boundary_goes_to_next_window(self):
+        # Window spans [start, start + window_us): an event exactly at
+        # start + window_us belongs to the NEXT chunk.
+        res = Resolution(4, 4)
+        s = EventStream.from_arrays(
+            [0, 999, 1000], [0, 0, 0], [0, 0, 0], [1, 1, 1], res
+        )
+        chunks = list(split_by_time(s, 1000))
+        assert [c.t.tolist() for c in chunks] == [[0, 999], [1000]]
+
     def test_split_by_time_invalid(self):
         with pytest.raises(ValueError):
             list(split_by_time(make_stream(), 0))

@@ -220,6 +220,35 @@ class TestConcatenate:
         with pytest.raises(ValueError):
             concatenate([a, b])
 
+    def test_out_of_order_rejected_despite_boundary_only_check(self):
+        # concatenate only inspects cross-stream boundary timestamps
+        # (each input validated its own ordering at construction); a
+        # disordered boundary anywhere in a longer list must still
+        # raise, even when the neighbouring boundaries are fine.
+        res = Resolution(2, 2)
+        a = EventStream.from_arrays([0, 10], [0, 0], [0, 0], [1, 1], res)
+        b = EventStream.from_arrays([20, 30], [0, 0], [0, 0], [1, 1], res)
+        c = EventStream.from_arrays([25, 40], [0, 0], [0, 0], [1, 1], res)
+        with pytest.raises(ValueError, match="mutually time-ordered"):
+            concatenate([a, b, c])
+
+    def test_boundary_tie_allowed(self):
+        # Equal timestamps at a boundary keep the merged stream
+        # non-decreasing, so they are legal.
+        res = Resolution(2, 2)
+        a = EventStream.from_arrays([0, 5], [0, 0], [0, 0], [1, 1], res)
+        b = EventStream.from_arrays([5, 9], [1, 1], [1, 1], [-1, -1], res)
+        c = concatenate([a, b])
+        assert c.t.tolist() == [0, 5, 5, 9]
+
+    def test_empty_streams_skipped_at_boundaries(self):
+        res = Resolution(2, 2)
+        a = EventStream.from_arrays([0, 5], [0, 0], [0, 0], [1, 1], res)
+        e = EventStream.empty(res)
+        b = EventStream.from_arrays([7], [1], [1], [1], res)
+        c = concatenate([e, a, e, b, e])
+        assert c.t.tolist() == [0, 5, 7]
+
 
 @st.composite
 def stream_strategy(draw, max_events=50):

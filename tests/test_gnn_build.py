@@ -143,6 +143,39 @@ class TestKnnAndHelpers:
         with pytest.raises(ValueError):
             knn_graph(random_points(5), 0)
 
+    def test_knn_no_self_loops_with_duplicates(self):
+        # Regression: with duplicate points, cKDTree may return a
+        # duplicate as the "self" hit instead of the point itself, so
+        # masking by index (not distance) used to leave a genuine
+        # self-loop in the edge list.
+        pts = np.array(
+            [[0.0, 0.0, 0.0], [0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [5.0, 5.0, 5.0]]
+        )
+        edges = knn_graph(pts, 2)
+        assert np.all(edges[:, 0] != edges[:, 1])
+        in_deg = np.bincount(edges[:, 1], minlength=4)
+        assert np.all(in_deg == 2)
+        # The duplicate pair must still connect to each other.
+        pairs = set(map(tuple, edges))
+        assert (0, 1) in pairs and (1, 0) in pairs
+
+    def test_knn_all_points_identical(self):
+        pts = np.zeros((5, 3))
+        edges = knn_graph(pts, 3)
+        assert np.all(edges[:, 0] != edges[:, 1])
+        assert np.all(np.bincount(edges[:, 1], minlength=5) == 3)
+
+    def test_knn_keeps_true_nearest_under_duplication(self):
+        # Node 3 sits at distance 1 of the duplicated origin pair and
+        # distance ~7 of node 2; its two nearest neighbours are the
+        # duplicates, never itself or node 2.
+        pts = np.array(
+            [[0.0, 0.0, 0.0], [0.0, 0.0, 0.0], [5.0, 5.0, 5.0], [1.0, 0.0, 0.0]]
+        )
+        edges = knn_graph(pts, 2)
+        srcs_of_3 = {int(s) for s, d in edges if d == 3}
+        assert srcs_of_3 == {0, 1}
+
     def test_make_causal_halves_symmetric_graph(self):
         pts = random_points(30, seed=5)
         # Ensure strictly increasing time so there are no ties.

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Run the hot-path regression benchmark and append to BENCH_hotpaths.json.
+
+Each invocation appends one run record (timestamp, git revision, event
+count, per-hot-path before/after throughput) to the JSON trajectory
+file at the repository root, so successive PRs can see whether the
+vectorized hot paths are holding their speedups.
+
+Usage:
+    python tools/run_hotpath_bench.py            # full run, 100k events
+    python tools/run_hotpath_bench.py --quick    # CI-sized run, 5k events
+    python tools/run_hotpath_bench.py --n 50000 --output /tmp/bench.json
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_hotpath_regression import DEFAULT_N, QUICK_N, bench_all, format_table
+
+
+def git_revision() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help=f"run at {QUICK_N} events (CI mode)"
+    )
+    parser.add_argument(
+        "--n", type=int, default=None, help=f"event count (default {DEFAULT_N})"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_hotpaths.json",
+        help="trajectory file to append to",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    n = args.n if args.n is not None else (QUICK_N if args.quick else DEFAULT_N)
+    results = bench_all(n, seed=args.seed)
+    run = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "git_rev": git_revision(),
+        "quick": bool(args.quick),
+        "n_events": n,
+        "results": results,
+    }
+
+    if args.output.exists():
+        data = json.loads(args.output.read_text())
+    else:
+        data = {"runs": []}
+    data["runs"].append(run)
+    args.output.write_text(json.dumps(data, indent=2) + "\n")
+
+    print(format_table(results))
+    print(f"\nappended run ({run['git_rev']}, n={n}) to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
