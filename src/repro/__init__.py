@@ -10,7 +10,20 @@ regenerates the paper's Table I and Fig. 1 from measurements.
 
 __version__ = "1.0.0"
 
-from . import analysis, camera, cnn, core, datasets, events, gnn, hw, nn, sensors, snn
+from . import (
+    analysis,
+    camera,
+    cnn,
+    core,
+    datasets,
+    events,
+    gnn,
+    hw,
+    nn,
+    reliability,
+    sensors,
+    snn,
+)
 
 __all__ = [
     "events",
@@ -24,5 +37,6 @@ __all__ = [
     "hw",
     "core",
     "analysis",
+    "reliability",
     "__version__",
 ]

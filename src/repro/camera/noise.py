@@ -38,6 +38,10 @@ class NoiseParams:
     hot_pixel_rate_hz: float = 1000.0
 
     def __post_init__(self) -> None:
+        for name in ("ba_rate_hz", "ba_on_fraction", "hot_pixel_fraction", "hot_pixel_rate_hz"):
+            value = getattr(self, name)
+            if not np.isfinite(value):
+                raise ValueError(f"{name} must be finite, got {value}")
         if self.ba_rate_hz < 0:
             raise ValueError("ba_rate_hz must be non-negative")
         if not 0.0 <= self.ba_on_fraction <= 1.0:
@@ -46,6 +50,28 @@ class NoiseParams:
             raise ValueError("hot_pixel_fraction must be in [0, 1]")
         if self.hot_pixel_rate_hz < 0:
             raise ValueError("hot_pixel_rate_hz must be non-negative")
+
+    def scaled(self, factor: float) -> "NoiseParams":
+        """A copy with the stochastic intensities scaled by ``factor``.
+
+        This is the severity knob the robustness sweep
+        (:mod:`repro.reliability.sweep`) turns: background-activity rate
+        and hot-pixel population grow linearly with ``factor`` (the
+        hot-pixel fraction saturates at 1), while the polarity bias and
+        per-hot-pixel rate — properties of the failure mechanism, not of
+        its prevalence — stay fixed.
+
+        Args:
+            factor: non-negative multiplier (0 disables the noise).
+        """
+        if factor < 0 or not np.isfinite(factor):
+            raise ValueError(f"factor must be finite and non-negative, got {factor}")
+        return NoiseParams(
+            ba_rate_hz=self.ba_rate_hz * factor,
+            ba_on_fraction=self.ba_on_fraction,
+            hot_pixel_fraction=min(1.0, self.hot_pixel_fraction * factor),
+            hot_pixel_rate_hz=self.hot_pixel_rate_hz,
+        )
 
 
 def background_activity(

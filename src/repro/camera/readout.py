@@ -14,6 +14,7 @@ high-resolution side effects Section II discusses (Gehrig & Scaramuzza
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -37,10 +38,28 @@ class ReadoutParams:
     fifo_depth: int = 4096
 
     def __post_init__(self) -> None:
-        if self.throughput_eps <= 0:
-            raise ValueError("throughput_eps must be positive")
+        if not np.isfinite(self.throughput_eps) or self.throughput_eps <= 0:
+            raise ValueError("throughput_eps must be positive and finite")
         if self.fifo_depth <= 0:
             raise ValueError("fifo_depth must be positive")
+
+    def derate(self, factor: float) -> "ReadoutParams":
+        """A copy with the readout capacity divided by ``factor``.
+
+        This is the severity knob the robustness sweep turns to model a
+        degraded or contended bus: ``factor`` 1 leaves the link intact,
+        larger values push it towards saturation (queueing latency, then
+        FIFO-overflow drops).
+
+        Args:
+            factor: derating divisor, >= 1.
+        """
+        if not np.isfinite(factor) or factor < 1:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        return ReadoutParams(
+            throughput_eps=self.throughput_eps / factor,
+            fifo_depth=self.fifo_depth,
+        )
 
 
 @dataclass(frozen=True)
@@ -94,13 +113,13 @@ def simulate_readout(stream: EventStream, params: ReadoutParams) -> ReadoutResul
     # Completion times of queued-or-in-service events, kept as a rolling
     # window: an arrival is admitted iff fewer than fifo_depth events are
     # still pending at its arrival instant.
-    pending: list[float] = []
+    pending: deque[float] = deque()
 
     for i in range(n):
         now = t_in[i]
         # Retire events whose readout completed.
         while pending and pending[0] <= now:
-            pending.pop(0)
+            pending.popleft()
         if len(pending) >= params.fifo_depth:
             continue  # FIFO full: drop
         start = max(now, server_free_at)

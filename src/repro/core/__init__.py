@@ -3,27 +3,38 @@
 from .comparison import (
     ComparisonResult,
     agreement_with_paper,
+    attach_robustness,
     render_table,
     run_comparison,
     to_markdown,
 )
-from .metrics import AXES, Axis, PipelineMetrics
-from .pipeline import CNNPipeline, GNNPipeline, ParadigmPipeline, SNNPipeline
+from .metrics import AXES, ROBUSTNESS_AXIS, Axis, PipelineMetrics
+from .pipeline import (
+    CNNPipeline,
+    GNNPipeline,
+    NotFittedError,
+    ParadigmPipeline,
+    SNNPipeline,
+)
 from .presets import table1_dataset, table1_pipelines
-from .ratings import Rating, rate_values
+from .ratings import Rating, rate_robustness, rate_values
 
 __all__ = [
     "Rating",
     "rate_values",
+    "rate_robustness",
     "Axis",
     "AXES",
+    "ROBUSTNESS_AXIS",
     "PipelineMetrics",
+    "NotFittedError",
     "ParadigmPipeline",
     "SNNPipeline",
     "CNNPipeline",
     "GNNPipeline",
     "ComparisonResult",
     "run_comparison",
+    "attach_robustness",
     "render_table",
     "to_markdown",
     "agreement_with_paper",

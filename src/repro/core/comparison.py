@@ -14,13 +14,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..datasets.base import EventDataset
-from .metrics import AXES, Axis, PipelineMetrics
+from .metrics import AXES, ROBUSTNESS_AXIS, Axis, PipelineMetrics
 from .pipeline import CNNPipeline, GNNPipeline, ParadigmPipeline, SNNPipeline
-from .ratings import Rating, rate_values
+from .ratings import Rating, rate_robustness, rate_values
 
 __all__ = [
     "ComparisonResult",
     "run_comparison",
+    "attach_robustness",
     "render_table",
     "to_markdown",
     "agreement_with_paper",
@@ -36,10 +37,19 @@ class ComparisonResult:
     Attributes:
         metrics: paradigm name → measured metrics.
         ratings: axis key → (paradigm name → rating).
+        extra_axes: measured rows beyond the paper's twelve (e.g. the
+            noise/fault-robustness row a reliability sweep adds via
+            :func:`attach_robustness`); rendered after the core rows.
     """
 
     metrics: dict[str, PipelineMetrics]
     ratings: dict[str, dict[str, Rating]] = field(default_factory=dict)
+    extra_axes: list[Axis] = field(default_factory=list)
+
+    @property
+    def axes(self) -> tuple[Axis, ...]:
+        """All rows of this comparison, core table first."""
+        return tuple(AXES) + tuple(self.extra_axes)
 
     def rating(self, axis_key: str, paradigm: str) -> Rating:
         """Rating of one cell."""
@@ -87,6 +97,35 @@ def run_comparison(
     return result
 
 
+def attach_robustness(
+    result: ComparisonResult, scores: dict[str, float]
+) -> ComparisonResult:
+    """Append the measured noise/fault-robustness row to a comparison.
+
+    The paper asserts the robustness of each paradigm qualitatively;
+    this regenerates that cell from data: ``scores`` are the
+    retained-accuracy fractions measured by
+    :func:`repro.reliability.sweep.robustness_scores`, rated on the
+    same ``++ / + / -`` scale as every other row.
+
+    Args:
+        result: a comparison produced by :func:`run_comparison`.
+        scores: paradigm name → retained-accuracy score in [0, 1].
+
+    Returns:
+        ``result``, with metrics, ratings and :attr:`~ComparisonResult.extra_axes`
+        updated in place (returned for chaining).
+    """
+    if set(scores) != set(PARADIGMS):
+        raise ValueError(f"scores must cover exactly {PARADIGMS}")
+    for name in PARADIGMS:
+        result.metrics[name].robustness = float(scores[name])
+    result.ratings[ROBUSTNESS_AXIS.key] = rate_robustness(scores)
+    if all(a.key != ROBUSTNESS_AXIS.key for a in result.extra_axes):
+        result.extra_axes.append(ROBUSTNESS_AXIS)
+    return result
+
+
 def _format_value(value: float) -> str:
     if not np.isfinite(value):
         return "?"
@@ -110,7 +149,7 @@ def render_table(result: ComparisonResult, show_values: bool = True) -> str:
     rows: list[list[str]] = []
     header = ["Axis"] + [f"{p} (meas.)" for p in PARADIGMS] + ["paper (SNN/CNN/GNN)"]
     rows.append(header)
-    for axis in AXES:
+    for axis in result.axes:
         row = [axis.label]
         for name in PARADIGMS:
             rating = result.ratings[axis.key][name]
@@ -144,7 +183,7 @@ def to_markdown(result: ComparisonResult) -> str:
         "| Axis | SNN | CNN | GNN | paper (SNN/CNN/GNN) |",
         "|---|---|---|---|---|",
     ]
-    for axis in AXES:
+    for axis in result.axes:
         cells = []
         for name in PARADIGMS:
             rating = result.ratings[axis.key][name]
@@ -172,7 +211,7 @@ def agreement_with_paper(result: ComparisonResult) -> dict[str, float]:
     exact = 0
     close = 0
     cells = 0
-    for axis in AXES:
+    for axis in result.axes:
         for name, paper_cell in zip(PARADIGMS, axis.paper_ratings):
             paper_cell = paper_cell.strip()
             if paper_cell in ("?", "", "++ (?)"):

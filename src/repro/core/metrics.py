@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 from .ratings import Rating
 
-__all__ = ["Axis", "AXES", "PipelineMetrics"]
+__all__ = ["Axis", "AXES", "ROBUSTNESS_AXIS", "PipelineMetrics"]
 
 
 @dataclass(frozen=True)
@@ -58,6 +58,22 @@ AXES: tuple[Axis, ...] = (
 )
 
 
+#: The measured noise/fault-robustness row.  The published table does
+#: not quantify robustness, so its paper cells are ``?``; the row is
+#: appended to a comparison only when a
+#: :mod:`repro.reliability.sweep` has actually measured it (see
+#: :func:`repro.core.comparison.attach_robustness`), keeping the default
+#: twelve-row table identical to the paper's.
+ROBUSTNESS_AXIS = Axis(
+    "robustness",
+    "System - Noise/fault robustness",
+    higher_is_better=True,
+    measured=True,
+    paper_ratings=("?", "?", "?"),
+    tie_tolerance=1.2,
+)
+
+
 #: Literature constants for the two unmeasurable axes, on an arbitrary
 #: 1–3 ordinal scale matching the paper's assessment (Section III/V):
 #: CNN hardware is mature and flexible; SNN processors exist but are
@@ -91,6 +107,8 @@ class PipelineMetrics:
         energy_efficiency: classifications per joule.
         configurability: literature ordinal (filled automatically).
         latency: microseconds from last relevant event to decision.
+        robustness: retained-accuracy fraction under injected faults
+            (filled by a reliability sweep; nan until measured).
         extras: free-form measurement details for the report.
     """
 
@@ -107,6 +125,7 @@ class PipelineMetrics:
     energy_efficiency: float = float("nan")
     configurability: float = float("nan")
     latency: float = float("nan")
+    robustness: float = float("nan")
     extras: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:

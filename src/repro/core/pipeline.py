@@ -40,16 +40,41 @@ from ..snn.encoding import events_to_spike_tensor
 from ..snn.layers import SpikingMLP
 from .metrics import PipelineMetrics
 
-__all__ = ["ParadigmPipeline", "SNNPipeline", "CNNPipeline", "GNNPipeline"]
+__all__ = [
+    "NotFittedError",
+    "ParadigmPipeline",
+    "SNNPipeline",
+    "CNNPipeline",
+    "GNNPipeline",
+]
 
 #: Bytes per weight/state word assumed by the footprint metrics.
 WORD_BYTES = 2
+
+
+class NotFittedError(RuntimeError):
+    """Raised when ``predict``/``measure`` is called before ``fit``.
+
+    Subclasses ``RuntimeError`` so pre-existing ``except RuntimeError``
+    handlers keep working, while fault-tolerant callers
+    (:mod:`repro.reliability.runner`) can distinguish "the pipeline was
+    never trained" — a configuration error that should abort a sweep —
+    from per-recording failures that should merely be quarantined.
+    """
 
 
 class ParadigmPipeline(abc.ABC):
     """Common interface of the three paradigm pipelines."""
 
     name: str
+
+    def _require_fitted(self) -> None:
+        """Raise :class:`NotFittedError` unless ``fit`` has completed."""
+        if getattr(self, "model", None) is None:
+            raise NotFittedError(
+                f"{type(self).__name__} is not fitted; call fit() before "
+                "predict()/measure()"
+            )
 
     @abc.abstractmethod
     def fit(self, train: EventDataset) -> None:
@@ -161,16 +186,14 @@ class SNNPipeline(ParadigmPipeline):
                 opt.step()
 
     def predict(self, stream: EventStream) -> int:
-        if self.model is None:
-            raise RuntimeError("fit the pipeline first")
+        self._require_fitted()
         x = self._encode(stream)[:, None, :]
         with no_grad():
             scores = self.model(Tensor(x)).data
         return int(scores.argmax())
 
     def measure(self, test: EventDataset, temporal_labels: tuple[int, ...] = ()) -> PipelineMetrics:
-        if self.model is None:
-            raise RuntimeError("fit the pipeline first")
+        self._require_fitted()
         spike_tensors = [self._encode(s.stream) for s in test]
         input_density = float(np.mean([t.mean() for t in spike_tensors]))
         input_spikes_per_sample = float(np.mean([t.sum() for t in spike_tensors]))
@@ -308,8 +331,7 @@ class CNNPipeline(ParadigmPipeline):
         self.model.eval()
 
     def predict(self, stream: EventStream) -> int:
-        if self.model is None:
-            raise RuntimeError("fit the pipeline first")
+        self._require_fitted()
         with no_grad():
             scores = self.model(Tensor(self._encode(stream)[None])).data
         return int(scores.argmax())
@@ -327,8 +349,7 @@ class CNNPipeline(ParadigmPipeline):
         return result
 
     def measure(self, test: EventDataset, temporal_labels: tuple[int, ...] = ()) -> PipelineMetrics:
-        if self.model is None:
-            raise RuntimeError("fit the pipeline first")
+        self._require_fitted()
         frames = np.stack([self._encode(s.stream) for s in test])
         input_zero_frac = float(np.mean(frames == 0.0))
         events_per_sample = float(np.mean([len(s.stream) for s in test]))
@@ -446,15 +467,13 @@ class GNNPipeline(ParadigmPipeline):
         )
 
     def predict(self, stream: EventStream) -> int:
-        if self.model is None:
-            raise RuntimeError("fit the pipeline first")
+        self._require_fitted()
         graph = build_event_graph(stream, self.config)
         with no_grad():
             return int(self.model(graph).data.argmax())
 
     def measure(self, test: EventDataset, temporal_labels: tuple[int, ...] = ()) -> PipelineMetrics:
-        if self.model is None:
-            raise RuntimeError("fit the pipeline first")
+        self._require_fitted()
         graphs = [build_event_graph(s.stream, self.config) for s in test]
         nodes = float(np.mean([g.num_nodes for g in graphs]))
         edges = float(np.mean([g.num_edges for g in graphs]))

@@ -15,7 +15,7 @@ from enum import Enum
 
 import numpy as np
 
-__all__ = ["Rating", "rate_values"]
+__all__ = ["Rating", "rate_values", "rate_robustness"]
 
 
 class Rating(str, Enum):
@@ -83,6 +83,32 @@ def rate_values(
             ratio = (max(v, 0.0) + eps) / (best + eps)
             out[k] = _bin(ratio, tie_tolerance)
     return out
+
+
+#: Tie tolerance used for the measured noise/fault-robustness axis: a
+#: paradigm retaining within 20% of the best retained accuracy counts as
+#: equally robust.
+ROBUSTNESS_TIE_TOLERANCE = 1.2
+
+
+def rate_robustness(scores: dict[str, float]) -> dict[str, Rating]:
+    """Rate measured robustness scores on the ``++ / + / -`` scale.
+
+    The scores are retained-accuracy fractions in [0, 1] produced by
+    :func:`repro.reliability.sweep.robustness_scores` — higher means the
+    paradigm keeps more of its clean accuracy under injected sensor and
+    link faults.  This is the measurement that regenerates the paper's
+    qualitative noise/fault-robustness assessment from data.
+
+    Args:
+        scores: paradigm name → retained-accuracy score.
+
+    Returns:
+        paradigm name → rating.
+    """
+    return rate_values(
+        scores, higher_is_better=True, tie_tolerance=ROBUSTNESS_TIE_TOLERANCE
+    )
 
 
 def _bin(ratio_from_best: float, tol: float) -> Rating:

@@ -5,7 +5,7 @@ the AER link codec, and generic stream transformations (windowing,
 filtering, downsampling) plus rate statistics.
 """
 
-from .aer import AERCodec, AERLinkStats
+from .aer import AERCodec, AERDecodeStats, AERLinkStats
 from .io import load_events, save_events
 from .ops import (
     drop_events,
@@ -31,6 +31,7 @@ __all__ = [
     "Resolution",
     "concatenate",
     "AERCodec",
+    "AERDecodeStats",
     "AERLinkStats",
     "save_events",
     "load_events",

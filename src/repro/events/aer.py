@@ -27,7 +27,12 @@ import numpy as np
 
 from .stream import EventStream, Resolution
 
-__all__ = ["AERCodec", "AERLinkStats"]
+__all__ = ["AERCodec", "AERDecodeStats", "AERLinkStats"]
+
+#: Default upper bound on decoded absolute timestamps: beyond this the
+#: int64 microsecond clock is considered rolled over (~146 years —
+#: only reachable through corrupted wrap runs or a bogus ``t_origin``).
+DEFAULT_ROLLOVER_LIMIT_US = 1 << 62
 
 
 def _bits_for(n: int) -> int:
@@ -35,6 +40,37 @@ def _bits_for(n: int) -> int:
     if n <= 1:
         return 1
     return int(n - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class AERDecodeStats:
+    """Outcome of decoding one AER packet.
+
+    Corrupted bus words (bit flips on the link) can decode to pixel
+    addresses outside the sensor array or to absurd wrap runs; the
+    decoder quarantines those into counters instead of emitting an
+    invalid :class:`~repro.events.stream.EventStream`.
+
+    Attributes:
+        num_words: bus words consumed.
+        num_wrap_words: words interpreted as timer wraps.
+        num_events: valid events emitted.
+        dropped_out_of_range: events discarded because the decoded
+            ``(x, y)`` fell outside the codec resolution.
+        dropped_rollover: events discarded because the reconstructed
+            absolute timestamp exceeded the rollover limit.
+    """
+
+    num_words: int
+    num_wrap_words: int
+    num_events: int
+    dropped_out_of_range: int
+    dropped_rollover: int
+
+    @property
+    def num_dropped(self) -> int:
+        """Total quarantined events."""
+        return self.dropped_out_of_range + self.dropped_rollover
 
 
 @dataclass(frozen=True)
@@ -151,25 +187,71 @@ class AERCodec:
     def decode(self, words: np.ndarray, t_origin: int = 0) -> EventStream:
         """Decode AER words back into an :class:`EventStream`.
 
+        Corrupted words that decode to out-of-range coordinates or to
+        timestamps past the rollover limit are silently dropped; use
+        :meth:`decode_with_stats` when the drop counts matter.
+
         Args:
             words: uint64 word array from :meth:`encode`.
             t_origin: absolute time of the encoder's reference instant.
+        """
+        stream, _ = self.decode_with_stats(words, t_origin)
+        return stream
+
+    def decode_with_stats(
+        self,
+        words: np.ndarray,
+        t_origin: int = 0,
+        rollover_limit_us: int = DEFAULT_ROLLOVER_LIMIT_US,
+    ) -> tuple[EventStream, AERDecodeStats]:
+        """Decode AER words, quarantining corrupted ones into counters.
+
+        The address fields are the minimum widths covering the array, so
+        a bit flip can produce ``x``/``y`` values the sensor cannot emit
+        (e.g. x = 700 on a 640-wide array); such events are dropped and
+        counted rather than decoded into an invalid stream.  Likewise
+        events whose reconstructed absolute time exceeds
+        ``rollover_limit_us`` (a corrupted wrap run or bogus origin) are
+        dropped as rollover victims.
+
+        Args:
+            words: uint64 word array from :meth:`encode`.
+            t_origin: absolute time of the encoder's reference instant.
+            rollover_limit_us: inclusive upper bound on decoded absolute
+                timestamps.
+
+        Returns:
+            ``(stream, stats)`` — the surviving events plus drop counts.
         """
         words = np.asarray(words, dtype=np.uint64)
         deltas = (words >> np.uint64(self._t_shift)).astype(np.int64)
         is_wrap = deltas == self._wrap_delta
         step = np.where(is_wrap, self.max_delta + 1, deltas)
         t_abs = t_origin + np.cumsum(step)
-        keep = ~is_wrap
         x = (words & np.uint64((1 << self.x_bits) - 1)).astype(np.int32)
         y = ((words >> np.uint64(self._y_shift)) & np.uint64((1 << self.y_bits) - 1)).astype(
             np.int32
         )
         p_bit = (words >> np.uint64(self._p_shift)) & np.uint64(1)
         p = np.where(p_bit == 1, 1, -1).astype(np.int8)
-        return EventStream.from_arrays(
+
+        is_event = ~is_wrap
+        in_range = self.resolution.contains(x, y)
+        in_time = (t_abs >= np.int64(min(t_origin, 0))) & (
+            t_abs <= np.int64(rollover_limit_us)
+        )
+        keep = is_event & in_range & in_time
+        stats = AERDecodeStats(
+            num_words=int(words.size),
+            num_wrap_words=int(np.count_nonzero(is_wrap)),
+            num_events=int(np.count_nonzero(keep)),
+            dropped_out_of_range=int(np.count_nonzero(is_event & ~in_range)),
+            dropped_rollover=int(np.count_nonzero(is_event & in_range & ~in_time)),
+        )
+        stream = EventStream.from_arrays(
             t_abs[keep], x[keep], y[keep], p[keep], self.resolution
         )
+        return stream, stats
 
     def link_stats(self, stream: EventStream) -> AERLinkStats:
         """Encode and summarise the link cost of carrying ``stream``."""

@@ -38,20 +38,60 @@ def save_events(stream: EventStream, path: str | Path) -> None:
 def load_events(path: str | Path) -> EventStream:
     """Read a stream previously written by :func:`save_events`.
 
+    Every way a recording on disk can be bad — truncated or corrupt
+    archive, missing fields, wrong event dtype, nonsensical resolution,
+    a future format version — surfaces as a single ``ValueError`` whose
+    message names the offending path, so batch loaders (and the
+    :mod:`repro.reliability` runner) can quarantine the file on one
+    exception type instead of crashing on whatever ``np.load`` happens
+    to raise.
+
     Args:
         path: source file.
 
     Raises:
-        ValueError: on missing fields or an unsupported format version.
+        FileNotFoundError: when the file does not exist.
+        ValueError: on any unreadable or malformed archive.
     """
     path = Path(path)
-    with np.load(path) as data:
+    try:
+        archive = np.load(path)
+    except FileNotFoundError:
+        raise
+    except Exception as exc:  # zipfile/pickle/OS errors from a corrupt file
+        raise ValueError(f"{path} is not a readable event archive: {exc}") from exc
+    with archive as data:
         for field in ("version", "events", "width", "height"):
             if field not in data:
                 raise ValueError(f"{path} is not an event archive (missing {field!r})")
-        version = int(data["version"])
+        try:
+            version = int(data["version"])
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"{path} has a malformed version field: {exc}") from exc
         if version != _FORMAT_VERSION:
-            raise ValueError(f"unsupported event archive version {version}")
-        events = np.asarray(data["events"], dtype=EVENT_DTYPE)
-        resolution = Resolution(int(data["width"]), int(data["height"]))
-    return EventStream(events, resolution)
+            raise ValueError(
+                f"{path} has unsupported event archive version {version} "
+                f"(this library reads version {_FORMAT_VERSION})"
+            )
+        try:
+            raw = data["events"]
+        except Exception as exc:  # lazy decompression hits truncation here
+            raise ValueError(f"{path} has an unreadable events member: {exc}") from exc
+        if raw.dtype != EVENT_DTYPE:
+            try:
+                events = np.asarray(raw, dtype=EVENT_DTYPE)
+            except (TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"{path} holds events with dtype {raw.dtype}, "
+                    f"not convertible to {EVENT_DTYPE}: {exc}"
+                ) from exc
+        else:
+            events = np.asarray(raw)
+        try:
+            resolution = Resolution(int(data["width"]), int(data["height"]))
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"{path} has a bad resolution field: {exc}") from exc
+        try:
+            return EventStream(events, resolution)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"{path} holds an invalid event stream: {exc}") from exc

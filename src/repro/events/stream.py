@@ -209,6 +209,41 @@ class EventStream:
         return f"EventStream(n={len(self)}, res={self._resolution}, t={span})"
 
     # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> list[str]:
+        """Diagnose integrity problems without raising.
+
+        Construction with ``check=True`` rejects malformed data outright;
+        this method instead *reports* what is wrong, so fault-tolerant
+        consumers (:mod:`repro.reliability`) can quarantine a corrupted
+        recording with a reason instead of crashing on it.  A stream
+        built with ``check=False`` (e.g. straight from a decoder or a
+        fault injector) may fail any of these checks.
+
+        Returns:
+            A list of human-readable problem descriptions; empty when the
+            stream satisfies every :data:`EVENT_DTYPE` invariant.
+        """
+        problems: list[str] = []
+        if len(self) == 0:
+            return problems
+        bad_order = int(np.count_nonzero(np.diff(self.t) < 0))
+        if bad_order:
+            problems.append(f"{bad_order} out-of-order timestamp step(s)")
+        oob = int(np.count_nonzero(~self._resolution.contains(self.x, self.y)))
+        if oob:
+            problems.append(
+                f"{oob} event(s) outside the {self._resolution} array"
+            )
+        bad_pol = int(np.count_nonzero((self.p != 1) & (self.p != -1)))
+        if bad_pol:
+            problems.append(f"{bad_pol} event(s) with polarity not in {{+1, -1}}")
+        if int(self.t[0]) < 0:
+            problems.append(f"negative first timestamp {int(self.t[0])}")
+        return problems
+
+    # ------------------------------------------------------------------
     # Derived quantities
     # ------------------------------------------------------------------
     @property

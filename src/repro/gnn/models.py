@@ -166,10 +166,13 @@ def fit_gnn(
     """Train a graph classifier, one graph per step.
 
     Graphs are pre-built once (construction is deterministic) and
-    shuffled between epochs.
+    shuffled between epochs.  ``epochs=0`` performs no optimisation and
+    just evaluates the (freshly initialised or externally restored)
+    model — checkpoint resume relies on this to rebuild the architecture
+    without retraining.
     """
-    if epochs <= 0:
-        raise ValueError("epochs must be positive")
+    if epochs < 0:
+        raise ValueError("epochs must be non-negative")
     rng = rng or np.random.default_rng(0)
     graphs = [build_event_graph(s.stream, config) for s in dataset]
     labels = dataset.labels()

@@ -1,0 +1,336 @@
+"""Robustness sweep: accuracy-degradation curves across fault severities.
+
+The sweep is the measurement behind the noise/fault-robustness cell of
+Table I: train each paradigm pipeline once on clean data, then evaluate
+it repeatedly under an escalating fault profile (dead/hot pixels, event
+drops, timestamp jitter, polarity flips, AER bit flips — the composable
+models of :mod:`repro.reliability.faults`) injected through the hardened
+runner.  Every recording that the faults render structurally invalid is
+quarantined, every recoverable failure is retried, and the sweep always
+completes with a full :class:`~repro.reliability.runner.RunReport` per
+point — so a single corrupted recording can no longer abort hours of
+training.
+
+Results reduce to a *retained-accuracy* score per paradigm
+(:func:`robustness_scores`), which
+:func:`repro.core.comparison.attach_robustness` folds back into the
+regenerated comparison table.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..core.comparison import PARADIGMS, ComparisonResult, attach_robustness
+from ..core.pipeline import CNNPipeline, GNNPipeline, ParadigmPipeline, SNNPipeline
+from ..core.ratings import Rating, rate_robustness
+from ..datasets.base import EventDataset
+from .faults import (
+    AERBitFlips,
+    BurstyDrop,
+    DeadPixels,
+    FaultChain,
+    FaultModel,
+    HotPixels,
+    PolarityFlip,
+    TimestampJitter,
+    UniformDrop,
+)
+from .runner import HardenedRunner, RunReport
+
+__all__ = [
+    "default_fault_profile",
+    "SweepPoint",
+    "RobustnessSweepResult",
+    "run_robustness_sweep",
+    "robustness_scores",
+]
+
+
+def default_fault_profile(severity: float) -> FaultModel | None:
+    """The standard severity → fault-chain mapping of the sweep.
+
+    Severity 0 is the clean condition (no fault object at all); rising
+    severity scales every process of a realistic mixed profile: array
+    defects (dead + hot pixels), link losses (uniform + bursty drops),
+    timing degradation (jitter) and signal corruption (polarity flips,
+    AER bit flips).  At severity 1 roughly 90% of events are lost and a
+    third of the array is defective.
+
+    Args:
+        severity: fault intensity in [0, 1].
+
+    Returns:
+        A composed :class:`~repro.reliability.faults.FaultChain`, or
+        None at severity 0.
+    """
+    if not 0.0 <= severity <= 1.0:
+        raise ValueError(f"severity must be in [0, 1], got {severity}")
+    if severity == 0.0:
+        return None
+    return FaultChain(
+        [
+            DeadPixels(fraction=0.45 * severity),
+            HotPixels(fraction=0.02 * severity, rate_hz=400.0),
+            UniformDrop(probability=0.65 * severity),
+            BurstyDrop(probability=0.45 * severity, burst_us=5000),
+            TimestampJitter(sigma_us=3000.0 * severity),
+            PolarityFlip(probability=0.30 * severity),
+            AERBitFlips(bit_flip_probability=0.003 * severity),
+        ]
+    )
+
+
+@dataclass
+class SweepPoint:
+    """One (paradigm, severity) evaluation.
+
+    Attributes:
+        severity: fault intensity of this point.
+        accuracy: accuracy over the recordings that survived to
+            prediction (nan when none did).
+        report: the full per-recording account.
+    """
+
+    severity: float
+    accuracy: float
+    report: RunReport
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form."""
+        return {
+            "severity": self.severity,
+            "accuracy": self.accuracy,
+            "report": self.report.to_dict(),
+        }
+
+
+@dataclass
+class RobustnessSweepResult:
+    """Everything produced by one robustness sweep.
+
+    Attributes:
+        severities: the swept fault intensities, ascending.
+        curves: paradigm name → one :class:`SweepPoint` per severity.
+        seed: master seed of the sweep.
+    """
+
+    severities: tuple[float, ...]
+    curves: dict[str, list[SweepPoint]] = field(default_factory=dict)
+    seed: int = 0
+
+    def accuracies(self, paradigm: str) -> list[float]:
+        """The degradation curve of one paradigm."""
+        return [p.accuracy for p in self.curves[paradigm]]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form."""
+        return {
+            "severities": list(self.severities),
+            "seed": self.seed,
+            "curves": {
+                name: [p.to_dict() for p in points]
+                for name, points in self.curves.items()
+            },
+        }
+
+
+def robustness_scores(result: RobustnessSweepResult) -> dict[str, float]:
+    """Reduce degradation curves to one retained-accuracy score each.
+
+    The score is the mean, over the non-zero severities, of the accuracy
+    retained relative to the clean (severity-0) point, clipped to
+    [0, 1]; a paradigm whose accuracy is untouched by faults scores 1,
+    one that collapses to zero scores 0.  Paradigms whose clean accuracy
+    is nan (nothing evaluated) score nan and rate ``?``.
+
+    Args:
+        result: a completed sweep.
+
+    Returns:
+        paradigm name → retained-accuracy score.
+    """
+    scores: dict[str, float] = {}
+    for name, points in result.curves.items():
+        if not points:
+            scores[name] = float("nan")
+            continue
+        clean = points[0].accuracy
+        stressed = [p.accuracy for p in points[1:]] or [clean]
+        if not np.isfinite(clean) or clean <= 0:
+            scores[name] = float("nan")
+            continue
+        retained = [
+            min(1.0, max(0.0, acc / clean)) if np.isfinite(acc) else 0.0
+            for acc in stressed
+        ]
+        scores[name] = float(np.mean(retained))
+    return scores
+
+
+def rate_sweep(result: RobustnessSweepResult) -> dict[str, Rating]:
+    """Rate a sweep's retained-accuracy scores on the ``++ / + / -`` scale."""
+    return rate_robustness(robustness_scores(result))
+
+
+def attach_to_comparison(
+    comparison: ComparisonResult, result: RobustnessSweepResult
+) -> ComparisonResult:
+    """Fold a measured sweep into a Table-I comparison (extra row)."""
+    return attach_robustness(comparison, robustness_scores(result))
+
+
+def _default_pipelines(seed: int) -> dict[str, ParadigmPipeline]:
+    return {
+        "SNN": SNNPipeline(seed=seed),
+        "CNN": CNNPipeline(seed=seed),
+        "GNN": GNNPipeline(seed=seed),
+    }
+
+
+def _point_key(paradigm: str, severity: float) -> str:
+    return f"{paradigm}@{severity:.6f}"
+
+
+def run_robustness_sweep(
+    train: EventDataset,
+    test: EventDataset,
+    severities: Sequence[float] = (0.0, 0.25, 0.5, 0.75),
+    pipelines: dict[str, ParadigmPipeline] | None = None,
+    seed: int = 0,
+    fault_profile=default_fault_profile,
+    checkpoint_dir: str | Path | None = None,
+    max_retries: int = 1,
+    stage_timeout_s: float | None = None,
+) -> RobustnessSweepResult:
+    """Measure accuracy-degradation curves for all three paradigms.
+
+    Each pipeline is trained once (on the recordings of ``train`` that
+    pass validation) and evaluated at every severity with independently
+    seeded fault injection.  The whole sweep is deterministic in
+    ``seed`` and never raises on per-recording failures — they are
+    quarantined or recorded in the per-point
+    :class:`~repro.reliability.runner.RunReport`.
+
+    Args:
+        train, test: a shared dataset split (may deliberately contain
+            corrupted recordings; they are quarantined, not fatal).
+        severities: ascending fault intensities; include 0.0 first so
+            the retained-accuracy normalisation has a clean anchor.
+        pipelines: override the default pipeline instances (keys must be
+            'SNN', 'CNN', 'GNN').
+        seed: master seed for fault injection.
+        fault_profile: severity → :class:`FaultModel` mapping (None for
+            the clean condition); defaults to
+            :func:`default_fault_profile`.
+        checkpoint_dir: when given, fitted models checkpoint here and
+            completed sweep points persist to ``sweep_state.json`` —
+            re-running with the same directory resumes instead of
+            recomputing.
+        max_retries: per-stage retry budget of the hardened runner.
+        stage_timeout_s: per-stage wall-clock budget (None = unlimited).
+
+    Returns:
+        The sweep result with one curve per paradigm.
+    """
+    severities = tuple(float(s) for s in severities)
+    if not severities:
+        raise ValueError("severities must not be empty")
+    if list(severities) != sorted(severities):
+        raise ValueError("severities must be ascending")
+    if pipelines is None:
+        pipelines = _default_pipelines(seed)
+    if set(pipelines) != set(PARADIGMS):
+        raise ValueError(f"pipelines must cover exactly {PARADIGMS}")
+
+    checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+    state_path = checkpoint_dir / "sweep_state.json" if checkpoint_dir else None
+    done: dict[str, dict[str, Any]] = {}
+    if state_path is not None and state_path.exists():
+        try:
+            done = json.loads(state_path.read_text())
+        except (ValueError, OSError):
+            done = {}  # corrupt state file: redo the points
+
+    result = RobustnessSweepResult(severities=severities, seed=seed)
+    for name in PARADIGMS:
+        runner = HardenedRunner(
+            pipelines[name],
+            max_retries=max_retries,
+            stage_timeout_s=stage_timeout_s,
+            checkpoint_path=(
+                checkpoint_dir / f"{name.lower()}_model.npz" if checkpoint_dir else None
+            ),
+        )
+        fit_result = runner.fit(train)
+        if not fit_result.ok:
+            raise RuntimeError(
+                f"{name} pipeline failed to fit after {fit_result.attempts} "
+                f"attempt(s): {fit_result.error_type}: {fit_result.error_message}"
+            )
+        points: list[SweepPoint] = []
+        for level, severity in enumerate(severities):
+            key = _point_key(name, severity)
+            cached = done.get(key)
+            if cached is not None:
+                points.append(_point_from_dict(cached))
+                continue
+            fault = fault_profile(severity)
+            # One deterministic seed per (paradigm, severity) point.
+            point_seed = int(
+                np.random.SeedSequence(
+                    [seed, PARADIGMS.index(name), level]
+                ).generate_state(1)[0]
+            )
+            report = runner.evaluate(test, fault=fault, seed=point_seed)
+            point = SweepPoint(
+                severity=severity, accuracy=report.accuracy(), report=report
+            )
+            points.append(point)
+            if state_path is not None:
+                done[key] = point.to_dict()
+                state_path.parent.mkdir(parents=True, exist_ok=True)
+                state_path.write_text(json.dumps(done))
+        result.curves[name] = points
+    return result
+
+
+def _point_from_dict(data: dict[str, Any]) -> SweepPoint:
+    """Rehydrate a persisted sweep point (accuracy + outcome summary).
+
+    Per-recording reports are restored structurally; this is enough for
+    scoring and resume — the full original objects live in the JSON.
+    """
+    from .runner import RecordingOutcome, RecordingReport
+
+    report_data = data["report"]
+    report = RunReport(
+        pipeline=report_data["pipeline"],
+        fault=report_data["fault"],
+        seed=report_data["seed"],
+        resumed_from_checkpoint=report_data.get("resumed_from_checkpoint", False),
+        records=[
+            RecordingReport(
+                index=r["index"],
+                label=r["label"],
+                outcome=RecordingOutcome(r["outcome"]),
+                predicted=r["predicted"],
+                problems=list(r["problems"]),
+                error_type=r["error_type"],
+                error_message=r["error_message"],
+                attempts=r["attempts"],
+                elapsed_s=r["elapsed_s"],
+            )
+            for r in report_data["records"]
+        ],
+    )
+    return SweepPoint(
+        severity=float(data["severity"]),
+        accuracy=float(data["accuracy"]),
+        report=report,
+    )

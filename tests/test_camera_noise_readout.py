@@ -202,3 +202,96 @@ class TestMitigation:
             centre_surround_suppression(s, window_us=0)
         with pytest.raises(ValueError):
             centre_surround_suppression(s, activity_threshold=0)
+
+
+class TestParamEdgeCases:
+    """Edge-case hardening: severity knobs, saturation, degenerate inputs."""
+
+    def test_noise_params_reject_non_finite(self):
+        for kwargs in (
+            {"ba_rate_hz": float("nan")},
+            {"ba_rate_hz": float("inf")},
+            {"ba_on_fraction": float("nan")},
+            {"hot_pixel_fraction": float("inf")},
+            {"hot_pixel_rate_hz": float("nan")},
+        ):
+            with pytest.raises(ValueError, match="finite"):
+                NoiseParams(**kwargs)
+
+    def test_readout_params_reject_non_finite(self):
+        with pytest.raises(ValueError):
+            ReadoutParams(throughput_eps=float("nan"))
+        with pytest.raises(ValueError):
+            ReadoutParams(throughput_eps=float("inf"))
+
+    def test_noise_scaled_zero_disables(self):
+        p = NoiseParams(ba_rate_hz=2.0, hot_pixel_fraction=0.1).scaled(0.0)
+        assert p.ba_rate_hz == 0.0
+        assert p.hot_pixel_fraction == 0.0
+        s = background_activity(RES, 100_000, p, np.random.default_rng(0))
+        assert len(s) == 0
+
+    def test_noise_scaled_caps_hot_fraction(self):
+        p = NoiseParams(hot_pixel_fraction=0.4).scaled(10.0)
+        assert p.hot_pixel_fraction == 1.0
+        assert p.ba_on_fraction == NoiseParams().ba_on_fraction
+
+    def test_noise_scaled_validation(self):
+        with pytest.raises(ValueError, match="factor"):
+            NoiseParams().scaled(-1.0)
+        with pytest.raises(ValueError, match="factor"):
+            NoiseParams().scaled(float("nan"))
+
+    def test_readout_derate_validation(self):
+        with pytest.raises(ValueError, match="factor"):
+            ReadoutParams().derate(0.5)
+        with pytest.raises(ValueError, match="factor"):
+            ReadoutParams().derate(float("inf"))
+
+    def test_readout_derate_pushes_towards_saturation(self):
+        s = make_stream(n=2000, max_dt=5)
+        params = ReadoutParams(throughput_eps=1e6, fifo_depth=16)
+        clean = simulate_readout(s, params)
+        stressed = simulate_readout(s, params.derate(50.0))
+        assert stressed.num_dropped > clean.num_dropped
+        assert stressed.mean_latency_us >= clean.mean_latency_us
+
+    def test_full_saturation_bus_keeps_fifo_worth(self):
+        # A bus far below the input rate drops almost everything but must
+        # never produce an invalid stream or negative latency.
+        s = make_stream(n=5000, max_dt=2)
+        result = simulate_readout(s, ReadoutParams(throughput_eps=100.0, fifo_depth=8))
+        assert result.num_dropped > 0.9 * len(s)
+        assert len(result.stream) + result.num_dropped == len(s)
+        assert result.stream.validate() == []
+        assert result.max_latency_us >= 0
+        assert 0.0 < result.drop_fraction < 1.0
+
+    def test_rate_limiter_zero_and_negative_rate_rejected(self):
+        s = make_stream()
+        for rate in (0.0, -10.0):
+            with pytest.raises(ValueError, match="max_rate_eps"):
+                rate_limiter(s, rate)
+        with pytest.raises(ValueError, match="window_us"):
+            rate_limiter(s, 1e6, window_us=0)
+
+    def test_rate_limiter_empty_stream(self):
+        empty = EventStream.empty(RES)
+        out = rate_limiter(empty, 1e3)
+        assert len(out) == 0
+        assert out.resolution == RES
+
+    def test_rate_limiter_tiny_budget_keeps_one_per_window(self):
+        # Budget rounds up to one event per window, never to zero.
+        s = make_stream(n=1000, max_dt=3)
+        out = rate_limiter(s, 1e-6, window_us=1000)
+        t0 = int(s.t[0])
+        windows = np.unique((s.t - t0) // 1000)
+        assert len(out) == windows.size
+        assert out.validate() == []
+
+    def test_simulate_readout_empty_stream(self):
+        result = simulate_readout(EventStream.empty(RES), ReadoutParams())
+        assert len(result.stream) == 0
+        assert result.num_dropped == 0
+        assert result.drop_fraction == 0.0

@@ -106,3 +106,87 @@ class TestAERProperty:
         s = make_stream(n, width=32, height=24, max_dt=max_dt, seed=seed)
         t0 = int(s.t[0])
         assert codec.decode(codec.encode(s), t_origin=t0) == s
+
+
+class TestDecodeWithStats:
+    """Hardened decode: corrupt words are counted and dropped, not fatal."""
+
+    def test_clean_roundtrip_stats(self):
+        s = make_stream(500, width=24, height=20)
+        codec = AERCodec(s.resolution)
+        decoded, stats = codec.decode_with_stats(
+            codec.encode(s), t_origin=int(s.t[0])
+        )
+        assert decoded == s
+        assert stats.num_events == len(s)
+        assert stats.num_words == len(s) + stats.num_wrap_words
+        assert stats.num_dropped == 0
+
+    def test_out_of_range_x_dropped_and_counted(self):
+        # 24 columns need 5 bits, which cover 0..31: craft a word with
+        # x = 30, an address the sensor cannot emit.
+        res = Resolution(24, 20)
+        codec = AERCodec(res)
+        s = EventStream.from_arrays([10, 20], [3, 4], [5, 6], [1, -1], res)
+        words = codec.encode(s)
+        bad = words.copy()
+        bad[0] = (bad[0] & ~np.uint64((1 << codec.x_bits) - 1)) | np.uint64(30)
+        decoded, stats = codec.decode_with_stats(bad)
+        assert stats.dropped_out_of_range == 1
+        assert stats.num_events == 1
+        assert len(decoded) == 1
+        assert decoded.x[0] == 4
+
+    def test_out_of_range_y_dropped_and_counted(self):
+        res = Resolution(24, 20)
+        codec = AERCodec(res)
+        s = EventStream.from_arrays([10], [3], [5], [1], res)
+        words = codec.encode(s)
+        y_mask = np.uint64(((1 << codec.y_bits) - 1) << codec.x_bits)
+        bad = (words & ~y_mask) | np.uint64(25 << codec.x_bits)
+        decoded, stats = codec.decode_with_stats(bad)
+        assert stats.dropped_out_of_range == 1
+        assert len(decoded) == 0
+
+    def test_rollover_limit_drops_late_events(self):
+        res = Resolution(16, 16)
+        codec = AERCodec(res)
+        s = EventStream.from_arrays([100, 50_000], [1, 2], [1, 2], [1, 1], res)
+        words = codec.encode(s)
+        decoded, stats = codec.decode_with_stats(
+            words, t_origin=100, rollover_limit_us=10_000
+        )
+        assert stats.dropped_rollover == 1
+        assert len(decoded) == 1
+        assert decoded.t[0] == 100
+
+    def test_wrap_words_counted_not_dropped(self):
+        res = Resolution(8, 8)
+        codec = AERCodec(res, timestamp_bits=4)  # forces wrap words
+        s = EventStream.from_arrays([0, 1000], [0, 1], [0, 1], [1, -1], res)
+        words = codec.encode(s)
+        decoded, stats = codec.decode_with_stats(words)
+        assert decoded == s
+        assert stats.num_wrap_words > 0
+        assert stats.num_words == stats.num_wrap_words + stats.num_events
+        assert stats.num_dropped == 0
+
+    def test_decode_is_decode_with_stats(self):
+        s = make_stream(200, width=24, height=20)
+        codec = AERCodec(s.resolution)
+        words = codec.encode(s)
+        assert codec.decode(words) == codec.decode_with_stats(words)[0]
+
+    def test_random_bitflips_never_produce_invalid_stream(self):
+        s = make_stream(2000, width=24, height=20)
+        codec = AERCodec(s.resolution)
+        words = codec.encode(s)
+        rng = np.random.default_rng(0)
+        bits = rng.random((words.size, codec.word_bits)) < 0.01
+        flipped = words.copy()
+        for b in range(codec.word_bits):
+            flipped[bits[:, b]] ^= np.uint64(1 << b)
+        decoded, stats = codec.decode_with_stats(flipped)
+        assert decoded.validate() == []
+        assert stats.dropped_out_of_range > 0
+        assert stats.num_events == len(decoded)

@@ -1,0 +1,135 @@
+"""Corrupt-archive handling in repro.events.io.load_events.
+
+Every malformed recording must surface as a single ``ValueError`` whose
+message names the offending path, so batch loaders can quarantine the
+file on one exception type.
+"""
+
+import numpy as np
+import pytest
+
+from repro.events import EventStream, Resolution, load_events, save_events
+from repro.events.stream import EVENT_DTYPE
+
+
+@pytest.fixture
+def stream():
+    rng = np.random.default_rng(0)
+    n = 200
+    return EventStream.from_arrays(
+        np.cumsum(rng.integers(1, 50, n)),
+        rng.integers(0, 16, n),
+        rng.integers(0, 12, n),
+        rng.choice([-1, 1], n),
+        Resolution(16, 12),
+    )
+
+
+def test_roundtrip_still_works(tmp_path, stream):
+    path = tmp_path / "rec.npz"
+    save_events(stream, path)
+    assert load_events(path) == stream
+
+
+def test_missing_file_raises_file_not_found(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_events(tmp_path / "nope.npz")
+
+
+def test_garbage_bytes_raise_value_error_with_path(tmp_path):
+    path = tmp_path / "garbage.npz"
+    path.write_bytes(b"this is not a zip archive at all")
+    with pytest.raises(ValueError, match="garbage.npz"):
+        load_events(path)
+
+
+def test_truncated_archive_raises_value_error(tmp_path, stream):
+    path = tmp_path / "truncated.npz"
+    save_events(stream, path)
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+    with pytest.raises(ValueError, match="truncated.npz"):
+        load_events(path)
+
+
+@pytest.mark.parametrize("missing", ["version", "events", "width", "height"])
+def test_missing_field_raises_value_error(tmp_path, stream, missing):
+    path = tmp_path / "partial.npz"
+    fields = {
+        "version": np.int64(1),
+        "events": stream.raw,
+        "width": np.int64(16),
+        "height": np.int64(12),
+    }
+    del fields[missing]
+    np.savez_compressed(path, **fields)
+    with pytest.raises(ValueError, match=f"missing '{missing}'"):
+        load_events(path)
+
+
+def test_future_version_raises_value_error(tmp_path, stream):
+    path = tmp_path / "future.npz"
+    np.savez_compressed(
+        path,
+        version=np.int64(99),
+        events=stream.raw,
+        width=np.int64(16),
+        height=np.int64(12),
+    )
+    with pytest.raises(ValueError, match=r"future.npz.*version 99"):
+        load_events(path)
+
+
+def test_wrong_events_dtype_raises_value_error(tmp_path):
+    path = tmp_path / "badtype.npz"
+    np.savez_compressed(
+        path,
+        version=np.int64(1),
+        events=np.array(["a", "b"]),  # not convertible to the event dtype
+        width=np.int64(16),
+        height=np.int64(12),
+    )
+    with pytest.raises(ValueError, match="badtype.npz"):
+        load_events(path)
+
+
+def test_convertible_dtype_is_accepted(tmp_path, stream):
+    # A plain (unstructured) archive of the same fields converts cleanly.
+    path = tmp_path / "compat.npz"
+    compat = stream.raw.astype(
+        [("t", "<i8"), ("x", "<i8"), ("y", "<i8"), ("p", "<i8")]
+    )
+    np.savez_compressed(
+        path, version=np.int64(1), events=compat, width=np.int64(16),
+        height=np.int64(12),
+    )
+    loaded = load_events(path)
+    assert loaded.raw.dtype == EVENT_DTYPE
+    assert loaded == stream
+
+
+def test_bad_resolution_raises_value_error(tmp_path, stream):
+    path = tmp_path / "badres.npz"
+    np.savez_compressed(
+        path,
+        version=np.int64(1),
+        events=stream.raw,
+        width=np.int64(-4),
+        height=np.int64(12),
+    )
+    with pytest.raises(ValueError, match="badres.npz"):
+        load_events(path)
+
+
+def test_out_of_bounds_events_raise_value_error(tmp_path, stream):
+    # Valid archive structure, but the events violate the resolution.
+    path = tmp_path / "oob.npz"
+    np.savez_compressed(
+        path,
+        version=np.int64(1),
+        events=stream.raw,
+        width=np.int64(4),  # stream has x up to 15
+        height=np.int64(12),
+    )
+    with pytest.raises(ValueError, match="oob.npz"):
+        load_events(path)

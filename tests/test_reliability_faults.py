@@ -1,0 +1,209 @@
+"""Tests for the composable fault models (repro.reliability.faults)."""
+
+import numpy as np
+import pytest
+
+from repro.events import AERCodec, EventStream, Resolution
+from repro.reliability import (
+    AERBitFlips,
+    BurstyDrop,
+    DeadPixels,
+    FaultChain,
+    HotPixels,
+    OutOfOrderCorruption,
+    PolarityFlip,
+    StuckPixels,
+    TimestampJitter,
+    UniformDrop,
+    apply_fault,
+    default_fault_profile,
+)
+
+RES = Resolution(24, 20)
+
+
+def make_stream(n=3000, width=24, height=20, max_dt=40, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.cumsum(rng.integers(1, max_dt, n))
+    return EventStream.from_arrays(
+        t,
+        rng.integers(0, width, n),
+        rng.integers(0, height, n),
+        rng.choice([-1, 1], n),
+        Resolution(width, height),
+    )
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "fault",
+        [
+            DeadPixels(0.2),
+            StuckPixels(0.2, polarity=-1),
+            HotPixels(0.02, rate_hz=400.0),
+            UniformDrop(0.4),
+            BurstyDrop(0.4, burst_us=2000),
+            TimestampJitter(500.0),
+            OutOfOrderCorruption(0.1),
+            PolarityFlip(0.3),
+            AERBitFlips(0.01),
+        ],
+    )
+    def test_same_seed_same_stream(self, fault):
+        s = make_stream()
+        assert fault(s, seed=7) == fault(s, seed=7)
+
+    def test_different_seed_differs(self):
+        s = make_stream()
+        fault = UniformDrop(0.4)
+        assert not (fault(s, seed=1) == fault(s, seed=2))
+
+    def test_chain_determinism(self):
+        s = make_stream()
+        chain = default_fault_profile(0.7)
+        assert chain(s, seed=3) == chain(s, seed=3)
+
+    def test_input_never_mutated(self):
+        s = make_stream()
+        before = s.raw.copy()
+        for fault in (StuckPixels(0.5), PolarityFlip(0.5), OutOfOrderCorruption(0.5)):
+            fault(s, seed=0)
+        assert np.array_equal(s.raw, before)
+
+
+class TestPixelFaults:
+    def test_dead_pixels_silence_pixels(self):
+        s = make_stream()
+        out = DeadPixels(0.5)(s, seed=0)
+        assert len(out) < len(s)
+        # The surviving events cover at most half the array.
+        active = np.unique(out.pixel_index())
+        assert active.size <= RES.num_pixels // 2
+
+    def test_dead_pixels_zero_fraction_identity(self):
+        s = make_stream()
+        assert DeadPixels(0.0)(s, seed=0) == s
+
+    def test_dead_pixels_full_fraction_empties(self):
+        s = make_stream()
+        assert len(DeadPixels(1.0)(s, seed=0)) == 0
+
+    def test_stuck_pixels_latch_polarity(self):
+        s = make_stream()
+        out = StuckPixels(1.0, polarity=-1)(s, seed=0)
+        assert len(out) == len(s)
+        assert np.all(out.p == -1)
+
+    def test_hot_pixels_add_concentrated_events(self):
+        s = make_stream()
+        out = HotPixels(0.05, rate_hz=2000.0)(s, seed=0)
+        assert len(out) > len(s)
+        assert out.validate() == []  # merged stream stays time-ordered
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError, match="fraction"):
+            DeadPixels(1.5)
+        with pytest.raises(ValueError, match="polarity"):
+            StuckPixels(0.1, polarity=0)
+
+
+class TestDrops:
+    def test_uniform_drop_rate(self):
+        s = make_stream(n=20_000)
+        out = UniformDrop(0.5)(s, seed=0)
+        assert 0.45 < 1 - len(out) / len(s) < 0.55
+
+    def test_bursty_drop_is_bursty(self):
+        s = make_stream(n=20_000)
+        burst_us = 2000
+        out = BurstyDrop(0.5, burst_us=burst_us)(s, seed=0)
+        assert 0.3 < 1 - len(out) / len(s) < 0.7
+        # Losses are whole windows: every surviving window is complete.
+        t0 = int(s.t[0])
+        in_bins = np.unique((s.t - t0) // burst_us)
+        out_bins, out_counts = np.unique(
+            (out.t - t0) // burst_us, return_counts=True
+        )
+        in_counts = {
+            int(b): int(c)
+            for b, c in zip(*np.unique((s.t - t0) // burst_us, return_counts=True))
+        }
+        assert out_bins.size < in_bins.size
+        for b, c in zip(out_bins, out_counts):
+            assert in_counts[int(b)] == int(c)
+
+
+class TestTimingFaults:
+    def test_jitter_keeps_stream_valid(self):
+        s = make_stream()
+        out = TimestampJitter(300.0)(s, seed=0)
+        assert len(out) == len(s)
+        assert out.validate() == []
+        assert not np.array_equal(out.t, s.t)
+
+    def test_out_of_order_invalidates(self):
+        s = make_stream()
+        out = OutOfOrderCorruption(0.1, shift_us=10_000)(s, seed=0)
+        problems = out.validate()
+        assert problems and "out-of-order" in problems[0]
+
+    def test_out_of_order_zero_fraction_identity(self):
+        s = make_stream()
+        assert OutOfOrderCorruption(0.0)(s, seed=0) == s
+
+
+class TestPolarityAndLink:
+    def test_polarity_flip_rate(self):
+        s = make_stream(n=20_000)
+        out = PolarityFlip(0.5)(s, seed=0)
+        flipped = np.mean(out.p != s.p)
+        assert 0.45 < flipped < 0.55
+
+    def test_aer_bitflips_quarantine_out_of_range(self):
+        # 24x20 needs 5 bits each, covering 32/32 — flips can push x to
+        # 24..31 or y to 20..31, which the decoder must drop.
+        s = make_stream(n=5000)
+        fault = AERBitFlips(0.02)
+        out = fault(s, seed=0)
+        stats = fault.last_decode_stats
+        assert stats is not None
+        assert stats.dropped_out_of_range > 0
+        assert stats.num_events == len(out)
+        assert out.validate() == []  # never an invalid stream
+
+    def test_aer_bitflips_zero_probability_roundtrips(self):
+        s = make_stream()
+        fault = AERBitFlips(0.0)
+        assert fault(s, seed=0) == s
+        assert fault.last_decode_stats.num_dropped == 0
+
+    def test_aer_bitflips_empty_stream(self):
+        fault = AERBitFlips(0.1)
+        out = fault(EventStream.empty(RES), seed=0)
+        assert len(out) == 0
+        assert fault.last_decode_stats.num_words == 0
+
+
+class TestComposition:
+    def test_then_builds_chain(self):
+        chain = UniformDrop(0.2).then(PolarityFlip(0.1)).then(TimestampJitter(100.0))
+        assert isinstance(chain, FaultChain)
+        assert len(chain.models) == 3
+
+    def test_chain_applies_in_order(self):
+        s = make_stream()
+        # Stuck-then-flip differs from flip-then-stuck on the stuck pixels.
+        a = FaultChain([StuckPixels(1.0, polarity=1), PolarityFlip(1.0)])(s, seed=0)
+        b = FaultChain([PolarityFlip(1.0), StuckPixels(1.0, polarity=1)])(s, seed=0)
+        assert np.all(a.p == -1)
+        assert np.all(b.p == 1)
+
+    def test_apply_fault_none_is_identity(self):
+        s = make_stream()
+        assert apply_fault(None, s, seed=0) is s
+
+    def test_default_profile_severity_zero_is_none(self):
+        assert default_fault_profile(0.0) is None
+        assert default_fault_profile(0.5) is not None
+        with pytest.raises(ValueError, match="severity"):
+            default_fault_profile(1.5)
