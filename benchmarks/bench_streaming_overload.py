@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Streaming executor overhead benchmark.
+
+The resilience machinery (queueing, shedding, breakers, accounting) must
+stay cheap relative to the work it schedules: an executor that burns
+milliseconds of real CPU per window could never keep up with the event
+camera it protects.  This benchmark streams the seeded burst workload
+through the full executor and measures *wall-clock* window throughput
+and per-event overhead — the virtual-time service model costs nothing
+real, so what remains is pure framework overhead.
+
+Each invocation appends one run record (timestamp, git revision,
+workload size, throughput) to ``BENCH_streaming.json`` at the
+repository root, so successive PRs can see whether the executor is
+holding its overhead budget.
+
+Usage:
+    python benchmarks/bench_streaming_overload.py            # full run
+    python benchmarks/bench_streaming_overload.py --quick    # CI-sized
+    python benchmarks/bench_streaming_overload.py --output /tmp/b.json
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.streaming import (
+    BreakerPolicy,
+    ServiceModel,
+    ShedPolicy,
+    StreamingExecutor,
+    TransientOutage,
+    make_bursty_stream,
+    run_overload_demo,
+)
+
+DEFAULT_WINDOWS = 2000
+QUICK_WINDOWS = 200
+
+
+def _count_classifier(stream):
+    return int(len(stream) % 4)
+
+
+def bench_overloaded_run(num_windows: int, seed: int = 0) -> dict:
+    """Time one overloaded streaming run, return throughput numbers."""
+    window_us = 10_000
+    stream = make_bursty_stream(
+        num_windows=num_windows,
+        window_us=window_us,
+        base_events_per_window=200,
+        burst_factor=10.0,
+        burst_windows=(num_windows // 3, num_windows // 2),
+        seed=seed,
+    )
+    primary = TransientOutage(_count_classifier, fail_from_call=30, fail_calls=9)
+    executor = StreamingExecutor(
+        ("flaky_primary", primary),
+        window_us=window_us,
+        fallbacks=[("fallback", _count_classifier)],
+        service=ServiceModel(base_us=1000.0, per_event_us=45.0),
+        queue_capacity=12,
+        shed_policy=ShedPolicy(high_watermark=8, low_watermark=2),
+        breaker_policy=BreakerPolicy(),
+        seed=seed,
+    )
+    t0 = time.perf_counter()
+    report = executor.run(stream, load_factor=1.0)
+    elapsed = time.perf_counter() - t0
+    if report.accounting_errors():
+        raise AssertionError(f"accounting broken: {report.accounting_errors()}")
+    return {
+        "num_windows": num_windows,
+        "num_events": report.offered_events,
+        "elapsed_s": elapsed,
+        "windows_per_s": num_windows / elapsed,
+        "events_per_s": report.offered_events / elapsed,
+        "overhead_us_per_window": 1e6 * elapsed / num_windows,
+        "delivered_fraction": report.delivered_fraction,
+        "shed_event_fraction": report.shed_event_fraction,
+        "tiers_engaged": report.tiers_engaged,
+        "breaker_transitions": len(report.breaker_transitions),
+    }
+
+
+def bench_all(quick: bool, seed: int = 0) -> dict:
+    num_windows = QUICK_WINDOWS if quick else DEFAULT_WINDOWS
+    results = {"overloaded_run": bench_overloaded_run(num_windows, seed)}
+    # The acceptance demo doubles as a correctness canary here.
+    t0 = time.perf_counter()
+    report, _ = run_overload_demo(seed=seed)
+    results["demo"] = {
+        "elapsed_s": time.perf_counter() - t0,
+        "delivered_fraction": report.delivered_fraction,
+        "tiers_engaged": report.tiers_engaged,
+    }
+    return results
+
+
+def git_revision() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help=f"run at {QUICK_WINDOWS} windows (CI mode)"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_streaming.json",
+        help="trajectory file to append the run record to",
+    )
+    args = parser.parse_args(argv)
+
+    results = bench_all(args.quick, args.seed)
+    run = results["overloaded_run"]
+    print(
+        f"streamed {run['num_windows']} windows ({run['num_events']} events) "
+        f"in {run['elapsed_s']:.3f}s: {run['windows_per_s']:.0f} windows/s, "
+        f"{run['overhead_us_per_window']:.0f} us overhead/window"
+    )
+    print(
+        f"  delivered {run['delivered_fraction']:.3f}, "
+        f"shed {run['shed_event_fraction']:.3f} of events, "
+        f"tiers {run['tiers_engaged']}"
+    )
+
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "git_rev": git_revision(),
+        "quick": args.quick,
+        "results": results,
+    }
+    trajectory = {"runs": []}
+    if args.output.exists():
+        try:
+            trajectory = json.loads(args.output.read_text())
+        except ValueError:
+            pass
+    trajectory.setdefault("runs", []).append(record)
+    args.output.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"appended run record to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

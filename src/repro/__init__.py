@@ -23,6 +23,7 @@ from . import (
     reliability,
     sensors,
     snn,
+    streaming,
 )
 
 __all__ = [
@@ -38,5 +39,6 @@ __all__ = [
     "core",
     "analysis",
     "reliability",
+    "streaming",
     "__version__",
 ]

@@ -3,12 +3,13 @@
 from .comparison import (
     ComparisonResult,
     agreement_with_paper,
+    attach_overload,
     attach_robustness,
     render_table,
     run_comparison,
     to_markdown,
 )
-from .metrics import AXES, ROBUSTNESS_AXIS, Axis, PipelineMetrics
+from .metrics import AXES, OVERLOAD_AXIS, ROBUSTNESS_AXIS, Axis, PipelineMetrics
 from .pipeline import (
     CNNPipeline,
     GNNPipeline,
@@ -26,6 +27,7 @@ __all__ = [
     "Axis",
     "AXES",
     "ROBUSTNESS_AXIS",
+    "OVERLOAD_AXIS",
     "PipelineMetrics",
     "NotFittedError",
     "ParadigmPipeline",
@@ -35,6 +37,7 @@ __all__ = [
     "ComparisonResult",
     "run_comparison",
     "attach_robustness",
+    "attach_overload",
     "render_table",
     "to_markdown",
     "agreement_with_paper",

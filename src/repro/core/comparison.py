@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..datasets.base import EventDataset
-from .metrics import AXES, ROBUSTNESS_AXIS, Axis, PipelineMetrics
+from .metrics import AXES, OVERLOAD_AXIS, ROBUSTNESS_AXIS, Axis, PipelineMetrics
 from .pipeline import CNNPipeline, GNNPipeline, ParadigmPipeline, SNNPipeline
 from .ratings import Rating, rate_robustness, rate_values
 
@@ -22,6 +22,7 @@ __all__ = [
     "ComparisonResult",
     "run_comparison",
     "attach_robustness",
+    "attach_overload",
     "render_table",
     "to_markdown",
     "agreement_with_paper",
@@ -123,6 +124,33 @@ def attach_robustness(
     result.ratings[ROBUSTNESS_AXIS.key] = rate_robustness(scores)
     if all(a.key != ROBUSTNESS_AXIS.key for a in result.extra_axes):
         result.extra_axes.append(ROBUSTNESS_AXIS)
+    return result
+
+
+def attach_overload(
+    result: ComparisonResult, scores: dict[str, float]
+) -> ComparisonResult:
+    """Append the measured overload graceful-degradation row.
+
+    ``scores`` are the delivered-window fractions each paradigm sustains
+    above capacity, measured by
+    :func:`repro.streaming.sweep.overload_scores`; they live on the same
+    [0, 1] scale as the robustness scores and are rated identically.
+
+    Args:
+        result: a comparison produced by :func:`run_comparison`.
+        scores: paradigm name → delivered-fraction score in [0, 1].
+
+    Returns:
+        ``result``, updated in place (returned for chaining).
+    """
+    if set(scores) != set(PARADIGMS):
+        raise ValueError(f"scores must cover exactly {PARADIGMS}")
+    for name in PARADIGMS:
+        result.metrics[name].overload = float(scores[name])
+    result.ratings[OVERLOAD_AXIS.key] = rate_robustness(scores)
+    if all(a.key != OVERLOAD_AXIS.key for a in result.extra_axes):
+        result.extra_axes.append(OVERLOAD_AXIS)
     return result
 
 

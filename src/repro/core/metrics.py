@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 from .ratings import Rating
 
-__all__ = ["Axis", "AXES", "ROBUSTNESS_AXIS", "PipelineMetrics"]
+__all__ = ["Axis", "AXES", "ROBUSTNESS_AXIS", "OVERLOAD_AXIS", "PipelineMetrics"]
 
 
 @dataclass(frozen=True)
@@ -74,6 +74,22 @@ ROBUSTNESS_AXIS = Axis(
 )
 
 
+#: The measured overload graceful-degradation row: the delivered-window
+#: fraction each paradigm sustains when offered load exceeds capacity
+#: (see :func:`repro.streaming.sweep.overload_scores`).  Like the
+#: robustness row, the published table has no such quantity, so its
+#: paper cells are ``?`` and the row is only appended when a streaming
+#: sweep has measured it (:func:`repro.core.comparison.attach_overload`).
+OVERLOAD_AXIS = Axis(
+    "overload",
+    "System - Overload graceful degradation",
+    higher_is_better=True,
+    measured=True,
+    paper_ratings=("?", "?", "?"),
+    tie_tolerance=1.2,
+)
+
+
 #: Literature constants for the two unmeasurable axes, on an arbitrary
 #: 1–3 ordinal scale matching the paper's assessment (Section III/V):
 #: CNN hardware is mature and flexible; SNN processors exist but are
@@ -109,6 +125,8 @@ class PipelineMetrics:
         latency: microseconds from last relevant event to decision.
         robustness: retained-accuracy fraction under injected faults
             (filled by a reliability sweep; nan until measured).
+        overload: delivered-window fraction under offered load above
+            capacity (filled by a streaming sweep; nan until measured).
         extras: free-form measurement details for the report.
     """
 
@@ -126,6 +144,7 @@ class PipelineMetrics:
     configurability: float = float("nan")
     latency: float = float("nan")
     robustness: float = float("nan")
+    overload: float = float("nan")
     extras: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:

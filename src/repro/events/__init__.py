@@ -8,6 +8,7 @@ filtering, downsampling) plus rate statistics.
 from .aer import AERCodec, AERDecodeStats, AERLinkStats
 from .io import load_events, save_events
 from .ops import (
+    MAX_SPLIT_WINDOWS,
     drop_events,
     hot_pixel_filter,
     event_count_map,
@@ -22,7 +23,15 @@ from .ops import (
     split_by_count,
     split_by_time,
 )
-from .rate import GEPS, KEPS, MEPS, RateProfile, peak_rate, rate_profile
+from .rate import (
+    GEPS,
+    KEPS,
+    MAX_RATE_BINS,
+    MEPS,
+    RateProfile,
+    peak_rate,
+    rate_profile,
+)
 from .stream import EVENT_DTYPE, EventStream, Resolution, concatenate
 
 __all__ = [
@@ -54,4 +63,6 @@ __all__ = [
     "GEPS",
     "MEPS",
     "KEPS",
+    "MAX_RATE_BINS",
+    "MAX_SPLIT_WINDOWS",
 ]

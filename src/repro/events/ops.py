@@ -15,6 +15,7 @@ import numpy as np
 from .stream import EVENT_DTYPE, EventStream, Resolution
 
 __all__ = [
+    "MAX_SPLIT_WINDOWS",
     "split_by_time",
     "split_by_count",
     "refractory_filter",
@@ -31,33 +32,62 @@ __all__ = [
 ]
 
 
-def split_by_time(stream: EventStream, window_us: int) -> Iterator[EventStream]:
+#: Default cap on the number of windows :func:`split_by_time` may yield.
+#: One window is yielded per ``window_us`` across the stream's span —
+#: even an empty one — so a single corrupted far-future timestamp would
+#: otherwise turn the generator into an effective hang.
+MAX_SPLIT_WINDOWS = 4_194_304
+
+
+def split_by_time(
+    stream: EventStream, window_us: int, max_windows: int = MAX_SPLIT_WINDOWS
+) -> Iterator[EventStream]:
     """Split a stream into consecutive fixed-duration windows.
 
     Windows are aligned to the first event's timestamp; every window in
     ``[t0, t_last]`` is yielded, including empty ones, so frame sequences
-    built from the chunks have uniform temporal spacing.
+    built from the chunks have uniform temporal spacing.  Because one
+    (mostly empty) window is yielded per ``window_us`` of span, a stream
+    whose span needs more than ``max_windows`` windows (e.g. one
+    corrupted far-future timestamp) raises :class:`ValueError` naming
+    the span — eagerly, at call time, not on first iteration.
 
     Args:
         stream: input events.
         window_us: window length in microseconds (> 0).
+        max_windows: upper bound on the number of windows.
 
-    Yields:
-        One :class:`EventStream` per window, spanning
+    Returns:
+        An iterator of one :class:`EventStream` per window, spanning
         ``[start, start + window_us)``.  Timestamps stay absolute (use
         :meth:`EventStream.rezero_time` on a chunk for window-relative
         times).
     """
     if window_us <= 0:
         raise ValueError("window_us must be positive")
+    if max_windows <= 0:
+        raise ValueError("max_windows must be positive")
     if len(stream) == 0:
-        return
+        return iter(())
     t0 = int(stream.t[0])
     t_end = int(stream.t[-1])
-    start = t0
-    while start <= t_end:
-        yield stream.time_window(start, start + window_us)
-        start += window_us
+    span = t_end - t0
+    num_windows = span // window_us + 1
+    if num_windows > max_windows:
+        raise ValueError(
+            f"stream spans {span}us, needing {num_windows} windows of "
+            f"{window_us}us (max_windows={max_windows}); a corrupted "
+            "far-future timestamp is the usual cause — clean the stream "
+            "or raise max_windows"
+        )
+
+    def _windows() -> Iterator[EventStream]:
+        start = t0
+        while start <= t_end:
+            yield stream.time_window(start, start + window_us)
+            start += window_us
+
+    return _windows()
 
 
 def split_by_count(stream: EventStream, count: int) -> Iterator[EventStream]:

@@ -15,7 +15,15 @@ import numpy as np
 
 from .stream import EventStream
 
-__all__ = ["RateProfile", "rate_profile", "peak_rate", "GEPS", "MEPS", "KEPS"]
+__all__ = [
+    "RateProfile",
+    "rate_profile",
+    "peak_rate",
+    "GEPS",
+    "MEPS",
+    "KEPS",
+    "MAX_RATE_BINS",
+]
 
 #: One kilo-event per second.
 KEPS = 1e3
@@ -23,6 +31,12 @@ KEPS = 1e3
 MEPS = 1e6
 #: One giga-event per second (the readout scale of modern HD sensors).
 GEPS = 1e9
+
+#: Default cap on the number of bins one profile may allocate (4M bins =
+#: 32 MB of int64 edges).  A single corrupted far-future timestamp (e.g.
+#: an AER bit flip in the delta field) would otherwise make the span —
+#: and the allocation — balloon by orders of magnitude.
+MAX_RATE_BINS = 4_194_304
 
 
 @dataclass(frozen=True)
@@ -67,25 +81,50 @@ class RateProfile:
         return self.peak_rate_eps / mean
 
 
-def rate_profile(stream: EventStream, bin_us: int = 1000) -> RateProfile:
+def rate_profile(
+    stream: EventStream, bin_us: int = 1000, max_bins: int = MAX_RATE_BINS
+) -> RateProfile:
     """Histogram the stream's event rate over fixed time bins.
+
+    The bin count is proportional to the stream's time span, so one
+    corrupted far-future timestamp would make a naive implementation
+    allocate gigabytes; spans needing more than ``max_bins`` bins raise
+    :class:`ValueError` (naming the span) in O(len(stream)) instead.
+    Counting is a direct bincount on the per-event bin offsets — no
+    O(n log n) histogram search.
 
     Args:
         stream: input events.
         bin_us: bin width in microseconds (default 1 ms).
+        max_bins: upper bound on the number of bins the profile may
+            allocate.
     """
     if bin_us <= 0:
         raise ValueError("bin_us must be positive")
+    if max_bins <= 0:
+        raise ValueError("max_bins must be positive")
     if len(stream) == 0:
         return RateProfile(np.array([0, bin_us], dtype=np.int64), np.zeros(1, dtype=np.int64), bin_us)
     t0 = int(stream.t[0])
     t1 = int(stream.t[-1])
-    num_bins = max(1, (t1 - t0) // bin_us + 1)
+    span = t1 - t0
+    num_bins = max(1, span // bin_us + 1)
+    if num_bins > max_bins:
+        raise ValueError(
+            f"stream spans {span}us, needing {num_bins} bins of {bin_us}us "
+            f"(max_bins={max_bins}); a corrupted far-future timestamp is the "
+            "usual cause — clean the stream or raise max_bins"
+        )
+    # Offsets are clipped defensively: an out-of-order (invalid) stream
+    # could place events before t[0], and bincount rejects negatives.
+    offsets = np.clip((stream.t.astype(np.int64) - t0) // bin_us, 0, num_bins - 1)
+    counts = np.bincount(offsets, minlength=num_bins)
     edges = t0 + np.arange(num_bins + 1, dtype=np.int64) * bin_us
-    counts, _ = np.histogram(stream.t, bins=edges)
     return RateProfile(edges, counts.astype(np.int64), bin_us)
 
 
-def peak_rate(stream: EventStream, bin_us: int = 1000) -> float:
+def peak_rate(
+    stream: EventStream, bin_us: int = 1000, max_bins: int = MAX_RATE_BINS
+) -> float:
     """Peak event rate (events/s) measured over ``bin_us`` bins."""
-    return rate_profile(stream, bin_us).peak_rate_eps
+    return rate_profile(stream, bin_us, max_bins=max_bins).peak_rate_eps

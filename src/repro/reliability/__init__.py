@@ -32,6 +32,7 @@ from .faults import (
 )
 from .runner import (
     HardenedRunner,
+    StageGuard,
     RecordingOutcome,
     RecordingReport,
     RunReport,
@@ -65,6 +66,7 @@ __all__ = [
     "RecordingOutcome",
     "RecordingReport",
     "RunReport",
+    "StageGuard",
     "StageResult",
     "validate_sample",
     "default_fault_profile",

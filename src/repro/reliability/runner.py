@@ -44,6 +44,7 @@ __all__ = [
     "RecordingOutcome",
     "RecordingReport",
     "RunReport",
+    "StageGuard",
     "StageResult",
     "HardenedRunner",
     "validate_sample",
@@ -206,58 +207,53 @@ class _StageTimeout(Exception):
     """Internal marker: a stage exceeded its wall-clock budget."""
 
 
-class HardenedRunner:
-    """Fault-tolerant wrapper around one :class:`ParadigmPipeline`.
+class StageGuard:
+    """Retry + backoff + wall-clock-timeout wrapper for one stage call.
+
+    The guarded-execution core shared by :class:`HardenedRunner` (batch
+    sweeps) and :class:`repro.streaming.StreamingExecutor` (live
+    windows): run a callable, retrying transient failures with
+    exponential backoff, abandoning calls that exceed a wall-clock
+    budget, and always returning a structured :class:`StageResult`
+    instead of raising — except for :class:`NotFittedError`, which is a
+    configuration error no retry can fix and is re-raised so callers
+    fail fast.
 
     Args:
-        pipeline: the pipeline to protect.
-        max_retries: extra attempts after a failed stage call (0 = fail
+        max_retries: extra attempts after a failed call (0 = fail
             immediately on first error).
         backoff_s: base sleep before retry ``k`` (scaled by ``2**k``);
             0 retries immediately.
-        stage_timeout_s: wall-clock budget per stage call (None = no
-            timeout).  A timed-out stage keeps running on its worker
-            thread but its result is discarded and the stage recorded as
-            TIMEOUT — skip-and-record, never hang the sweep.
-        checkpoint_path: where to persist fitted model state.  When the
-            file exists, :meth:`fit` restores it (rebuilding the
-            architecture with a zero-epoch fit) instead of retraining,
-            which is what lets an interrupted sweep resume.
+        timeout_s: wall-clock budget per call (None = no timeout).  A
+            timed-out call keeps running on its daemon worker thread but
+            its result is discarded — skip-and-record, never hang.
     """
 
     def __init__(
         self,
-        pipeline: ParadigmPipeline,
         *,
         max_retries: int = 1,
         backoff_s: float = 0.0,
-        stage_timeout_s: float | None = None,
-        checkpoint_path: str | Path | None = None,
+        timeout_s: float | None = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
         if backoff_s < 0:
             raise ValueError("backoff_s must be non-negative")
-        if stage_timeout_s is not None and stage_timeout_s <= 0:
-            raise ValueError("stage_timeout_s must be positive")
-        self.pipeline = pipeline
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
         self.max_retries = max_retries
         self.backoff_s = backoff_s
-        self.stage_timeout_s = stage_timeout_s
-        self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
-        self.resumed_from_checkpoint = False
+        self.timeout_s = timeout_s
 
-    # ------------------------------------------------------------------
-    # Guarded execution primitives
-    # ------------------------------------------------------------------
     def _call_with_timeout(self, fn: Callable[[], Any]) -> Any:
-        """Run ``fn``, enforcing the wall-clock stage timeout.
+        """Run ``fn``, enforcing the wall-clock timeout.
 
         The timed call runs on a daemon thread; on timeout the thread is
         abandoned (it cannot be killed) and its eventual result
-        discarded, so the sweep moves on instead of hanging.
+        discarded, so the caller moves on instead of hanging.
         """
-        if self.stage_timeout_s is None:
+        if self.timeout_s is None:
             return fn()
         result: list[Any] = []
         error: list[BaseException] = []
@@ -270,16 +266,16 @@ class HardenedRunner:
 
         worker = threading.Thread(target=target, daemon=True, name="repro-stage")
         worker.start()
-        worker.join(self.stage_timeout_s)
+        worker.join(self.timeout_s)
         if worker.is_alive():
             raise _StageTimeout(
-                f"stage exceeded {self.stage_timeout_s}s wall-clock budget"
+                f"stage exceeded {self.timeout_s}s wall-clock budget"
             )
         if error:
             raise error[0]
         return result[0]
 
-    def _run_stage(self, name: str, fn: Callable[[], Any]) -> StageResult:
+    def run(self, name: str, fn: Callable[[], Any]) -> StageResult:
         """Run a stage with retry + backoff + timeout, never raising.
 
         :class:`NotFittedError` is not retried — an unfitted pipeline is
@@ -324,6 +320,66 @@ class HardenedRunner:
             error_message=str(last_exc),
             elapsed_s=time.monotonic() - start,
         )
+
+
+class HardenedRunner:
+    """Fault-tolerant wrapper around one :class:`ParadigmPipeline`.
+
+    Args:
+        pipeline: the pipeline to protect.
+        max_retries: extra attempts after a failed stage call (0 = fail
+            immediately on first error).
+        backoff_s: base sleep before retry ``k`` (scaled by ``2**k``);
+            0 retries immediately.
+        stage_timeout_s: wall-clock budget per stage call (None = no
+            timeout).  A timed-out stage keeps running on its worker
+            thread but its result is discarded and the stage recorded as
+            TIMEOUT — skip-and-record, never hang the sweep.
+        checkpoint_path: where to persist fitted model state.  When the
+            file exists, :meth:`fit` restores it (rebuilding the
+            architecture with a zero-epoch fit) instead of retraining,
+            which is what lets an interrupted sweep resume.
+    """
+
+    def __init__(
+        self,
+        pipeline: ParadigmPipeline,
+        *,
+        max_retries: int = 1,
+        backoff_s: float = 0.0,
+        stage_timeout_s: float | None = None,
+        checkpoint_path: str | Path | None = None,
+    ) -> None:
+        self._guard = StageGuard(
+            max_retries=max_retries,
+            backoff_s=backoff_s,
+            timeout_s=stage_timeout_s,
+        )
+        self.pipeline = pipeline
+        self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
+        self.resumed_from_checkpoint = False
+
+    # ------------------------------------------------------------------
+    # Guarded execution primitives (delegated to the shared StageGuard)
+    # ------------------------------------------------------------------
+    @property
+    def max_retries(self) -> int:
+        """Per-stage retry budget."""
+        return self._guard.max_retries
+
+    @property
+    def backoff_s(self) -> float:
+        """Base backoff before retries."""
+        return self._guard.backoff_s
+
+    @property
+    def stage_timeout_s(self) -> float | None:
+        """Wall-clock budget per stage call."""
+        return self._guard.timeout_s
+
+    def _run_stage(self, name: str, fn: Callable[[], Any]) -> StageResult:
+        """Run a stage through the shared :class:`StageGuard`."""
+        return self._guard.run(name, fn)
 
     # ------------------------------------------------------------------
     # Checkpointing

@@ -1,0 +1,408 @@
+"""The overload-resilient streaming executor.
+
+Feeds live event windows through a fitted
+:class:`~repro.core.pipeline.ParadigmPipeline` (or any predictor
+callable) under a *virtual-time* single-server model, so every run is
+exactly reproducible: windows arrive on a schedule derived from their
+nominal duration and a ``load_factor``, service costs are charged by an
+analytic :class:`ServiceModel` (per-event microseconds, like the
+hardware cost models in :mod:`repro.hw`), and a queue builds whenever
+offered load exceeds sustained capacity.
+
+Resilience comes from three cooperating mechanisms:
+
+* **backpressure + expiry** (:mod:`~repro.streaming.queueing`) — a
+  bounded ingest queue whose depth drives the shedding watermarks, and
+  deadline-aware expiry of windows too stale to be worth serving;
+* **tiered load shedding** (:mod:`~repro.streaming.shedding`) — the
+  controller escalates subsampling → spatial pooling → drop-oldest as
+  depth and burstiness rise, recording exactly what was shed;
+* **per-stage circuit breakers + fallback chain**
+  (:mod:`~repro.streaming.breaker`) — each predict stage is guarded by
+  a breaker (consecutive-failure and NaN trips, seeded half-open
+  probes); refused or failed stages fall through to cheaper fallback
+  paradigms and finally to the last-good cached prediction.
+
+Stage calls run through the :class:`~repro.reliability.runner.StageGuard`
+retry/timeout machinery shared with the batch
+:class:`~repro.reliability.runner.HardenedRunner`; unfitted pipelines
+raise :class:`~repro.core.pipeline.NotFittedError` up front.  The run
+returns a :class:`~repro.streaming.report.StreamReport` whose window and
+event accounting balances exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from ..core.pipeline import ParadigmPipeline
+from ..events.ops import split_by_time
+from ..events.rate import rate_profile
+from ..events.stream import EventStream
+from ..reliability.runner import StageGuard
+from .breaker import BreakerPolicy, CircuitBreaker, is_bad_output
+from .queueing import BoundedWindowQueue, WindowTicket
+from .report import StageStats, StreamReport
+from .shedding import ShedController, ShedPolicy, ShedTier
+
+__all__ = ["ServiceModel", "StreamStage", "StreamingExecutor", "LAST_GOOD_STAGE"]
+
+#: Name of the implicit final fallback serving the last-good cached
+#: prediction (it has no breaker — a cache lookup cannot fail).
+LAST_GOOD_STAGE = "last_good"
+
+#: Reserved name of the ingest shedding stage's breaker.
+SHED_STAGE = "shed"
+
+
+@dataclass(frozen=True)
+class ServiceModel:
+    """Analytic virtual-time cost of serving one window.
+
+    Attributes:
+        base_us: fixed per-window overhead (dispatch, framing).
+        per_event_us: marginal cost per event fed to the model.
+        cache_us: cost of answering from the last-good cache (defaults
+            to ``base_us``).
+    """
+
+    base_us: float = 1000.0
+    per_event_us: float = 0.5
+    cache_us: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.base_us < 0 or self.per_event_us < 0:
+            raise ValueError("service costs must be non-negative")
+        if self.cache_us is not None and self.cache_us < 0:
+            raise ValueError("cache_us must be non-negative")
+
+    def service_us(self, num_events: int) -> float:
+        """Virtual service time of one stage call on ``num_events``."""
+        return self.base_us + self.per_event_us * num_events
+
+    def sustainable_events_per_window(self, window_us: float) -> float | None:
+        """Event budget per window period at 100% utilisation.
+
+        ``None`` when events are free (no meaningful budget).
+        """
+        if self.per_event_us <= 0:
+            return None
+        return max(1.0, (window_us - self.base_us) / self.per_event_us)
+
+
+@dataclass
+class StreamStage:
+    """One predict stage of the fallback chain.
+
+    Attributes:
+        name: unique stage name (breaker + report key).
+        predict: window → prediction callable.
+    """
+
+    name: str
+    predict: Callable[[EventStream], Any]
+
+
+def _as_stage(obj: Any, used: set[str]) -> StreamStage:
+    """Normalise a pipeline / (name, fn) pair / callable into a stage."""
+    if isinstance(obj, StreamStage):
+        stage = obj
+    elif isinstance(obj, ParadigmPipeline):
+        stage = StreamStage(obj.name, obj.predict)
+    elif isinstance(obj, tuple) and len(obj) == 2:
+        stage = StreamStage(str(obj[0]), obj[1])
+    elif callable(obj):
+        stage = StreamStage(getattr(obj, "__name__", "stage"), obj)
+    else:
+        raise TypeError(
+            "stages must be ParadigmPipeline, StreamStage, (name, callable) "
+            f"or callable, got {type(obj).__name__}"
+        )
+    name = stage.name
+    suffix = 2
+    while name in used or name in (LAST_GOOD_STAGE, SHED_STAGE):
+        name = f"{stage.name}#{suffix}"
+        suffix += 1
+    used.add(name)
+    return StreamStage(name, stage.predict)
+
+
+class StreamingExecutor:
+    """Overload-resilient window-at-a-time execution of a fitted pipeline.
+
+    Args:
+        primary: the pipeline (or predictor callable, or ``(name, fn)``)
+            that should serve windows when healthy.
+        window_us: nominal window length of the stream (> 0); also sets
+            the arrival schedule.
+        fallbacks: cheaper stages tried, in order, when the primary's
+            breaker refuses or its call fails.
+        service: virtual-time cost model of one stage call.
+        queue_capacity: bound of the ingest queue.
+        deadline_us: maximum age (arrival → service start) before a
+            window expires; defaults to ``4 * window_us``.
+        shed_policy: watermarks + transform parameters of the shedding
+            controller.
+        breaker_policy: trip/recovery parameters shared by all stage
+            breakers.
+        guard: retry/timeout machinery for stage calls (defaults to no
+            retries, no wall-clock timeout — a live executor prefers
+            falling back over burning queue time).
+        use_last_good: serve the most recent successful prediction when
+            every stage fails or is refused.
+        seed: seeds the breakers' half-open probe generators.
+    """
+
+    def __init__(
+        self,
+        primary: Any,
+        *,
+        window_us: int,
+        fallbacks: Iterable[Any] = (),
+        service: ServiceModel | None = None,
+        queue_capacity: int = 16,
+        deadline_us: float | None = None,
+        shed_policy: ShedPolicy | None = None,
+        breaker_policy: BreakerPolicy | None = None,
+        guard: StageGuard | None = None,
+        use_last_good: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if window_us <= 0:
+            raise ValueError("window_us must be positive")
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if deadline_us is not None and deadline_us <= 0:
+            raise ValueError("deadline_us must be positive")
+        used: set[str] = set()
+        self._pipelines = [
+            obj for obj in (primary, *fallbacks) if isinstance(obj, ParadigmPipeline)
+        ]
+        self.stages: list[StreamStage] = [
+            _as_stage(obj, used) for obj in (primary, *fallbacks)
+        ]
+        self.window_us = int(window_us)
+        self.service = service or ServiceModel()
+        self.queue_capacity = queue_capacity
+        self.deadline_us = (
+            float(deadline_us) if deadline_us is not None else 4.0 * window_us
+        )
+        self.shed_policy = shed_policy or ShedPolicy()
+        self.breaker_policy = breaker_policy or BreakerPolicy()
+        self.guard = guard or StageGuard(max_retries=0)
+        self.use_last_good = use_last_good
+        self.seed = seed
+        # Per-run state, exposed for inspection after run().
+        self.breakers: dict[str, CircuitBreaker] = {}
+        self.controller: ShedController | None = None
+        self.last_good: Any = None
+
+    # ------------------------------------------------------------------
+    # Run setup
+    # ------------------------------------------------------------------
+    def _reset(self) -> StreamReport:
+        for pipeline in self._pipelines:
+            pipeline._require_fitted()  # NotFittedError is a config error
+        self.breakers = {
+            stage.name: CircuitBreaker(stage.name, self.breaker_policy, self.seed)
+            for stage in self.stages
+        }
+        self.breakers[SHED_STAGE] = CircuitBreaker(
+            SHED_STAGE, self.breaker_policy, self.seed
+        )
+        self.controller = ShedController(
+            self.shed_policy,
+            self.service.sustainable_events_per_window(self.window_us),
+        )
+        self.last_good = None
+        self._queue = BoundedWindowQueue(self.queue_capacity)
+        self._clock = 0.0
+        report = StreamReport(window_us=self.window_us)
+        for stage in self.stages:
+            report.stage_stats[stage.name] = StageStats(stage.name)
+        report.stage_stats[SHED_STAGE] = StageStats(SHED_STAGE)
+        report.stage_stats[LAST_GOOD_STAGE] = StageStats(LAST_GOOD_STAGE)
+        return report
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def _serve(self, ticket: WindowTicket, start_us: float, report: StreamReport) -> None:
+        """Run one window through the fallback chain at virtual ``start_us``."""
+        clock = start_us
+        value: Any = None
+        served_by: str | None = None
+        for stage in self.stages:
+            breaker = self.breakers[stage.name]
+            if not breaker.allow(ticket.index):
+                continue
+            stats = report.stage_stats[stage.name]
+            cost = self.service.service_us(len(ticket.stream))
+            clock += cost
+            stats.calls += 1
+            stats.busy_us += cost
+            result = self.guard.run(stage.name, lambda: stage.predict(ticket.stream))
+            if result.ok and not is_bad_output(result.value):
+                breaker.record_success(ticket.index)
+                stats.successes += 1
+                value, served_by = result.value, stage.name
+                break
+            nan_trip = result.ok  # call returned, but the output is bad
+            stats.failures += 1
+            if nan_trip:
+                stats.nan_trips += 1
+            breaker.record_failure(
+                ticket.index,
+                nan_output=nan_trip,
+                reason=result.error_message or result.error_type,
+            )
+        if served_by is None and self.use_last_good and self.last_good is not None:
+            cache_cost = (
+                self.service.cache_us
+                if self.service.cache_us is not None
+                else self.service.base_us
+            )
+            clock += cache_cost
+            stats = report.stage_stats[LAST_GOOD_STAGE]
+            stats.calls += 1
+            stats.successes += 1
+            stats.busy_us += cache_cost
+            value, served_by = self.last_good, LAST_GOOD_STAGE
+
+        self._clock = clock
+        if served_by is None:
+            report.failed += 1
+            report.failed_events += len(ticket.stream)
+            return
+        self.last_good = value
+        report.processed += 1
+        report.processed_events += len(ticket.stream)
+        report.served_by[served_by] = report.served_by.get(served_by, 0) + 1
+        report.stage_stats[served_by].served += 1
+        report.latencies_us.append(clock - ticket.arrival_us)
+        report.predictions[ticket.index] = value
+
+    def _drain(self, until_us: float, report: StreamReport) -> None:
+        """Serve queued windows whose service can start before ``until_us``."""
+        while self._queue.depth:
+            head = self._queue.peek()
+            start = max(self._clock, head.arrival_us)
+            if start >= until_us:
+                break
+            self._queue.pop()
+            if start > head.deadline_us:
+                # Expiry is pure bookkeeping: no service time is spent.
+                report.expired += 1
+                report.expired_events += len(head.stream)
+                continue
+            self._serve(head, start, report)
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def _ingest(
+        self, index: int, arrival_us: float, window: EventStream, report: StreamReport
+    ) -> None:
+        """Shed (per the controller) and enqueue one arriving window."""
+        offered_events = len(window)
+        report.offered += 1
+        report.offered_events += offered_events
+        try:
+            burstiness = rate_profile(
+                window, bin_us=self.shed_policy.burst_bin_us
+            ).burstiness
+        except ValueError as exc:
+            # Corrupt span inside one window (e.g. a far-future
+            # timestamp): quarantine the window, never the run.
+            report.failed += 1
+            report.failed_events += offered_events
+            shed = self.breakers[SHED_STAGE]
+            shed.record_failure(index, reason=f"unprofilable window: {exc}")
+            return
+        tier = self.controller.update(self._queue.depth, burstiness, index)
+
+        shed_breaker = self.breakers[SHED_STAGE]
+        applied = ShedTier.NONE
+        if tier is not ShedTier.NONE and shed_breaker.allow(index):
+            stats = report.stage_stats[SHED_STAGE]
+            stats.calls += 1
+            result = self.guard.run(
+                SHED_STAGE, lambda: self.controller.apply(window, report.ledger)
+            )
+            if result.ok:
+                window, applied = result.value
+                shed_breaker.record_success(index)
+                stats.successes += 1
+            else:
+                # A broken transform must not take the stream down:
+                # the window passes through unshed.
+                shed_breaker.record_failure(index, reason=result.error_message)
+                stats.failures += 1
+
+        if tier is ShedTier.DROP_OLDEST:
+            evicted = self._queue.drop_oldest()
+            if evicted is not None:
+                report.shed_windows += 1
+                report.ledger.record_window_drop(len(evicted.stream))
+        ticket = WindowTicket(
+            index=index,
+            arrival_us=arrival_us,
+            deadline_us=arrival_us + self.deadline_us,
+            stream=window,
+            offered_events=offered_events,
+            tier=applied.name,
+        )
+        evicted = self._queue.push(ticket)
+        if evicted is not None:
+            report.shed_windows += 1
+            report.ledger.record_window_drop(len(evicted.stream))
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        source: EventStream | Iterable[EventStream],
+        load_factor: float = 1.0,
+    ) -> StreamReport:
+        """Stream every window through the executor and report.
+
+        Args:
+            source: an :class:`EventStream` (split into ``window_us``
+                windows — a corrupted far-future timestamp raises
+                :class:`ValueError` here, in O(len(stream)), via the
+                :func:`~repro.events.ops.split_by_time` span guard) or
+                an iterable of pre-split windows.
+            load_factor: offered-load multiplier; arrivals are spaced
+                ``window_us / load_factor`` apart, so 2.0 offers twice
+                sustained real-time rate.
+
+        Returns:
+            The balanced :class:`~repro.streaming.report.StreamReport`.
+        """
+        if load_factor <= 0:
+            raise ValueError("load_factor must be positive")
+        report = self._reset()
+        report.load_factor = float(load_factor)
+        windows = (
+            split_by_time(source, self.window_us)
+            if isinstance(source, EventStream)
+            else source
+        )
+        inter_arrival = self.window_us / load_factor
+        arrival = 0.0
+        for index, window in enumerate(windows):
+            arrival = (index + 1) * inter_arrival
+            self._drain(arrival, report)
+            self._ingest(index, arrival, window, report)
+        self._drain(float("inf"), report)
+        report.max_queue_depth = self._queue.max_depth
+        report.duration_us = max(self._clock, arrival)
+        transitions = [t for b in self.breakers.values() for t in b.transitions]
+        report.breaker_transitions = sorted(transitions, key=lambda t: t.at_window)
+        report.breaker_states = {
+            name: b.state.value for name, b in self.breakers.items()
+        }
+        report.tier_transitions = [t.to_dict() for t in self.controller.transitions]
+        return report

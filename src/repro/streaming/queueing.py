@@ -1,0 +1,110 @@
+"""Bounded ingest queue with watermark signals and deadline expiry.
+
+The ingest stage of the streaming executor: arriving event windows wait
+here for the (single, virtual-time) server.  The queue is strictly
+bounded — when full, pushing evicts the *oldest* ticket and returns it
+so the caller can account for the shed window — and exposes its depth
+for the watermark-based backpressure decisions of the
+:class:`~repro.streaming.shedding.ShedController`.  Tickets carry an
+absolute deadline; windows that would start service after it are
+expired by the executor rather than processed late (stale inference on
+event data is worthless — the scene has moved on).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..events.stream import EventStream
+
+__all__ = ["WindowTicket", "BoundedWindowQueue"]
+
+
+@dataclass
+class WindowTicket:
+    """One event window in flight through the executor.
+
+    Attributes:
+        index: window sequence number (0-based arrival order).
+        arrival_us: virtual arrival time at the ingest queue.
+        deadline_us: absolute virtual time after which starting service
+            is pointless; the executor expires the ticket instead.
+        stream: the (possibly shed) events of the window.
+        offered_events: event count as offered, before any shedding.
+        tier: name of the shedding tier applied at ingest.
+    """
+
+    index: int
+    arrival_us: float
+    deadline_us: float
+    stream: EventStream
+    offered_events: int
+    tier: str = "NONE"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable summary (events are not serialised)."""
+        return {
+            "index": self.index,
+            "arrival_us": self.arrival_us,
+            "deadline_us": self.deadline_us,
+            "num_events": len(self.stream),
+            "offered_events": self.offered_events,
+            "tier": self.tier,
+        }
+
+
+@dataclass
+class BoundedWindowQueue:
+    """Bounded FIFO of :class:`WindowTicket`, oldest evicted when full.
+
+    Attributes:
+        capacity: maximum pending tickets.
+        max_depth: deepest the queue has been (high-watermark telemetry).
+    """
+
+    capacity: int
+    max_depth: int = 0
+    _items: deque = field(default_factory=deque, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("capacity must be >= 1")
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def depth(self) -> int:
+        """Current number of pending tickets."""
+        return len(self._items)
+
+    def push(self, ticket: WindowTicket) -> WindowTicket | None:
+        """Enqueue a ticket; returns the evicted oldest ticket when full.
+
+        Eviction (rather than rejecting the newcomer) implements the
+        drop-*oldest* discipline: under sustained overload the freshest
+        data is the most valuable, and the oldest queued window is the
+        one closest to its deadline anyway.
+        """
+        evicted: WindowTicket | None = None
+        if len(self._items) >= self.capacity:
+            evicted = self._items.popleft()
+        self._items.append(ticket)
+        self.max_depth = max(self.max_depth, len(self._items))
+        return evicted
+
+    def pop(self) -> WindowTicket:
+        """Dequeue the oldest ticket."""
+        return self._items.popleft()
+
+    def peek(self) -> WindowTicket:
+        """The oldest ticket, without removing it."""
+        return self._items[0]
+
+    def drop_oldest(self) -> WindowTicket | None:
+        """Explicitly evict the oldest ticket (DROP_OLDEST tier action)."""
+        if not self._items:
+            return None
+        return self._items.popleft()

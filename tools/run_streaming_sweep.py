@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Run the streaming overload sweep and the seeded burst demo.
+
+Two checks back the Table-I overload cell:
+
+1. the deterministic 10x burst demo — a rate burst plus a transient
+   primary-stage outage streamed through the resilient executor.  The
+   run must complete with exact window/event conservation
+   (``processed + expired + shed + failed == offered``, ``failed == 0``),
+   engage at least two shedding tiers, and every circuit breaker that
+   opens must recover through its half-open probes;
+2. the load sweep — each paradigm's delivered-window fraction across
+   rising offered load must form a monotone (graceful) degradation
+   curve with balanced accounting at every point.
+
+Exits non-zero when either check fails, so CI uses it as a smoke test.
+
+Usage:
+    python tools/run_streaming_sweep.py               # full-size run
+    python tools/run_streaming_sweep.py --quick       # CI-sized run
+    python tools/run_streaming_sweep.py --output /tmp/streaming.json
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.streaming import (
+    degradation_violations,
+    make_bursty_stream,
+    overload_scores,
+    run_overload_demo,
+    run_streaming_sweep,
+)
+
+
+def check_demo(seed: int) -> tuple[dict, list[str]]:
+    """Run the burst demo and collect acceptance failures."""
+    report, executor = run_overload_demo(seed=seed, burst_factor=10.0)
+    failures = list(report.accounting_errors())
+    if report.failed != 0:
+        failures.append(f"demo run failed {report.failed} window(s)")
+    if len(report.tiers_engaged) < 2:
+        failures.append(
+            f"only {report.tiers_engaged} shedding tier(s) engaged, expected >= 2"
+        )
+    opened = [
+        name
+        for name, b in executor.breakers.items()
+        if any(t.to_state.value == "open" for t in b.transitions)
+    ]
+    if not opened:
+        failures.append("no breaker opened despite the transient outage")
+    unrecovered = [
+        name for name, b in executor.breakers.items() if not b.recovered
+    ]
+    if unrecovered:
+        failures.append(f"breaker(s) never recovered: {unrecovered}")
+    summary = {
+        "offered": report.offered,
+        "processed": report.processed,
+        "expired": report.expired,
+        "shed_windows": report.shed_windows,
+        "failed": report.failed,
+        "delivered_fraction": round(report.delivered_fraction, 4),
+        "tiers_engaged": report.tiers_engaged,
+        "shed_fractions_by_tier": {
+            k: round(v, 4) for k, v in report.shed_fractions_by_tier().items()
+        },
+        "breakers_opened": opened,
+        "breaker_transitions": len(report.breaker_transitions),
+        "p50_latency_us": round(report.p50_latency_us, 1),
+        "p99_latency_us": round(report.p99_latency_us, 1),
+        "max_queue_depth": report.max_queue_depth,
+    }
+    return summary, failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized run")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output", type=Path, default=REPO_ROOT / "streaming_sweep.json"
+    )
+    args = parser.parse_args()
+
+    t0 = time.time()
+    demo_summary, failures = check_demo(args.seed)
+
+    if args.quick:
+        num_windows, load_factors = 80, (0.5, 2.0, 6.0)
+    else:
+        num_windows, load_factors = 240, (0.5, 1.0, 2.0, 4.0, 8.0)
+    stream = make_bursty_stream(
+        num_windows=num_windows,
+        burst_factor=1.0,
+        burst_windows=(0, 0),
+        seed=args.seed + 1,
+    )
+    result = run_streaming_sweep(
+        stream, 10_000, load_factors=load_factors, seed=args.seed
+    )
+    failures += degradation_violations(result)
+    scores = overload_scores(result)
+    elapsed = time.time() - t0
+
+    payload = {
+        "elapsed_s": round(elapsed, 2),
+        "demo": demo_summary,
+        "load_factors": list(load_factors),
+        "curves": {
+            name: [round(f, 4) for f in result.delivered(name)]
+            for name in result.curves
+        },
+        "overload_scores": {k: round(v, 4) for k, v in scores.items()},
+        "failures": failures,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"streaming sweep finished in {elapsed:.1f}s -> {args.output}")
+    print(
+        f"  demo: {demo_summary['processed']}/{demo_summary['offered']} delivered, "
+        f"tiers {demo_summary['tiers_engaged']}, "
+        f"breakers opened {demo_summary['breakers_opened']}"
+    )
+    for name in result.curves:
+        curve = ", ".join(
+            f"{lf:g}x:{f:.3f}" for lf, f in zip(load_factors, result.delivered(name))
+        )
+        print(f"  {name}: {curve}  (overload score {scores[name]:.3f})")
+    if failures:
+        print("FAILURES:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("accounting exact, breakers recovered, degradation monotone")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
