@@ -20,6 +20,7 @@ from . import (
     gnn,
     hw,
     nn,
+    observability,
     reliability,
     sensors,
     snn,
@@ -40,5 +41,6 @@ __all__ = [
     "analysis",
     "reliability",
     "streaming",
+    "observability",
     "__version__",
 ]

@@ -42,7 +42,7 @@ class SegmentationResult:
         if self.num_segments == 0:
             return np.zeros(0, dtype=np.int64)
         counts = np.bincount(self.labels[self.labels >= 0], minlength=self.num_segments)
-        return np.sort(counts)[::-1]
+        return np.sort(counts)[::-1]  # sort-ok: value sort, ties identical
 
 
 def segment_events(

@@ -93,6 +93,7 @@ def background_activity(
     n = int(rng.poisson(expected))
     if n == 0:
         return EventStream.empty(resolution)
+    # sort-ok: value sort of random timestamps; equal values are interchangeable
     t = np.sort(rng.integers(t_start, t_start + max(1, duration_us), n))
     x = rng.integers(0, resolution.width, n)
     y = rng.integers(0, resolution.height, n)
@@ -131,7 +132,7 @@ def hot_pixel_events(
         base = t_start + (np.arange(1, n_fires + 1) * period_us)
         jitter = rng.normal(0.0, 0.1 * period_us, n_fires)
         t = np.clip(base + jitter, t_start, t_start + duration_us - 1).astype(np.int64)
-        ts.append(np.sort(t))
+        ts.append(np.sort(t))  # sort-ok: value sort, ties identical
         xs.append(np.full(n_fires, hx[i]))
         ys.append(np.full(n_fires, hy[i]))
         ps.append(np.full(n_fires, hp[i]))

@@ -114,7 +114,9 @@ def structured_prune_channels(conv: Conv2d, fraction: float) -> np.ndarray:
     k = int(fraction * norms.size)
     keep = np.ones(norms.size, dtype=bool)
     if k > 0:
-        drop = np.argsort(norms)[:k]
+        # Stable, so tied channel norms drop the lowest-index channels
+        # deterministically (default introsort breaks ties arbitrarily).
+        drop = np.argsort(norms, kind="stable")[:k]
         keep[drop] = False
         conv.weight.data[drop] = 0.0
         if conv.bias is not None:

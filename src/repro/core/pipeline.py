@@ -36,6 +36,7 @@ from ..hw.workload import ConvLayerWorkload, GNNWorkload, SNNLayerWorkload
 from ..hw.zeroskip import ZeroSkipAccelerator
 from ..nn import Adam, Tensor, cross_entropy, no_grad
 from ..nn.layers import Conv2d, ReLU, Sequential
+from ..observability import Instrumentation
 from ..snn.encoding import events_to_spike_tensor
 from ..snn.layers import SpikingMLP
 from .metrics import PipelineMetrics
@@ -64,9 +65,39 @@ class NotFittedError(RuntimeError):
 
 
 class ParadigmPipeline(abc.ABC):
-    """Common interface of the three paradigm pipelines."""
+    """Common interface of the three paradigm pipelines.
+
+    The public ``fit`` / ``predict`` / ``measure`` stages are template
+    methods: subclasses implement ``_fit`` / ``_predict`` / ``_measure``
+    and the base class runs them through one instrumented path, so an
+    attached :class:`~repro.observability.Instrumentation` (see
+    :meth:`instrument`) sees every stage call — spans, call/failure
+    counters, duration histograms and ``on_stage_start``/``on_stage_end``
+    hooks — without each paradigm re-implementing the bookkeeping.
+    Without instrumentation the wrapper is a single ``None`` check.
+    """
 
     name: str
+
+    #: Observability sink; ``None`` (the default) disables the wrapper.
+    _obs: Instrumentation | None = None
+
+    def instrument(self, instrumentation: Instrumentation | None) -> "ParadigmPipeline":
+        """Attach an observability sink (``None`` detaches); returns self.
+
+        Every subsequent ``fit`` / ``predict`` / ``measure`` call is
+        counted (``pipeline_stage_calls_total{paradigm,stage}``), timed
+        into ``pipeline_stage_duration_us`` and traced as a span named
+        ``{paradigm}.{stage}``; failures increment
+        ``pipeline_stage_failures_total`` and re-raise unchanged.
+        """
+        self._obs = instrumentation
+        return self
+
+    @property
+    def instrumentation(self) -> Instrumentation | None:
+        """The attached observability sink, if any."""
+        return self._obs
 
     def _require_fitted(self) -> None:
         """Raise :class:`NotFittedError` unless ``fit`` has completed."""
@@ -76,15 +107,52 @@ class ParadigmPipeline(abc.ABC):
                 "predict()/measure()"
             )
 
-    @abc.abstractmethod
+    def _observed(self, stage: str, fn):
+        """Run one stage through the metrics/tracing/hook wrapper."""
+        obs = self._obs
+        if obs is None:
+            return fn()
+        labels = {"paradigm": self.name, "stage": stage}
+        obs.registry.counter(
+            "pipeline_stage_calls_total",
+            labels=labels,
+            help="pipeline stage invocations",
+        ).inc()
+        obs.stage_start(stage)
+        ok = False
+        span = None
+        try:
+            with obs.tracer.span(f"{self.name}.{stage}") as span:
+                value = fn()
+            ok = True
+            return value
+        except Exception:
+            obs.registry.counter(
+                "pipeline_stage_failures_total",
+                labels=labels,
+                help="pipeline stage calls that raised",
+            ).inc()
+            raise
+        finally:
+            if span is not None:
+                obs.registry.histogram(
+                    "pipeline_stage_duration_us",
+                    labels=labels,
+                    help="pipeline stage duration (us; wall or virtual per clock)",
+                ).observe(span.duration_us)
+            obs.stage_end(stage, ok=ok)
+
+    # ------------------------------------------------------------------
+    # Public stages (instrumented templates around the _impl methods)
+    # ------------------------------------------------------------------
     def fit(self, train: EventDataset) -> None:
         """Train the pipeline on a dataset."""
+        return self._observed("fit", lambda: self._fit(train))
 
-    @abc.abstractmethod
     def predict(self, stream: EventStream) -> int:
         """Classify one recording."""
+        return self._observed("predict", lambda: self._predict(stream))
 
-    @abc.abstractmethod
     def measure(self, test: EventDataset, temporal_labels: tuple[int, ...] = ()) -> PipelineMetrics:
         """Evaluate the Table-I quantities on a test set.
 
@@ -95,6 +163,23 @@ class ParadigmPipeline(abc.ABC):
                 restricted to them is the "exploit temporal information"
                 metric.
         """
+        return self._observed("measure", lambda: self._measure(test, temporal_labels))
+
+    # ------------------------------------------------------------------
+    # Paradigm implementations (not abstract so pre-template subclasses
+    # overriding the public methods directly keep working)
+    # ------------------------------------------------------------------
+    def _fit(self, train: EventDataset) -> None:
+        """Paradigm-specific training."""
+        raise NotImplementedError
+
+    def _predict(self, stream: EventStream) -> int:
+        """Paradigm-specific single-recording classification."""
+        raise NotImplementedError
+
+    def _measure(self, test: EventDataset, temporal_labels: tuple[int, ...] = ()) -> PipelineMetrics:
+        """Paradigm-specific Table-I measurement."""
+        raise NotImplementedError
 
     def accuracy(self, test: EventDataset) -> float:
         """Plain test accuracy."""
@@ -163,7 +248,7 @@ class SNNPipeline(ParadigmPipeline):
         tensor = events_to_spike_tensor(stream, self.num_steps, pool=self.pool)
         return tensor.reshape(self.num_steps, -1)
 
-    def fit(self, train: EventDataset) -> None:
+    def _fit(self, train: EventDataset) -> None:
         x = np.stack([self._encode(s.stream) for s in train], axis=1)  # (T, N, F)
         y = train.labels()
         self._num_inputs = x.shape[2]
@@ -185,14 +270,14 @@ class SNNPipeline(ParadigmPipeline):
                 loss.backward()
                 opt.step()
 
-    def predict(self, stream: EventStream) -> int:
+    def _predict(self, stream: EventStream) -> int:
         self._require_fitted()
         x = self._encode(stream)[:, None, :]
         with no_grad():
             scores = self.model(Tensor(x)).data
         return int(scores.argmax())
 
-    def measure(self, test: EventDataset, temporal_labels: tuple[int, ...] = ()) -> PipelineMetrics:
+    def _measure(self, test: EventDataset, temporal_labels: tuple[int, ...] = ()) -> PipelineMetrics:
         self._require_fitted()
         spike_tensors = [self._encode(s.stream) for s in test]
         input_density = float(np.mean([t.mean() for t in spike_tensors]))
@@ -302,7 +387,7 @@ class CNNPipeline(ParadigmPipeline):
         peak = np.abs(frame).max()
         return frame / peak if peak > 0 else frame
 
-    def fit(self, train: EventDataset) -> None:
+    def _fit(self, train: EventDataset) -> None:
         res = train.resolution
         self._hw = (res.height, res.width)
         self._window_us = float(
@@ -330,7 +415,7 @@ class CNNPipeline(ParadigmPipeline):
                 opt.step()
         self.model.eval()
 
-    def predict(self, stream: EventStream) -> int:
+    def _predict(self, stream: EventStream) -> int:
         self._require_fitted()
         with no_grad():
             scores = self.model(Tensor(self._encode(stream)[None])).data
@@ -348,7 +433,7 @@ class CNNPipeline(ParadigmPipeline):
                 x = layer(x)
         return result
 
-    def measure(self, test: EventDataset, temporal_labels: tuple[int, ...] = ()) -> PipelineMetrics:
+    def _measure(self, test: EventDataset, temporal_labels: tuple[int, ...] = ()) -> PipelineMetrics:
         self._require_fitted()
         frames = np.stack([self._encode(s.stream) for s in test])
         input_zero_frac = float(np.mean(frames == 0.0))
@@ -448,7 +533,7 @@ class GNNPipeline(ParadigmPipeline):
         self.seed = seed
         self.model: EventGNNClassifier | None = None
 
-    def fit(self, train: EventDataset) -> None:
+    def _fit(self, train: EventDataset) -> None:
         from ..gnn.models import fit_gnn
 
         self.model = EventGNNClassifier(
@@ -466,13 +551,13 @@ class GNNPipeline(ParadigmPipeline):
             rng=np.random.default_rng(self.seed),
         )
 
-    def predict(self, stream: EventStream) -> int:
+    def _predict(self, stream: EventStream) -> int:
         self._require_fitted()
         graph = build_event_graph(stream, self.config)
         with no_grad():
             return int(self.model(graph).data.argmax())
 
-    def measure(self, test: EventDataset, temporal_labels: tuple[int, ...] = ()) -> PipelineMetrics:
+    def _measure(self, test: EventDataset, temporal_labels: tuple[int, ...] = ()) -> PipelineMetrics:
         self._require_fitted()
         graphs = [build_event_graph(s.stream, self.config) for s in test]
         nodes = float(np.mean([g.num_nodes for g in graphs]))

@@ -147,7 +147,7 @@ def _grouped_refractory_keep(
     # one int64 — stream order (and thus time order) survives within
     # each group, including timestamp ties, and a plain sort is much
     # faster than a stable argsort.
-    packed = np.sort(keys * n + np.arange(n))
+    packed = np.sort(keys * n + np.arange(n))  # sort-ok: packed keys are unique
     ks = packed // n
     order = packed - ks * n
     ts = ts_rel[order]
@@ -274,7 +274,7 @@ def neighbourhood_filter(
     # recoverable from the key itself.  All lookups below run in this
     # sorted domain: every probe array is then sorted too, which keeps
     # the binary searches cache-resident.
-    skey = np.sort(pix * n + np.arange(n))
+    skey = np.sort(pix * n + np.arange(n))  # sort-ok: packed keys are unique
     order = skey % n
     xs = stream.x.astype(np.int64)[order]
     ys = stream.y.astype(np.int64)[order]

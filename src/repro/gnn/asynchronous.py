@@ -183,7 +183,7 @@ class _InserterBase:
             order = np.lexsort((ids, dist2))
             ids = ids[order][: self.max_neighbours]
         if ids.size:
-            self._append_edges(np.sort(ids), new_index)
+            self._append_edges(np.sort(ids), new_index)  # sort-ok: unique ids
 
     def insert(self, x: float, y: float, t_us: int) -> int:
         """Insert one event; returns its node index."""
@@ -549,7 +549,7 @@ class HashInserter(_InserterBase):
         # Value sort of (key, pool index) packed into one int64; the
         # batch members' sorted keys are then themselves sorted, so the
         # 18 probe passes below all run with sorted needles.
-        packed = np.sort(key * M + np.arange(M))
+        packed = np.sort(key * M + np.arange(M))  # sort-ok: packed keys are unique
         skey = packed // M
         order = packed - skey * M
         new_cell = np.empty(M, dtype=bool)
@@ -648,7 +648,7 @@ class HashInserter(_InserterBase):
             if cand_id.size:
                 # Insertion order: ascending destination, then ascending
                 # source — one packed value sort.
-                pk = np.sort(dst_local * (n0 + n) + cand_id)
+                pk = np.sort(dst_local * (n0 + n) + cand_id)  # sort-ok: packed keys are unique
                 dsts = pk // (n0 + n)
                 self._append_edges(pk - dsts * (n0 + n), n0 + dsts)
 

@@ -50,7 +50,7 @@ def _canonical(edges: np.ndarray) -> np.ndarray:
     if float(hi) * float(hi) >= 2**62:
         order = np.lexsort((edges[:, 1], edges[:, 0]))
         return edges[order]
-    packed = np.sort(edges[:, 0] * hi + edges[:, 1])
+    packed = np.sort(edges[:, 0] * hi + edges[:, 1])  # sort-ok: packed pairs, ties identical
     out = np.empty((packed.size, 2), dtype=np.int64)
     out[:, 0] = packed // hi
     out[:, 1] = packed % hi
@@ -176,11 +176,13 @@ def radius_graph_spatial_hash(points: np.ndarray, radius: float) -> np.ndarray:
     if float(keys.max() + 1) * float(n) < 2**62:
         # Append the point index to the key: a plain value sort then
         # replaces the much slower stable argsort.
-        packed = np.sort(keys * n + np.arange(n))
+        packed = np.sort(keys * n + np.arange(n))  # sort-ok: packed keys are unique
         order = packed % n
         sorted_keys = packed // n
     else:
-        order = np.argsort(keys)
+        # Stable, so tied keys keep point order and the edge list matches
+        # the packed fast path exactly (default introsort reorders ties).
+        order = np.argsort(keys, kind="stable")
         sorted_keys = keys[order]
     uniq_keys, bucket_start = np.unique(sorted_keys, return_index=True)
     bucket_count = np.diff(np.append(bucket_start, n))

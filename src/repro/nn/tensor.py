@@ -356,7 +356,7 @@ class Tensor:
         elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
         out_data = self.data.transpose(axes)
-        inverse = np.argsort(axes)
+        inverse = np.argsort(axes)  # sort-ok: axes is a permutation, no ties
 
         def backward(g: np.ndarray) -> None:
             self._accumulate(g.transpose(inverse))

@@ -1,0 +1,319 @@
+"""Counters, gauges and fixed-bucket histograms behind one registry.
+
+The measurement substrate of the repository: every instrumented
+subsystem (the paradigm pipelines, the hardened runner, the streaming
+executor) increments metrics in a single :class:`MetricsRegistry`
+instead of keeping ad-hoc tallies, so the numbers that back Table I all
+come from one place and can be exported together
+(:mod:`repro.observability.export`).
+
+Design constraints, in order:
+
+* **cheap on hot paths** — a metric object is a plain attribute
+  increment; the registry lookup (a dict access) happens once, at
+  wiring time, and callers hold the returned object;
+* **deterministic snapshots** — :meth:`MetricsRegistry.snapshot`
+  orders every series by ``(name, labels)``, so two identical
+  virtual-time runs serialise to byte-identical JSON;
+* **Prometheus-compatible naming** — names match
+  ``[a-zA-Z_:][a-zA-Z0-9_:]*`` and labels are string→string, so the
+  text exposition format needs no renaming.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "exponential_buckets",
+    "DEFAULT_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Labels normalised to a hashable, deterministically ordered key.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, str] | None) -> LabelKey:
+    if not labels:
+        return ()
+    items = []
+    for key in sorted(labels):
+        if not _LABEL_NAME_RE.match(key):
+            raise ValueError(f"invalid label name {key!r}")
+        items.append((key, str(labels[key])))
+    return tuple(items)
+
+
+def exponential_buckets(start: float, factor: float, count: int) -> tuple[float, ...]:
+    """``count`` geometric histogram bucket bounds from ``start``.
+
+    Args:
+        start: first (smallest) upper bound, > 0.
+        factor: ratio between consecutive bounds, > 1.
+        count: number of finite bounds (the +Inf overflow bucket is
+            implicit in every histogram).
+    """
+    if start <= 0:
+        raise ValueError("start must be positive")
+    if factor <= 1.0:
+        raise ValueError("factor must be > 1")
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    return tuple(start * factor**i for i in range(count))
+
+
+#: Default histogram bounds: 1 us .. ~1e9 us in decade-and-a-half steps,
+#: wide enough for both per-stage virtual times and wall-clock spans.
+DEFAULT_BUCKETS = exponential_buckets(1.0, 10.0, 10)
+
+
+class Counter:
+    """Monotonically increasing value (calls, events, virtual busy-us).
+
+    Attributes:
+        name: metric family name.
+        labels: this series' label set.
+        value: current total (float; integral totals export as ints).
+    """
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative — counters never fall)."""
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value (queue depth, current shedding tier)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the current value."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative)."""
+        self.value += amount
+
+    def max(self, value: float) -> None:
+        """Raise the gauge to ``value`` if it is higher (high-watermark)."""
+        self.value = max(self.value, float(value))
+
+
+class Histogram:
+    """Fixed-bucket histogram of a distribution (latencies, sizes).
+
+    Buckets are upper bounds, ascending; an implicit +Inf bucket
+    catches overflow.  Counts are stored per-bucket (non-cumulative);
+    the Prometheus exporter accumulates them on the way out.
+
+    Attributes:
+        name: metric family name.
+        labels: this series' label set.
+        buckets: finite upper bounds, ascending.
+        counts: observations per bucket (len(buckets) + 1, last = +Inf).
+        sum: sum of observed values.
+        count: total observations.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+        labels: LabelKey = (),
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(not math.isfinite(b) for b in bounds):
+            raise ValueError("bucket bounds must be finite (+Inf is implicit)")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("bucket bounds must be strictly ascending")
+        self.name = name
+        self.labels = labels
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+
+def _export_value(value: float) -> float | int:
+    """Integral floats export as ints so snapshots are byte-stable."""
+    return int(value) if float(value).is_integer() else float(value)
+
+
+class MetricsRegistry:
+    """Get-or-create home of every metric series.
+
+    One registry per measured run (the streaming executor builds a fresh
+    one per :meth:`~repro.streaming.executor.StreamingExecutor.run`);
+    subsystems share it through
+    :class:`~repro.observability.Instrumentation`.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, LabelKey], Counter] = {}
+        self._gauges: dict[tuple[str, LabelKey], Gauge] = {}
+        self._histograms: dict[tuple[str, LabelKey], Histogram] = {}
+        self._kinds: dict[str, str] = {}
+        self._help: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def _family(self, name: str, kind: str, help: str) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        existing = self._kinds.get(name)
+        if existing is None:
+            self._kinds[name] = kind
+            self._help[name] = help
+        elif existing != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as a {existing}, "
+                f"cannot reuse it as a {kind}"
+            )
+        elif help and not self._help[name]:
+            self._help[name] = help
+
+    def counter(
+        self, name: str, labels: Mapping[str, str] | None = None, help: str = ""
+    ) -> Counter:
+        """Get or create the counter series ``name{labels}``."""
+        self._family(name, "counter", help)
+        key = (name, _label_key(labels))
+        series = self._counters.get(key)
+        if series is None:
+            series = self._counters[key] = Counter(name, key[1])
+        return series
+
+    def gauge(
+        self, name: str, labels: Mapping[str, str] | None = None, help: str = ""
+    ) -> Gauge:
+        """Get or create the gauge series ``name{labels}``."""
+        self._family(name, "gauge", help)
+        key = (name, _label_key(labels))
+        series = self._gauges.get(key)
+        if series is None:
+            series = self._gauges[key] = Gauge(name, key[1])
+        return series
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+        labels: Mapping[str, str] | None = None,
+        help: str = "",
+    ) -> Histogram:
+        """Get or create the histogram series ``name{labels}``.
+
+        Re-requesting an existing series with different ``buckets``
+        raises — one family, one bucket layout.
+        """
+        self._family(name, "histogram", help)
+        key = (name, _label_key(labels))
+        series = self._histograms.get(key)
+        if series is None:
+            series = self._histograms[key] = Histogram(name, buckets, key[1])
+        elif series.buckets != tuple(float(b) for b in buckets):
+            raise ValueError(
+                f"histogram {name!r} already registered with buckets "
+                f"{series.buckets}"
+            )
+        return series
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def counter_value(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> float:
+        """Current value of one counter series (0.0 when absent)."""
+        series = self._counters.get((name, _label_key(labels)))
+        return series.value if series is not None else 0.0
+
+    def counter_total(self, name: str) -> float:
+        """Sum of one counter family across all label sets."""
+        return sum(
+            c.value for (n, _), c in self._counters.items() if n == name
+        )
+
+    def help_text(self, name: str) -> str:
+        """HELP string of a metric family ("" when unset)."""
+        return self._help.get(name, "")
+
+    def kind(self, name: str) -> str | None:
+        """"counter" / "gauge" / "histogram", or None when unregistered."""
+        return self._kinds.get(name)
+
+    # ------------------------------------------------------------------
+    # Snapshot
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Deterministic, JSON-serialisable dump of every series.
+
+        Series are ordered by ``(name, labels)`` regardless of creation
+        order, and integral values are exported as ints, so identical
+        runs produce byte-identical serialisations.
+        """
+        counters = [
+            {
+                "name": name,
+                "labels": dict(key),
+                "value": _export_value(series.value),
+            }
+            for (name, key), series in sorted(self._counters.items())
+        ]
+        gauges = [
+            {
+                "name": name,
+                "labels": dict(key),
+                "value": _export_value(series.value),
+            }
+            for (name, key), series in sorted(self._gauges.items())
+        ]
+        histograms = [
+            {
+                "name": name,
+                "labels": dict(key),
+                "buckets": [_export_value(b) for b in series.buckets],
+                "counts": list(series.counts),
+                "sum": _export_value(round(series.sum, 6)),
+                "count": series.count,
+            }
+            for (name, key), series in sorted(self._histograms.items())
+        ]
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}

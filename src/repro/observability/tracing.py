@@ -1,0 +1,134 @@
+"""Structured tracing: nested spans forming a deterministic trace tree.
+
+A :class:`Tracer` hands out :meth:`~Tracer.span` context managers;
+nesting them builds a tree of :class:`Span` records.  Timestamps come
+from an injectable ``clock`` callable returning *microseconds*:
+
+* virtual-time subsystems (the streaming executor's
+  :class:`~repro.streaming.executor.ServiceModel` clock) pass their own
+  clock, so two identical seeded runs produce **byte-identical** trace
+  trees;
+* everything else defaults to wall time via :func:`time.perf_counter`.
+
+Spans record begin/end order, not threads — the tracer is a
+single-logical-thread instrument, matching the deterministic
+single-server execution model of the repository.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["Span", "Tracer", "wall_clock_us"]
+
+
+def wall_clock_us() -> float:
+    """Wall time in microseconds (monotonic, sub-microsecond resolution)."""
+    return time.perf_counter() * 1e6
+
+
+@dataclass
+class Span:
+    """One named interval in the trace tree.
+
+    Attributes:
+        name: span name (stable across runs; indices go in ``attrs``).
+        start_us: clock reading at entry.
+        end_us: clock reading at exit (None while open).
+        attrs: small JSON-serialisable annotations (window index, ...).
+        children: spans opened while this one was open.
+    """
+
+    name: str
+    start_us: float
+    end_us: float | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration_us(self) -> float:
+        """Span length (0.0 while still open)."""
+        if self.end_us is None:
+            return 0.0
+        return self.end_us - self.start_us
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form (timestamps rounded to 1e-3 us)."""
+        out: dict[str, Any] = {
+            "name": self.name,
+            "start_us": round(self.start_us, 3),
+            "end_us": round(self.end_us, 3) if self.end_us is not None else None,
+            "duration_us": round(self.duration_us, 3),
+        }
+        if self.attrs:
+            out["attrs"] = {k: self.attrs[k] for k in sorted(self.attrs)}
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+
+class Tracer:
+    """Builds a trace tree from nested ``span`` contexts.
+
+    Args:
+        clock: microsecond clock; defaults to wall time
+            (:func:`wall_clock_us`).  Virtual-time callers pass a
+            closure over their own clock so the trace is deterministic.
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self.clock = clock if clock is not None else wall_clock_us
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a span; it closes (records its end time) on exit.
+
+        The span is attached to the innermost open span, or to the
+        trace roots when none is open.  Exceptions propagate — the span
+        still closes, so the tree never holds dangling intervals.
+        """
+        span = Span(name=name, start_us=float(self.clock()), attrs=dict(attrs))
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.end_us = float(self.clock())
+            self._stack.pop()
+
+    # ------------------------------------------------------------------
+    def walk(self) -> Iterator[Span]:
+        """Every span, depth-first in start order."""
+        stack = list(reversed(self.roots))
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(reversed(span.children))
+
+    def span_counts(self) -> dict[str, int]:
+        """Span name → number of occurrences across the whole tree."""
+        counts: dict[str, int] = {}
+        for span in self.walk():
+            counts[span.name] = counts.get(span.name, 0) + 1
+        return counts
+
+    def find(self, name: str) -> list[Span]:
+        """All spans with the given name, depth-first in start order."""
+        return [s for s in self.walk() if s.name == name]
+
+    def to_dict(self) -> list[dict[str, Any]]:
+        """JSON-serialisable trace tree (list of root span dicts)."""
+        return [root.to_dict() for root in self.roots]
+
+    def reset(self) -> None:
+        """Drop the recorded tree (open spans are abandoned)."""
+        self.roots = []
+        self._stack = []

@@ -38,6 +38,7 @@ from ..datasets.base import EventDataset, EventSample
 from ..events.stream import EventStream
 from ..nn.layers import Module
 from ..nn.serialization import load_state, save_state
+from ..observability import Instrumentation
 from .faults import FaultModel, apply_fault
 
 __all__ = [
@@ -227,6 +228,11 @@ class StageGuard:
         timeout_s: wall-clock budget per call (None = no timeout).  A
             timed-out call keeps running on its daemon worker thread but
             its result is discarded — skip-and-record, never hang.
+        instrumentation: optional observability sink; every guarded
+            call is then traced as a ``guard:{stage}`` span, counted
+            into ``guard_calls_total`` / ``guard_attempts_total`` /
+            ``guard_failures_total`` / ``guard_timeouts_total`` and
+            surfaced through the ``on_stage_start/end`` hooks.
     """
 
     def __init__(
@@ -235,6 +241,7 @@ class StageGuard:
         max_retries: int = 1,
         backoff_s: float = 0.0,
         timeout_s: float | None = None,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
@@ -245,6 +252,7 @@ class StageGuard:
         self.max_retries = max_retries
         self.backoff_s = backoff_s
         self.timeout_s = timeout_s
+        self.instrumentation = instrumentation
 
     def _call_with_timeout(self, fn: Callable[[], Any]) -> Any:
         """Run ``fn``, enforcing the wall-clock timeout.
@@ -282,6 +290,52 @@ class StageGuard:
         a configuration error no retry can fix — and is re-raised so the
         caller fails fast instead of burning the retry budget.
         """
+        obs = self.instrumentation
+        if obs is None:
+            return self._execute(name, fn)
+        labels = {"stage": name}
+        reg = obs.registry
+        reg.counter(
+            "guard_calls_total", labels=labels, help="guarded stage calls"
+        ).inc()
+        obs.stage_start(name)
+        result: StageResult | None = None
+        try:
+            with obs.tracer.span(f"guard:{name}"):
+                result = self._execute(name, fn)
+            return result
+        except Exception:
+            # NotFittedError (and anything else escaping the guard) is a
+            # failed call even though no StageResult exists for it.
+            reg.counter(
+                "guard_failures_total",
+                labels=labels,
+                help="guarded stage calls that did not complete",
+            ).inc()
+            raise
+        finally:
+            if result is not None:
+                reg.counter(
+                    "guard_attempts_total",
+                    labels=labels,
+                    help="attempts across guarded stage calls",
+                ).inc(result.attempts)
+                if not result.ok:
+                    reg.counter(
+                        "guard_failures_total",
+                        labels=labels,
+                        help="guarded stage calls that did not complete",
+                    ).inc()
+                    if result.error_type == "TimeoutError":
+                        reg.counter(
+                            "guard_timeouts_total",
+                            labels=labels,
+                            help="guarded stage calls abandoned on timeout",
+                        ).inc()
+            obs.stage_end(name, ok=result is not None and result.ok)
+
+    def _execute(self, name: str, fn: Callable[[], Any]) -> StageResult:
+        """The uninstrumented retry/backoff/timeout loop."""
         attempts = 0
         start = time.monotonic()
         last_exc: BaseException | None = None
@@ -339,6 +393,11 @@ class HardenedRunner:
             file exists, :meth:`fit` restores it (rebuilding the
             architecture with a zero-epoch fit) instead of retraining,
             which is what lets an interrupted sweep resume.
+        instrumentation: optional observability sink.  Stage calls are
+            guarded through an instrumented :class:`StageGuard` (spans +
+            ``guard_*`` counters) and every classified recording is
+            counted into ``runner_records_total{outcome=...}`` with the
+            ``on_window`` hook fired per terminal outcome.
     """
 
     def __init__(
@@ -349,15 +408,18 @@ class HardenedRunner:
         backoff_s: float = 0.0,
         stage_timeout_s: float | None = None,
         checkpoint_path: str | Path | None = None,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         self._guard = StageGuard(
             max_retries=max_retries,
             backoff_s=backoff_s,
             timeout_s=stage_timeout_s,
+            instrumentation=instrumentation,
         )
         self.pipeline = pipeline
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
         self.resumed_from_checkpoint = False
+        self.instrumentation = instrumentation
 
     # ------------------------------------------------------------------
     # Guarded execution primitives (delegated to the shared StageGuard)
@@ -472,6 +534,27 @@ class HardenedRunner:
         and would otherwise mask it) and once on the faulted stream (so
         fault-induced structural damage is quarantined too).
         """
+        record = self._classify_sample(
+            sample, index, expected_resolution, fault=fault, seed=seed
+        )
+        obs = self.instrumentation
+        if obs is not None:
+            obs.registry.counter(
+                "runner_records_total",
+                labels={"outcome": record.outcome.value},
+                help="recordings by terminal outcome",
+            ).inc()
+            obs.window(index, record.outcome.value)
+        return record
+
+    def _classify_sample(
+        self,
+        sample: EventSample,
+        index: int,
+        expected_resolution,
+        fault: FaultModel | None = None,
+        seed: int = 0,
+    ) -> RecordingReport:
         start = time.monotonic()
         problems = validate_sample(sample, expected_resolution)
         if problems:

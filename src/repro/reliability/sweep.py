@@ -207,6 +207,7 @@ def run_robustness_sweep(
     checkpoint_dir: str | Path | None = None,
     max_retries: int = 1,
     stage_timeout_s: float | None = None,
+    instrumentation=None,
 ) -> RobustnessSweepResult:
     """Measure accuracy-degradation curves for all three paradigms.
 
@@ -234,6 +235,10 @@ def run_robustness_sweep(
             recomputing.
         max_retries: per-stage retry budget of the hardened runner.
         stage_timeout_s: per-stage wall-clock budget (None = unlimited).
+        instrumentation: optional
+            :class:`~repro.observability.Instrumentation` shared by the
+            hardened runners of all three paradigms (guard spans,
+            ``guard_*`` and ``runner_records_total`` counters).
 
     Returns:
         The sweep result with one curve per paradigm.
@@ -266,6 +271,7 @@ def run_robustness_sweep(
             checkpoint_path=(
                 checkpoint_dir / f"{name.lower()}_model.npz" if checkpoint_dir else None
             ),
+            instrumentation=instrumentation,
         )
         fit_result = runner.fit(train)
         if not fit_result.ok:

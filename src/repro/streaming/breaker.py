@@ -28,7 +28,7 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
@@ -133,11 +133,16 @@ class CircuitBreaker:
         stage: name of the guarded stage.
         policy: trip/recovery parameters.
         seed: seed of the half-open probe generator.
+        on_transition: optional observer called with every
+            :class:`BreakerTransition` as it happens (the executor uses
+            it to mirror trips into the metrics registry and fire the
+            ``on_trip`` profiling hook).  Must not raise.
     """
 
     stage: str
     policy: BreakerPolicy = field(default_factory=BreakerPolicy)
     seed: int = 0
+    on_transition: Callable[[BreakerTransition], None] | None = None
 
     def __post_init__(self) -> None:
         self.state = BreakerState.CLOSED
@@ -159,10 +164,11 @@ class CircuitBreaker:
 
     # ------------------------------------------------------------------
     def _move(self, to: BreakerState, at_window: int, reason: str) -> None:
-        self.transitions.append(
-            BreakerTransition(self.stage, self.state, to, at_window, reason)
-        )
+        transition = BreakerTransition(self.stage, self.state, to, at_window, reason)
+        self.transitions.append(transition)
         self.state = to
+        if self.on_transition is not None:
+            self.on_transition(transition)
 
     def allow(self, at_window: int) -> bool:
         """Whether the stage may be called for this window.

@@ -29,6 +29,16 @@ retry/timeout machinery shared with the batch
 raise :class:`~repro.core.pipeline.NotFittedError` up front.  The run
 returns a :class:`~repro.streaming.report.StreamReport` whose window and
 event accounting balances exactly.
+
+Every run builds a fresh :class:`~repro.observability.Instrumentation`
+on the executor's *virtual* clock (exposed as :attr:`StreamingExecutor.obs`).
+During the run the metrics registry is the single source of truth — the
+executor increments ``stream_*`` counters and opens ``ingest`` /
+``serve`` / ``call:{stage}`` / ``expire`` spans — and the report's
+scalar counters are derived from the registry when the run finishes, so
+the two can never disagree.  Because every timestamp in the trace comes
+from the virtual clock, two identical seeded runs produce byte-identical
+snapshots.
 """
 
 from __future__ import annotations
@@ -40,11 +50,12 @@ from ..core.pipeline import ParadigmPipeline
 from ..events.ops import split_by_time
 from ..events.rate import rate_profile
 from ..events.stream import EventStream
+from ..observability import Instrumentation, ProfilingHooks, exponential_buckets
 from ..reliability.runner import StageGuard
-from .breaker import BreakerPolicy, CircuitBreaker, is_bad_output
+from .breaker import BreakerPolicy, BreakerTransition, CircuitBreaker, is_bad_output
 from .queueing import BoundedWindowQueue, WindowTicket
 from .report import StageStats, StreamReport
-from .shedding import ShedController, ShedPolicy, ShedTier
+from .shedding import ShedController, ShedLedger, ShedPolicy, ShedTier
 
 __all__ = ["ServiceModel", "StreamStage", "StreamingExecutor", "LAST_GOOD_STAGE"]
 
@@ -54,6 +65,62 @@ LAST_GOOD_STAGE = "last_good"
 
 #: Reserved name of the ingest shedding stage's breaker.
 SHED_STAGE = "shed"
+
+#: Window outcome label values of ``stream_windows_total``.  "shed" has
+#: no event-counter twin: evicted windows' events are charged to the
+#: DROP_OLDEST tier of ``stream_shed_events_total`` instead.
+_WINDOW_OUTCOMES = (
+    "offered",
+    "processed",
+    "expired",
+    "shed",
+    "failed_ingest",
+    "failed_serve",
+)
+_EVENT_OUTCOMES = ("offered", "processed", "expired", "failed_ingest", "failed_serve")
+
+#: Shed tiers that remove data (NONE never appears in the ledger).
+_SHED_TIERS = tuple(t.name for t in ShedTier if t is not ShedTier.NONE)
+
+#: Latency buckets: 1 ms .. ~1e4 s of virtual time, decade steps.
+_LATENCY_BUCKETS = exponential_buckets(1e3, 10.0, 8)
+
+
+class _InstrumentedLedger(ShedLedger):
+    """A :class:`ShedLedger` that mirrors every entry into the registry.
+
+    The ledger stays the canonical shed accounting on the report; this
+    subclass additionally increments ``stream_shed_windows_total`` /
+    ``stream_shed_events_total`` and fires the ``on_shed`` hook, so the
+    registry and the report are written by one code path.
+    """
+
+    def __init__(self, obs: Instrumentation) -> None:
+        super().__init__()
+        self._obs = obs
+
+    def _mirror(self, tier_name: str, events_removed: int) -> None:
+        reg = self._obs.registry
+        reg.counter(
+            "stream_shed_windows_total",
+            labels={"tier": tier_name},
+            help="windows a shedding tier touched (DROP_OLDEST: evicted)",
+        ).inc()
+        reg.counter(
+            "stream_shed_events_total",
+            labels={"tier": tier_name},
+            help="events removed per shedding tier",
+        ).inc(events_removed)
+        self._obs.shed(tier_name, events_removed)
+
+    def record(self, tier: ShedTier, events_before: int, events_after: int) -> None:
+        super().record(tier, events_before, events_after)
+        if tier is not ShedTier.NONE:
+            self._mirror(tier.name, events_before - events_after)
+
+    def record_window_drop(self, num_events: int) -> None:
+        super().record_window_drop(num_events)
+        self._mirror(ShedTier.DROP_OLDEST.name, num_events)
 
 
 @dataclass(frozen=True)
@@ -152,6 +219,9 @@ class StreamingExecutor:
         use_last_good: serve the most recent successful prediction when
             every stage fails or is refused.
         seed: seeds the breakers' half-open probe generators.
+        hooks: optional :class:`~repro.observability.ProfilingHooks`
+            fired from the per-run instrumentation (stage calls, window
+            outcomes, shed applications, breaker trips).
     """
 
     def __init__(
@@ -168,6 +238,7 @@ class StreamingExecutor:
         guard: StageGuard | None = None,
         use_last_good: bool = True,
         seed: int = 0,
+        hooks: ProfilingHooks | None = None,
     ) -> None:
         if window_us <= 0:
             raise ValueError("window_us must be positive")
@@ -193,23 +264,47 @@ class StreamingExecutor:
         self.guard = guard or StageGuard(max_retries=0)
         self.use_last_good = use_last_good
         self.seed = seed
+        self.hooks = hooks
         # Per-run state, exposed for inspection after run().
         self.breakers: dict[str, CircuitBreaker] = {}
         self.controller: ShedController | None = None
         self.last_good: Any = None
+        self.obs: Instrumentation | None = None
 
     # ------------------------------------------------------------------
     # Run setup
     # ------------------------------------------------------------------
+    def _on_transition(self, transition: BreakerTransition) -> None:
+        """Mirror one breaker state change into the run instrumentation."""
+        self.obs.registry.counter(
+            "stream_breaker_transitions_total",
+            labels={"stage": transition.stage, "to": transition.to_state.value},
+            help="circuit-breaker state changes by destination state",
+        ).inc()
+        self.obs.trip(
+            transition.stage,
+            transition.from_state.value,
+            transition.to_state.value,
+        )
+
     def _reset(self) -> StreamReport:
         for pipeline in self._pipelines:
             pipeline._require_fitted()  # NotFittedError is a config error
+        self._clock = 0.0
+        obs = Instrumentation(clock=lambda: self._clock, hooks=self.hooks)
+        self.obs = obs
         self.breakers = {
-            stage.name: CircuitBreaker(stage.name, self.breaker_policy, self.seed)
+            stage.name: CircuitBreaker(
+                stage.name,
+                self.breaker_policy,
+                self.seed,
+                on_transition=self._on_transition,
+            )
             for stage in self.stages
         }
         self.breakers[SHED_STAGE] = CircuitBreaker(
-            SHED_STAGE, self.breaker_policy, self.seed
+            SHED_STAGE, self.breaker_policy, self.seed,
+            on_transition=self._on_transition,
         )
         self.controller = ShedController(
             self.shed_policy,
@@ -217,12 +312,69 @@ class StreamingExecutor:
         )
         self.last_good = None
         self._queue = BoundedWindowQueue(self.queue_capacity)
-        self._clock = 0.0
-        report = StreamReport(window_us=self.window_us)
-        for stage in self.stages:
-            report.stage_stats[stage.name] = StageStats(stage.name)
-        report.stage_stats[SHED_STAGE] = StageStats(SHED_STAGE)
-        report.stage_stats[LAST_GOOD_STAGE] = StageStats(LAST_GOOD_STAGE)
+
+        # Pre-create every per-run series so snapshots carry the full
+        # schema (explicit zeros, stable family set) and the hot paths
+        # only touch held objects, never the registry.
+        reg = obs.registry
+        self._win = {
+            o: reg.counter(
+                "stream_windows_total",
+                labels={"outcome": o},
+                help="windows by outcome (offered is the partition total)",
+            )
+            for o in _WINDOW_OUTCOMES
+        }
+        self._evt = {
+            o: reg.counter(
+                "stream_events_total",
+                labels={"outcome": o},
+                help="events by window outcome (shed events are per-tier)",
+            )
+            for o in _EVENT_OUTCOMES
+        }
+        for tier in _SHED_TIERS:
+            reg.counter(
+                "stream_shed_windows_total",
+                labels={"tier": tier},
+                help="windows a shedding tier touched (DROP_OLDEST: evicted)",
+            )
+            reg.counter(
+                "stream_shed_events_total",
+                labels={"tier": tier},
+                help="events removed per shedding tier",
+            )
+        stage_names = [s.name for s in self.stages] + [SHED_STAGE, LAST_GOOD_STAGE]
+        self._stage_m = {
+            name: {
+                field: reg.counter(
+                    f"stream_stage_{field}_total",
+                    labels={"stage": name},
+                    help=help_text,
+                )
+                for field, help_text in (
+                    ("calls", "stage invocations (breaker refusals excluded)"),
+                    ("successes", "stage calls returning a usable output"),
+                    ("failures", "stage calls raising, timing out or NaN"),
+                    ("nan_trips", "failures caused by non-finite outputs"),
+                    ("served", "windows whose final prediction this stage gave"),
+                    ("busy_us", "virtual service microseconds spent in stage"),
+                )
+            }
+            for name in stage_names
+        }
+        self._latency = reg.histogram(
+            "stream_latency_us",
+            buckets=_LATENCY_BUCKETS,
+            help="arrival-to-completion virtual latency of processed windows",
+        )
+        self._queue_peak = reg.gauge(
+            "stream_queue_depth_peak", help="deepest the ingest queue got"
+        )
+
+        report = StreamReport(window_us=self.window_us, ledger=_InstrumentedLedger(obs))
+        for name in stage_names:
+            report.stage_stats[name] = StageStats(name)
         return report
 
     # ------------------------------------------------------------------
@@ -230,58 +382,71 @@ class StreamingExecutor:
     # ------------------------------------------------------------------
     def _serve(self, ticket: WindowTicket, start_us: float, report: StreamReport) -> None:
         """Run one window through the fallback chain at virtual ``start_us``."""
-        clock = start_us
+        obs = self.obs
+        self._clock = start_us
         value: Any = None
         served_by: str | None = None
-        for stage in self.stages:
-            breaker = self.breakers[stage.name]
-            if not breaker.allow(ticket.index):
-                continue
-            stats = report.stage_stats[stage.name]
-            cost = self.service.service_us(len(ticket.stream))
-            clock += cost
-            stats.calls += 1
-            stats.busy_us += cost
-            result = self.guard.run(stage.name, lambda: stage.predict(ticket.stream))
-            if result.ok and not is_bad_output(result.value):
-                breaker.record_success(ticket.index)
-                stats.successes += 1
-                value, served_by = result.value, stage.name
-                break
-            nan_trip = result.ok  # call returned, but the output is bad
-            stats.failures += 1
-            if nan_trip:
-                stats.nan_trips += 1
-            breaker.record_failure(
-                ticket.index,
-                nan_output=nan_trip,
-                reason=result.error_message or result.error_type,
-            )
-        if served_by is None and self.use_last_good and self.last_good is not None:
-            cache_cost = (
-                self.service.cache_us
-                if self.service.cache_us is not None
-                else self.service.base_us
-            )
-            clock += cache_cost
-            stats = report.stage_stats[LAST_GOOD_STAGE]
-            stats.calls += 1
-            stats.successes += 1
-            stats.busy_us += cache_cost
-            value, served_by = self.last_good, LAST_GOOD_STAGE
+        with obs.tracer.span("serve", index=ticket.index):
+            for stage in self.stages:
+                breaker = self.breakers[stage.name]
+                if not breaker.allow(ticket.index):
+                    continue
+                m = self._stage_m[stage.name]
+                cost = self.service.service_us(len(ticket.stream))
+                m["calls"].inc()
+                m["busy_us"].inc(cost)
+                obs.stage_start(stage.name, ticket.index)
+                with obs.tracer.span(f"call:{stage.name}"):
+                    self._clock += cost
+                    result = self.guard.run(
+                        stage.name, lambda: stage.predict(ticket.stream)
+                    )
+                ok = result.ok and not is_bad_output(result.value)
+                obs.stage_end(stage.name, ticket.index, ok=ok)
+                if ok:
+                    breaker.record_success(ticket.index)
+                    m["successes"].inc()
+                    value, served_by = result.value, stage.name
+                    break
+                nan_trip = result.ok  # call returned, but the output is bad
+                m["failures"].inc()
+                if nan_trip:
+                    m["nan_trips"].inc()
+                breaker.record_failure(
+                    ticket.index,
+                    nan_output=nan_trip,
+                    reason=result.error_message or result.error_type,
+                )
+            if served_by is None and self.use_last_good and self.last_good is not None:
+                cache_cost = (
+                    self.service.cache_us
+                    if self.service.cache_us is not None
+                    else self.service.base_us
+                )
+                m = self._stage_m[LAST_GOOD_STAGE]
+                m["calls"].inc()
+                m["successes"].inc()
+                m["busy_us"].inc(cache_cost)
+                obs.stage_start(LAST_GOOD_STAGE, ticket.index)
+                with obs.tracer.span(f"call:{LAST_GOOD_STAGE}"):
+                    self._clock += cache_cost
+                obs.stage_end(LAST_GOOD_STAGE, ticket.index, ok=True)
+                value, served_by = self.last_good, LAST_GOOD_STAGE
 
-        self._clock = clock
-        if served_by is None:
-            report.failed += 1
-            report.failed_events += len(ticket.stream)
-            return
-        self.last_good = value
-        report.processed += 1
-        report.processed_events += len(ticket.stream)
-        report.served_by[served_by] = report.served_by.get(served_by, 0) + 1
-        report.stage_stats[served_by].served += 1
-        report.latencies_us.append(clock - ticket.arrival_us)
-        report.predictions[ticket.index] = value
+            if served_by is None:
+                self._win["failed_serve"].inc()
+                self._evt["failed_serve"].inc(len(ticket.stream))
+                obs.window(ticket.index, "failed_serve")
+                return
+            self.last_good = value
+            self._win["processed"].inc()
+            self._evt["processed"].inc(len(ticket.stream))
+            self._stage_m[served_by]["served"].inc()
+            latency = self._clock - ticket.arrival_us
+            self._latency.observe(latency)
+            report.latencies_us.append(latency)
+            report.predictions[ticket.index] = value
+            obs.window(ticket.index, "processed")
 
     def _drain(self, until_us: float, report: StreamReport) -> None:
         """Serve queued windows whose service can start before ``until_us``."""
@@ -293,8 +458,10 @@ class StreamingExecutor:
             self._queue.pop()
             if start > head.deadline_us:
                 # Expiry is pure bookkeeping: no service time is spent.
-                report.expired += 1
-                report.expired_events += len(head.stream)
+                with self.obs.tracer.span("expire", index=head.index):
+                    self._win["expired"].inc()
+                    self._evt["expired"].inc(len(head.stream))
+                self.obs.window(head.index, "expired")
                 continue
             self._serve(head, start, report)
 
@@ -305,58 +472,67 @@ class StreamingExecutor:
         self, index: int, arrival_us: float, window: EventStream, report: StreamReport
     ) -> None:
         """Shed (per the controller) and enqueue one arriving window."""
+        obs = self.obs
         offered_events = len(window)
-        report.offered += 1
-        report.offered_events += offered_events
-        try:
-            burstiness = rate_profile(
-                window, bin_us=self.shed_policy.burst_bin_us
-            ).burstiness
-        except ValueError as exc:
-            # Corrupt span inside one window (e.g. a far-future
-            # timestamp): quarantine the window, never the run.
-            report.failed += 1
-            report.failed_events += offered_events
-            shed = self.breakers[SHED_STAGE]
-            shed.record_failure(index, reason=f"unprofilable window: {exc}")
-            return
-        tier = self.controller.update(self._queue.depth, burstiness, index)
+        with obs.tracer.span("ingest", index=index):
+            self._win["offered"].inc()
+            self._evt["offered"].inc(offered_events)
+            try:
+                burstiness = rate_profile(
+                    window, bin_us=self.shed_policy.burst_bin_us
+                ).burstiness
+            except ValueError as exc:
+                # Corrupt span inside one window (e.g. a far-future
+                # timestamp): quarantine the window, never the run.
+                self._win["failed_ingest"].inc()
+                self._evt["failed_ingest"].inc(offered_events)
+                shed = self.breakers[SHED_STAGE]
+                shed.record_failure(index, reason=f"unprofilable window: {exc}")
+                obs.window(index, "failed_ingest")
+                return
+            tier = self.controller.update(self._queue.depth, burstiness, index)
 
-        shed_breaker = self.breakers[SHED_STAGE]
-        applied = ShedTier.NONE
-        if tier is not ShedTier.NONE and shed_breaker.allow(index):
-            stats = report.stage_stats[SHED_STAGE]
-            stats.calls += 1
-            result = self.guard.run(
-                SHED_STAGE, lambda: self.controller.apply(window, report.ledger)
+            shed_breaker = self.breakers[SHED_STAGE]
+            applied = ShedTier.NONE
+            if tier is not ShedTier.NONE and shed_breaker.allow(index):
+                m = self._stage_m[SHED_STAGE]
+                m["calls"].inc()
+                obs.stage_start(SHED_STAGE, index)
+                with obs.tracer.span(f"call:{SHED_STAGE}"):
+                    result = self.guard.run(
+                        SHED_STAGE,
+                        lambda: self.controller.apply(window, report.ledger),
+                    )
+                obs.stage_end(SHED_STAGE, index, ok=result.ok)
+                if result.ok:
+                    window, applied = result.value
+                    shed_breaker.record_success(index)
+                    m["successes"].inc()
+                else:
+                    # A broken transform must not take the stream down:
+                    # the window passes through unshed.
+                    shed_breaker.record_failure(index, reason=result.error_message)
+                    m["failures"].inc()
+
+            if tier is ShedTier.DROP_OLDEST:
+                evicted = self._queue.drop_oldest()
+                if evicted is not None:
+                    self._win["shed"].inc()
+                    report.ledger.record_window_drop(len(evicted.stream))
+                    obs.window(evicted.index, "shed")
+            ticket = WindowTicket(
+                index=index,
+                arrival_us=arrival_us,
+                deadline_us=arrival_us + self.deadline_us,
+                stream=window,
+                offered_events=offered_events,
+                tier=applied.name,
             )
-            if result.ok:
-                window, applied = result.value
-                shed_breaker.record_success(index)
-                stats.successes += 1
-            else:
-                # A broken transform must not take the stream down:
-                # the window passes through unshed.
-                shed_breaker.record_failure(index, reason=result.error_message)
-                stats.failures += 1
-
-        if tier is ShedTier.DROP_OLDEST:
-            evicted = self._queue.drop_oldest()
+            evicted = self._queue.push(ticket)
             if evicted is not None:
-                report.shed_windows += 1
+                self._win["shed"].inc()
                 report.ledger.record_window_drop(len(evicted.stream))
-        ticket = WindowTicket(
-            index=index,
-            arrival_us=arrival_us,
-            deadline_us=arrival_us + self.deadline_us,
-            stream=window,
-            offered_events=offered_events,
-            tier=applied.name,
-        )
-        evicted = self._queue.push(ticket)
-        if evicted is not None:
-            report.shed_windows += 1
-            report.ledger.record_window_drop(len(evicted.stream))
+                obs.window(evicted.index, "shed")
 
     # ------------------------------------------------------------------
     # Entry point
@@ -405,4 +581,51 @@ class StreamingExecutor:
             name: b.state.value for name, b in self.breakers.items()
         }
         report.tier_transitions = [t.to_dict() for t in self.controller.transitions]
+        self._finalise(report)
         return report
+
+    def _finalise(self, report: StreamReport) -> None:
+        """Derive the report's scalar counters from the metrics registry.
+
+        The registry is the only thing the hot paths increment; copying
+        its values here (instead of keeping parallel tallies) makes the
+        :class:`StreamReport` a view that cannot drift from the metrics
+        a scrape would see.
+        """
+        self._queue_peak.max(self._queue.max_depth)
+        report.offered = int(self._win["offered"].value)
+        report.processed = int(self._win["processed"].value)
+        report.expired = int(self._win["expired"].value)
+        report.shed_windows = int(self._win["shed"].value)
+        report.failed = int(
+            self._win["failed_ingest"].value + self._win["failed_serve"].value
+        )
+        report.offered_events = int(self._evt["offered"].value)
+        report.processed_events = int(self._evt["processed"].value)
+        report.expired_events = int(self._evt["expired"].value)
+        report.failed_events = int(
+            self._evt["failed_ingest"].value + self._evt["failed_serve"].value
+        )
+        for name, stats in report.stage_stats.items():
+            m = self._stage_m[name]
+            stats.calls = int(m["calls"].value)
+            stats.successes = int(m["successes"].value)
+            stats.failures = int(m["failures"].value)
+            stats.nan_trips = int(m["nan_trips"].value)
+            stats.served = int(m["served"].value)
+            stats.busy_us = float(m["busy_us"].value)
+        report.served_by = {
+            name: int(m["served"].value)
+            for name, m in self._stage_m.items()
+            if m["served"].value > 0
+        }
+
+    def snapshot(self) -> dict[str, Any]:
+        """Deterministic instrumentation snapshot of the latest run.
+
+        Raises:
+            RuntimeError: before the first :meth:`run`.
+        """
+        if self.obs is None:
+            raise RuntimeError("snapshot() requires a completed run()")
+        return self.obs.snapshot()

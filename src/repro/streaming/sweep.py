@@ -345,6 +345,7 @@ def make_bursty_stream(
         if burst_windows[0] <= w < burst_windows[1]:
             count = int(round(count * burst_factor))
         arr = np.zeros(count, dtype=EVENT_DTYPE)
+        # sort-ok: value sort of random offsets; equal values are interchangeable
         arr["t"] = w * window_us + np.sort(
             rng.integers(0, window_us, size=count)
         ).astype(np.int64)

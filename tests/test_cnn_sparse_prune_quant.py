@@ -155,6 +155,20 @@ class TestPruning:
         assert np.all(conv.weight.data[dropped] == 0)
         assert np.all(conv.bias.data[dropped] == 0)
 
+    def test_structured_prune_tied_norms_deterministic(self):
+        # Identical channel norms everywhere: only a stable sort makes
+        # the dropped set well-defined (the lowest-index channels).
+        # The unstable default introsort picks an arbitrary, partition-
+        # order-dependent subset instead.
+        keeps = []
+        for seed in (0, 1):
+            conv = nn.Conv2d(2, 8, 3, rng=np.random.default_rng(seed))
+            conv.weight.data[...] = 0.5
+            keep = structured_prune_channels(conv, 0.5)
+            np.testing.assert_array_equal(np.flatnonzero(~keep), [0, 1, 2, 3])
+            keeps.append(keep)
+        np.testing.assert_array_equal(keeps[0], keeps[1])
+
     def test_validation(self):
         with pytest.raises(ValueError):
             magnitude_prune(self._model(), 1.0)

@@ -32,6 +32,7 @@ from repro.datasets import make_shapes_dataset, train_test_split
 from repro.datasets.base import EventDataset, EventSample
 from repro.events import Resolution
 from repro.gnn import GraphBuildConfig
+from repro.observability import Instrumentation, to_json, validate_snapshot
 from repro.reliability import (
     OutOfOrderCorruption,
     robustness_scores,
@@ -83,6 +84,12 @@ def main() -> int:
         default=None,
         help="persist model checkpoints + completed points here (resumable)",
     )
+    parser.add_argument(
+        "--metrics-output",
+        type=Path,
+        default=REPO_ROOT / "robustness_metrics.json",
+        help="where the sweep's instrumentation snapshot artifact goes",
+    )
     args = parser.parse_args()
 
     if args.quick:
@@ -102,6 +109,7 @@ def main() -> int:
     test = corrupt_recordings(test, corrupted_indices, seed=args.seed + 1000)
 
     t0 = time.time()
+    instrumentation = Instrumentation()  # wall clock: batch sweep, not virtual time
     result = run_robustness_sweep(
         train,
         test,
@@ -109,11 +117,36 @@ def main() -> int:
         pipelines=make_pipelines(args.quick, args.seed),
         seed=args.seed,
         checkpoint_dir=args.checkpoint_dir,
+        instrumentation=instrumentation,
     )
     elapsed = time.time() - t0
     scores = robustness_scores(result)
 
     failures: list[str] = []
+    snapshot = instrumentation.snapshot()
+    failures += [f"metrics snapshot invalid: {p}" for p in validate_snapshot(snapshot)]
+    registry = instrumentation.registry
+    if registry.counter_total("guard_calls_total") == 0:
+        failures.append("metrics snapshot recorded no guarded stage calls")
+    if args.checkpoint_dir is None:
+        # Cached sweep points come from a previous process, so their
+        # records never hit this run's counters — reconcile only when
+        # every point was evaluated here.
+        recorded = {}
+        for points in result.curves.values():
+            for point in points:
+                for outcome, count in point.report.outcome_counts().items():
+                    recorded[outcome] = recorded.get(outcome, 0) + count
+        for outcome, want in sorted(recorded.items()):
+            got = int(
+                registry.counter_value("runner_records_total", {"outcome": outcome})
+            )
+            if got != want:
+                failures.append(
+                    f"runner_records_total{{outcome={outcome}}} {got} != "
+                    f"report total {want}"
+                )
+    args.metrics_output.write_text(to_json(snapshot))
     expected_quarantine = sorted(corrupted_indices)
     for name, points in result.curves.items():
         for point in points:
@@ -140,11 +173,18 @@ def main() -> int:
             for name, points in result.curves.items()
         },
         "robustness_scores": {k: round(v, 4) for k, v in scores.items()},
+        "guarded_stage_calls": int(registry.counter_total("guard_calls_total")),
         "failures": failures,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
 
     print(f"robustness sweep finished in {elapsed:.1f}s -> {args.output}")
+    print(
+        f"  observability: "
+        f"{int(registry.counter_total('guard_calls_total'))} guarded calls, "
+        f"{int(registry.counter_total('runner_records_total'))} records "
+        f"-> {args.metrics_output}"
+    )
     for name, points in result.curves.items():
         curve = ", ".join(f"{p.severity:.2f}:{p.accuracy:.3f}" for p in points)
         print(f"  {name}: {curve}  (retained {scores[name]:.3f})")

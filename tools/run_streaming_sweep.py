@@ -11,14 +11,20 @@ Two checks back the Table-I overload cell:
    opens must recover through its half-open probes;
 2. the load sweep — each paradigm's delivered-window fraction across
    rising offered load must form a monotone (graceful) degradation
-   curve with balanced accounting at every point.
+   curve with balanced accounting at every point;
+3. the observability smoke — the demo's metrics snapshot must be
+   schema-valid and non-empty, its per-stage span counts and
+   shed/trip/expiry counters must reconcile exactly with the
+   :class:`StreamReport` accounting, and re-running the same seed must
+   produce a byte-identical snapshot (virtual-time determinism).
 
-Exits non-zero when either check fails, so CI uses it as a smoke test.
+Exits non-zero when any check fails, so CI uses it as a smoke test.
 
 Usage:
     python tools/run_streaming_sweep.py               # full-size run
     python tools/run_streaming_sweep.py --quick       # CI-sized run
     python tools/run_streaming_sweep.py --output /tmp/streaming.json
+    python tools/run_streaming_sweep.py --metrics-output /tmp/metrics.json
 """
 
 import argparse
@@ -30,6 +36,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.observability import to_json, to_prometheus, validate_snapshot
 from repro.streaming import (
     degradation_violations,
     make_bursty_stream,
@@ -81,6 +88,100 @@ def check_demo(seed: int) -> tuple[dict, list[str]]:
     return summary, failures
 
 
+def check_observability(seed: int) -> tuple[dict, list[str], str]:
+    """Snapshot validity, span/counter reconciliation and determinism.
+
+    Runs the seeded burst demo twice: the first run's snapshot is
+    checked structurally and reconciled against its report, the second
+    must serialise byte-identically (the virtual-time clock makes the
+    whole trace deterministic).
+
+    Returns:
+        ``(summary, failures, snapshot_json)``.
+    """
+    report, executor = run_overload_demo(seed=seed, burst_factor=10.0)
+    snapshot = executor.snapshot()
+    failures = [f"snapshot invalid: {p}" for p in validate_snapshot(snapshot)]
+    registry = executor.obs.registry
+    if registry.counter_total("stream_windows_total") == 0:
+        failures.append("metrics snapshot recorded no windows (empty run?)")
+    if not snapshot["trace"]:
+        failures.append("trace tree is empty")
+
+    counts = executor.obs.tracer.span_counts()
+    failed_serve = registry.counter_value(
+        "stream_windows_total", {"outcome": "failed_serve"}
+    )
+    checks = [
+        ("ingest span count", counts.get("ingest", 0), report.offered),
+        ("expire span count", counts.get("expire", 0), report.expired),
+        (
+            "serve span count",
+            counts.get("serve", 0),
+            report.processed + int(failed_serve),
+        ),
+        (
+            "offered window counter",
+            registry.counter_value("stream_windows_total", {"outcome": "offered"}),
+            report.offered,
+        ),
+        (
+            "processed window counter",
+            registry.counter_value("stream_windows_total", {"outcome": "processed"}),
+            report.processed,
+        ),
+        (
+            "expired window counter",
+            registry.counter_value("stream_windows_total", {"outcome": "expired"}),
+            report.expired,
+        ),
+        (
+            "shed window counter",
+            registry.counter_value("stream_windows_total", {"outcome": "shed"}),
+            report.shed_windows,
+        ),
+        (
+            "shed events counter",
+            registry.counter_total("stream_shed_events_total"),
+            report.ledger.total_events_shed,
+        ),
+        (
+            "breaker trip counter",
+            registry.counter_total("stream_breaker_transitions_total"),
+            len(report.breaker_transitions),
+        ),
+        (
+            "latency histogram count",
+            sum(
+                h["count"]
+                for h in snapshot["metrics"]["histograms"]
+                if h["name"] == "stream_latency_us"
+            ),
+            report.processed,
+        ),
+    ]
+    for name, stats in report.stage_stats.items():
+        checks.append(
+            (f"call:{name} span count", counts.get(f"call:{name}", 0), stats.calls)
+        )
+    for label, got, want in checks:
+        if int(got) != int(want):
+            failures.append(f"{label} {int(got)} != report's {int(want)}")
+
+    snapshot_json = to_json(snapshot)
+    _, executor2 = run_overload_demo(seed=seed, burst_factor=10.0)
+    if to_json(executor2.snapshot()) != snapshot_json:
+        failures.append("two identical seeded runs produced different snapshots")
+
+    summary = {
+        "spans": sum(counts.values()),
+        "counter_series": len(snapshot["metrics"]["counters"]),
+        "snapshot_bytes": len(snapshot_json),
+        "reconciliation_checks": len(checks),
+    }
+    return summary, failures, snapshot_json
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI-sized run")
@@ -88,10 +189,23 @@ def main() -> int:
     parser.add_argument(
         "--output", type=Path, default=REPO_ROOT / "streaming_sweep.json"
     )
+    parser.add_argument(
+        "--metrics-output",
+        type=Path,
+        default=REPO_ROOT / "streaming_metrics.json",
+        help="where the demo's instrumentation snapshot artifact goes "
+        "(a Prometheus text twin lands next to it with a .prom suffix)",
+    )
     args = parser.parse_args()
 
     t0 = time.time()
     demo_summary, failures = check_demo(args.seed)
+    obs_summary, obs_failures, snapshot_json = check_observability(args.seed)
+    failures += obs_failures
+    args.metrics_output.write_text(snapshot_json)
+    args.metrics_output.with_suffix(".prom").write_text(
+        to_prometheus(json.loads(snapshot_json))
+    )
 
     if args.quick:
         num_windows, load_factors = 80, (0.5, 2.0, 6.0)
@@ -113,6 +227,7 @@ def main() -> int:
     payload = {
         "elapsed_s": round(elapsed, 2),
         "demo": demo_summary,
+        "observability": obs_summary,
         "load_factors": list(load_factors),
         "curves": {
             name: [round(f, 4) for f in result.delivered(name)]
@@ -124,6 +239,12 @@ def main() -> int:
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
 
     print(f"streaming sweep finished in {elapsed:.1f}s -> {args.output}")
+    print(
+        f"  observability: {obs_summary['spans']} spans, "
+        f"{obs_summary['counter_series']} counter series, "
+        f"{obs_summary['reconciliation_checks']} reconciliation checks "
+        f"-> {args.metrics_output}"
+    )
     print(
         f"  demo: {demo_summary['processed']}/{demo_summary['offered']} delivered, "
         f"tiers {demo_summary['tiers_engaged']}, "
