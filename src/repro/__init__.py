@@ -21,6 +21,7 @@ from . import (
     hw,
     nn,
     observability,
+    parallel,
     reliability,
     sensors,
     snn,
@@ -42,5 +43,6 @@ __all__ = [
     "reliability",
     "streaming",
     "observability",
+    "parallel",
     "__version__",
 ]

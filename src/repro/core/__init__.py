@@ -3,8 +3,10 @@
 from .comparison import (
     ComparisonResult,
     agreement_with_paper,
+    assemble_comparison,
     attach_overload,
     attach_robustness,
+    measure_paradigm,
     render_table,
     run_comparison,
     to_markdown,
@@ -17,7 +19,17 @@ from .pipeline import (
     ParadigmPipeline,
     SNNPipeline,
 )
-from .presets import table1_dataset, table1_pipelines
+from .presets import (
+    CNNConfig,
+    GNNConfig,
+    PipelineConfig,
+    SNNConfig,
+    default_configs,
+    make_pipeline,
+    table1_configs,
+    table1_dataset,
+    table1_pipelines,
+)
 from .ratings import Rating, rate_robustness, rate_values
 
 __all__ = [
@@ -34,7 +46,16 @@ __all__ = [
     "SNNPipeline",
     "CNNPipeline",
     "GNNPipeline",
+    "SNNConfig",
+    "CNNConfig",
+    "GNNConfig",
+    "PipelineConfig",
+    "make_pipeline",
+    "default_configs",
+    "table1_configs",
     "ComparisonResult",
+    "measure_paradigm",
+    "assemble_comparison",
     "run_comparison",
     "attach_robustness",
     "attach_overload",

@@ -20,6 +20,8 @@ from .ratings import Rating, rate_robustness, rate_values
 
 __all__ = [
     "ComparisonResult",
+    "measure_paradigm",
+    "assemble_comparison",
     "run_comparison",
     "attach_robustness",
     "attach_overload",
@@ -57,11 +59,52 @@ class ComparisonResult:
         return self.ratings[axis_key][paradigm]
 
 
+def measure_paradigm(
+    pipeline: ParadigmPipeline,
+    train: EventDataset,
+    test: EventDataset,
+    temporal_labels: tuple[int, ...] = (),
+) -> PipelineMetrics:
+    """Fit one pipeline and measure its Table-I column.
+
+    The unit of work of one comparison grid cell — the serial loop of
+    :func:`run_comparison` and the sharded executor
+    (:mod:`repro.parallel`) both run exactly this.
+
+    Args:
+        pipeline: an unfitted paradigm pipeline.
+        train, test: a shared dataset split.
+        temporal_labels: labels distinguishable only through event timing.
+    """
+    pipeline.fit(train)
+    return pipeline.measure(test, temporal_labels)
+
+
+def assemble_comparison(metrics: dict[str, PipelineMetrics]) -> ComparisonResult:
+    """Rate measured per-paradigm metrics into a comparison result.
+
+    Args:
+        metrics: paradigm name → measured metrics (must cover exactly
+            SNN/CNN/GNN).
+    """
+    if set(metrics) != set(PARADIGMS):
+        raise ValueError(f"metrics must cover exactly {PARADIGMS}")
+    result = ComparisonResult(metrics=metrics)
+    for axis in AXES:
+        values = {name: metrics[name].value(axis) for name in PARADIGMS}
+        result.ratings[axis.key] = rate_values(
+            values, axis.higher_is_better, axis.tie_tolerance
+        )
+    return result
+
+
 def run_comparison(
     train: EventDataset,
     test: EventDataset,
     temporal_labels: tuple[int, ...] = (),
     pipelines: dict[str, ParadigmPipeline] | None = None,
+    parallel=None,
+    cache=None,
 ) -> ComparisonResult:
     """Train and measure all three pipelines, then rate every axis.
 
@@ -69,11 +112,36 @@ def run_comparison(
         train, test: a shared dataset split.
         temporal_labels: labels distinguishable only through event timing.
         pipelines: override the default pipeline instances (keys must be
-            'SNN', 'CNN', 'GNN').
+            'SNN', 'CNN', 'GNN'; values may be pipeline instances or
+            the config dataclasses of :mod:`repro.core.presets`).
+        parallel: optional
+            :class:`~repro.parallel.sharding.ParallelConfig` — routes
+            the run through the sharded executor
+            (:func:`repro.parallel.run_sweep`), whose results are
+            byte-identical to this serial path.
+        cache: optional :class:`~repro.parallel.cache.CacheConfig`
+            controlling representation memoization on the parallel
+            path.
 
     Returns:
         The filled comparison result.
     """
+    if parallel is not None or cache is not None:
+        from ..parallel.api import SweepSpec, run_sweep
+
+        spec = SweepSpec(
+            kind="comparison",
+            train=train,
+            test=test,
+            temporal_labels=tuple(temporal_labels),
+            pipelines=pipelines,
+        )
+        if parallel is not None:
+            spec.parallel = parallel
+        if cache is not None:
+            spec.cache = cache
+        return run_sweep(spec).result
+
     if pipelines is None:
         pipelines = {
             "SNN": SNNPipeline(),
@@ -86,16 +154,13 @@ def run_comparison(
     metrics: dict[str, PipelineMetrics] = {}
     for name in PARADIGMS:
         pipe = pipelines[name]
-        pipe.fit(train)
-        metrics[name] = pipe.measure(test, temporal_labels)
+        if not hasattr(pipe, "fit"):  # a config dataclass, not an instance
+            from .presets import make_pipeline
 
-    result = ComparisonResult(metrics=metrics)
-    for axis in AXES:
-        values = {name: metrics[name].value(axis) for name in PARADIGMS}
-        result.ratings[axis.key] = rate_values(
-            values, axis.higher_is_better, axis.tie_tolerance
-        )
-    return result
+            pipe = make_pipeline(pipe)
+        metrics[name] = measure_paradigm(pipe, train, test, temporal_labels)
+
+    return assemble_comparison(metrics)
 
 
 def attach_robustness(

@@ -162,19 +162,25 @@ def fit_gnn(
     epochs: int = 10,
     lr: float = 5e-3,
     rng: np.random.Generator | None = None,
+    graphs: list[EventGraph] | None = None,
 ) -> GNNTrainResult:
     """Train a graph classifier, one graph per step.
 
     Graphs are pre-built once (construction is deterministic) and
-    shuffled between epochs.  ``epochs=0`` performs no optimisation and
-    just evaluates the (freshly initialised or externally restored)
-    model — checkpoint resume relies on this to rebuild the architecture
+    shuffled between epochs; callers holding already-built (e.g.
+    cached) graphs pass them via ``graphs``, aligned with ``dataset``
+    order.  ``epochs=0`` performs no optimisation and just evaluates
+    the (freshly initialised or externally restored) model —
+    checkpoint resume relies on this to rebuild the architecture
     without retraining.
     """
     if epochs < 0:
         raise ValueError("epochs must be non-negative")
     rng = rng or np.random.default_rng(0)
-    graphs = [build_event_graph(s.stream, config) for s in dataset]
+    if graphs is None:
+        graphs = [build_event_graph(s.stream, config) for s in dataset]
+    elif len(graphs) != len(dataset):
+        raise ValueError("graphs must align one-to-one with dataset")
     labels = dataset.labels()
     opt = Adam(model.parameters(), lr=lr)
     losses: list[float] = []

@@ -1,0 +1,73 @@
+"""Sharded parallel execution and content-addressed representation caching.
+
+The ROADMAP's scaling question: the comparison, robustness and
+streaming grids are embarrassingly parallel (paradigm × condition ×
+recording), yet the legacy entry points ran them serially and
+re-encoded every event stream from scratch.  This package supplies the
+missing execution layer behind one unified API:
+
+* :mod:`~repro.parallel.sharding` — deterministic work-shard planning
+  (the plan depends only on the grid, never on the worker count),
+  per-shard seed derivation via :func:`derive_seed`, and a seeded
+  process-pool executor with a serial fallback backend;
+* :mod:`~repro.parallel.cache` — a content-addressed
+  :class:`RepresentationCache` keyed by the SHA-256 of the raw event
+  bytes plus the canonicalised encoder config, memoizing CNN frame
+  stacks, SNN spike tensors and GNN graphs in memory (LRU) and
+  optionally on disk;
+* :mod:`~repro.parallel.merge` — a deterministic fold of per-shard
+  metrics, reports and observability snapshots into one reconciled
+  result that passes ``validate_snapshot`` and the shard-count
+  invariants;
+* :mod:`~repro.parallel.api` — :class:`SweepSpec` / :func:`run_sweep`,
+  the single calling convention the legacy ``run_comparison``,
+  ``run_robustness_sweep`` and ``run_streaming_sweep`` entry points now
+  delegate to.
+
+Determinism contract: for any fixed spec, results and merged snapshots
+are byte-identical across backends and worker counts.
+"""
+
+from .api import SweepResult, SweepSpec, run_sweep
+from .cache import (
+    CacheConfig,
+    RepresentationCache,
+    canonical_json,
+    config_digest,
+    content_key,
+)
+from .merge import (
+    DeterministicClock,
+    merge_metrics,
+    merge_snapshots,
+    reconcile_shards,
+)
+from .sharding import (
+    Cell,
+    ParallelConfig,
+    Shard,
+    derive_seed,
+    plan_shards,
+    run_shards,
+)
+
+__all__ = [
+    "SweepSpec",
+    "SweepResult",
+    "run_sweep",
+    "ParallelConfig",
+    "Cell",
+    "Shard",
+    "plan_shards",
+    "derive_seed",
+    "run_shards",
+    "CacheConfig",
+    "RepresentationCache",
+    "canonical_json",
+    "config_digest",
+    "content_key",
+    "DeterministicClock",
+    "merge_metrics",
+    "merge_snapshots",
+    "reconcile_shards",
+]

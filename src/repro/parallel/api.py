@@ -1,0 +1,532 @@
+"""Unified sweep entry point: one spec, three kinds, sharded and cached.
+
+:func:`run_sweep` is the single calling convention behind the
+repository's three measurement grids — the Table-I comparison
+(``kind="comparison"``), the fault-robustness sweep
+(``kind="robustness"``) and the streaming overload sweep
+(``kind="streaming"``).  A :class:`SweepSpec` names the grid (paradigm
+factories × conditions), the seeds, the instrumentation and the
+``parallel=`` knob; the executor plans deterministic shards
+(:func:`~repro.parallel.sharding.plan_shards`), runs them serially or
+on a forked process pool, memoizes event encodings through the
+content-addressed :class:`~repro.parallel.cache.RepresentationCache`,
+and folds per-shard results and observability snapshots into one
+reconciled :class:`SweepResult`.
+
+Determinism contract: with the default per-shard instrumentation, the
+results **and** the merged snapshot are byte-identical for any
+``n_workers`` — the shard plan ignores the worker count, every shard
+seeds and times itself (:class:`~repro.parallel.merge.DeterministicClock`)
+from its grid position alone, and the merge runs in shard-plan order.
+The legacy entry points (``run_comparison``, ``run_robustness_sweep``,
+``run_streaming_sweep``) are thin shims over this module.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from ..core.comparison import PARADIGMS, assemble_comparison, measure_paradigm
+from ..core.presets import default_configs, make_pipeline
+from ..observability import Instrumentation
+from .cache import CacheConfig, RepresentationCache
+from .merge import DeterministicClock, merge_snapshots, reconcile_shards
+from .sharding import ParallelConfig, Shard, plan_shards, run_shards
+
+__all__ = ["SweepSpec", "SweepResult", "run_sweep"]
+
+_KINDS = ("comparison", "robustness", "streaming")
+
+
+@dataclass
+class SweepSpec:
+    """One description for every paradigm-grid measurement.
+
+    Attributes:
+        kind: ``"comparison"``, ``"robustness"`` or ``"streaming"``.
+        train / test: the dataset split (comparison and robustness).
+        stream: the workload stream (streaming).
+        window_us: streaming window length.
+        conditions: the swept grid columns — replication seeds for
+            comparison (empty = one run per paradigm as configured),
+            fault severities for robustness, load factors for
+            streaming.
+        pipelines: paradigm name → factory.  Config dataclasses
+            (:mod:`repro.core.presets`) work on every backend;
+            pipeline instances / predictor callables only on the
+            serial backend (the process backend needs picklable,
+            re-constructible descriptions).  None selects the
+            paradigm defaults of the kind.
+        temporal_labels: comparison-only; labels distinguishable only
+            through event timing.
+        seed: master seed of the sweep.
+        options: kind-specific extras — robustness:
+            ``fault_profile``, ``checkpoint_dir``, ``max_retries``,
+            ``stage_timeout_s``; streaming: ``fallbacks``,
+            ``service_models``, ``shed_policy``, ``breaker_policy``,
+            ``queue_capacity``.
+        parallel: sharded-execution knobs.
+        cache: representation-cache knobs (fresh per-shard in-memory
+            tier; opt-in shared disk tier).
+        instrumentation: optional user-owned
+            :class:`~repro.observability.Instrumentation` shared by
+            every shard — serial backend only.  When None (the
+            default) each shard records into its own
+            deterministically-clocked instrumentation and the merged
+            snapshot lands in :attr:`SweepResult.snapshot`.
+    """
+
+    kind: str
+    train: Any = None
+    test: Any = None
+    stream: Any = None
+    window_us: int = 10_000
+    conditions: Sequence[Any] = ()
+    pipelines: Mapping[str, Any] | None = None
+    temporal_labels: tuple[int, ...] = ()
+    seed: int = 0
+    options: dict[str, Any] = field(default_factory=dict)
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    instrumentation: Instrumentation | None = None
+
+
+@dataclass
+class SweepResult:
+    """Everything one :func:`run_sweep` call produced.
+
+    Attributes:
+        kind: the spec's kind.
+        result: the kind's native result object —
+            :class:`~repro.core.comparison.ComparisonResult` (or a
+            list of them, one per condition),
+            :class:`~repro.reliability.sweep.RobustnessSweepResult` or
+            :class:`~repro.streaming.sweep.StreamingSweepResult` —
+            byte-identical across backends and worker counts.
+        snapshot: the reconciled observability snapshot (passes
+            ``validate_snapshot`` and the shard-count invariants).
+        num_shards: shard-plan size.
+        num_cells: total grid cells.
+        cache_stats: representation-cache totals across shards.
+    """
+
+    kind: str
+    result: Any
+    snapshot: dict[str, Any]
+    num_shards: int
+    num_cells: int
+    cache_stats: dict[str, int]
+
+
+# ----------------------------------------------------------------------
+# Shard workers (module-level: picklable by reference for the pool)
+# ----------------------------------------------------------------------
+def _shard_obs(
+    task: dict[str, Any],
+) -> tuple[Instrumentation, bool, DeterministicClock | None]:
+    """The shard's observability sink and whether this shard owns it.
+
+    Owned sinks run on a :class:`DeterministicClock` (also returned, so
+    shard work can time itself off the same virtual clock), making the
+    spans and duration histograms a shard emits depend only on its
+    work — the backbone of serial/parallel byte-identity.  A shared
+    user-owned sink keeps the wall clock (None is returned).  Every
+    shard books itself into the shard-count invariants either way.
+    """
+    shared = task.get("shared_obs")
+    clock = None if shared is not None else DeterministicClock()
+    obs = shared if shared is not None else Instrumentation(clock=clock)
+    shard: Shard = task["shard"]
+    obs.registry.counter(
+        "parallel_shards_total", help="work shards executed"
+    ).inc()
+    obs.registry.counter(
+        "parallel_cells_total", help="grid cells executed"
+    ).inc(len(shard.cells))
+    return obs, shared is None, clock
+
+
+def _materialise(factory: Any, condition: Any = None):
+    """Turn a pipeline factory (config or instance) into an instance."""
+    if hasattr(factory, "fit"):  # already a pipeline instance
+        if condition is not None:
+            raise ValueError(
+                "replicating over conditions requires config dataclasses "
+                "(repro.core.presets), not pipeline instances"
+            )
+        return factory
+    config = factory
+    if condition is not None:
+        config = dataclasses.replace(config, seed=int(condition))
+    return make_pipeline(config)
+
+
+def _execute_shard(task: dict[str, Any]) -> dict[str, Any]:
+    """Run one shard (any kind); the process-pool entry point."""
+    kind = task["kind"]
+    if kind == "comparison":
+        return _comparison_shard(task)
+    if kind == "robustness":
+        return _robustness_shard(task)
+    if kind == "streaming":
+        return _streaming_shard(task)
+    raise ValueError(f"unknown shard kind {kind!r}")
+
+
+def _comparison_shard(task: dict[str, Any]) -> dict[str, Any]:
+    """One comparison cell: construct, fit and measure one pipeline."""
+    obs, own, _ = _shard_obs(task)
+    cache = RepresentationCache.from_config(task["cache"], instrumentation=obs)
+    cells = []
+    for cell in task["shard"].cells:
+        pipeline = _materialise(task["pipelines"][cell.paradigm], cell.condition)
+        pipeline.instrument(obs)
+        if cache is not None:
+            pipeline.attach_cache(cache)
+        metrics = measure_paradigm(
+            pipeline, task["train"], task["test"], task["temporal_labels"]
+        )
+        cells.append((cell.paradigm, cell.condition, metrics))
+    return {
+        "snapshot": obs.snapshot() if own else None,
+        "cells": cells,
+        "cache_stats": cache.stats() if cache is not None else {},
+    }
+
+
+def _robustness_shard(task: dict[str, Any]) -> dict[str, Any]:
+    """One robustness row: fit one paradigm, evaluate every severity."""
+    from ..reliability.sweep import run_paradigm_curve
+
+    obs, own, clock = _shard_obs(task)
+    cache = RepresentationCache.from_config(task["cache"], instrumentation=obs)
+    shard: Shard = task["shard"]
+    name = shard.cells[0].paradigm
+    pipeline = _materialise(task["pipelines"][name])
+    if cache is not None:
+        pipeline.attach_cache(cache)
+
+    state_path = task["state_path"]  # serial backend only: incremental writes
+    done = task["done"]
+    fresh: dict[str, dict[str, Any]] = {}
+
+    def on_point(key: str, point) -> None:
+        fresh[key] = point.to_dict()
+        if state_path is not None:
+            done[key] = fresh[key]
+            state_path.parent.mkdir(parents=True, exist_ok=True)
+            state_path.write_text(json.dumps(done))
+
+    points = run_paradigm_curve(
+        name,
+        pipeline,
+        task["train"],
+        task["test"],
+        severities=[c.condition for c in shard.cells],
+        seed=task["seed"],
+        fault_profile=task["fault_profile"],
+        checkpoint_dir=task["checkpoint_dir"],
+        max_retries=task["max_retries"],
+        stage_timeout_s=task["stage_timeout_s"],
+        instrumentation=obs,
+        done=done,
+        on_point=on_point,
+        clock=clock,
+    )
+    return {
+        "snapshot": obs.snapshot() if own else None,
+        "paradigm": name,
+        "points": points,
+        "fresh": fresh,
+        "cache_stats": cache.stats() if cache is not None else {},
+    }
+
+
+def _streaming_shard(task: dict[str, Any]) -> dict[str, Any]:
+    """One streaming row: run one paradigm across every load factor."""
+    from ..streaming.sweep import run_paradigm_stream
+
+    obs, own, _ = _shard_obs(task)
+    shard: Shard = task["shard"]
+    name = shard.cells[0].paradigm
+    with obs.tracer.span(f"stream.{name}"):
+        points = run_paradigm_stream(
+            name,
+            task["predictor"],
+            task["stream"],
+            task["window_us"],
+            load_factors=[c.condition for c in shard.cells],
+            fallbacks=task["fallbacks"],
+            service=task["service"],
+            shed_policy=task["shed_policy"],
+            breaker_policy=task["breaker_policy"],
+            queue_capacity=task["queue_capacity"],
+            seed=task["seed"],
+        )
+    return {
+        "snapshot": obs.snapshot() if own else None,
+        "paradigm": name,
+        "points": points,
+        "cache_stats": {},
+    }
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+def _normalise_factories(
+    spec: SweepSpec, backend: str, label: str, defaults: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Validate and resolve the per-paradigm factories of a spec."""
+    factories = dict(spec.pipelines) if spec.pipelines is not None else dict(defaults)
+    if set(factories) != set(PARADIGMS):
+        raise ValueError(f"{label} must cover exactly {PARADIGMS}")
+    if backend == "process" and spec.kind != "streaming":
+        for name, factory in factories.items():
+            if hasattr(factory, "fit"):
+                raise ValueError(
+                    f"the process backend needs picklable config dataclasses "
+                    f"(repro.core.presets), but {label}[{name!r}] is a "
+                    f"pipeline instance — pass its config or use the "
+                    f"serial backend"
+                )
+    return factories
+
+
+def _collect(
+    spec: SweepSpec,
+    shards: tuple[Shard, ...],
+    tasks: list[dict[str, Any]],
+    parallel: ParallelConfig,
+) -> tuple[list[dict[str, Any]], dict[str, Any], dict[str, int]]:
+    """Run the shard plan and reconcile the merged snapshot."""
+    outs = run_shards(tasks, _execute_shard, parallel)
+    if spec.instrumentation is not None:
+        snapshot = spec.instrumentation.snapshot()
+    else:
+        snapshot = merge_snapshots([out["snapshot"] for out in outs])
+    num_cells = sum(len(s.cells) for s in shards)
+    problems = reconcile_shards(snapshot, len(shards), num_cells)
+    if problems:
+        raise RuntimeError(
+            "merged snapshot failed reconciliation: " + "; ".join(problems)
+        )
+    cache_stats: dict[str, int] = {}
+    for out in outs:
+        for key, value in out.get("cache_stats", {}).items():
+            cache_stats[key] = cache_stats.get(key, 0) + value
+    return outs, snapshot, cache_stats
+
+
+def _run_comparison(spec: SweepSpec, parallel: ParallelConfig) -> SweepResult:
+    backend = parallel.resolve()
+    factories = _normalise_factories(
+        spec, backend, "pipelines", default_configs(spec.seed)
+    )
+    conditions = tuple(spec.conditions)
+    shards = plan_shards(PARADIGMS, conditions, group_by="cell")
+    tasks = [
+        {
+            "kind": "comparison",
+            "shard": shard,
+            "shared_obs": spec.instrumentation,
+            "pipelines": factories,
+            "train": spec.train,
+            "test": spec.test,
+            "temporal_labels": tuple(spec.temporal_labels),
+            "cache": spec.cache,
+        }
+        for shard in shards
+    ]
+    outs, snapshot, cache_stats = _collect(spec, shards, tasks, parallel)
+
+    measured = [cell for out in outs for cell in out["cells"]]
+    if conditions:
+        by_condition: dict[Any, dict[str, Any]] = {c: {} for c in conditions}
+        for name, condition, metrics in measured:
+            by_condition[condition][name] = metrics
+        result: Any = [assemble_comparison(by_condition[c]) for c in conditions]
+    else:
+        result = assemble_comparison(
+            {name: metrics for name, _, metrics in measured}
+        )
+    return SweepResult(
+        kind="comparison",
+        result=result,
+        snapshot=snapshot,
+        num_shards=len(shards),
+        num_cells=sum(len(s.cells) for s in shards),
+        cache_stats=cache_stats,
+    )
+
+
+def _run_robustness(spec: SweepSpec, parallel: ParallelConfig) -> SweepResult:
+    from ..reliability.sweep import RobustnessSweepResult, default_fault_profile
+
+    backend = parallel.resolve()
+    severities = tuple(float(s) for s in spec.conditions)
+    if not severities:
+        raise ValueError("severities must not be empty")
+    if list(severities) != sorted(severities):
+        raise ValueError("severities must be ascending")
+    factories = _normalise_factories(
+        spec, backend, "pipelines", default_configs(spec.seed)
+    )
+
+    options = spec.options
+    checkpoint_dir = options.get("checkpoint_dir")
+    checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+    state_path = checkpoint_dir / "sweep_state.json" if checkpoint_dir else None
+    done: dict[str, dict[str, Any]] = {}
+    if state_path is not None and state_path.exists():
+        try:
+            done = json.loads(state_path.read_text())
+        except (ValueError, OSError):
+            done = {}  # corrupt state file: redo the points
+
+    shards = plan_shards(PARADIGMS, severities, group_by="paradigm")
+    tasks = [
+        {
+            "kind": "robustness",
+            "shard": shard,
+            "shared_obs": spec.instrumentation,
+            "pipelines": factories,
+            "train": spec.train,
+            "test": spec.test,
+            "seed": spec.seed,
+            "fault_profile": options.get("fault_profile", default_fault_profile),
+            "checkpoint_dir": checkpoint_dir,
+            "max_retries": options.get("max_retries", 1),
+            "stage_timeout_s": options.get("stage_timeout_s"),
+            "cache": spec.cache,
+            # Incremental state writes only in-process; pool workers
+            # return their fresh points and the coordinator persists.
+            "state_path": state_path if backend == "serial" else None,
+            "done": done,
+        }
+        for shard in shards
+    ]
+    outs, snapshot, cache_stats = _collect(spec, shards, tasks, parallel)
+
+    result = RobustnessSweepResult(severities=severities, seed=spec.seed)
+    for out in outs:
+        result.curves[out["paradigm"]] = out["points"]
+    if state_path is not None and any(out["fresh"] for out in outs):
+        for out in outs:
+            done.update(out["fresh"])
+        state_path.parent.mkdir(parents=True, exist_ok=True)
+        state_path.write_text(json.dumps(done))
+    return SweepResult(
+        kind="robustness",
+        result=result,
+        snapshot=snapshot,
+        num_shards=len(shards),
+        num_cells=sum(len(s.cells) for s in shards),
+        cache_stats=cache_stats,
+    )
+
+
+def _run_streaming(spec: SweepSpec, parallel: ParallelConfig) -> SweepResult:
+    from ..streaming.sweep import (
+        CAPACITY_HEADROOM,
+        StreamingSweepResult,
+        _default_predictors,
+        calibrate_service,
+    )
+
+    backend = parallel.resolve()
+    load_factors = tuple(float(f) for f in spec.conditions)
+    if not load_factors:
+        raise ValueError("load_factors must not be empty")
+    if list(load_factors) != sorted(load_factors):
+        raise ValueError("load_factors must be ascending")
+    predictors = _normalise_factories(
+        spec, backend, "predictors", _default_predictors()
+    )
+
+    options = spec.options
+    fallbacks = options.get("fallbacks")
+    service_models = options.get("service_models")
+    shards = plan_shards(PARADIGMS, load_factors, group_by="paradigm")
+    tasks = []
+    for shard in shards:
+        name = shard.cells[0].paradigm
+        tasks.append(
+            {
+                "kind": "streaming",
+                "shard": shard,
+                "shared_obs": spec.instrumentation,
+                "predictor": predictors[name],
+                "stream": spec.stream,
+                "window_us": int(spec.window_us),
+                "fallbacks": (
+                    tuple(fallbacks.get(name, ())) if fallbacks else ()
+                ),
+                "service": (
+                    service_models[name]
+                    if service_models is not None
+                    else calibrate_service(
+                        spec.stream, int(spec.window_us), CAPACITY_HEADROOM[name]
+                    )
+                ),
+                "shed_policy": options.get("shed_policy"),
+                "breaker_policy": options.get("breaker_policy"),
+                "queue_capacity": options.get("queue_capacity", 16),
+                "seed": spec.seed,
+            }
+        )
+    outs, snapshot, cache_stats = _collect(spec, shards, tasks, parallel)
+
+    result = StreamingSweepResult(
+        load_factors=load_factors, window_us=int(spec.window_us), seed=spec.seed
+    )
+    for out in outs:
+        result.curves[out["paradigm"]] = out["points"]
+    return SweepResult(
+        kind="streaming",
+        result=result,
+        snapshot=snapshot,
+        num_shards=len(shards),
+        num_cells=sum(len(s.cells) for s in shards),
+        cache_stats=cache_stats,
+    )
+
+
+def run_sweep(spec: SweepSpec, parallel: ParallelConfig | None = None) -> SweepResult:
+    """Execute one sweep spec on the sharded executor.
+
+    Args:
+        spec: the grid description (see :class:`SweepSpec`).
+        parallel: overrides ``spec.parallel`` when given.
+
+    Returns:
+        The reconciled :class:`SweepResult`.  For any fixed spec the
+        ``result`` and (with per-shard instrumentation) the
+        ``snapshot`` are byte-identical across backends and worker
+        counts.
+
+    Raises:
+        ValueError: on an unknown kind, an invalid grid, a shared
+            ``instrumentation`` combined with the process backend, or
+            pipeline instances on the process backend.
+        RuntimeError: when the merged snapshot fails reconciliation or
+            a pipeline fails to fit.
+    """
+    if spec.kind not in _KINDS:
+        raise ValueError(f"kind must be one of {_KINDS}, got {spec.kind!r}")
+    parallel = parallel if parallel is not None else spec.parallel
+    if spec.instrumentation is not None and parallel.resolve() == "process":
+        raise ValueError(
+            "a shared instrumentation requires the serial backend "
+            "(n_workers=1); per-shard instrumentation is merged "
+            "automatically when instrumentation is None"
+        )
+    if spec.kind == "comparison":
+        return _run_comparison(spec, parallel)
+    if spec.kind == "robustness":
+        return _run_robustness(spec, parallel)
+    return _run_streaming(spec, parallel)

@@ -1,0 +1,196 @@
+"""Deterministic work sharding over (paradigm × condition) grids.
+
+A sweep is a grid of cells — one (paradigm, condition) evaluation each
+— and this module splits that grid into :class:`Shard`\\ s and runs them
+on a backend.  Two properties make parallel runs byte-identical to
+serial ones:
+
+* **worker-count independence** — the shard plan depends only on the
+  grid (:func:`plan_shards` never sees ``n_workers``), so the same grid
+  always produces the same shards in the same order, whether they run
+  on one process or eight;
+* **per-shard seeding** — every randomised quantity inside a shard is
+  derived from the master seed and the cell's grid position
+  (:func:`derive_seed`), never from execution order or wall time.
+
+Backends: ``"serial"`` runs shards in-process in plan order (the
+debugging reference), ``"process"`` fans them out on a forked
+``ProcessPoolExecutor`` and reassembles results in plan order.
+``"auto"`` picks ``serial`` for one worker and ``process`` otherwise,
+degrading to serial when the platform cannot fork.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Cell",
+    "Shard",
+    "ParallelConfig",
+    "derive_seed",
+    "plan_shards",
+    "run_shards",
+]
+
+_BACKENDS = ("auto", "serial", "process")
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One grid cell: a (paradigm, condition) evaluation.
+
+    Attributes:
+        paradigm: pipeline name ("SNN" / "CNN" / "GNN").
+        condition: the swept value (severity, load factor, seed), or
+            None for single-condition grids.
+        index: position in the flattened paradigm-major grid — the
+            seed-derivation anchor, independent of sharding.
+    """
+
+    paradigm: str
+    condition: Any = None
+    index: int = 0
+
+
+@dataclass(frozen=True)
+class Shard:
+    """A deterministic slice of the grid, executed by one worker.
+
+    Attributes:
+        index: position in the shard plan (merge order).
+        cells: the grid cells of this shard, in grid order.
+    """
+
+    index: int
+    cells: tuple[Cell, ...]
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Execution knobs of the sharded executor.
+
+    Attributes:
+        n_workers: process-pool width; 1 means serial.
+        backend: ``"auto"`` (serial for one worker, processes
+            otherwise), ``"serial"`` or ``"process"``.
+    """
+
+    n_workers: int = 1
+    backend: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if self.backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}")
+
+    def resolve(self) -> str:
+        """The concrete backend this configuration runs on."""
+        if self.backend == "serial":
+            return "serial"
+        if self.backend == "process":
+            return "process"
+        return "serial" if self.n_workers <= 1 else "process"
+
+
+def derive_seed(*path: int) -> int:
+    """Deterministic seed for one grid position.
+
+    Spawns a :class:`numpy.random.SeedSequence` from the integer path
+    (master seed, paradigm index, condition index, ...) — collision-
+    resistant and independent of execution order, so a cell's seed is
+    the same whether its shard runs first, last, serial or parallel.
+    """
+    if not path:
+        raise ValueError("derive_seed needs at least one path component")
+    sequence = np.random.SeedSequence([int(p) for p in path])
+    return int(sequence.generate_state(1)[0])
+
+
+def plan_shards(
+    paradigms: Sequence[str],
+    conditions: Sequence[Any] = (),
+    group_by: str = "paradigm",
+) -> tuple[Shard, ...]:
+    """Split a (paradigm × condition) grid into deterministic shards.
+
+    The plan is a pure function of the grid — never of the worker
+    count — which is the invariant behind serial/parallel
+    byte-identity: per-shard state (caches, instrumentation, seeds)
+    is identical no matter how many workers drain the plan.
+
+    Args:
+        paradigms: grid rows, in canonical order.
+        conditions: grid columns (empty = one unconditioned cell per
+            paradigm).
+        group_by: ``"paradigm"`` keeps a whole row in one shard (for
+            sweeps that train once per paradigm and evaluate every
+            condition on the fitted model); ``"cell"`` makes every
+            cell its own shard (for grids whose cells are independent
+            fit+measure runs).
+
+    Returns:
+        Shards in plan order, covering every cell exactly once.
+    """
+    if group_by not in ("paradigm", "cell"):
+        raise ValueError("group_by must be 'paradigm' or 'cell'")
+    cells: list[Cell] = []
+    for name in paradigms:
+        if conditions:
+            for condition in conditions:
+                cells.append(Cell(name, condition, index=len(cells)))
+        else:
+            cells.append(Cell(name, None, index=len(cells)))
+
+    if group_by == "cell":
+        return tuple(Shard(i, (cell,)) for i, cell in enumerate(cells))
+    shards: list[Shard] = []
+    for name in paradigms:
+        row = tuple(c for c in cells if c.paradigm == name)
+        shards.append(Shard(len(shards), row))
+    return tuple(shards)
+
+
+def _fork_context() -> multiprocessing.context.BaseContext | None:
+    """The fork start-method context, or None where unavailable."""
+    try:
+        if "fork" in multiprocessing.get_all_start_methods():
+            return multiprocessing.get_context("fork")
+    except ValueError:
+        pass
+    return None
+
+
+def run_shards(
+    tasks: Sequence[Any],
+    worker: Callable[[Any], Any],
+    parallel: ParallelConfig,
+) -> list[Any]:
+    """Execute one task per shard and return results in plan order.
+
+    Args:
+        tasks: per-shard payloads, in shard-plan order (picklable for
+            the process backend).
+        worker: module-level callable mapping a payload to a result
+            (must be picklable by reference for the process backend).
+        parallel: backend selection.
+
+    Returns:
+        Worker results, ordered like ``tasks`` regardless of
+        completion order.  Worker exceptions propagate unchanged.
+    """
+    backend = parallel.resolve()
+    context = _fork_context() if backend == "process" else None
+    if backend == "serial" or context is None:
+        # Serial reference path (also the no-fork-platform fallback).
+        return [worker(task) for task in tasks]
+    workers = min(parallel.n_workers, max(len(tasks), 1))
+    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+        futures = [pool.submit(worker, task) for task in tasks]
+        return [future.result() for future in futures]

@@ -46,6 +46,7 @@ from .sweep import (
     default_fault_profile,
     rate_sweep,
     robustness_scores,
+    run_paradigm_curve,
     run_robustness_sweep,
 )
 
@@ -72,6 +73,7 @@ __all__ = [
     "default_fault_profile",
     "SweepPoint",
     "RobustnessSweepResult",
+    "run_paradigm_curve",
     "run_robustness_sweep",
     "robustness_scores",
     "rate_sweep",

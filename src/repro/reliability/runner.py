@@ -233,6 +233,11 @@ class StageGuard:
             into ``guard_calls_total`` / ``guard_attempts_total`` /
             ``guard_failures_total`` / ``guard_timeouts_total`` and
             surfaced through the ``on_stage_start/end`` hooks.
+        clock: the monotonic time source for ``elapsed_s`` measurements
+            (default ``time.monotonic``).  The sharded executor injects
+            a deterministic virtual clock here so reports are
+            byte-identical across backends; timeout enforcement always
+            uses real wall-clock time regardless.
     """
 
     def __init__(
@@ -242,6 +247,7 @@ class StageGuard:
         backoff_s: float = 0.0,
         timeout_s: float | None = None,
         instrumentation: Instrumentation | None = None,
+        clock: Callable[[], float] | None = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
@@ -253,6 +259,7 @@ class StageGuard:
         self.backoff_s = backoff_s
         self.timeout_s = timeout_s
         self.instrumentation = instrumentation
+        self.clock = clock if clock is not None else time.monotonic
 
     def _call_with_timeout(self, fn: Callable[[], Any]) -> Any:
         """Run ``fn``, enforcing the wall-clock timeout.
@@ -337,7 +344,7 @@ class StageGuard:
     def _execute(self, name: str, fn: Callable[[], Any]) -> StageResult:
         """The uninstrumented retry/backoff/timeout loop."""
         attempts = 0
-        start = time.monotonic()
+        start = self.clock()
         last_exc: BaseException | None = None
         while attempts <= self.max_retries:
             attempts += 1
@@ -348,7 +355,7 @@ class StageGuard:
                     ok=True,
                     value=value,
                     attempts=attempts,
-                    elapsed_s=time.monotonic() - start,
+                    elapsed_s=self.clock() - start,
                 )
             except NotFittedError:
                 raise
@@ -360,7 +367,7 @@ class StageGuard:
                     attempts=attempts,
                     error_type="TimeoutError",
                     error_message=str(exc),
-                    elapsed_s=time.monotonic() - start,
+                    elapsed_s=self.clock() - start,
                 )
             except Exception as exc:
                 last_exc = exc
@@ -372,7 +379,7 @@ class StageGuard:
             attempts=attempts,
             error_type=type(last_exc).__name__,
             error_message=str(last_exc),
-            elapsed_s=time.monotonic() - start,
+            elapsed_s=self.clock() - start,
         )
 
 
@@ -398,6 +405,8 @@ class HardenedRunner:
             ``guard_*`` counters) and every classified recording is
             counted into ``runner_records_total{outcome=...}`` with the
             ``on_window`` hook fired per terminal outcome.
+        clock: monotonic time source for ``elapsed_s`` measurements
+            (default ``time.monotonic``); see :class:`StageGuard`.
     """
 
     def __init__(
@@ -409,17 +418,20 @@ class HardenedRunner:
         stage_timeout_s: float | None = None,
         checkpoint_path: str | Path | None = None,
         instrumentation: Instrumentation | None = None,
+        clock: Callable[[], float] | None = None,
     ) -> None:
         self._guard = StageGuard(
             max_retries=max_retries,
             backoff_s=backoff_s,
             timeout_s=stage_timeout_s,
             instrumentation=instrumentation,
+            clock=clock,
         )
         self.pipeline = pipeline
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
         self.resumed_from_checkpoint = False
         self.instrumentation = instrumentation
+        self.clock = self._guard.clock
 
     # ------------------------------------------------------------------
     # Guarded execution primitives (delegated to the shared StageGuard)
@@ -555,7 +567,7 @@ class HardenedRunner:
         fault: FaultModel | None = None,
         seed: int = 0,
     ) -> RecordingReport:
-        start = time.monotonic()
+        start = self.clock()
         problems = validate_sample(sample, expected_resolution)
         if problems:
             return RecordingReport(
@@ -563,7 +575,7 @@ class HardenedRunner:
                 label=sample.label,
                 outcome=RecordingOutcome.QUARANTINED,
                 problems=problems,
-                elapsed_s=time.monotonic() - start,
+                elapsed_s=self.clock() - start,
             )
         stream: EventStream = sample.stream
         if fault is not None:
@@ -576,7 +588,7 @@ class HardenedRunner:
                     outcome=RecordingOutcome.FAILED,
                     error_type=type(exc).__name__,
                     error_message=f"fault injection failed: {exc}",
-                    elapsed_s=time.monotonic() - start,
+                    elapsed_s=self.clock() - start,
                 )
             problems = validate_sample(
                 EventSample(stream, sample.label), expected_resolution
@@ -587,7 +599,7 @@ class HardenedRunner:
                     label=sample.label,
                     outcome=RecordingOutcome.QUARANTINED,
                     problems=[f"after fault injection: {p}" for p in problems],
-                    elapsed_s=time.monotonic() - start,
+                    elapsed_s=self.clock() - start,
                 )
         stage = self._run_stage("predict", lambda: self.pipeline.predict(stream))
         if stage.ok:
@@ -597,7 +609,7 @@ class HardenedRunner:
                 outcome=RecordingOutcome.OK,
                 predicted=int(stage.value),
                 attempts=stage.attempts,
-                elapsed_s=time.monotonic() - start,
+                elapsed_s=self.clock() - start,
             )
         outcome = (
             RecordingOutcome.TIMEOUT
@@ -611,7 +623,7 @@ class HardenedRunner:
             error_type=stage.error_type,
             error_message=stage.error_message,
             attempts=stage.attempts,
-            elapsed_s=time.monotonic() - start,
+            elapsed_s=self.clock() - start,
         )
 
     def evaluate(

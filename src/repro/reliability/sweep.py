@@ -20,9 +20,10 @@ regenerated comparison table.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
@@ -47,6 +48,7 @@ __all__ = [
     "default_fault_profile",
     "SweepPoint",
     "RobustnessSweepResult",
+    "run_paradigm_curve",
     "run_robustness_sweep",
     "robustness_scores",
 ]
@@ -197,6 +199,99 @@ def _point_key(paradigm: str, severity: float) -> str:
     return f"{paradigm}@{severity:.6f}"
 
 
+def run_paradigm_curve(
+    name: str,
+    pipeline: ParadigmPipeline,
+    train: EventDataset,
+    test: EventDataset,
+    severities: Sequence[float],
+    seed: int = 0,
+    fault_profile=default_fault_profile,
+    checkpoint_dir: str | Path | None = None,
+    max_retries: int = 1,
+    stage_timeout_s: float | None = None,
+    instrumentation=None,
+    done: dict[str, dict[str, Any]] | None = None,
+    on_point: Callable[[str, SweepPoint], None] | None = None,
+    clock: Callable[[], float] | None = None,
+) -> list[SweepPoint]:
+    """Measure one paradigm's accuracy-degradation curve.
+
+    The unit of work of one robustness shard: train the pipeline once
+    through the hardened runner, then evaluate every severity with its
+    deterministic per-point seed (derived from ``seed``, the paradigm
+    index and the severity level — independent of execution order, so
+    parallel shards reproduce the serial sweep bit for bit).
+
+    Args:
+        name: paradigm name ('SNN' / 'CNN' / 'GNN').
+        pipeline: the (unfitted) pipeline of this paradigm.
+        train, test: the shared dataset split.
+        severities: ascending fault intensities.
+        seed: master seed for fault injection.
+        fault_profile: severity → fault-model mapping.
+        checkpoint_dir: when given, the fitted model checkpoints to
+            ``{name}_model.npz`` inside it.
+        max_retries / stage_timeout_s: hardened-runner budgets.
+        instrumentation: optional observability sink for the runner.
+        done: previously completed points (``{point_key: point_dict}``)
+            to resume from instead of recomputing.
+        on_point: callback fired as ``on_point(key, point)`` after each
+            *freshly computed* point (used by the sweep coordinator to
+            persist state incrementally).
+        clock: monotonic time source for the runner's ``elapsed_s``
+            measurements (default wall clock); the sharded executor
+            injects a deterministic virtual clock so reports are
+            byte-identical across backends.
+
+    Returns:
+        One :class:`SweepPoint` per severity.
+
+    Raises:
+        RuntimeError: when the pipeline fails to fit.
+    """
+    checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+    done = done if done is not None else {}
+    runner = HardenedRunner(
+        pipeline,
+        max_retries=max_retries,
+        stage_timeout_s=stage_timeout_s,
+        checkpoint_path=(
+            checkpoint_dir / f"{name.lower()}_model.npz" if checkpoint_dir else None
+        ),
+        instrumentation=instrumentation,
+        clock=clock,
+    )
+    fit_result = runner.fit(train)
+    if not fit_result.ok:
+        raise RuntimeError(
+            f"{name} pipeline failed to fit after {fit_result.attempts} "
+            f"attempt(s): {fit_result.error_type}: {fit_result.error_message}"
+        )
+    points: list[SweepPoint] = []
+    for level, severity in enumerate(severities):
+        key = _point_key(name, severity)
+        cached = done.get(key)
+        if cached is not None:
+            points.append(_point_from_dict(cached))
+            continue
+        fault = fault_profile(severity)
+        # One deterministic seed per (paradigm, severity) point.
+        point_seed = int(
+            np.random.SeedSequence(
+                [seed, PARADIGMS.index(name), level]
+            ).generate_state(1)[0]
+        )
+        report = runner.evaluate(test, fault=fault, seed=point_seed)
+        point = SweepPoint(
+            severity=severity, accuracy=report.accuracy(), report=report
+        )
+        points.append(point)
+        if on_point is not None:
+            on_point(key, point)
+    return points
+
+
 def run_robustness_sweep(
     train: EventDataset,
     test: EventDataset,
@@ -210,6 +305,13 @@ def run_robustness_sweep(
     instrumentation=None,
 ) -> RobustnessSweepResult:
     """Measure accuracy-degradation curves for all three paradigms.
+
+    .. deprecated::
+        Thin shim over the unified sweep entry point — prefer
+        ``repro.parallel.run_sweep(SweepSpec(kind="robustness", ...))``,
+        which adds sharded parallel execution and representation
+        caching behind the same semantics.  This signature keeps
+        working and produces identical results.
 
     Each pipeline is trained once (on the recordings of ``train`` that
     pass validation) and evaluated at every severity with independently
@@ -243,67 +345,30 @@ def run_robustness_sweep(
     Returns:
         The sweep result with one curve per paradigm.
     """
-    severities = tuple(float(s) for s in severities)
-    if not severities:
-        raise ValueError("severities must not be empty")
-    if list(severities) != sorted(severities):
-        raise ValueError("severities must be ascending")
-    if pipelines is None:
-        pipelines = _default_pipelines(seed)
-    if set(pipelines) != set(PARADIGMS):
-        raise ValueError(f"pipelines must cover exactly {PARADIGMS}")
+    warnings.warn(
+        "run_robustness_sweep is deprecated; use "
+        "repro.parallel.run_sweep(SweepSpec(kind='robustness', ...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..parallel.api import SweepSpec, run_sweep
 
-    checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
-    state_path = checkpoint_dir / "sweep_state.json" if checkpoint_dir else None
-    done: dict[str, dict[str, Any]] = {}
-    if state_path is not None and state_path.exists():
-        try:
-            done = json.loads(state_path.read_text())
-        except (ValueError, OSError):
-            done = {}  # corrupt state file: redo the points
-
-    result = RobustnessSweepResult(severities=severities, seed=seed)
-    for name in PARADIGMS:
-        runner = HardenedRunner(
-            pipelines[name],
-            max_retries=max_retries,
-            stage_timeout_s=stage_timeout_s,
-            checkpoint_path=(
-                checkpoint_dir / f"{name.lower()}_model.npz" if checkpoint_dir else None
-            ),
-            instrumentation=instrumentation,
-        )
-        fit_result = runner.fit(train)
-        if not fit_result.ok:
-            raise RuntimeError(
-                f"{name} pipeline failed to fit after {fit_result.attempts} "
-                f"attempt(s): {fit_result.error_type}: {fit_result.error_message}"
-            )
-        points: list[SweepPoint] = []
-        for level, severity in enumerate(severities):
-            key = _point_key(name, severity)
-            cached = done.get(key)
-            if cached is not None:
-                points.append(_point_from_dict(cached))
-                continue
-            fault = fault_profile(severity)
-            # One deterministic seed per (paradigm, severity) point.
-            point_seed = int(
-                np.random.SeedSequence(
-                    [seed, PARADIGMS.index(name), level]
-                ).generate_state(1)[0]
-            )
-            report = runner.evaluate(test, fault=fault, seed=point_seed)
-            point = SweepPoint(
-                severity=severity, accuracy=report.accuracy(), report=report
-            )
-            points.append(point)
-            if state_path is not None:
-                done[key] = point.to_dict()
-                state_path.parent.mkdir(parents=True, exist_ok=True)
-                state_path.write_text(json.dumps(done))
-        result.curves[name] = points
-    return result
+    spec = SweepSpec(
+        kind="robustness",
+        train=train,
+        test=test,
+        conditions=tuple(severities),
+        pipelines=pipelines,
+        seed=seed,
+        options={
+            "fault_profile": fault_profile,
+            "checkpoint_dir": checkpoint_dir,
+            "max_retries": max_retries,
+            "stage_timeout_s": stage_timeout_s,
+        },
+        instrumentation=instrumentation,
+    )
+    return run_sweep(spec).result
 
 
 def _point_from_dict(data: dict[str, Any]) -> SweepPoint:

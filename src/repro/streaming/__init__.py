@@ -55,6 +55,7 @@ from .sweep import (
     make_bursty_stream,
     overload_scores,
     run_overload_demo,
+    run_paradigm_stream,
     run_streaming_sweep,
 )
 
@@ -82,6 +83,7 @@ __all__ = [
     "calibrate_service",
     "StreamingPoint",
     "StreamingSweepResult",
+    "run_paradigm_stream",
     "run_streaming_sweep",
     "overload_scores",
     "attach_to_comparison",

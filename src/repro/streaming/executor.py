@@ -99,7 +99,17 @@ class _InstrumentedLedger(ShedLedger):
         super().__init__()
         self._obs = obs
 
+    def __getstate__(self) -> dict:
+        # A pickled ledger is a finished run's data record: drop the
+        # instrumentation (its clock closes over the executor), keep
+        # the accounting.  Mirroring resumes as a no-op.
+        state = self.__dict__.copy()
+        state["_obs"] = None
+        return state
+
     def _mirror(self, tier_name: str, events_removed: int) -> None:
+        if self._obs is None:
+            return
         reg = self._obs.registry
         reg.counter(
             "stream_shed_windows_total",

@@ -27,6 +27,7 @@ opened must have re-closed through half-open probes.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
@@ -44,6 +45,7 @@ __all__ = [
     "StreamingPoint",
     "StreamingSweepResult",
     "calibrate_service",
+    "run_paradigm_stream",
     "run_streaming_sweep",
     "overload_scores",
     "attach_to_comparison",
@@ -230,6 +232,63 @@ def _default_predictors() -> dict[str, Callable[[EventStream], int]]:
     return {name: _CountClassifier() for name in PARADIGMS}
 
 
+def run_paradigm_stream(
+    name: str,
+    predictor: Any,
+    stream: EventStream,
+    window_us: int,
+    load_factors: Sequence[float],
+    fallbacks: Sequence[Any] = (),
+    service: ServiceModel | None = None,
+    shed_policy: ShedPolicy | None = None,
+    breaker_policy: BreakerPolicy | None = None,
+    queue_capacity: int = 16,
+    seed: int = 0,
+) -> list[StreamingPoint]:
+    """Measure one paradigm's graceful-degradation curve.
+
+    The unit of work of one streaming shard: the predictor streams the
+    same workload once per load factor through a fresh executor (fresh
+    queue, breakers and shedding controller — points are independent).
+    Virtual-time execution makes the curve a pure function of the
+    arguments, so parallel shards reproduce the serial sweep bit for
+    bit.
+
+    Args:
+        name: paradigm name (capacity calibration key when ``service``
+            is None).
+        predictor: fitted pipeline or predictor callable.
+        stream: the workload (split into ``window_us`` windows per run).
+        window_us: window length.
+        load_factors: ascending offered-load multipliers.
+        fallbacks: fallback stage chain of this paradigm.
+        service: virtual-time cost model; defaults to
+            :func:`calibrate_service` with :data:`CAPACITY_HEADROOM`.
+        shed_policy / breaker_policy / queue_capacity: executor knobs
+            shared by every run.
+        seed: seeds the breaker probe generators.
+
+    Returns:
+        One :class:`StreamingPoint` per load factor.
+    """
+    if service is None:
+        service = calibrate_service(stream, window_us, CAPACITY_HEADROOM[name])
+    points: list[StreamingPoint] = []
+    for load in load_factors:
+        executor = StreamingExecutor(
+            predictor,
+            window_us=window_us,
+            fallbacks=tuple(fallbacks),
+            service=service,
+            queue_capacity=queue_capacity,
+            shed_policy=shed_policy,
+            breaker_policy=breaker_policy,
+            seed=seed,
+        )
+        points.append(StreamingPoint(load, executor.run(stream, load_factor=load)))
+    return points
+
+
 def run_streaming_sweep(
     stream: EventStream,
     window_us: int,
@@ -243,6 +302,13 @@ def run_streaming_sweep(
     seed: int = 0,
 ) -> StreamingSweepResult:
     """Measure graceful-degradation curves for all three paradigms.
+
+    .. deprecated::
+        Thin shim over the unified sweep entry point — prefer
+        ``repro.parallel.run_sweep(SweepSpec(kind="streaming", ...))``,
+        which adds sharded parallel execution behind the same
+        semantics.  This signature keeps working and produces
+        identical results.
 
     Each paradigm's predictor streams the same workload once per load
     factor through a fresh executor (fresh queue, breakers and shedding
@@ -268,40 +334,30 @@ def run_streaming_sweep(
     Returns:
         The sweep result with one curve per paradigm.
     """
-    load_factors = tuple(float(f) for f in load_factors)
-    if not load_factors:
-        raise ValueError("load_factors must not be empty")
-    if list(load_factors) != sorted(load_factors):
-        raise ValueError("load_factors must be ascending")
-    if predictors is None:
-        predictors = _default_predictors()
-    if set(predictors) != set(PARADIGMS):
-        raise ValueError(f"predictors must cover exactly {PARADIGMS}")
-
-    result = StreamingSweepResult(
-        load_factors=load_factors, window_us=int(window_us), seed=seed
+    warnings.warn(
+        "run_streaming_sweep is deprecated; use "
+        "repro.parallel.run_sweep(SweepSpec(kind='streaming', ...))",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    for name in PARADIGMS:
-        service = (
-            service_models[name]
-            if service_models is not None
-            else calibrate_service(stream, window_us, CAPACITY_HEADROOM[name])
-        )
-        points: list[StreamingPoint] = []
-        for load in load_factors:
-            executor = StreamingExecutor(
-                predictors[name],
-                window_us=window_us,
-                fallbacks=tuple(fallbacks.get(name, ())) if fallbacks else (),
-                service=service,
-                queue_capacity=queue_capacity,
-                shed_policy=shed_policy,
-                breaker_policy=breaker_policy,
-                seed=seed,
-            )
-            points.append(StreamingPoint(load, executor.run(stream, load_factor=load)))
-        result.curves[name] = points
-    return result
+    from ..parallel.api import SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        kind="streaming",
+        stream=stream,
+        window_us=int(window_us),
+        conditions=tuple(load_factors),
+        pipelines=predictors,
+        seed=seed,
+        options={
+            "fallbacks": fallbacks,
+            "service_models": service_models,
+            "shed_policy": shed_policy,
+            "breaker_policy": breaker_policy,
+            "queue_capacity": queue_capacity,
+        },
+    )
+    return run_sweep(spec).result
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,300 @@
+"""End-to-end tests of the unified sweep API (repro.parallel.api).
+
+The acceptance criterion of the sharded executor: for every sweep kind
+(comparison, robustness, streaming) the results AND the merged
+observability snapshot are byte-identical across worker counts
+{1, 2, 4}; the legacy entry points are equivalent shims; the frozen
+config dataclasses construct pipelines identical to the positional
+keyword API.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CNNConfig,
+    CNNPipeline,
+    GNNConfig,
+    GNNPipeline,
+    SNNConfig,
+    SNNPipeline,
+    make_pipeline,
+    run_comparison,
+)
+from repro.datasets import make_shapes_dataset, train_test_split
+from repro.events import Resolution
+from repro.observability import Instrumentation, to_json
+from repro.parallel import (
+    CacheConfig,
+    ParallelConfig,
+    SweepSpec,
+    reconcile_shards,
+    run_sweep,
+)
+from repro.reliability import run_robustness_sweep
+from repro.streaming import run_streaming_sweep
+from repro.streaming.sweep import make_bursty_stream
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def split():
+    ds = make_shapes_dataset(num_per_class=3, resolution=Resolution(16, 16), seed=3)
+    return train_test_split(ds, 0.4, np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def configs():
+    return {
+        "SNN": SNNConfig(num_steps=6, hidden=8, epochs=2),
+        "CNN": CNNConfig(base_width=4, epochs=2),
+        "GNN": GNNConfig(max_events=60, hidden=6, epochs=2),
+    }
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return make_bursty_stream(
+        resolution=Resolution(16, 16), num_windows=30, seed=5
+    )
+
+
+@pytest.fixture(scope="module")
+def comparison_runs(split, configs):
+    train, test = split
+    runs = {}
+    for n in WORKER_COUNTS:
+        spec = SweepSpec(
+            kind="comparison",
+            train=train,
+            test=test,
+            pipelines=configs,
+            parallel=ParallelConfig(n_workers=n),
+        )
+        runs[n] = run_sweep(spec)
+    return runs
+
+
+@pytest.fixture(scope="module")
+def robustness_runs(split, configs):
+    train, test = split
+    runs = {}
+    for n in WORKER_COUNTS:
+        spec = SweepSpec(
+            kind="robustness",
+            train=train,
+            test=test,
+            conditions=(0.0, 0.4),
+            pipelines=configs,
+            seed=0,
+            parallel=ParallelConfig(n_workers=n),
+        )
+        runs[n] = run_sweep(spec)
+    return runs
+
+
+@pytest.fixture(scope="module")
+def streaming_runs(stream):
+    runs = {}
+    for n in WORKER_COUNTS:
+        spec = SweepSpec(
+            kind="streaming",
+            stream=stream,
+            window_us=10_000,
+            conditions=(0.5, 2.0),
+            seed=0,
+            parallel=ParallelConfig(n_workers=n),
+        )
+        runs[n] = run_sweep(spec)
+    return runs
+
+
+def _comparison_bytes(result):
+    return repr({name: vars(m) for name, m in sorted(result.metrics.items())})
+
+
+def _curve_bytes(result):
+    return repr(
+        {k: [p.to_dict() for p in v] for k, v in sorted(result.curves.items())}
+    )
+
+
+class TestComparisonBitIdentity:
+    def test_results_identical_across_worker_counts(self, comparison_runs):
+        reference = _comparison_bytes(comparison_runs[1].result)
+        for n in WORKER_COUNTS[1:]:
+            assert _comparison_bytes(comparison_runs[n].result) == reference
+
+    def test_snapshots_byte_identical(self, comparison_runs):
+        reference = to_json(comparison_runs[1].snapshot)
+        for n in WORKER_COUNTS[1:]:
+            assert to_json(comparison_runs[n].snapshot) == reference
+
+    def test_merged_snapshot_reconciles(self, comparison_runs):
+        for res in comparison_runs.values():
+            assert (
+                reconcile_shards(res.snapshot, res.num_shards, res.num_cells) == []
+            )
+
+    def test_cache_counters_in_snapshot(self, comparison_runs):
+        res = comparison_runs[2]
+        names = {s["name"] for s in res.snapshot["metrics"]["counters"]}
+        assert "repr_cache_misses_total" in names
+        assert res.cache_stats["misses"] > 0
+
+    def test_shard_plan_shape(self, comparison_runs):
+        res = comparison_runs[1]
+        assert res.num_shards == 3
+        assert res.num_cells == 3
+
+    def test_condition_replication_over_seeds(self, split, configs):
+        train, test = split
+        spec = SweepSpec(
+            kind="comparison",
+            train=train,
+            test=test,
+            conditions=(0, 1),
+            pipelines=configs,
+            parallel=ParallelConfig(n_workers=2),
+        )
+        res = run_sweep(spec)
+        assert isinstance(res.result, list) and len(res.result) == 2
+        assert res.num_cells == 6
+
+
+class TestRobustnessBitIdentity:
+    def test_curves_identical_across_worker_counts(self, robustness_runs):
+        reference = _curve_bytes(robustness_runs[1].result)
+        for n in WORKER_COUNTS[1:]:
+            assert _curve_bytes(robustness_runs[n].result) == reference
+
+    def test_snapshots_byte_identical(self, robustness_runs):
+        reference = to_json(robustness_runs[1].snapshot)
+        for n in WORKER_COUNTS[1:]:
+            assert to_json(robustness_runs[n].snapshot) == reference
+
+    def test_merged_snapshot_reconciles(self, robustness_runs):
+        for res in robustness_runs.values():
+            assert (
+                reconcile_shards(res.snapshot, res.num_shards, res.num_cells) == []
+            )
+
+
+class TestStreamingBitIdentity:
+    def test_curves_identical_across_worker_counts(self, streaming_runs):
+        reference = _curve_bytes(streaming_runs[1].result)
+        for n in WORKER_COUNTS[1:]:
+            assert _curve_bytes(streaming_runs[n].result) == reference
+
+    def test_snapshots_byte_identical(self, streaming_runs):
+        reference = to_json(streaming_runs[1].snapshot)
+        for n in WORKER_COUNTS[1:]:
+            assert to_json(streaming_runs[n].snapshot) == reference
+
+
+class TestShimEquivalence:
+    def test_run_robustness_sweep_shim(self, split, configs, robustness_runs):
+        train, test = split
+        with pytest.warns(DeprecationWarning, match="run_robustness_sweep"):
+            legacy = run_robustness_sweep(
+                train, test, severities=(0.0, 0.4), pipelines=dict(configs), seed=0
+            )
+        assert _curve_bytes(legacy) == _curve_bytes(robustness_runs[1].result)
+
+    def test_run_streaming_sweep_shim(self, stream, streaming_runs):
+        with pytest.warns(DeprecationWarning, match="run_streaming_sweep"):
+            legacy = run_streaming_sweep(
+                stream, 10_000, load_factors=(0.5, 2.0), seed=0
+            )
+        assert _curve_bytes(legacy) == _curve_bytes(streaming_runs[1].result)
+
+    def test_run_comparison_parallel_knob(self, split, configs, comparison_runs):
+        train, test = split
+        legacy = run_comparison(train, test, pipelines=dict(configs))
+        routed = run_comparison(
+            train,
+            test,
+            pipelines=dict(configs),
+            parallel=ParallelConfig(n_workers=2),
+        )
+        assert _comparison_bytes(legacy) == _comparison_bytes(routed)
+        assert _comparison_bytes(routed) == _comparison_bytes(
+            comparison_runs[1].result
+        )
+
+
+class TestConfigConstructors:
+    @pytest.mark.parametrize(
+        "config,cls",
+        [
+            (SNNConfig(num_steps=6, hidden=8, epochs=2), SNNPipeline),
+            (CNNConfig(base_width=4, epochs=2), CNNPipeline),
+            (GNNConfig(max_events=60, hidden=6, epochs=2), GNNPipeline),
+        ],
+    )
+    def test_from_config_matches_kwargs(self, config, cls):
+        built = cls.from_config(config)
+        direct = cls(**config.kwargs())
+        assert type(built) is cls
+        for key, value in config.kwargs().items():
+            assert getattr(direct, key) == getattr(built, key)
+
+    def test_make_pipeline_dispatch(self):
+        assert isinstance(make_pipeline(SNNConfig()), SNNPipeline)
+        assert isinstance(make_pipeline(CNNConfig()), CNNPipeline)
+        assert isinstance(make_pipeline(GNNConfig()), GNNPipeline)
+        with pytest.raises(ValueError, match="not a pipeline config"):
+            make_pipeline(object())
+
+    def test_existing_kwargs_keep_working(self):
+        legacy = SNNPipeline(num_steps=6, hidden=8, epochs=2, seed=4)
+        assert legacy.num_steps == 6 and legacy.seed == 4
+
+
+class TestValidation:
+    def test_shared_instrumentation_requires_serial(self, split, configs):
+        train, test = split
+        spec = SweepSpec(
+            kind="comparison",
+            train=train,
+            test=test,
+            pipelines=configs,
+            instrumentation=Instrumentation(),
+            parallel=ParallelConfig(n_workers=2),
+        )
+        with pytest.raises(ValueError, match="serial backend"):
+            run_sweep(spec)
+
+    def test_instances_rejected_on_process_backend(self, split):
+        train, test = split
+        spec = SweepSpec(
+            kind="comparison",
+            train=train,
+            test=test,
+            pipelines={
+                "SNN": SNNPipeline(epochs=1),
+                "CNN": CNNPipeline(epochs=1),
+                "GNN": GNNPipeline(epochs=1),
+            },
+            parallel=ParallelConfig(n_workers=2),
+        )
+        with pytest.raises(ValueError, match="config dataclasses"):
+            run_sweep(spec)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            run_sweep(SweepSpec(kind="ablation"))
+
+    def test_cache_knob_reaches_the_shards(self, split, configs):
+        train, test = split
+        spec = SweepSpec(
+            kind="comparison",
+            train=train,
+            test=test,
+            pipelines=configs,
+            cache=CacheConfig(enabled=False),
+            parallel=ParallelConfig(n_workers=1),
+        )
+        res = run_sweep(spec)
+        assert res.cache_stats == {}

@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Benchmark the sharded executor and append to BENCH_parallel.json.
+
+Runs the same comparison grid twice — serial backend, then the process
+backend with four workers — verifies the results and merged snapshots
+are byte-identical, and appends one run record (timestamp, git
+revision, wall times, speedup, CPU count, bit-identity flag) to the
+JSON trajectory file at the repository root.  Exits non-zero if the
+parallel run is not bit-identical to the serial one.
+
+The speedup is reported honestly: on a single-CPU container a process
+pool cannot beat serial wall-clock, and the record says so
+(``cpu_count`` is part of the record for exactly that reason).
+
+Usage:
+    python tools/run_parallel_bench.py            # full grid
+    python tools/run_parallel_bench.py --quick    # CI-sized grid
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro.core import CNNConfig, GNNConfig, SNNConfig
+from repro.datasets import make_shapes_dataset, train_test_split
+from repro.events import Resolution
+from repro.observability import to_json
+from repro.parallel import ParallelConfig, SweepSpec, run_sweep
+
+
+def git_revision() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def build_grid(quick: bool):
+    if quick:
+        ds = make_shapes_dataset(
+            num_per_class=3, resolution=Resolution(16, 16), seed=3
+        )
+        configs = {
+            "SNN": SNNConfig(num_steps=6, hidden=8, epochs=2),
+            "CNN": CNNConfig(base_width=4, epochs=2),
+            "GNN": GNNConfig(max_events=60, hidden=6, epochs=2),
+        }
+        conditions = (0, 1)
+    else:
+        ds = make_shapes_dataset(
+            num_per_class=4, resolution=Resolution(24, 24), seed=3
+        )
+        configs = {
+            "SNN": SNNConfig(num_steps=10, hidden=16, epochs=4),
+            "CNN": CNNConfig(base_width=6, epochs=4),
+            "GNN": GNNConfig(max_events=120, hidden=8, epochs=4),
+        }
+        conditions = (0, 1, 2)
+    train, test = train_test_split(ds, 0.4, np.random.default_rng(0))
+    return train, test, configs, conditions
+
+
+def timed_run(train, test, configs, conditions, parallel: ParallelConfig):
+    spec = SweepSpec(
+        kind="comparison",
+        train=train,
+        test=test,
+        conditions=conditions,
+        pipelines=configs,
+        parallel=parallel,
+    )
+    start = time.perf_counter()
+    result = run_sweep(spec)
+    return time.perf_counter() - start, result
+
+
+def comparison_bytes(result) -> str:
+    results = result if isinstance(result, list) else [result]
+    return repr(
+        [
+            {name: vars(m) for name, m in sorted(r.metrics.items())}
+            for r in results
+        ]
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized grid")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_parallel.json",
+        help="trajectory file to append to",
+    )
+    args = parser.parse_args(argv)
+
+    train, test, configs, conditions = build_grid(args.quick)
+    num_cells = 3 * len(conditions)
+    print(f"grid: 3 paradigms x {len(conditions)} seeds = {num_cells} cells")
+
+    serial_s, serial = timed_run(
+        train, test, configs, conditions, ParallelConfig(n_workers=1)
+    )
+    print(f"serial backend:            {serial_s:8.2f}s")
+    parallel4_s, parallel4 = timed_run(
+        train, test, configs, conditions, ParallelConfig(n_workers=4)
+    )
+    print(f"process backend (4 workers): {parallel4_s:6.2f}s")
+
+    bit_identical = comparison_bytes(serial.result) == comparison_bytes(
+        parallel4.result
+    ) and to_json(serial.snapshot) == to_json(parallel4.snapshot)
+    speedup = serial_s / parallel4_s if parallel4_s > 0 else float("inf")
+    cpu_count = os.cpu_count() or 1
+    print(f"speedup: {speedup:.2f}x on {cpu_count} CPU(s)")
+    print(f"bit-identical (results + snapshot): {bit_identical}")
+
+    run = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "git_rev": git_revision(),
+        "quick": bool(args.quick),
+        "results": {
+            "grid": {
+                "paradigms": 3,
+                "seeds": len(conditions),
+                "cells": num_cells,
+            },
+            "serial_s": serial_s,
+            "parallel4_s": parallel4_s,
+            "speedup": speedup,
+            "cpu_count": cpu_count,
+            "bit_identical": bit_identical,
+            "cache_stats": serial.cache_stats,
+        },
+    }
+    if args.output.exists():
+        data = json.loads(args.output.read_text())
+    else:
+        data = {"runs": []}
+    data["runs"].append(run)
+    args.output.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"appended run ({run['git_rev']}) to {args.output}")
+
+    if not bit_identical:
+        print("FAIL: parallel run is not bit-identical to serial", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
