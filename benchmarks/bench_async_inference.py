@@ -1,0 +1,165 @@
+"""Per-event incremental GNN inference vs per-window full recompute.
+
+The serving question behind the ROADMAP's first open item: once a
+window's events are in, what does a decision cost?  The windowed path
+pays a full graph rebuild plus a batch forward pass every time; the
+per-event fast path (:class:`~repro.gnn.AsyncEventGNN`, wrapped in a
+:class:`~repro.core.GNNIncrementalSession`) pays one hash insertion and
+one local feature pass per event, with the decision free at the window
+boundary.  This benchmark measures both on the same stream, asserts
+they produce bit-identical scores (the serving invariant), and reports
+per-event latency and MACs against the recompute figures.
+
+Run standalone via ``tools/run_async_bench.py`` (appends a run record
+to ``BENCH_async.json``), or under pytest for the shape assertions:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_async_inference.py -s
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.incremental import GNNIncrementalSession
+from repro.events import EventStream, Resolution
+from repro.gnn import (
+    AsyncEventGNN,
+    EventGNNClassifier,
+    GraphBuildConfig,
+)
+from repro.gnn.models import build_event_graph
+from repro.nn import no_grad
+
+DEFAULT_N = 10_000
+QUICK_N = 1_500
+
+#: Workload geometry: a mid-size sensor, ~100 keps mean rate.
+WIDTH = HEIGHT = 64
+MEAN_DT_US = 10
+
+#: Graph construction shared by both paths (max_events is set to the
+#: stream length at run time so the windowed path serves every event).
+RADIUS = 4.0
+TIME_SCALE_US = 5000.0
+MAX_DEGREE = 10
+HIDDEN = 12
+NUM_CLASSES = 4
+
+
+def make_stream(n: int, seed: int = 0) -> EventStream:
+    """Random but realistic event stream (uniform spatial, ~100 keps)."""
+    rng = np.random.default_rng(seed)
+    t = np.cumsum(rng.integers(1, 2 * MEAN_DT_US, n))
+    return EventStream.from_arrays(
+        t,
+        rng.integers(0, WIDTH, n),
+        rng.integers(0, HEIGHT, n),
+        rng.choice([-1, 1], n),
+        Resolution(WIDTH, HEIGHT),
+    )
+
+
+def make_model(seed: int = 1) -> EventGNNClassifier:
+    """An EdgeConv classifier of the GNNPipeline's default size.
+
+    Weights are untrained — per-event cost is weight-independent, so a
+    seeded random model benchmarks exactly what a fitted one would.
+    """
+    return EventGNNClassifier(
+        NUM_CLASSES, hidden=HIDDEN, in_features=2, rng=np.random.default_rng(seed)
+    )
+
+
+def bench_async_inference(
+    n: int, seed: int = 0, instrumentation=None
+) -> dict:
+    """One measured comparison on an ``n``-event window.
+
+    Args:
+        n: events in the served window.
+        seed: stream seed.
+        instrumentation: optional observability sink for the session's
+            per-event latency histogram and MACs/events counters.
+
+    Returns:
+        A JSON-ready record with per-event and per-window latency/MACs
+        and their ratios.
+    """
+    stream = make_stream(n, seed=seed)
+    model = make_model()
+
+    # Per-event fast path: one session, every event, decision at close.
+    engine = AsyncEventGNN(
+        model,
+        radius=RADIUS,
+        time_scale_us=TIME_SCALE_US,
+        window_us=1 << 62,
+        max_degree=MAX_DEGREE,
+    )
+    session = GNNIncrementalSession(engine, instrumentation=instrumentation)
+    t0 = time.perf_counter()
+    reports = session.process_stream(stream)
+    async_s = time.perf_counter() - t0
+    async_scores = session.scores()
+    per_event_us = async_s / n * 1e6
+    macs_per_event = float(np.mean([r.macs for r in reports]))
+
+    # Per-window recompute: full graph rebuild + batch forward.
+    config = GraphBuildConfig(
+        radius=RADIUS,
+        time_scale_us=TIME_SCALE_US,
+        max_events=n,
+        max_degree=MAX_DEGREE,
+    )
+    t0 = time.perf_counter()
+    graph = build_event_graph(stream, config)
+    with no_grad():
+        batch_scores = model(graph).data[0]
+    recompute_s = time.perf_counter() - t0
+    recompute_us = recompute_s * 1e6
+    recompute_macs = float(model.operation_count(graph))
+
+    # The serving invariant: same events, same bits.
+    if not np.array_equal(async_scores, batch_scores):
+        raise AssertionError(
+            "per-event scores diverged from the windowed recompute: "
+            f"max |diff| = {np.abs(async_scores - batch_scores).max():.3e}"
+        )
+
+    return {
+        "n_events": n,
+        "num_edges": int(graph.num_edges),
+        "per_event_latency_us": per_event_us,
+        "per_event_macs": macs_per_event,
+        "recompute_latency_us": recompute_us,
+        "recompute_macs": recompute_macs,
+        "latency_ratio": recompute_us / per_event_us,
+        "macs_ratio": recompute_macs / macs_per_event,
+        "async_total_s": async_s,
+        "recompute_total_s": recompute_s,
+    }
+
+
+def format_table(record: dict) -> str:
+    """Human-readable summary of one record."""
+    lines = [
+        f"{'window (events)':<24}{record['n_events']:>14,}",
+        f"{'graph edges':<24}{record['num_edges']:>14,}",
+        f"{'per-event latency':<24}{record['per_event_latency_us']:>11.1f} us",
+        f"{'recompute latency':<24}{record['recompute_latency_us']:>11.1f} us",
+        f"{'latency ratio':<24}{record['latency_ratio']:>11.1f} x",
+        f"{'per-event MACs':<24}{record['per_event_macs']:>14,.0f}",
+        f"{'recompute MACs':<24}{record['recompute_macs']:>14,.0f}",
+        f"{'MACs ratio':<24}{record['macs_ratio']:>11.1f} x",
+    ]
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Pytest shape assertions (quick-size)
+# ----------------------------------------------------------------------
+def test_bench_shapes():
+    record = bench_async_inference(400, seed=0)
+    assert record["per_event_latency_us"] > 0
+    assert record["recompute_macs"] > record["per_event_macs"]
+    assert record["latency_ratio"] > 1.0

@@ -11,6 +11,7 @@ from .comparison import (
     run_comparison,
     to_markdown,
 )
+from .incremental import GNNIncrementalSession, IncrementalSession
 from .metrics import AXES, OVERLOAD_AXIS, ROBUSTNESS_AXIS, Axis, PipelineMetrics
 from .pipeline import (
     CNNPipeline,
@@ -43,6 +44,8 @@ __all__ = [
     "PipelineMetrics",
     "NotFittedError",
     "ParadigmPipeline",
+    "IncrementalSession",
+    "GNNIncrementalSession",
     "SNNPipeline",
     "CNNPipeline",
     "GNNPipeline",

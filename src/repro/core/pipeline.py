@@ -216,6 +216,37 @@ class ParadigmPipeline(abc.ABC):
         """Batch classification; the default defers to ``_predict``."""
         return [self._predict(stream) for stream in streams]
 
+    # ------------------------------------------------------------------
+    # Per-event incremental serving (default: unsupported)
+    # ------------------------------------------------------------------
+    @property
+    def supports_incremental(self) -> bool:
+        """True when :meth:`open_session` yields a per-event fast path."""
+        return False
+
+    @property
+    def incremental_capacity(self) -> int | None:
+        """Largest window (events) the fast path serves exactly.
+
+        Beyond this, windowed ``predict`` subsamples its input, so a
+        session that saw every event would no longer agree with it;
+        callers (the streaming executor) fall back to the windowed path.
+        ``None`` means unbounded.
+        """
+        return None
+
+    def open_session(self) -> "IncrementalSession":
+        """Open a per-event serving session (see :mod:`repro.core.incremental`).
+
+        Paradigms without an incremental formulation raise
+        ``NotImplementedError`` — callers should check
+        :attr:`supports_incremental` first.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no per-event serving fast path; "
+            "check supports_incremental before calling open_session()"
+        )
+
     def measure(self, test: EventDataset, temporal_labels: tuple[int, ...] = ()) -> PipelineMetrics:
         """Evaluate the Table-I quantities on a test set.
 
@@ -623,6 +654,7 @@ class GNNPipeline(ParadigmPipeline):
         self.lr = lr
         self.seed = seed
         self.model: EventGNNClassifier | None = None
+        self._resolution = None
 
     def _graph(self, stream: EventStream):
         """Build (or fetch from the cache) the event graph of one stream."""
@@ -636,6 +668,7 @@ class GNNPipeline(ParadigmPipeline):
     def _fit(self, train: EventDataset) -> None:
         from ..gnn.models import fit_gnn
 
+        self._resolution = train.resolution
         self.model = EventGNNClassifier(
             train.num_classes,
             hidden=self.hidden,
@@ -662,6 +695,47 @@ class GNNPipeline(ParadigmPipeline):
         graph = self._graph(stream)
         with no_grad():
             return int(self.model(graph).data.argmax())
+
+    # ------------------------------------------------------------------
+    # Per-event incremental serving fast path
+    # ------------------------------------------------------------------
+    @property
+    def supports_incremental(self) -> bool:
+        """The GNN paradigm serves per event (Section IV's perspective)."""
+        return True
+
+    @property
+    def incremental_capacity(self) -> int | None:
+        """``config.max_events`` — above it windowed predict subsamples."""
+        return self.config.max_events
+
+    def open_session(self):
+        """Open a per-event serving session over the fitted classifier.
+
+        The session holds an :class:`~repro.gnn.AsyncEventGNN` built
+        with this pipeline's graph configuration and an *unbounded*
+        liveness window — the batch builder never expires nodes, so an
+        unbounded window is what makes session scores at a window close
+        bit-equal to windowed :meth:`predict` on the same events.  The
+        pipeline's attached instrumentation (if any) receives the
+        session's per-event metrics.
+        """
+        from ..gnn.async_network import AsyncEventGNN
+        from .incremental import GNNIncrementalSession
+
+        self._require_fitted()
+        engine = AsyncEventGNN(
+            self.model,
+            radius=self.config.radius,
+            time_scale_us=self.config.time_scale_us,
+            window_us=1 << 62,
+            max_degree=self.config.max_degree,
+            resolution=self._resolution,
+            include_position=self.config.include_position,
+        )
+        return GNNIncrementalSession(
+            engine, paradigm=self.name, instrumentation=self._obs
+        )
 
     def _measure(self, test: EventDataset, temporal_labels: tuple[int, ...] = ()) -> PipelineMetrics:
         self._require_fitted()

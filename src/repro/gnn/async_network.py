@@ -29,7 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..nn.layers import Linear
-from ..nn.tensor import Tensor, no_grad
+from ..nn.tensor import Tensor, no_grad, stable_matmul
 from .asynchronous import HashInserter
 from .layers import EdgeConv
 from .models import EventGNNClassifier
@@ -45,7 +45,9 @@ class AsyncStepReport:
         node_index: index assigned to the event's node.
         num_neighbours: causal in-edges created.
         insertion_candidates: hash candidates examined for the insertion.
-        macs: multiply-accumulates of the local feature computation.
+        macs: multiply-accumulates of the local feature computation,
+            including exactly the one head evaluation that produced
+            ``scores``.
         scores: running class scores after this event.
     """
 
@@ -74,7 +76,10 @@ def _edgeconv_single(
         ``(feature_vector, macs)``.
     """
     macs = 0
-    with no_grad():
+    # stable_matmul makes the single-row products bit-identical to the
+    # corresponding rows of the batch forward pass (which runs under the
+    # same context) — see EventGNNClassifier.forward.
+    with no_grad(), stable_matmul():
         out = conv.self_mlp(Tensor(x_self[None, :])).data[0]
     macs += conv.self_mlp.in_features * conv.self_mlp.out_features
     k = x_neigh.shape[0]
@@ -83,7 +88,7 @@ def _edgeconv_single(
             [np.repeat(x_self[None, :], k, axis=0), x_neigh - x_self[None, :], rel_pos],
             axis=1,
         )
-        with no_grad():
+        with no_grad(), stable_matmul():
             messages = conv.mlp(Tensor(edge_in)).data
         per_edge = sum(
             layer.in_features * layer.out_features
@@ -132,30 +137,63 @@ class AsyncEventGNN:
         self.model = model
         self.include_position = include_position
         self.resolution = resolution
-        self._inserter = HashInserter(
+        self._feature_width = 4 if include_position else 2
+        self._make_inserter = lambda: HashInserter(
             radius=radius,
             time_scale_us=time_scale_us,
             window_us=window_us,
             max_neighbours=max_degree,
         )
+        self._inserter = self._make_inserter()
         hidden = model.head.in_features
         self._x0: list[np.ndarray] = []  # input features per node
         self._x1: list[np.ndarray] = []  # conv1 outputs (post-ReLU)
         self._x2: list[np.ndarray] = []  # conv2 outputs (post-ReLU)
         self._running_max = np.full(hidden, -np.inf)
         self._positions: list[np.ndarray] = []
+        self._last_t_us: int | None = None
+        self._scores: np.ndarray | None = None  # cached current-state scores
 
     @property
     def num_events(self) -> int:
         """Events incorporated so far."""
         return len(self._x0)
 
+    def reset(self) -> None:
+        """Forget every event; the model weights are untouched.
+
+        After a reset the engine behaves exactly like a freshly
+        constructed one, so a serving session can reuse it across
+        windows without reallocating the model.
+        """
+        self._inserter = self._make_inserter()
+        self._x0.clear()
+        self._x1.clear()
+        self._x2.clear()
+        self._positions.clear()
+        self._running_max = np.full(self.model.head.in_features, -np.inf)
+        self._last_t_us = None
+        self._scores = None
+
     def scores(self) -> np.ndarray:
-        """Current class scores (zeros before the first event)."""
+        """Current class scores (zeros before the first event).
+
+        The value is computed at most once per incorporated event: the
+        head evaluation happens inside :meth:`process_event` (where its
+        MACs are charged) and is cached, so repeated ``scores()`` /
+        :meth:`predict` calls between events cost nothing.  Treat the
+        returned array as read-only.
+        """
+        if self._scores is None:
+            self._scores = self._compute_scores()
+        return self._scores
+
+    def _compute_scores(self) -> np.ndarray:
+        """One head evaluation over the running pooled features."""
         if not np.isfinite(self._running_max).any():
             return np.zeros(self.model.head.out_features)
         pooled = np.where(np.isfinite(self._running_max), self._running_max, 0.0)
-        with no_grad():
+        with no_grad(), stable_matmul():
             return self.model.head(Tensor(pooled[None, :])).data[0]
 
     def predict(self) -> int:
@@ -172,9 +210,23 @@ class AsyncEventGNN:
 
         Returns:
             Per-event work report with the updated scores.
+
+        Raises:
+            ValueError: on a timestamp earlier than the last insertion.
+                The batch-equivalence guarantee rests on the causal-edge
+                invariant — every existing node's features are final —
+                which only holds when events arrive in time order
+                (mirroring :class:`~repro.events.EventStream`'s
+                sortedness contract).
         """
         if polarity not in (1, -1):
             raise ValueError("polarity must be +1 or -1")
+        if self._last_t_us is not None and t_us < self._last_t_us:
+            raise ValueError(
+                f"out-of-order event: t_us={t_us} precedes the last "
+                f"insertion at {self._last_t_us}; per-event inference "
+                "requires non-decreasing timestamps (causal-edge invariant)"
+            )
         cands_before = self._inserter.stats.candidates_examined
         edges_before = self._inserter.stats.edges_created
         node = self._inserter.insert(float(x), float(y), int(t_us))
@@ -215,7 +267,12 @@ class AsyncEventGNN:
         self._x1.append(h1)
         self._x2.append(h2)
         self._positions.append(pos)
+        self._last_t_us = int(t_us)
         np.maximum(self._running_max, h2, out=self._running_max)
+
+        # One head evaluation per event, cached for scores()/predict():
+        # the charged head MACs match the work actually done.
+        self._scores = self._compute_scores()
         macs += self.model.head.in_features * self.model.head.out_features
 
         return AsyncStepReport(
@@ -223,7 +280,7 @@ class AsyncEventGNN:
             num_neighbours=int(neighbours.size),
             insertion_candidates=int(candidates),
             macs=macs,
-            scores=self.scores(),
+            scores=self._scores,
         )
 
     def process_stream(self, stream) -> list[AsyncStepReport]:
@@ -246,7 +303,14 @@ class AsyncEventGNN:
         positions = (
             np.stack(self._positions) if self._positions else np.zeros((0, 3))
         )
-        features = np.stack(self._x0) if self._x0 else np.zeros((0, 2))
+        # The empty-graph feature width follows the configured feature
+        # layout: polarity one-hot (2) plus normalised position (2) when
+        # include_position is set.
+        features = (
+            np.stack(self._x0)
+            if self._x0
+            else np.zeros((0, self._feature_width))
+        )
         return EventGraph(
             positions, features, self._inserter.edges(), self._inserter.time_scale_us
         )

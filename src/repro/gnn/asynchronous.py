@@ -174,7 +174,9 @@ class _InserterBase:
             return
         d = candidate_pos - p
         dist2 = np.einsum("ij,ij->i", d, d)
-        in_radius = dist2 <= self.radius**2
+        # radius * radius (not radius**2) so the threshold is bit-equal
+        # to the batch builders' in repro.gnn.build for any float radius.
+        in_radius = dist2 <= self.radius * self.radius
         ids = candidate_ids[in_radius]
         dist2 = dist2[in_radius]
         if ids.size > self.max_neighbours:
@@ -617,7 +619,7 @@ class HashInserter(_InserterBase):
 
             d = self._pos[src_id] - self._pos[cand_id]
             dist2 = np.einsum("ij,ij->i", d, d)
-            in_radius = dist2 <= self.radius**2
+            in_radius = dist2 <= self.radius * self.radius
             src_id = src_id[in_radius]
             cand_id = cand_id[in_radius]
             dist2 = dist2[in_radius]

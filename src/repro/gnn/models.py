@@ -15,7 +15,7 @@ import numpy as np
 
 from ..datasets.base import EventDataset
 from ..events.stream import EventStream
-from ..nn import Adam, Tensor, cross_entropy, no_grad
+from ..nn import Adam, Tensor, cross_entropy, no_grad, stable_matmul
 from ..nn.layers import Linear, Module
 from .build import limit_in_degree, make_causal, radius_graph_spatial_hash
 from .graph import EventGraph
@@ -110,11 +110,19 @@ class EventGNNClassifier(Module):
         self.head = Linear(hidden, num_classes, rng=rng)
 
     def forward(self, graph: EventGraph) -> Tensor:
-        """Logits ``(1, num_classes)`` for one event graph."""
-        x = Tensor(graph.features)
-        x = self.conv1(x, graph.edges, graph.positions).relu()
-        x = self.conv2(x, graph.edges, graph.positions).relu()
-        return self.head(global_max_pool(x))
+        """Logits ``(1, num_classes)`` for one event graph.
+
+        Runs under :class:`~repro.nn.stable_matmul` so that every node's
+        features come out bit-identical whether the graph is evaluated
+        whole (this method) or one event at a time
+        (:class:`~repro.gnn.AsyncEventGNN`) — the exact-equivalence
+        invariant the incremental serving path is tested against.
+        """
+        with stable_matmul():
+            x = Tensor(graph.features)
+            x = self.conv1(x, graph.edges, graph.positions).relu()
+            x = self.conv2(x, graph.edges, graph.positions).relu()
+            return self.head(global_max_pool(x))
 
     def operation_count(self, graph: EventGraph) -> int:
         """Approximate multiply-accumulate count of one forward pass.

@@ -36,13 +36,22 @@ from .layers import (
 from .losses import accuracy, cross_entropy, mse_loss, nll_loss
 from .optim import SGD, Adam, Optimizer, StepLR
 from .serialization import load_state, save_state
-from .tensor import Tensor, custom_gradient, is_grad_enabled, no_grad
+from .tensor import (
+    Tensor,
+    custom_gradient,
+    is_grad_enabled,
+    is_stable_matmul,
+    no_grad,
+    stable_matmul,
+)
 
 __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
     "custom_gradient",
+    "stable_matmul",
+    "is_stable_matmul",
     "functional",
     "conv2d",
     "max_pool2d",

@@ -21,9 +21,17 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "custom_gradient"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "custom_gradient",
+    "stable_matmul",
+    "is_stable_matmul",
+]
 
 _GRAD_ENABLED = True
+_STABLE_MATMUL = False
 
 
 class no_grad:
@@ -43,6 +51,42 @@ class no_grad:
 def is_grad_enabled() -> bool:
     """True when operations record the autograd graph."""
     return _GRAD_ENABLED
+
+
+class stable_matmul:
+    """Context manager making 2-D matmul products batch-size independent.
+
+    BLAS ``gemm``/``gemv`` kernels choose their reduction order (blocking,
+    SIMD partial sums) from the operand shapes, so row ``i`` of ``A @ W``
+    is not, in general, bit-identical to ``A[i:i+1] @ W``.  Inside this
+    context, 2-D ``Tensor`` matmuls are evaluated with ``np.einsum``,
+    whose per-row reduction never depends on how many rows ride along.
+    The incremental per-event GNN path computes exactly the rows the
+    batch path computes, one at a time — wrapping both sides in this
+    context is what makes them bit-equal rather than merely close.
+    """
+
+    def __enter__(self) -> "stable_matmul":
+        global _STABLE_MATMUL
+        self._prev = _STABLE_MATMUL
+        _STABLE_MATMUL = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _STABLE_MATMUL
+        _STABLE_MATMUL = self._prev
+
+
+def is_stable_matmul() -> bool:
+    """True when 2-D matmuls use the batch-size-independent reduction."""
+    return _STABLE_MATMUL
+
+
+def _matmul_data(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Forward matmul honouring :class:`stable_matmul`."""
+    if _STABLE_MATMUL and a.ndim == 2 and b.ndim == 2:
+        return np.einsum("ij,jk->ik", a, b)
+    return a @ b
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -258,7 +302,7 @@ class Tensor:
 
     def __matmul__(self, other) -> "Tensor":
         other = self._coerce(other)
-        out_data = self.data @ other.data
+        out_data = _matmul_data(self.data, other.data)
 
         def backward(g: np.ndarray) -> None:
             a, b = self.data, other.data

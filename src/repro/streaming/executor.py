@@ -26,7 +26,17 @@ Resilience comes from three cooperating mechanisms:
 Stage calls run through the :class:`~repro.reliability.runner.StageGuard`
 retry/timeout machinery shared with the batch
 :class:`~repro.reliability.runner.HardenedRunner`; unfitted pipelines
-raise :class:`~repro.core.pipeline.NotFittedError` up front.  The run
+raise :class:`~repro.core.pipeline.NotFittedError` up front.
+
+With ``serve_mode="event"`` the executor serves stages whose pipeline
+exposes a per-event incremental session
+(:meth:`~repro.core.pipeline.ParadigmPipeline.open_session`) by feeding
+each window's events one at a time and emitting the decision at the
+window boundary — the GNN fast path of the paper's Section-IV
+perspective.  Accounting, shedding, expiry and breaker behaviour are
+identical to window mode; fast-path work is additionally counted in
+``stream_incremental_*`` counters and ``call:{stage}[incremental]`` /
+``call:{stage}[recompute]`` span names.  The run
 returns a :class:`~repro.streaming.report.StreamReport` whose window and
 event accounting balances exactly.
 
@@ -142,21 +152,38 @@ class ServiceModel:
         per_event_us: marginal cost per event fed to the model.
         cache_us: cost of answering from the last-good cache (defaults
             to ``base_us``).
+        incremental_event_us: marginal cost per event on the per-event
+            incremental fast path (``serve_mode="event"``).  Defaults to
+            ``per_event_us`` so switching serve modes leaves the virtual
+            timeline — arrivals, queueing, shedding, expiry — untouched;
+            calibrated runs pass the measured (much smaller) figure.
     """
 
     base_us: float = 1000.0
     per_event_us: float = 0.5
     cache_us: float | None = None
+    incremental_event_us: float | None = None
 
     def __post_init__(self) -> None:
         if self.base_us < 0 or self.per_event_us < 0:
             raise ValueError("service costs must be non-negative")
         if self.cache_us is not None and self.cache_us < 0:
             raise ValueError("cache_us must be non-negative")
+        if self.incremental_event_us is not None and self.incremental_event_us < 0:
+            raise ValueError("incremental_event_us must be non-negative")
 
     def service_us(self, num_events: int) -> float:
         """Virtual service time of one stage call on ``num_events``."""
         return self.base_us + self.per_event_us * num_events
+
+    def incremental_us(self, num_events: int) -> float:
+        """Virtual service time of one fast-path window of ``num_events``."""
+        per = (
+            self.per_event_us
+            if self.incremental_event_us is None
+            else self.incremental_event_us
+        )
+        return self.base_us + per * num_events
 
     def sustainable_events_per_window(self, window_us: float) -> float | None:
         """Event budget per window period at 100% utilisation.
@@ -175,10 +202,14 @@ class StreamStage:
     Attributes:
         name: unique stage name (breaker + report key).
         predict: window → prediction callable.
+        pipeline: the originating :class:`ParadigmPipeline`, when the
+            stage wraps one — what gives the per-event serve mode access
+            to the pipeline's incremental session fast path.
     """
 
     name: str
     predict: Callable[[EventStream], Any]
+    pipeline: ParadigmPipeline | None = None
 
 
 def _as_stage(obj: Any, used: set[str]) -> StreamStage:
@@ -186,7 +217,7 @@ def _as_stage(obj: Any, used: set[str]) -> StreamStage:
     if isinstance(obj, StreamStage):
         stage = obj
     elif isinstance(obj, ParadigmPipeline):
-        stage = StreamStage(obj.name, obj.predict)
+        stage = StreamStage(obj.name, obj.predict, pipeline=obj)
     elif isinstance(obj, tuple) and len(obj) == 2:
         stage = StreamStage(str(obj[0]), obj[1])
     elif callable(obj):
@@ -202,7 +233,7 @@ def _as_stage(obj: Any, used: set[str]) -> StreamStage:
         name = f"{stage.name}#{suffix}"
         suffix += 1
     used.add(name)
-    return StreamStage(name, stage.predict)
+    return StreamStage(name, stage.predict, stage.pipeline)
 
 
 class StreamingExecutor:
@@ -232,6 +263,22 @@ class StreamingExecutor:
         hooks: optional :class:`~repro.observability.ProfilingHooks`
             fired from the per-run instrumentation (stage calls, window
             outcomes, shed applications, breaker trips).
+        serve_mode: ``"window"`` (default) calls each stage's windowed
+            ``predict``; ``"event"`` feeds events one at a time through
+            the incremental session of any stage whose pipeline exposes
+            the fast path (:attr:`~repro.core.pipeline.ParadigmPipeline
+            .supports_incremental`), emitting the decision at the window
+            boundary so report accounting is unchanged.  Stages without
+            a fast path — and windows beyond a pipeline's
+            ``incremental_capacity``, where windowed ``predict`` would
+            subsample — are served windowed exactly as in window mode;
+            a fast path that raises is disabled for the rest of the run
+            and the window is recomputed windowed on the same stage
+            (span ``call:{stage}[recompute]``, counted in
+            ``stream_incremental_fallbacks_total``).  Shedding, expiry,
+            breakers and the fallback chain behave identically in both
+            modes; with the default service model the virtual timeline
+            is identical too.
     """
 
     def __init__(
@@ -249,6 +296,7 @@ class StreamingExecutor:
         use_last_good: bool = True,
         seed: int = 0,
         hooks: ProfilingHooks | None = None,
+        serve_mode: str = "window",
     ) -> None:
         if window_us <= 0:
             raise ValueError("window_us must be positive")
@@ -256,6 +304,8 @@ class StreamingExecutor:
             raise ValueError("queue_capacity must be >= 1")
         if deadline_us is not None and deadline_us <= 0:
             raise ValueError("deadline_us must be positive")
+        if serve_mode not in ("window", "event"):
+            raise ValueError("serve_mode must be 'window' or 'event'")
         used: set[str] = set()
         self._pipelines = [
             obj for obj in (primary, *fallbacks) if isinstance(obj, ParadigmPipeline)
@@ -275,11 +325,13 @@ class StreamingExecutor:
         self.use_last_good = use_last_good
         self.seed = seed
         self.hooks = hooks
+        self.serve_mode = serve_mode
         # Per-run state, exposed for inspection after run().
         self.breakers: dict[str, CircuitBreaker] = {}
         self.controller: ShedController | None = None
         self.last_good: Any = None
         self.obs: Instrumentation | None = None
+        self.sessions: dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     # Run setup
@@ -322,6 +374,9 @@ class StreamingExecutor:
         )
         self.last_good = None
         self._queue = BoundedWindowQueue(self.queue_capacity)
+        self.sessions = {}
+        self._inc_disabled: set[str] = set()
+        self._last_inc_macs = 0
 
         # Pre-create every per-run series so snapshots carry the full
         # schema (explicit zeros, stable family set) and the hot paths
@@ -381,6 +436,30 @@ class StreamingExecutor:
         self._queue_peak = reg.gauge(
             "stream_queue_depth_peak", help="deepest the ingest queue got"
         )
+        # Fast-path counters exist only in event mode, so window-mode
+        # snapshots keep their pre-existing schema byte for byte.
+        self._inc_m = {
+            stage.name: {
+                field: reg.counter(
+                    f"stream_incremental_{field}_total",
+                    labels={"stage": stage.name},
+                    help=help_text,
+                )
+                for field, help_text in (
+                    ("windows", "windows served by the per-event fast path"),
+                    ("events", "events fed through the per-event fast path"),
+                    ("macs", "multiply-accumulates spent by the fast path"),
+                    (
+                        "fallbacks",
+                        "fast-path trips recomputed windowed on the same stage",
+                    ),
+                )
+            }
+            for stage in self.stages
+            if self.serve_mode == "event"
+            and stage.pipeline is not None
+            and stage.pipeline.supports_incremental
+        }
 
         report = StreamReport(window_us=self.window_us, ledger=_InstrumentedLedger(obs))
         for name in stage_names:
@@ -390,6 +469,33 @@ class StreamingExecutor:
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
+    def _fast_path_eligible(self, stage: StreamStage, num_events: int) -> bool:
+        """Should this window go through the stage's per-event session?
+
+        Windows larger than the pipeline's ``incremental_capacity`` are
+        served windowed: beyond it windowed ``predict`` subsamples its
+        input, so the fast path would no longer be exactly equivalent.
+        Empty windows are served windowed too, matching window mode.
+        """
+        if stage.name not in self._inc_m or stage.name in self._inc_disabled:
+            return False
+        if num_events == 0:
+            return False
+        cap = stage.pipeline.incremental_capacity
+        return cap is None or num_events <= cap
+
+    def _serve_incremental(self, stage: StreamStage, window: EventStream) -> Any:
+        """Feed one window event by event; decide at the boundary."""
+        session = self.sessions.get(stage.name)
+        if session is None:
+            session = self.sessions[stage.name] = stage.pipeline.open_session()
+        session.reset()
+        before = session.macs_total
+        for t, x, y, p in zip(window.t, window.x, window.y, window.p):
+            session.process_event(int(x), int(y), int(t), int(p))
+        self._last_inc_macs = int(session.macs_total - before)
+        return session.predict()
+
     def _serve(self, ticket: WindowTicket, start_us: float, report: StreamReport) -> None:
         """Run one window through the fallback chain at virtual ``start_us``."""
         obs = self.obs
@@ -402,11 +508,50 @@ class StreamingExecutor:
                 if not breaker.allow(ticket.index):
                     continue
                 m = self._stage_m[stage.name]
-                cost = self.service.service_us(len(ticket.stream))
+                num_events = len(ticket.stream)
+                if self._fast_path_eligible(stage, num_events):
+                    cost = self.service.incremental_us(num_events)
+                    m["calls"].inc()
+                    m["busy_us"].inc(cost)
+                    obs.stage_start(stage.name, ticket.index)
+                    with obs.tracer.span(f"call:{stage.name}[incremental]"):
+                        self._clock += cost
+                        result = self.guard.run(
+                            stage.name,
+                            lambda: self._serve_incremental(stage, ticket.stream),
+                        )
+                    ok = result.ok and not is_bad_output(result.value)
+                    obs.stage_end(stage.name, ticket.index, ok=ok)
+                    inc = self._inc_m[stage.name]
+                    if ok:
+                        breaker.record_success(ticket.index)
+                        m["successes"].inc()
+                        inc["windows"].inc()
+                        inc["events"].inc(num_events)
+                        inc["macs"].inc(self._last_inc_macs)
+                        value, served_by = result.value, stage.name
+                        break
+                    # The fast path is now suspect: disable it for the
+                    # rest of the run and recompute this window through
+                    # the stage's windowed predict.  Failure and breaker
+                    # bookkeeping belong to that windowed attempt, so
+                    # breaker semantics match window mode exactly.
+                    self._inc_disabled.add(stage.name)
+                    self.sessions.pop(stage.name, None)
+                    inc["fallbacks"].inc()
+                cost = self.service.service_us(num_events)
                 m["calls"].inc()
                 m["busy_us"].inc(cost)
                 obs.stage_start(stage.name, ticket.index)
-                with obs.tracer.span(f"call:{stage.name}"):
+                # Fast-path-capable stages label their windowed calls
+                # [recompute] in event mode, so traces separate the two
+                # regimes; everything else keeps the window-mode name.
+                span_name = (
+                    f"call:{stage.name}[recompute]"
+                    if stage.name in self._inc_m
+                    else f"call:{stage.name}"
+                )
+                with obs.tracer.span(span_name):
                     self._clock += cost
                     result = self.guard.run(
                         stage.name, lambda: stage.predict(ticket.stream)
@@ -629,6 +774,18 @@ class StreamingExecutor:
             for name, m in self._stage_m.items()
             if m["served"].value > 0
         }
+        report.incremental_windows = sum(
+            int(m["windows"].value) for m in self._inc_m.values()
+        )
+        report.incremental_events = sum(
+            int(m["events"].value) for m in self._inc_m.values()
+        )
+        report.incremental_macs = sum(
+            int(m["macs"].value) for m in self._inc_m.values()
+        )
+        report.incremental_fallbacks = sum(
+            int(m["fallbacks"].value) for m in self._inc_m.values()
+        )
 
     def snapshot(self) -> dict[str, Any]:
         """Deterministic instrumentation snapshot of the latest run.

@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Benchmark per-event incremental GNN serving and append to BENCH_async.json.
+
+Runs :func:`benchmarks.bench_async_inference.bench_async_inference` on a
+synthetic stream, records per-event latency and MACs against the
+per-window full recompute, and appends a run record to
+``BENCH_async.json``.  The benchmark itself asserts the serving
+invariant (per-event scores bit-equal to the windowed forward), so a
+numerics regression fails the run, not just the CI equivalence tests.
+
+The session runs with a wall-clock :class:`~repro.observability.
+Instrumentation` attached; ``--metrics-output`` dumps the resulting
+snapshot (per-event latency histogram, events/MACs counters) and the
+run fails if :func:`~repro.observability.validate_snapshot` objects.
+
+Usage:
+    PYTHONPATH=src:benchmarks python tools/run_async_bench.py
+    PYTHONPATH=src:benchmarks python tools/run_async_bench.py --quick \
+        --output /tmp/bench.json --metrics-output /tmp/async_metrics.json
+
+Exits non-zero when the snapshot is invalid or, outside ``--quick``,
+when the fast path fails the >=10x latency advantage the ROADMAP claims
+at 10k-event windows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+from bench_async_inference import (  # noqa: E402
+    DEFAULT_N,
+    QUICK_N,
+    bench_async_inference,
+    format_table,
+)
+from repro.observability import (  # noqa: E402
+    Instrumentation,
+    to_json,
+    validate_snapshot,
+)
+
+#: Full runs must beat the windowed recompute by at least this factor.
+MIN_LATENCY_RATIO = 10.0
+
+
+def git_revision() -> str:
+    """Current commit hash, or "unknown" outside a checkout."""
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=REPO,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI mode: {QUICK_N} events, latency-ratio gate relaxed",
+    )
+    parser.add_argument(
+        "--n", type=int, default=None, help="window size in events (overrides mode)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="stream seed")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO / "BENCH_async.json",
+        help="run-record file to append to",
+    )
+    parser.add_argument(
+        "--metrics-output",
+        type=Path,
+        default=None,
+        help="write the observability snapshot (JSON) here",
+    )
+    args = parser.parse_args(argv)
+
+    n = args.n if args.n is not None else (QUICK_N if args.quick else DEFAULT_N)
+    obs = Instrumentation()  # wall clock: real per-event latencies
+    record = bench_async_inference(n, seed=args.seed, instrumentation=obs)
+    print(format_table(record))
+
+    failures: list[str] = []
+    snapshot = obs.snapshot()
+    failures += [f"snapshot invalid: {p}" for p in validate_snapshot(snapshot)]
+    hists = {h["name"]: h for h in snapshot["metrics"]["histograms"]}
+    latency_hist = hists.get("incremental_event_latency_us")
+    if latency_hist is None or latency_hist["count"] != n:
+        failures.append(
+            "incremental_event_latency_us histogram missing or short: "
+            f"expected {n} observations, got {latency_hist}"
+        )
+    if not args.quick and record["latency_ratio"] < MIN_LATENCY_RATIO:
+        failures.append(
+            f"fast path only {record['latency_ratio']:.1f}x faster than "
+            f"recompute at n={n}; ROADMAP claims >={MIN_LATENCY_RATIO:.0f}x"
+        )
+
+    if args.metrics_output is not None:
+        args.metrics_output.write_text(to_json(snapshot))
+        print(f"metrics snapshot -> {args.metrics_output}")
+
+    run = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "git_rev": git_revision(),
+        "quick": bool(args.quick),
+        "seed": args.seed,
+        **record,
+    }
+    if args.output.exists():
+        data = json.loads(args.output.read_text())
+    else:
+        data = {"runs": []}
+    data["runs"].append(run)
+    args.output.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"run record -> {args.output}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
