@@ -140,6 +140,94 @@ def bench_async_inference(
     }
 
 
+def bench_bounded_inference(
+    n: int, capacity: int = 4096, seed: int = 0, num_samples: int = 20
+) -> dict:
+    """Bounded-state serving vs the exact unbounded engine, same stream.
+
+    The bounded engine holds at most ``capacity`` live nodes (ring
+    buffers, recycled edge log) while the exact engine keeps every node
+    forever.  Both process the same ``n``-event stream; scores are
+    compared at ``num_samples`` checkpoints, so the record carries the
+    *measured* drift bound the bounded mode's users should feed into
+    their :class:`~repro.core.AuditPolicy` tolerance — alongside the
+    throughput and the peak/final state footprints that justify the
+    bound in the first place.
+
+    Returns:
+        A JSON-ready record (``mode="bounded"``) with throughput, drift
+        and state-size figures for both engines.
+    """
+    stream = make_stream(n, seed=seed)
+    model = make_model()
+    sample_at = sorted(set(np.linspace(1, n, num_samples, dtype=int).tolist()))
+
+    def run(max_live_nodes):
+        engine = AsyncEventGNN(
+            model,
+            radius=RADIUS,
+            time_scale_us=TIME_SCALE_US,
+            window_us=1 << 62,
+            max_degree=MAX_DEGREE,
+            max_live_nodes=max_live_nodes,
+        )
+        scores, sizes = [], []
+        samples = set(sample_at)
+        i = 0
+        t0 = time.perf_counter()
+        for t, x, y, p in zip(stream.t, stream.x, stream.y, stream.p):
+            engine.process_event(int(x), int(y), int(t), int(p))
+            i += 1
+            if i in samples:
+                scores.append(engine.scores().copy())
+                sizes.append(engine.state_bytes())
+        elapsed = time.perf_counter() - t0
+        return engine, np.asarray(scores), sizes, elapsed
+
+    bounded, b_scores, b_sizes, bounded_s = run(capacity)
+    exact, e_scores, e_sizes, exact_s = run(None)
+    drift = np.abs(b_scores - e_scores).max(axis=1)
+    # Flatness over the final third only: the edge log capacity-doubles
+    # until the recycle threshold engages, so early samples still grow.
+    tail = b_sizes[-(len(b_sizes) // 3) :]
+
+    return {
+        "mode": "bounded",
+        "n_events": n,
+        "capacity": capacity,
+        "bounded_events_per_s": n / bounded_s,
+        "exact_events_per_s": n / exact_s,
+        "bounded_total_s": bounded_s,
+        "exact_total_s": exact_s,
+        "drift_max": float(drift.max()),
+        "drift_final": float(drift[-1]),
+        "bounded_state_bytes_peak": int(max(b_sizes)),
+        "bounded_state_bytes_final": int(b_sizes[-1]),
+        "bounded_state_flat": bool(len(set(tail)) == 1),
+        "exact_state_bytes_final": int(e_sizes[-1]),
+        "expired_nodes_total": int(bounded.expired_nodes_total),
+        "sample_points": [int(s) for s in sample_at],
+    }
+
+
+def format_bounded_table(record: dict) -> str:
+    """Human-readable summary of one bounded-mode record."""
+    ratio = record["exact_state_bytes_final"] / record["bounded_state_bytes_peak"]
+    lines = [
+        f"{'stream (events)':<24}{record['n_events']:>14,}",
+        f"{'live-node budget':<24}{record['capacity']:>14,}",
+        f"{'bounded throughput':<24}{record['bounded_events_per_s']:>9,.0f} ev/s",
+        f"{'exact throughput':<24}{record['exact_events_per_s']:>9,.0f} ev/s",
+        f"{'peak bounded state':<24}{record['bounded_state_bytes_peak']:>12,} B",
+        f"{'final exact state':<24}{record['exact_state_bytes_final']:>12,} B",
+        f"{'state ratio':<24}{ratio:>11.1f} x",
+        f"{'state flat (final 1/3)':<24}{str(record['bounded_state_flat']):>14}",
+        f"{'max drift vs exact':<24}{record['drift_max']:>14.3e}",
+        f"{'nodes expired':<24}{record['expired_nodes_total']:>14,}",
+    ]
+    return "\n".join(lines)
+
+
 def format_table(record: dict) -> str:
     """Human-readable summary of one record."""
     lines = [
@@ -163,3 +251,12 @@ def test_bench_shapes():
     assert record["per_event_latency_us"] > 0
     assert record["recompute_macs"] > record["per_event_macs"]
     assert record["latency_ratio"] > 1.0
+
+
+def test_bounded_bench_shapes():
+    record = bench_bounded_inference(400, capacity=64, seed=0, num_samples=5)
+    assert record["mode"] == "bounded"
+    assert record["expired_nodes_total"] > 0
+    assert record["bounded_state_bytes_peak"] < record["exact_state_bytes_final"]
+    assert np.isfinite(record["drift_max"])
+    assert len(record["sample_points"]) == 5

@@ -14,7 +14,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..datasets.base import EventDataset
-from .metrics import AXES, OVERLOAD_AXIS, ROBUSTNESS_AXIS, Axis, PipelineMetrics
+from .metrics import (
+    AXES,
+    OVERLOAD_AXIS,
+    ROBUSTNESS_AXIS,
+    SESSION_ROBUSTNESS_AXIS,
+    Axis,
+    PipelineMetrics,
+)
 from .pipeline import CNNPipeline, GNNPipeline, ParadigmPipeline, SNNPipeline
 from .ratings import Rating, rate_robustness, rate_values
 
@@ -25,6 +32,7 @@ __all__ = [
     "run_comparison",
     "attach_robustness",
     "attach_overload",
+    "attach_session_robustness",
     "render_table",
     "to_markdown",
     "agreement_with_paper",
@@ -216,6 +224,38 @@ def attach_overload(
     result.ratings[OVERLOAD_AXIS.key] = rate_robustness(scores)
     if all(a.key != OVERLOAD_AXIS.key for a in result.extra_axes):
         result.extra_axes.append(OVERLOAD_AXIS)
+    return result
+
+
+def attach_session_robustness(
+    result: ComparisonResult, scores: dict[str, float]
+) -> ComparisonResult:
+    """Append the measured session-fault resilience row.
+
+    ``scores`` are the retained-accuracy fractions of per-event serving
+    under mid-session state faults, measured by
+    :func:`repro.reliability.incremental.session_robustness_scores`.
+    Paradigms without an incremental serving path carry ``nan`` (an
+    honest "not measurable", rendered ``?``) rather than a made-up
+    score — this row is the one place the scorecard is GNN-only by
+    construction, exactly because only the event-graph paradigm has a
+    live per-event session to corrupt.
+
+    Args:
+        result: a comparison produced by :func:`run_comparison`.
+        scores: paradigm name → retained-accuracy score in [0, 1], or
+            ``nan`` where the paradigm has no incremental session.
+
+    Returns:
+        ``result``, updated in place (returned for chaining).
+    """
+    if set(scores) != set(PARADIGMS):
+        raise ValueError(f"scores must cover exactly {PARADIGMS}")
+    for name in PARADIGMS:
+        result.metrics[name].session_robustness = float(scores[name])
+    result.ratings[SESSION_ROBUSTNESS_AXIS.key] = rate_robustness(scores)
+    if all(a.key != SESSION_ROBUSTNESS_AXIS.key for a in result.extra_axes):
+        result.extra_axes.append(SESSION_ROBUSTNESS_AXIS)
     return result
 
 

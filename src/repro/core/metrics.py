@@ -16,7 +16,14 @@ from dataclasses import dataclass, field
 
 from .ratings import Rating
 
-__all__ = ["Axis", "AXES", "ROBUSTNESS_AXIS", "OVERLOAD_AXIS", "PipelineMetrics"]
+__all__ = [
+    "Axis",
+    "AXES",
+    "ROBUSTNESS_AXIS",
+    "OVERLOAD_AXIS",
+    "SESSION_ROBUSTNESS_AXIS",
+    "PipelineMetrics",
+]
 
 
 @dataclass(frozen=True)
@@ -90,6 +97,23 @@ OVERLOAD_AXIS = Axis(
 )
 
 
+#: The measured session-fault resilience row: retained accuracy of
+#: per-event serving when its *live session state* is corrupted
+#: mid-stream (state corruption, NaN injection, clock skew — see
+#: :func:`repro.reliability.incremental.run_incremental_robustness`).
+#: Only paradigms with an incremental serving path can be measured;
+#: the rest stay ``nan`` and render as ``?``.  Appended by
+#: :func:`repro.core.comparison.attach_session_robustness`.
+SESSION_ROBUSTNESS_AXIS = Axis(
+    "session_robustness",
+    "Serving - Session-fault resilience",
+    higher_is_better=True,
+    measured=True,
+    paper_ratings=("?", "?", "?"),
+    tie_tolerance=1.2,
+)
+
+
 #: Literature constants for the two unmeasurable axes, on an arbitrary
 #: 1–3 ordinal scale matching the paper's assessment (Section III/V):
 #: CNN hardware is mature and flexible; SNN processors exist but are
@@ -127,6 +151,10 @@ class PipelineMetrics:
             (filled by a reliability sweep; nan until measured).
         overload: delivered-window fraction under offered load above
             capacity (filled by a streaming sweep; nan until measured).
+        session_robustness: retained-accuracy fraction when live
+            serving-session state is faulted mid-stream (filled by the
+            incremental-robustness sweep; nan until measured — and nan
+            forever for paradigms without a per-event serving path).
         extras: free-form measurement details for the report.
     """
 
@@ -145,6 +173,7 @@ class PipelineMetrics:
     latency: float = float("nan")
     robustness: float = float("nan")
     overload: float = float("nan")
+    session_robustness: float = float("nan")
     extras: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:

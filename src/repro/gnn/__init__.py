@@ -1,7 +1,13 @@
 """Event-graph neural networks: construction, layers, models, async updates."""
 
-from .async_network import AsyncEventGNN, AsyncStepReport
-from .asynchronous import HashInserter, InsertionStats, KDTreeInserter, NaiveInserter
+from .async_network import SNAPSHOT_FORMAT, AsyncEventGNN, AsyncStepReport
+from .asynchronous import (
+    BoundedHashInserter,
+    HashInserter,
+    InsertionStats,
+    KDTreeInserter,
+    NaiveInserter,
+)
 from .build import (
     knn_graph,
     limit_in_degree,
@@ -40,8 +46,10 @@ __all__ = [
     "NaiveInserter",
     "KDTreeInserter",
     "HashInserter",
+    "BoundedHashInserter",
     "InsertionStats",
     "AsyncEventGNN",
+    "SNAPSHOT_FORMAT",
     "AsyncStepReport",
     "scatter_sum",
     "scatter_mean",

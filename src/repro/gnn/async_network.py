@@ -16,25 +16,48 @@ costs
 3. one update of the running global-max readout,
 
 with nothing recomputed.  :class:`AsyncEventGNN` maintains the per-layer
-feature memory and the running readout, counts the work per event, and
-is *exactly equivalent* to a batch forward pass of the same
+feature memory (structure-of-arrays, one row per node) and the running
+readout, counts the work per event, and is *exactly equivalent* to a
+batch forward pass of the same
 :class:`~repro.gnn.models.EventGNNClassifier` over the final graph — a
 tested invariant.
+
+Two storage regimes share the same code path:
+
+* **unbounded** (default, ``max_live_nodes=None``): capacity-doubled
+  arrays retain every node, preserving the bit-equality guarantee;
+* **bounded** (``max_live_nodes`` set): ring buffers of exactly
+  ``max_live_nodes`` rows, with nodes *evicted* oldest-first once they
+  fall out of ``window_us`` or the ring is full (EvGNN-style bounded
+  graph memory, arXiv 2404.19489).  Because events arrive time-ordered,
+  the live set is always the contiguous id range
+  ``[live_start, num_events)``, which is what makes ring rows
+  (``id % capacity``) unambiguous.  The global-max readout is
+  recomputed from the surviving rows whenever an evicted node may have
+  attained the current maximum, so scores stay correct under eviction.
+
+The engine also supports :meth:`snapshot` / :meth:`restore` — a
+self-describing checkpoint of the whole session state — so serving
+layers can roll a faulted stream back to its last good state.
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..nn.layers import Linear
 from ..nn.tensor import Tensor, no_grad, stable_matmul
-from .asynchronous import HashInserter
+from .asynchronous import BoundedHashInserter, HashInserter
 from .layers import EdgeConv
 from .models import EventGNNClassifier
 
-__all__ = ["AsyncEventGNN", "AsyncStepReport"]
+__all__ = ["AsyncEventGNN", "AsyncStepReport", "SNAPSHOT_FORMAT"]
+
+#: Version tag of the :meth:`AsyncEventGNN.snapshot` checkpoint schema.
+SNAPSHOT_FORMAT = "async-gnn/v1"
 
 
 @dataclass(frozen=True)
@@ -48,7 +71,9 @@ class AsyncStepReport:
         macs: multiply-accumulates of the local feature computation,
             including exactly the one head evaluation that produced
             ``scores``.
-        scores: running class scores after this event.
+        scores: running class scores after this event (read-only view).
+        expired_nodes: nodes evicted by this event (bounded mode only).
+        live_nodes: live-set size after this event.
     """
 
     node_index: int
@@ -56,6 +81,8 @@ class AsyncStepReport:
     insertion_candidates: int
     macs: int
     scores: np.ndarray
+    expired_nodes: int = 0
+    live_nodes: int = 0
 
 
 def _edgeconv_single(
@@ -112,12 +139,18 @@ class AsyncEventGNN:
             layers (the default ``conv='edge'``).
         radius: causal connection radius (scaled units).
         time_scale_us: microseconds per temporal unit.
-        window_us: liveness window for the graph.
+        window_us: liveness window for the graph.  In bounded mode it
+            also expires node *features*: nodes older than
+            ``window_us`` are evicted and leave the readout.
         max_degree: in-edge cap per event.
         resolution: sensor resolution (needed when the model was trained
             with position features).
         include_position: append normalised position to node features
             (must match the model's training configuration).
+        max_live_nodes: opt into bounded-state mode — a hard budget on
+            live nodes.  Storage becomes fixed-size rings; the oldest
+            nodes are evicted when the budget or ``window_us`` says so.
+            ``None`` (default) keeps the exact unbounded behaviour.
     """
 
     def __init__(
@@ -129,72 +162,212 @@ class AsyncEventGNN:
         max_degree: int = 10,
         resolution=None,
         include_position: bool = False,
+        max_live_nodes: int | None = None,
     ) -> None:
         if not isinstance(model.conv1, EdgeConv):
             raise TypeError("AsyncEventGNN requires EdgeConv layers (conv='edge')")
         if include_position and resolution is None:
             raise ValueError("resolution is required when include_position is set")
+        if max_live_nodes is not None and max_live_nodes < 1:
+            raise ValueError("max_live_nodes must be >= 1")
         self.model = model
+        self.radius = radius
+        self.time_scale_us = time_scale_us
+        self.window_us = window_us
+        self.max_degree = max_degree
         self.include_position = include_position
         self.resolution = resolution
+        self.max_live_nodes = max_live_nodes
+        self._bounded = max_live_nodes is not None
         self._feature_width = 4 if include_position else 2
-        self._make_inserter = lambda: HashInserter(
-            radius=radius,
-            time_scale_us=time_scale_us,
-            window_us=window_us,
-            max_neighbours=max_degree,
-        )
+        self._hidden = model.head.in_features
+        if self._bounded:
+            self._make_inserter = lambda: BoundedHashInserter(
+                radius=radius,
+                time_scale_us=time_scale_us,
+                window_us=window_us,
+                max_neighbours=max_degree,
+                capacity=max_live_nodes,
+            )
+        else:
+            self._make_inserter = lambda: HashInserter(
+                radius=radius,
+                time_scale_us=time_scale_us,
+                window_us=window_us,
+                max_neighbours=max_degree,
+            )
         self._inserter = self._make_inserter()
-        hidden = model.head.in_features
-        self._x0: list[np.ndarray] = []  # input features per node
-        self._x1: list[np.ndarray] = []  # conv1 outputs (post-ReLU)
-        self._x2: list[np.ndarray] = []  # conv2 outputs (post-ReLU)
-        self._running_max = np.full(hidden, -np.inf)
-        self._positions: list[np.ndarray] = []
+        self._alloc(max_live_nodes if self._bounded else 64)
+        self._running_max = np.full(self._hidden, -np.inf)
+        self._count = 0  # events incorporated (== next node id)
+        self._live_start = 0  # smallest live node id
+        self._expired_total = 0
         self._last_t_us: int | None = None
         self._scores: np.ndarray | None = None  # cached current-state scores
 
+    # -- structure-of-arrays node storage -----------------------------
+    def _alloc(self, cap: int) -> None:
+        self._cap = cap
+        self._x0a = np.empty((cap, self._feature_width))  # input features
+        self._x1a = np.empty((cap, self._hidden))  # conv1 outputs (post-ReLU)
+        self._x2a = np.empty((cap, self._hidden))  # conv2 outputs (post-ReLU)
+        self._posa = np.empty((cap, 3))  # scaled positions
+        self._ta = np.empty(cap, dtype=np.int64)  # raw timestamps
+
+    def _grow(self) -> None:
+        """Double the array capacity (unbounded mode only)."""
+        old = self._cap
+        self._cap = 2 * old
+        for name in ("_x0a", "_x1a", "_x2a", "_posa", "_ta"):
+            arr = getattr(self, name)
+            shape = (self._cap,) + arr.shape[1:]
+            grown = np.empty(shape, dtype=arr.dtype)
+            grown[:old] = arr
+            setattr(self, name, grown)
+
+    def _rows(self, ids: np.ndarray) -> np.ndarray:
+        """Storage rows of the given node ids."""
+        return ids % self._cap if self._bounded else ids
+
+    def _row(self, i: int) -> int:
+        return i % self._cap if self._bounded else i
+
+    # -- bookkeeping ---------------------------------------------------
     @property
     def num_events(self) -> int:
         """Events incorporated so far."""
-        return len(self._x0)
+        return self._count
+
+    @property
+    def num_live_nodes(self) -> int:
+        """Nodes currently live (== ``num_events`` when unbounded)."""
+        return self._count - self._live_start
+
+    @property
+    def live_start(self) -> int:
+        """Smallest live node id (0 when unbounded)."""
+        return self._live_start
+
+    @property
+    def expired_nodes_total(self) -> int:
+        """Nodes evicted over the engine's lifetime (survives reset)."""
+        return self._expired_total
+
+    def state_bytes(self) -> int:
+        """Bytes held in per-node storage (feature/position/time arrays
+        plus the inserter's node rings and edge log).
+
+        In bounded mode every term is fixed at construction, so this
+        gauge is flat regardless of how many events the session has
+        absorbed.  Hash-bucket dict overhead is excluded; it is bounded
+        by the same live-set invariant.
+        """
+        total = (
+            self._x0a.nbytes
+            + self._x1a.nbytes
+            + self._x2a.nbytes
+            + self._posa.nbytes
+            + self._ta.nbytes
+            + self._running_max.nbytes
+        )
+        ins = self._inserter
+        total += ins._pos.nbytes + ins._t_us.nbytes + ins._edge_arr.nbytes
+        return int(total)
 
     def reset(self) -> None:
         """Forget every event; the model weights are untouched.
 
         After a reset the engine behaves exactly like a freshly
         constructed one, so a serving session can reuse it across
-        windows without reallocating the model.
+        windows without reallocating the model.  The lifetime
+        :attr:`expired_nodes_total` counter is deliberately preserved.
         """
         self._inserter = self._make_inserter()
-        self._x0.clear()
-        self._x1.clear()
-        self._x2.clear()
-        self._positions.clear()
-        self._running_max = np.full(self.model.head.in_features, -np.inf)
+        self._running_max = np.full(self._hidden, -np.inf)
+        self._count = 0
+        self._live_start = 0
         self._last_t_us = None
         self._scores = None
 
+    # -- eviction (bounded mode) --------------------------------------
+    def _evict(self, t_us: int, reserve: int) -> int:
+        """Evict nodes that are stale (older than ``window_us``) or over
+        budget (would leave no room for ``reserve`` insertions).
+
+        Returns the number of nodes evicted.  The running readout is
+        recomputed from the surviving rows only when an evicted node may
+        have attained the current maximum (an exact equality test — a
+        removed row can only change the max where it achieves it).
+        """
+        if not self._bounded:
+            return 0
+        cutoff = t_us - self.window_us
+        start = self._live_start
+        n = self._count
+        limit = n - (self.max_live_nodes - reserve)
+        while start < n and (
+            start < limit or self._ta[start % self._cap] < cutoff
+        ):
+            start += 1
+        evicted = start - self._live_start
+        if evicted:
+            rows = self._rows(np.arange(self._live_start, start, dtype=np.int64))
+            if start >= n:
+                self._running_max = np.full(self._hidden, -np.inf)
+            elif np.any(self._x2a[rows] == self._running_max):
+                live = np.arange(start, n, dtype=np.int64)
+                self._running_max = self._x2a[self._rows(live)].max(axis=0)
+            self._live_start = start
+            self._expired_total += evicted
+            self._inserter.min_live_id = start
+        return evicted
+
+    def expire(self, now_us: int) -> int:
+        """Advance the liveness window to ``now_us`` without inserting.
+
+        Bounded mode only: evicts every node older than
+        ``now_us - window_us`` (possibly emptying the live set — scores
+        then return to the zero baseline) and returns the count evicted.
+        """
+        if not self._bounded:
+            raise ValueError("expire() requires bounded mode (max_live_nodes)")
+        evicted = self._evict(int(now_us), reserve=0)
+        if evicted:
+            self._scores = None  # readout changed: recompute lazily
+        return evicted
+
+    # -- inference -----------------------------------------------------
     def scores(self) -> np.ndarray:
         """Current class scores (zeros before the first event).
 
         The value is computed at most once per incorporated event: the
         head evaluation happens inside :meth:`process_event` (where its
         MACs are charged) and is cached, so repeated ``scores()`` /
-        :meth:`predict` calls between events cost nothing.  Treat the
-        returned array as read-only.
+        :meth:`predict` calls between events cost nothing.  The returned
+        array is a read-only view of the cached decision.
         """
         if self._scores is None:
             self._scores = self._compute_scores()
         return self._scores
 
     def _compute_scores(self) -> np.ndarray:
-        """One head evaluation over the running pooled features."""
+        """One head evaluation over the running pooled features.
+
+        The result is frozen (``writeable = False``) because the same
+        array is handed out through :meth:`scores` and every
+        :class:`AsyncStepReport` — a caller mutating it would corrupt
+        the session's cached decision.
+        """
         if not np.isfinite(self._running_max).any():
-            return np.zeros(self.model.head.out_features)
-        pooled = np.where(np.isfinite(self._running_max), self._running_max, 0.0)
-        with no_grad(), stable_matmul():
-            return self.model.head(Tensor(pooled[None, :])).data[0]
+            scores = np.zeros(self.model.head.out_features)
+        else:
+            pooled = np.where(
+                np.isfinite(self._running_max), self._running_max, 0.0
+            )
+            with no_grad(), stable_matmul():
+                scores = self.model.head(Tensor(pooled[None, :])).data[0]
+        scores.flags.writeable = False
+        return scores
 
     def predict(self) -> int:
         """Current class decision."""
@@ -227,11 +400,12 @@ class AsyncEventGNN:
                 f"insertion at {self._last_t_us}; per-event inference "
                 "requires non-decreasing timestamps (causal-edge invariant)"
             )
+        expired = self._evict(int(t_us), reserve=1)
         cands_before = self._inserter.stats.candidates_examined
-        edges_before = self._inserter.stats.edges_created
+        cursor = self._inserter.edge_cursor()
         node = self._inserter.insert(float(x), float(y), int(t_us))
         candidates = self._inserter.stats.candidates_examined - cands_before
-        new_edges = self._inserter.edges()[edges_before:]
+        new_edges = self._inserter.edges_since(cursor)
         neighbours = new_edges[:, 0] if new_edges.size else np.zeros(0, dtype=np.int64)
 
         feats = [1.0 if polarity == 1 else 0.0, 1.0 if polarity == -1 else 0.0]
@@ -242,31 +416,29 @@ class AsyncEventGNN:
         pos = np.array([x, y, t_us / self._inserter.time_scale_us], dtype=np.float64)
 
         macs = 0
-        rel = (
-            np.stack([self._positions[j] for j in neighbours]) - pos
-            if neighbours.size
-            else np.zeros((0, 3))
-        )
-        n1 = (
-            np.stack([self._x0[j] for j in neighbours])
-            if neighbours.size
-            else np.zeros((0, x0.size))
-        )
+        if neighbours.size:
+            nrows = self._rows(neighbours)
+            rel = self._posa[nrows] - pos
+            n1 = self._x0a[nrows]
+        else:
+            rel = np.zeros((0, 3))
+            n1 = np.zeros((0, x0.size))
         h1, m1 = _edgeconv_single(self.model.conv1, x0, n1, rel)
         h1 = np.maximum(h1, 0.0)
-        n2 = (
-            np.stack([self._x1[j] for j in neighbours])
-            if neighbours.size
-            else np.zeros((0, h1.size))
-        )
+        n2 = self._x1a[nrows] if neighbours.size else np.zeros((0, h1.size))
         h2, m2 = _edgeconv_single(self.model.conv2, h1, n2, rel)
         h2 = np.maximum(h2, 0.0)
         macs += m1 + m2
 
-        self._x0.append(x0)
-        self._x1.append(h1)
-        self._x2.append(h2)
-        self._positions.append(pos)
+        if not self._bounded and node >= self._cap:
+            self._grow()
+        row = self._row(node)
+        self._x0a[row] = x0
+        self._x1a[row] = h1
+        self._x2a[row] = h2
+        self._posa[row] = pos
+        self._ta[row] = t_us
+        self._count = node + 1
         self._last_t_us = int(t_us)
         np.maximum(self._running_max, h2, out=self._running_max)
 
@@ -281,6 +453,8 @@ class AsyncEventGNN:
             insertion_candidates=int(candidates),
             macs=macs,
             scores=self._scores,
+            expired_nodes=expired,
+            live_nodes=self.num_live_nodes,
         )
 
     def process_stream(self, stream) -> list[AsyncStepReport]:
@@ -290,26 +464,171 @@ class AsyncEventGNN:
             for t, x, y, p in zip(stream.t, stream.x, stream.y, stream.p)
         ]
 
+    # -- checkpoint / restore -----------------------------------------
+    def snapshot(self) -> dict:
+        """A self-contained checkpoint of the session state.
+
+        The returned dict (schema :data:`SNAPSHOT_FORMAT`) owns copies
+        of every array, so it stays valid — and restorable any number of
+        times — while the engine keeps running.  Model weights are *not*
+        part of the checkpoint; a snapshot can only be restored into an
+        engine built around the same model configuration.
+
+        Keys: ``format``, ``bounded``, ``capacity``, ``count``,
+        ``live_start``, ``expired_total``, ``last_t_us``,
+        ``running_max``, ``x0``/``x1``/``x2`` (per-layer feature rows),
+        ``pos``, ``t``, ``inserter`` (deep copy).
+        """
+        lim = self._cap if self._bounded else self._count
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "bounded": self._bounded,
+            "capacity": self.max_live_nodes,
+            "count": self._count,
+            "live_start": self._live_start,
+            "expired_total": self._expired_total,
+            "last_t_us": self._last_t_us,
+            "running_max": self._running_max.copy(),
+            "x0": self._x0a[:lim].copy(),
+            "x1": self._x1a[:lim].copy(),
+            "x2": self._x2a[:lim].copy(),
+            "pos": self._posa[:lim].copy(),
+            "t": self._ta[:lim].copy(),
+            "inserter": copy.deepcopy(self._inserter),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`snapshot`, replacing the current state.
+
+        The snapshot is copied in, so the caller's dict remains reusable
+        (e.g. as a retained last-good checkpoint).  Cached scores are
+        *not* trusted from the checkpoint — they are lazily recomputed
+        from the restored readout.
+
+        Raises:
+            ValueError: when the checkpoint is structurally incompatible
+                with this engine (wrong schema, mode, capacity or array
+                shapes).  Value-level corruption is *not* detectable
+                here; that is the divergence audit's job.
+        """
+        if not isinstance(state, dict):
+            raise ValueError("checkpoint must be a dict")
+        if state.get("format") != SNAPSHOT_FORMAT:
+            raise ValueError(
+                f"unknown checkpoint format {state.get('format')!r}; "
+                f"expected {SNAPSHOT_FORMAT!r}"
+            )
+        if bool(state.get("bounded")) != self._bounded:
+            raise ValueError("checkpoint bounded-mode flag does not match engine")
+        if self._bounded and state.get("capacity") != self.max_live_nodes:
+            raise ValueError(
+                f"checkpoint capacity {state.get('capacity')} != engine "
+                f"max_live_nodes {self.max_live_nodes}"
+            )
+        try:
+            count = int(state["count"])
+            live_start = int(state["live_start"])
+            expired_total = int(state["expired_total"])
+            last_t_us = state["last_t_us"]
+            running_max = np.asarray(state["running_max"], dtype=np.float64)
+            arrays = {
+                key: np.asarray(state[key], dtype=np.float64)
+                for key in ("x0", "x1", "x2", "pos")
+            }
+            arrays["t"] = np.asarray(state["t"], dtype=np.int64)
+            inserter = state["inserter"]
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed checkpoint: {exc!r}") from exc
+        if not 0 <= live_start <= count:
+            raise ValueError(
+                f"checkpoint live range invalid: live_start={live_start}, "
+                f"count={count}"
+            )
+        widths = {
+            "x0": self._feature_width,
+            "x1": self._hidden,
+            "x2": self._hidden,
+            "pos": 3,
+        }
+        rows_needed = self._cap if self._bounded else count
+        for key, width in widths.items():
+            if arrays[key].shape != (rows_needed, width):
+                raise ValueError(
+                    f"checkpoint array {key!r} has shape "
+                    f"{arrays[key].shape}, expected ({rows_needed}, {width})"
+                )
+        if arrays["t"].shape != (rows_needed,):
+            raise ValueError(
+                f"checkpoint array 't' has shape {arrays['t'].shape}, "
+                f"expected ({rows_needed},)"
+            )
+        if running_max.shape != (self._hidden,):
+            raise ValueError(
+                f"checkpoint running_max has shape {running_max.shape}, "
+                f"expected ({self._hidden},)"
+            )
+        expected_cls = BoundedHashInserter if self._bounded else HashInserter
+        if not isinstance(inserter, expected_cls):
+            raise ValueError(
+                f"checkpoint inserter is {type(inserter).__name__}, "
+                f"expected {expected_cls.__name__}"
+            )
+        if inserter.num_nodes != count:
+            raise ValueError(
+                f"checkpoint inserter holds {inserter.num_nodes} nodes "
+                f"but count={count}"
+            )
+
+        if self._bounded:
+            self._x0a[:] = arrays["x0"]
+            self._x1a[:] = arrays["x1"]
+            self._x2a[:] = arrays["x2"]
+            self._posa[:] = arrays["pos"]
+            self._ta[:] = arrays["t"]
+        else:
+            self._alloc(max(64, count))
+            self._x0a[:count] = arrays["x0"]
+            self._x1a[:count] = arrays["x1"]
+            self._x2a[:count] = arrays["x2"]
+            self._posa[:count] = arrays["pos"]
+            self._ta[:count] = arrays["t"]
+        self._running_max = running_max.copy()
+        self._count = count
+        self._live_start = live_start
+        self._expired_total = expired_total
+        self._last_t_us = None if last_t_us is None else int(last_t_us)
+        self._inserter = copy.deepcopy(inserter)
+        self._inserter.min_live_id = live_start
+        self._scores = None
+
+    # -- introspection -------------------------------------------------
     def node_features(self) -> np.ndarray:
-        """Final conv2 features of every node, ``(N, hidden)``."""
-        if not self._x2:
-            return np.zeros((0, self.model.head.in_features))
-        return np.stack(self._x2)
+        """Final conv2 features of every live node, ``(live, hidden)``."""
+        live = np.arange(self._live_start, self._count, dtype=np.int64)
+        if not live.size:
+            return np.zeros((0, self._hidden))
+        return self._x2a[self._rows(live)]
 
     def built_graph(self):
-        """The graph accumulated so far, as an :class:`EventGraph`."""
+        """The graph accumulated so far, as an :class:`EventGraph`.
+
+        Unbounded mode only: under eviction the retained edge log is
+        partial, so there is no complete graph to return.
+        """
+        if self._bounded:
+            raise RuntimeError(
+                "built_graph() requires the unbounded engine; bounded "
+                "mode recycles node and edge storage"
+            )
         from .graph import EventGraph
 
-        positions = (
-            np.stack(self._positions) if self._positions else np.zeros((0, 3))
-        )
+        n = self._count
+        positions = self._posa[:n].copy() if n else np.zeros((0, 3))
         # The empty-graph feature width follows the configured feature
         # layout: polarity one-hot (2) plus normalised position (2) when
         # include_position is set.
         features = (
-            np.stack(self._x0)
-            if self._x0
-            else np.zeros((0, self._feature_width))
+            self._x0a[:n].copy() if n else np.zeros((0, self._feature_width))
         )
         return EventGraph(
             positions, features, self._inserter.edges(), self._inserter.time_scale_us

@@ -37,6 +37,7 @@ __all__ = [
     "NaiveInserter",
     "KDTreeInserter",
     "HashInserter",
+    "BoundedHashInserter",
 ]
 
 
@@ -98,6 +99,12 @@ class _InserterBase:
         self.window_us = window_us
         self.max_neighbours = max_neighbours
         self.stats = InsertionStats()
+        #: Smallest node id still considered live by the owner.  The
+        #: bounded engine advances it as it evicts nodes; candidates
+        #: below it are filtered out by :class:`HashInserter` lookups so
+        #: recycled ring rows are never mistaken for live nodes.  Stays
+        #: 0 in unbounded use, where it changes nothing.
+        self.min_live_id = 0
         self._num_nodes = 0
         self._pos = np.empty((64, 3), dtype=np.float64)
         self._t_us = np.empty(64, dtype=np.int64)
@@ -125,6 +132,27 @@ class _InserterBase:
         Returns a view into the internal edge buffer; do not mutate.
         """
         return self._edge_arr[: self._num_edges]
+
+    def edge_cursor(self) -> int:
+        """Opaque position in the edge log; pass to :meth:`edges_since`."""
+        return self._num_edges
+
+    def edges_since(self, cursor: int) -> np.ndarray:
+        """Edges appended after ``cursor`` (a prior :meth:`edge_cursor`).
+
+        Returns a view into the internal edge buffer; do not mutate.
+        Bounded inserters recycle the buffer, so callers must use this
+        pair instead of slicing :meth:`edges` by ``stats.edges_created``.
+        """
+        return self._edge_arr[cursor : self._num_edges]
+
+    def _node_pos(self, ids: np.ndarray) -> np.ndarray:
+        """(k, 3) scaled positions of the given node ids."""
+        return self._pos[ids]
+
+    def _node_t(self, ids: np.ndarray) -> np.ndarray:
+        """Raw microsecond timestamps of the given node ids."""
+        return self._t_us[ids]
 
     def _reserve_nodes(self, extra: int) -> None:
         needed = self._num_nodes + extra
@@ -391,7 +419,12 @@ class HashInserter(_InserterBase):
         if not parts:
             return np.zeros(0, dtype=np.int64)
         ids = np.concatenate(parts)
-        ids = ids[self._t_us[ids] >= cutoff]
+        if self.min_live_id:
+            # Must run before the time filter: a cap-evicted id's ring
+            # row may hold a newer node whose timestamp passes the
+            # cutoff, so the time filter alone would admit garbage.
+            ids = ids[ids >= self.min_live_id]
+        ids = ids[self._node_t(ids) >= cutoff]
         self.stats.candidates_examined += ids.size
         return ids
 
@@ -402,7 +435,7 @@ class HashInserter(_InserterBase):
         ids = self._gather(cx, cy, ct, t_us - self.window_us)
         new_index = self._num_nodes
         if ids.size:
-            self._select_edges(new_index, ids, self._positions[ids], p)
+            self._select_edges(new_index, ids, self._node_pos(ids), p)
         self._append_node(p, t_us)
         self._tcells.setdefault(ct, {}).setdefault((cx, cy), []).append(new_index)
         if self._min_tcell is None or ct < self._min_tcell:
@@ -682,3 +715,115 @@ class HashInserter(_InserterBase):
     def insert_stream(self, xs, ys, ts) -> None:
         """Insert a batch of time-ordered events (batched fast path)."""
         self.insert_many(xs, ys, ts)
+
+
+class BoundedHashInserter(HashInserter):
+    """A :class:`HashInserter` whose memory is fixed, not growing.
+
+    The serving counterpart of EvGNN-style bounded graph memory: node
+    positions and timestamps live in ring buffers of ``capacity`` rows
+    (row = ``id % capacity``), the edge log is recycled once consumed,
+    and hash buckets are pruned of evicted ids as :attr:`min_live_id`
+    advances — so a session holds O(capacity) state no matter how many
+    events it has absorbed.
+
+    The owner must keep at most ``capacity`` ids live by advancing
+    ``min_live_id`` before each insertion (the bounded
+    :class:`~repro.gnn.AsyncEventGNN` does); ring rows are then
+    unambiguous because live ids always form a contiguous range.  Edges
+    must be consumed through :meth:`edge_cursor` / :meth:`edges_since`
+    — :meth:`edges` only exposes the not-yet-recycled tail.  The batch
+    paths (:meth:`insert_many`) are unsupported: this class serves the
+    strictly per-event path.
+
+    Args:
+        capacity: maximum number of live nodes (ring rows).
+    """
+
+    #: Recycle the edge log once this many edges have been consumed.
+    #: Keeps the buffer under ``_EDGE_RECYCLE + max_neighbours`` rows
+    #: while leaving plenty of slack for cursor-based consumption.
+    _EDGE_RECYCLE = 4096
+
+    def __init__(self, *args, capacity: int, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._pos = np.empty((self.capacity, 3), dtype=np.float64)
+        self._t_us = np.empty(self.capacity, dtype=np.int64)
+        self._edge_floor = 0  # edges dropped from the front of the log
+        self._prune_floor = 0  # min_live_id at the last bucket prune
+
+    # -- ring node storage --------------------------------------------
+    def _reserve_nodes(self, extra: int) -> None:
+        pass  # ring rows are recycled, never grown
+
+    def _append_node(self, p: np.ndarray, t_us: int) -> int:
+        i = self._num_nodes
+        row = i % self.capacity
+        self._pos[row] = p
+        self._t_us[row] = t_us
+        self._num_nodes = i + 1
+        return i
+
+    def _node_pos(self, ids: np.ndarray) -> np.ndarray:
+        return self._pos[ids % self.capacity]
+
+    def _node_t(self, ids: np.ndarray) -> np.ndarray:
+        return self._t_us[ids % self.capacity]
+
+    # -- bounded edge log ---------------------------------------------
+    def edge_cursor(self) -> int:
+        return self._edge_floor + self._num_edges
+
+    def edges_since(self, cursor: int) -> np.ndarray:
+        start = max(0, cursor - self._edge_floor)
+        return self._edge_arr[start : self._num_edges]
+
+    def insert(self, x: float, y: float, t_us: int) -> int:
+        if self._num_edges >= self._EDGE_RECYCLE:
+            self._edge_floor += self._num_edges
+            self._num_edges = 0
+        if self.min_live_id - self._prune_floor >= self.capacity:
+            self._prune_evicted()
+        return super().insert(x, y, t_us)
+
+    def _prune_evicted(self) -> None:
+        """Drop evicted ids from the hash buckets.
+
+        Runs once per ``capacity`` evictions, so its full-bucket scan
+        amortises to O(1) per event while bounding bucket memory to the
+        live set (lookups already filter by ``min_live_id``, so pruning
+        affects memory only, never results).
+        """
+        floor = self.min_live_id
+        for tc in list(self._tcells):
+            grid = self._tcells[tc]
+            for key in list(grid):
+                kept = [i for i in grid[key] if i >= floor]
+                if kept:
+                    grid[key] = kept
+                else:
+                    del grid[key]
+            if not grid:
+                del self._tcells[tc]
+        live = self._tcells.keys() | self._tblocks.keys()
+        self._min_tcell = min(live) if live else None
+        self._prune_floor = floor
+
+    def state_bytes(self) -> int:
+        """Bytes held in the fixed node rings and the edge log."""
+        return int(
+            self._pos.nbytes + self._t_us.nbytes + self._edge_arr.nbytes
+        )
+
+    # -- batch paths are not bounded-safe -----------------------------
+    def insert_many(self, xs, ys, ts) -> np.ndarray:
+        raise NotImplementedError(
+            "BoundedHashInserter serves the per-event path; use insert()"
+        )
+
+    def insert_stream(self, xs, ys, ts) -> None:
+        for x, y, t in zip(xs, ys, ts):
+            self.insert(float(x), float(y), int(t))

@@ -271,14 +271,29 @@ class StreamingExecutor:
             boundary so report accounting is unchanged.  Stages without
             a fast path — and windows beyond a pipeline's
             ``incremental_capacity``, where windowed ``predict`` would
-            subsample — are served windowed exactly as in window mode;
-            a fast path that raises is disabled for the rest of the run
-            and the window is recomputed windowed on the same stage
-            (span ``call:{stage}[recompute]``, counted in
-            ``stream_incremental_fallbacks_total``).  Shedding, expiry,
-            breakers and the fallback chain behave identically in both
-            modes; with the default service model the virtual timeline
-            is identical too.
+            subsample — are served windowed exactly as in window mode.
+            Each fast path sits behind its own probation breaker
+            (closed/open/half-open, reusing ``fastpath_policy`` or
+            ``breaker_policy``): a fast path that raises trips a
+            failure, the window is recomputed windowed on the same
+            stage (span ``call:{stage}[recompute]``, counted in
+            ``stream_incremental_fallbacks_total``), and its session is
+            restored from the last good checkpoint (counted in
+            ``stream_incremental_restores_total``) or discarded.  A
+            tripped fast path re-enables after seeded half-open probes
+            succeed; windows the open breaker refuses are served
+            windowed and counted in
+            ``stream_incremental_refusals_total``.  Shedding, expiry,
+            stage breakers and the fallback chain behave identically in
+            both modes; with the default service model the virtual
+            timeline is identical too.
+        fastpath_policy: trip/recovery parameters of the per-stage
+            fast-path probation breakers (event mode only); defaults to
+            ``breaker_policy``.
+        session_kwargs: keyword arguments forwarded to
+            ``pipeline.open_session`` when the fast path opens a
+            session (event mode only), e.g. ``max_live_nodes`` or an
+            ``audit`` policy for bounded, self-auditing serving.
     """
 
     def __init__(
@@ -297,6 +312,8 @@ class StreamingExecutor:
         seed: int = 0,
         hooks: ProfilingHooks | None = None,
         serve_mode: str = "window",
+        fastpath_policy: BreakerPolicy | None = None,
+        session_kwargs: dict[str, Any] | None = None,
     ) -> None:
         if window_us <= 0:
             raise ValueError("window_us must be positive")
@@ -326,8 +343,11 @@ class StreamingExecutor:
         self.seed = seed
         self.hooks = hooks
         self.serve_mode = serve_mode
+        self.fastpath_policy = fastpath_policy or self.breaker_policy
+        self.session_kwargs = dict(session_kwargs or {})
         # Per-run state, exposed for inspection after run().
         self.breakers: dict[str, CircuitBreaker] = {}
+        self.inc_breakers: dict[str, CircuitBreaker] = {}
         self.controller: ShedController | None = None
         self.last_good: Any = None
         self.obs: Instrumentation | None = None
@@ -375,7 +395,7 @@ class StreamingExecutor:
         self.last_good = None
         self._queue = BoundedWindowQueue(self.queue_capacity)
         self.sessions = {}
-        self._inc_disabled: set[str] = set()
+        self._inc_snapshots: dict[str, Any] = {}
         self._last_inc_macs = 0
 
         # Pre-create every per-run series so snapshots carry the full
@@ -453,12 +473,34 @@ class StreamingExecutor:
                         "fallbacks",
                         "fast-path trips recomputed windowed on the same stage",
                     ),
+                    (
+                        "refusals",
+                        "eligible windows the open fast-path breaker refused",
+                    ),
+                    (
+                        "restores",
+                        "sessions restored from their last good checkpoint",
+                    ),
                 )
             }
             for stage in self.stages
             if self.serve_mode == "event"
             and stage.pipeline is not None
             and stage.pipeline.supports_incremental
+        }
+        # One probation breaker per fast-path stage, separate from the
+        # stage breakers so ``report.breaker_states`` (and window-mode
+        # behaviour) is untouched.  Closed-state allow() touches no rng,
+        # so a healthy run stays bitwise identical to the pre-probation
+        # executor.
+        self.inc_breakers = {
+            name: CircuitBreaker(
+                f"{name}:incremental",
+                self.fastpath_policy,
+                self.seed,
+                on_transition=self._on_transition,
+            )
+            for name in self._inc_m
         }
 
         report = StreamReport(window_us=self.window_us, ledger=_InstrumentedLedger(obs))
@@ -469,32 +511,77 @@ class StreamingExecutor:
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
-    def _fast_path_eligible(self, stage: StreamStage, num_events: int) -> bool:
+    def _fast_path_eligible(
+        self, stage: StreamStage, num_events: int, index: int
+    ) -> bool:
         """Should this window go through the stage's per-event session?
 
         Windows larger than the pipeline's ``incremental_capacity`` are
         served windowed: beyond it windowed ``predict`` subsamples its
         input, so the fast path would no longer be exactly equivalent.
         Empty windows are served windowed too, matching window mode.
+        Otherwise-eligible windows the probation breaker refuses are
+        counted as refusals and served windowed; half-open probes
+        re-enable a tripped fast path.
         """
-        if stage.name not in self._inc_m or stage.name in self._inc_disabled:
+        if stage.name not in self._inc_m:
             return False
         if num_events == 0:
             return False
         cap = stage.pipeline.incremental_capacity
-        return cap is None or num_events <= cap
+        if cap is not None and num_events > cap:
+            return False
+        if not self.inc_breakers[stage.name].allow(index):
+            self._inc_m[stage.name]["refusals"].inc()
+            return False
+        return True
 
     def _serve_incremental(self, stage: StreamStage, window: EventStream) -> Any:
         """Feed one window event by event; decide at the boundary."""
         session = self.sessions.get(stage.name)
         if session is None:
-            session = self.sessions[stage.name] = stage.pipeline.open_session()
+            # Call open_session() bare unless kwargs were given: stages
+            # may wrap pipelines whose open_session takes no kwargs.
+            if self.session_kwargs:
+                session = stage.pipeline.open_session(**self.session_kwargs)
+            else:
+                session = stage.pipeline.open_session()
+            self.sessions[stage.name] = session
         session.reset()
         before = session.macs_total
         for t, x, y, p in zip(window.t, window.x, window.y, window.p):
             session.process_event(int(x), int(y), int(t), int(p))
         self._last_inc_macs = int(session.macs_total - before)
         return session.predict()
+
+    def _checkpoint_session(self, stage: StreamStage) -> None:
+        """Record the session's state after a successful window."""
+        session = self.sessions.get(stage.name)
+        if session is None:
+            return
+        try:
+            self._inc_snapshots[stage.name] = session.snapshot()
+        except NotImplementedError:
+            pass  # session type has no checkpoint support
+
+    def _recover_session(self, stage: StreamStage) -> None:
+        """Roll the session back to its last good checkpoint, or drop it.
+
+        Restoring (rather than always reopening) preserves per-session
+        counters such as ``macs_total`` and keeps recovery O(state)
+        instead of O(retrain-free reopen + warmup).
+        """
+        session = self.sessions.get(stage.name)
+        snap = self._inc_snapshots.get(stage.name)
+        if session is not None and snap is not None:
+            try:
+                session.restore(snap)
+                self._inc_m[stage.name]["restores"].inc()
+                return
+            except Exception:
+                pass  # corrupt checkpoint or session: fall through to drop
+        self.sessions.pop(stage.name, None)
+        self._inc_snapshots.pop(stage.name, None)
 
     def _serve(self, ticket: WindowTicket, start_us: float, report: StreamReport) -> None:
         """Run one window through the fallback chain at virtual ``start_us``."""
@@ -509,7 +596,7 @@ class StreamingExecutor:
                     continue
                 m = self._stage_m[stage.name]
                 num_events = len(ticket.stream)
-                if self._fast_path_eligible(stage, num_events):
+                if self._fast_path_eligible(stage, num_events, ticket.index):
                     cost = self.service.incremental_us(num_events)
                     m["calls"].inc()
                     m["busy_us"].inc(cost)
@@ -523,21 +610,31 @@ class StreamingExecutor:
                     ok = result.ok and not is_bad_output(result.value)
                     obs.stage_end(stage.name, ticket.index, ok=ok)
                     inc = self._inc_m[stage.name]
+                    inc_breaker = self.inc_breakers[stage.name]
                     if ok:
                         breaker.record_success(ticket.index)
+                        inc_breaker.record_success(ticket.index)
                         m["successes"].inc()
                         inc["windows"].inc()
                         inc["events"].inc(num_events)
                         inc["macs"].inc(self._last_inc_macs)
+                        self._checkpoint_session(stage)
                         value, served_by = result.value, stage.name
                         break
-                    # The fast path is now suspect: disable it for the
-                    # rest of the run and recompute this window through
-                    # the stage's windowed predict.  Failure and breaker
+                    # The fast path is now suspect: put it on probation
+                    # (its breaker opens after fastpath_policy's failure
+                    # threshold, then re-enables via half-open probes),
+                    # roll its session back to the last good checkpoint,
+                    # and recompute this window through the stage's
+                    # windowed predict.  Stage-level failure and breaker
                     # bookkeeping belong to that windowed attempt, so
-                    # breaker semantics match window mode exactly.
-                    self._inc_disabled.add(stage.name)
-                    self.sessions.pop(stage.name, None)
+                    # stage-breaker semantics match window mode exactly.
+                    inc_breaker.record_failure(
+                        ticket.index,
+                        nan_output=result.ok,
+                        reason=result.error_message or result.error_type,
+                    )
+                    self._recover_session(stage)
                     inc["fallbacks"].inc()
                 cost = self.service.service_us(num_events)
                 m["calls"].inc()
@@ -785,6 +882,12 @@ class StreamingExecutor:
         )
         report.incremental_fallbacks = sum(
             int(m["fallbacks"].value) for m in self._inc_m.values()
+        )
+        report.incremental_refusals = sum(
+            int(m["refusals"].value) for m in self._inc_m.values()
+        )
+        report.incremental_restores = sum(
+            int(m["restores"].value) for m in self._inc_m.values()
         )
 
     def snapshot(self) -> dict[str, Any]:

@@ -105,6 +105,10 @@ class StreamReport:
             they do not change the conservation identities.
         incremental_fallbacks: fast-path trips that were recomputed
             through the windowed path on the same stage.
+        incremental_refusals: otherwise-eligible windows the open
+            fast-path probation breaker refused (served windowed).
+        incremental_restores: fast-path sessions rolled back to their
+            last good checkpoint after a trip.
     """
 
     window_us: int
@@ -132,6 +136,8 @@ class StreamReport:
     incremental_events: int = 0
     incremental_macs: int = 0
     incremental_fallbacks: int = 0
+    incremental_refusals: int = 0
+    incremental_restores: int = 0
 
     # ------------------------------------------------------------------
     # Derived health metrics
@@ -254,4 +260,6 @@ class StreamReport:
             "incremental_events": self.incremental_events,
             "incremental_macs": self.incremental_macs,
             "incremental_fallbacks": self.incremental_fallbacks,
+            "incremental_refusals": self.incremental_refusals,
+            "incremental_restores": self.incremental_restores,
         }

@@ -51,6 +51,8 @@ def scrubbed(report):
         "incremental_events",
         "incremental_macs",
         "incremental_fallbacks",
+        "incremental_refusals",
+        "incremental_restores",
     ):
         d.pop(key)
     return d
@@ -128,7 +130,11 @@ class TestSessionAPI:
         session = gnn.open_session()
         reports = session.process_stream(dataset.samples[0].stream[:10])
         assert session.macs_total == sum(r.macs for r in reports)
+        assert session.num_events == len(reports)
+        # The documented counter contract: num_events is per-window
+        # (cleared by reset), macs_total is per-session (it survives).
         session.reset()
+        assert session.num_events == 0
         assert session.macs_total == sum(r.macs for r in reports)  # lifetime
 
 
@@ -223,9 +229,13 @@ class TestExecutorEventMode:
         stream = dataset.samples[0].stream
         r_win, _ = self._run(gnn, stream, "window")
         r_evt, _ = self._run(broken, stream, "event")
-        # The first window trips the fast path once; every window is
-        # still served by the GNN stage through windowed recompute.
-        assert r_evt.incremental_fallbacks == 1
+        # Every attempt trips the fast path until its probation breaker
+        # opens at the policy threshold; the open breaker then refuses
+        # the remaining eligible windows.  Either way each window is
+        # served by the GNN stage through windowed recompute.
+        threshold = BreakerPolicy().failure_threshold
+        assert r_evt.incremental_fallbacks == threshold
+        assert r_evt.incremental_refusals == r_evt.processed - threshold
         assert r_evt.incremental_windows == 0
         assert r_evt.predictions == r_win.predictions
         assert r_evt.served_by == {"GNN": r_evt.processed}
@@ -252,7 +262,12 @@ class TestExecutorEventMode:
             fallbacks=[("backup", count_mod)],
             breaker_policy=BreakerPolicy(failure_threshold=2, cooldown_calls=50),
         )
-        assert report.incremental_fallbacks == 1  # then disabled for the run
+        # The fast path trips until its probation breaker opens at the
+        # shared threshold; by then the stage breaker (fed by the failing
+        # windowed recomputes) is open too, so later windows never reach
+        # the fast-path gate — no refusals are charged.
+        assert report.incremental_fallbacks == 2
+        assert report.incremental_refusals == 0
         assert report.served_by == {"backup": report.processed}
         assert report.processed == report.offered
         assert any(

@@ -40,6 +40,8 @@ from bench_async_inference import (  # noqa: E402
     DEFAULT_N,
     QUICK_N,
     bench_async_inference,
+    bench_bounded_inference,
+    format_bounded_table,
     format_table,
 )
 from repro.observability import (  # noqa: E402
@@ -79,6 +81,23 @@ def main(argv: list[str] | None = None) -> int:
         "--n", type=int, default=None, help="window size in events (overrides mode)"
     )
     parser.add_argument("--seed", type=int, default=0, help="stream seed")
+    parser.add_argument(
+        "--bounded",
+        action="store_true",
+        help="also benchmark bounded-state mode (drift + peak state vs exact)",
+    )
+    parser.add_argument(
+        "--bounded-n",
+        type=int,
+        default=None,
+        help="stream length of the bounded-mode run (defaults to --n)",
+    )
+    parser.add_argument(
+        "--capacity",
+        type=int,
+        default=4096,
+        help="max_live_nodes budget of the bounded-mode run",
+    )
     parser.add_argument(
         "--output",
         type=Path,
@@ -130,6 +149,28 @@ def main(argv: list[str] | None = None) -> int:
     else:
         data = {"runs": []}
     data["runs"].append(run)
+
+    if args.bounded:
+        bounded_n = args.bounded_n if args.bounded_n is not None else n
+        bounded = bench_bounded_inference(
+            bounded_n, capacity=args.capacity, seed=args.seed
+        )
+        print(format_bounded_table(bounded))
+        if not bounded["bounded_state_flat"]:
+            failures.append(
+                "bounded-state footprint still grew over the final third "
+                f"of a {bounded_n}-event stream (capacity {args.capacity})"
+            )
+        data["runs"].append(
+            {
+                "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+                "git_rev": git_revision(),
+                "quick": bool(args.quick),
+                "seed": args.seed,
+                **bounded,
+            }
+        )
+
     args.output.write_text(json.dumps(data, indent=2) + "\n")
     print(f"run record -> {args.output}")
 
