@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Serving capacity curves: sustained tenants vs. delivered-at-SLO.
+
+The "million-user day" question, compressed: as the requested tenant
+mix grows past the admission pool, how much of each architecture's day
+is still delivered within SLO — fault-free and under the canonical
+chaos schedule?  The sweep runs the 2x2 chaos replay at each mix size
+and records, per architecture,
+
+* how many tenants admission sustains (the fair-share knee — shares
+  thin as the mix grows until the SLO-feasibility check starts
+  refusing),
+* the fleet delivered-at-SLO fraction with and without chaos,
+* the worst non-targeted tenant delta (the cross-tenant coupling the
+  bulkheads are supposed to remove — exactly 0 for the isolated
+  fleet, measurably negative for the shared baseline).
+
+Each invocation appends one run record (timestamp, git revision,
+curves, wall-clock) to ``BENCH_serving.json`` at the repository root,
+so successive PRs can see whether isolation still holds and what it
+costs.
+
+Usage:
+    python benchmarks/bench_serving_isolation.py            # full run
+    python benchmarks/bench_serving_isolation.py --quick    # CI-sized
+    python benchmarks/bench_serving_isolation.py --output /tmp/b.json
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serving import sweep_tenant_counts
+
+DEFAULT_COUNTS = (6, 12, 18, 24, 36)
+QUICK_COUNTS = (6, 12, 18)
+DEFAULT_WINDOWS = 60
+QUICK_WINDOWS = 40
+
+
+def bench_sweep(quick: bool, seed: int = 0) -> dict:
+    """Time the capacity sweep and fold in the curves."""
+    counts = QUICK_COUNTS if quick else DEFAULT_COUNTS
+    num_windows = QUICK_WINDOWS if quick else DEFAULT_WINDOWS
+    t0 = time.perf_counter()
+    bench = sweep_tenant_counts(counts, num_windows=num_windows, seed=seed)
+    elapsed = time.perf_counter() - t0
+    total_tenant_days = 4 * sum(counts)  # 2 modes x {fault-free, chaos}
+    return {
+        "elapsed_s": elapsed,
+        "tenant_days_per_s": total_tenant_days / elapsed,
+        "config": bench["config"],
+        "curves": bench["curves"],
+    }
+
+
+def git_revision() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"sweep mix sizes {QUICK_COUNTS} at {QUICK_WINDOWS} windows (CI mode)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_serving.json",
+        help="trajectory file to append the run record to",
+    )
+    args = parser.parse_args(argv)
+
+    results = bench_sweep(args.quick, args.seed)
+    print(
+        f"swept {len(results['config']['tenant_counts'])} mix sizes in "
+        f"{results['elapsed_s']:.2f}s "
+        f"({results['tenant_days_per_s']:.0f} tenant-days/s)"
+    )
+    for mode in ("isolated", "shared"):
+        for point in results["curves"][mode]:
+            print(
+                f"  {mode:>8} N={point['tenants_requested']:>3}: "
+                f"admitted {point['tenants_admitted']:>3}, "
+                f"at-SLO {point['delivered_at_slo_fault_free']:.3f} -> "
+                f"{point['delivered_at_slo_chaos']:.3f} under chaos, "
+                f"nt-delta {point['max_non_targeted_delta']:.3f}"
+            )
+
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "git_rev": git_revision(),
+        "quick": args.quick,
+        "results": results,
+    }
+    trajectory = {"runs": []}
+    if args.output.exists():
+        try:
+            trajectory = json.loads(args.output.read_text())
+        except ValueError:
+            pass
+    trajectory.setdefault("runs", []).append(record)
+    args.output.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"appended run record to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,7 @@ from repro.streaming import (
     TransientOutage,
     make_bursty_stream,
     run_overload_demo,
+    validate_report,
 )
 
 DEFAULT_WINDOWS = 2000
@@ -73,8 +74,9 @@ def bench_overloaded_run(num_windows: int, seed: int = 0) -> dict:
     t0 = time.perf_counter()
     report = executor.run(stream, load_factor=1.0)
     elapsed = time.perf_counter() - t0
-    if report.accounting_errors():
-        raise AssertionError(f"accounting broken: {report.accounting_errors()}")
+    problems = validate_report(report)
+    if problems:
+        raise AssertionError(f"accounting broken: {problems}")
     return {
         "num_windows": num_windows,
         "num_events": report.offered_events,

@@ -490,10 +490,16 @@ class GNNIncrementalSession(IncrementalSession):
             overflow = bool(state["audit_overflow"])
             buf = state["audit_buffer"]
             parts = tuple(list(part) for part in buf)
-        except (KeyError, TypeError) as exc:
-            raise ValueError(f"malformed session checkpoint: {exc!r}") from exc
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                f"malformed {SESSION_SNAPSHOT_FORMAT!r} checkpoint "
+                f"(truncated or corrupt payload): {exc!r}"
+            ) from exc
         if len(parts) != 4 or len({len(part) for part in parts}) != 1:
-            raise ValueError("session checkpoint audit buffer is malformed")
+            raise ValueError(
+                f"malformed {SESSION_SNAPSHOT_FORMAT!r} checkpoint: "
+                "audit buffer must hold four equal-length columns"
+            )
         self._engine.restore(engine_state)
         self._window_index = window_index
         self._audit_this_window = audit_this_window

@@ -530,6 +530,8 @@ class AsyncEventGNN:
             live_start = int(state["live_start"])
             expired_total = int(state["expired_total"])
             last_t_us = state["last_t_us"]
+            if last_t_us is not None:
+                last_t_us = int(last_t_us)
             running_max = np.asarray(state["running_max"], dtype=np.float64)
             arrays = {
                 key: np.asarray(state[key], dtype=np.float64)
@@ -537,8 +539,11 @@ class AsyncEventGNN:
             }
             arrays["t"] = np.asarray(state["t"], dtype=np.int64)
             inserter = state["inserter"]
-        except (KeyError, TypeError) as exc:
-            raise ValueError(f"malformed checkpoint: {exc!r}") from exc
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                f"malformed {SNAPSHOT_FORMAT!r} checkpoint "
+                f"(truncated or corrupt payload): {exc!r}"
+            ) from exc
         if not 0 <= live_start <= count:
             raise ValueError(
                 f"checkpoint live range invalid: live_start={live_start}, "
@@ -596,7 +601,7 @@ class AsyncEventGNN:
         self._count = count
         self._live_start = live_start
         self._expired_total = expired_total
-        self._last_t_us = None if last_t_us is None else int(last_t_us)
+        self._last_t_us = last_t_us
         self._inserter = copy.deepcopy(inserter)
         self._inserter.min_live_id = live_start
         self._scores = None

@@ -26,7 +26,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from .export import SNAPSHOT_SCHEMA, to_json, to_prometheus, validate_snapshot
+from .export import (
+    SNAPSHOT_SCHEMA,
+    label_snapshot,
+    to_json,
+    to_prometheus,
+    validate_snapshot,
+)
 from .metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -48,6 +54,7 @@ __all__ = [
     "Tracer",
     "wall_clock_us",
     "SNAPSHOT_SCHEMA",
+    "label_snapshot",
     "to_json",
     "to_prometheus",
     "validate_snapshot",

@@ -46,6 +46,7 @@ from .sharding import (
     Cell,
     ParallelConfig,
     Shard,
+    balance_assignments,
     derive_seed,
     plan_shards,
     run_shards,
@@ -59,6 +60,7 @@ __all__ = [
     "Cell",
     "Shard",
     "plan_shards",
+    "balance_assignments",
     "derive_seed",
     "run_shards",
     "CacheConfig",

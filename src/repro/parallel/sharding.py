@@ -33,6 +33,7 @@ __all__ = [
     "Cell",
     "Shard",
     "ParallelConfig",
+    "balance_assignments",
     "derive_seed",
     "plan_shards",
     "run_shards",
@@ -155,6 +156,47 @@ def plan_shards(
         row = tuple(c for c in cells if c.paradigm == name)
         shards.append(Shard(len(shards), row))
     return tuple(shards)
+
+
+def balance_assignments(
+    weights: Sequence[tuple[str, float]], n_shards: int
+) -> dict[str, int]:
+    """Deterministic weight-balanced placement of items onto shards.
+
+    Longest-processing-time greedy: items are considered heaviest first
+    (ties broken by item id, then original order) and each goes to the
+    currently lightest shard (ties broken by lowest shard index).  The
+    result is a pure function of ``(weights, n_shards)`` — placement
+    never depends on execution order, which is what lets callers treat
+    the shard count as a pure computation partition.
+
+    Args:
+        weights: ``(item_id, weight)`` pairs; ids must be unique and
+            weights non-negative.
+        n_shards: number of shards (>= 1).
+
+    Returns:
+        item id → shard index in ``[0, n_shards)``.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    ids = [item_id for item_id, _ in weights]
+    if len(set(ids)) != len(ids):
+        raise ValueError("item ids must be unique")
+    for item_id, weight in weights:
+        if weight < 0:
+            raise ValueError(f"negative weight for {item_id!r}")
+    order = sorted(
+        range(len(weights)), key=lambda i: (-weights[i][1], weights[i][0], i)
+    )
+    loads = [0.0] * n_shards
+    assignment: dict[str, int] = {}
+    for i in order:
+        item_id, weight = weights[i]
+        shard = min(range(n_shards), key=lambda s: (loads[s], s))
+        assignment[item_id] = shard
+        loads[shard] += weight
+    return assignment
 
 
 def _fork_context() -> multiprocessing.context.BaseContext | None:

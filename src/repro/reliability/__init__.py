@@ -22,6 +22,7 @@ infrastructure so that measurement can run unattended:
   resilience cell).
 """
 
+from .backoff import ExponentialBackoff
 from .faults import (
     AERBitFlips,
     BurstyDrop,
@@ -69,6 +70,7 @@ from .sweep import (
 )
 
 __all__ = [
+    "ExponentialBackoff",
     "FaultModel",
     "FaultChain",
     "DeadPixels",

@@ -1,0 +1,112 @@
+"""Seeded exponential backoff with deterministic jitter.
+
+Retry pacing appears in two very different places in this codebase: the
+:class:`~repro.reliability.runner.StageGuard` sleeps between retries of
+a flaky stage, and the serving admission controller
+(:mod:`repro.serving`) hands refused tenants a *retry-after hint*
+without sleeping at all.  Both need the same schedule — exponential
+growth with a cap — and both need it deterministic, because every
+report in this repository must be byte-identical across identical
+seeded runs.
+
+Randomised jitter normally breaks that: its whole point is decorrelating
+clients.  :class:`ExponentialBackoff` squares the circle by deriving the
+jitter for retry ``k`` from a :class:`numpy.random.SeedSequence` keyed
+on ``(seed, k)`` — a pure function of the configuration, so two backoff
+instances with the same seed produce the same schedule while instances
+with different seeds (e.g. per-tenant seeds) stay decorrelated, which is
+what prevents a thundering herd of refused tenants from re-arriving in
+lockstep.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ExponentialBackoff"]
+
+
+@dataclass(frozen=True)
+class ExponentialBackoff:
+    """Deterministic exponential retry schedule with optional seeded jitter.
+
+    The delay before retry ``k`` (1-based) is::
+
+        min(base_s * factor**(k - 1), max_s) * (1 + jitter * u_k)
+
+    where ``u_k`` is a uniform draw in ``[0, 1)`` derived from
+    ``SeedSequence([seed, k])`` — deterministic per ``(seed, k)``, so the
+    schedule is reproducible yet decorrelated across seeds.  With
+    ``jitter=0`` (the default) the schedule is exactly the classic
+    ``base * factor**(k-1)`` ladder the :class:`StageGuard` has always
+    used.
+
+    Attributes:
+        base_s: delay before the first retry, in seconds.
+        factor: multiplicative growth per retry (>= 1).
+        max_s: cap on the un-jittered delay (jitter may exceed it by at
+            most ``jitter * max_s``).
+        jitter: jitter amplitude as a fraction of the delay, in [0, 1].
+        seed: base seed of the jitter stream.
+    """
+
+    base_s: float = 0.0
+    factor: float = 2.0
+    max_s: float = math.inf
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base_s < 0:
+            raise ValueError("base_s must be non-negative")
+        if self.factor < 1.0:
+            raise ValueError("factor must be >= 1")
+        if self.max_s <= 0:
+            raise ValueError("max_s must be positive")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(self, retry: int) -> float:
+        """Delay in seconds before retry ``retry`` (1-based).
+
+        A pure function of ``(self, retry)``: calling it repeatedly, out
+        of order, or from different processes yields identical values.
+        """
+        if retry < 1:
+            raise ValueError("retry must be >= 1")
+        if self.base_s == 0.0:
+            return 0.0
+        raw = min(self.base_s * self.factor ** (retry - 1), self.max_s)
+        if self.jitter == 0.0:
+            return raw
+        u = np.random.default_rng(
+            np.random.SeedSequence([self.seed & 0xFFFFFFFF, retry])
+        ).random()
+        return raw * (1.0 + self.jitter * u)
+
+    def delays(self, retries: int) -> list[float]:
+        """The first ``retries`` delays, in order (empty for 0)."""
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        return [self.delay(k) for k in range(1, retries + 1)]
+
+    def sleep(self, retry: int) -> float:
+        """Sleep for :meth:`delay` of retry ``retry``; returns the delay."""
+        d = self.delay(retry)
+        if d > 0:
+            time.sleep(d)
+        return d
+
+    def with_seed(self, seed: int) -> "ExponentialBackoff":
+        """A copy of this schedule with a different jitter seed."""
+        return ExponentialBackoff(
+            base_s=self.base_s,
+            factor=self.factor,
+            max_s=self.max_s,
+            jitter=self.jitter,
+            seed=seed,
+        )

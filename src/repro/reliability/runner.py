@@ -39,6 +39,7 @@ from ..events.stream import EventStream
 from ..nn.layers import Module
 from ..nn.serialization import load_state, save_state
 from ..observability import Instrumentation
+from .backoff import ExponentialBackoff
 from .faults import FaultModel, apply_fault
 
 __all__ = [
@@ -223,8 +224,12 @@ class StageGuard:
     Args:
         max_retries: extra attempts after a failed call (0 = fail
             immediately on first error).
-        backoff_s: base sleep before retry ``k`` (scaled by ``2**k``);
+        backoff_s: base sleep before retry ``k`` (scaled by ``2**k``
+            through a shared :class:`ExponentialBackoff` schedule);
             0 retries immediately.
+        backoff: optional explicit :class:`ExponentialBackoff` schedule;
+            overrides ``backoff_s`` when given (``backoff_s`` then
+            reports the schedule's base delay).
         timeout_s: wall-clock budget per call (None = no timeout).  A
             timed-out call keeps running on its daemon worker thread but
             its result is discarded — skip-and-record, never hang.
@@ -245,6 +250,7 @@ class StageGuard:
         *,
         max_retries: int = 1,
         backoff_s: float = 0.0,
+        backoff: ExponentialBackoff | None = None,
         timeout_s: float | None = None,
         instrumentation: Instrumentation | None = None,
         clock: Callable[[], float] | None = None,
@@ -256,10 +262,17 @@ class StageGuard:
         if timeout_s is not None and timeout_s <= 0:
             raise ValueError("timeout_s must be positive")
         self.max_retries = max_retries
-        self.backoff_s = backoff_s
+        self.backoff = (
+            backoff if backoff is not None else ExponentialBackoff(base_s=backoff_s)
+        )
         self.timeout_s = timeout_s
         self.instrumentation = instrumentation
         self.clock = clock if clock is not None else time.monotonic
+
+    @property
+    def backoff_s(self) -> float:
+        """Base delay of the retry schedule (back-compat accessor)."""
+        return self.backoff.base_s
 
     def _call_with_timeout(self, fn: Callable[[], Any]) -> Any:
         """Run ``fn``, enforcing the wall-clock timeout.
@@ -371,8 +384,8 @@ class StageGuard:
                 )
             except Exception as exc:
                 last_exc = exc
-                if attempts <= self.max_retries and self.backoff_s > 0:
-                    time.sleep(self.backoff_s * 2 ** (attempts - 1))
+                if attempts <= self.max_retries:
+                    self.backoff.sleep(attempts)
         return StageResult(
             name=name,
             ok=False,
@@ -415,6 +428,7 @@ class HardenedRunner:
         *,
         max_retries: int = 1,
         backoff_s: float = 0.0,
+        backoff: ExponentialBackoff | None = None,
         stage_timeout_s: float | None = None,
         checkpoint_path: str | Path | None = None,
         instrumentation: Instrumentation | None = None,
@@ -423,6 +437,7 @@ class HardenedRunner:
         self._guard = StageGuard(
             max_retries=max_retries,
             backoff_s=backoff_s,
+            backoff=backoff,
             timeout_s=stage_timeout_s,
             instrumentation=instrumentation,
             clock=clock,

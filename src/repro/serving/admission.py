@@ -1,0 +1,211 @@
+"""Admission control and deterministic weighted fair sharing.
+
+The fleet is a fixed pool of virtual serving capacity; admission
+decides which requested tenants get a slice and how big.  The sharing
+discipline is deliberately the *fluid* (generalized-processor-sharing)
+one:
+
+* every requested tenant's share is ``weight / total_weight *
+  capacity``, where ``total_weight`` sums over the **full requested
+  mix** — so shares are a pure function of the mix, independent of
+  admission order, co-tenant behaviour and shard placement;
+* a tenant is admitted only if its granted rate can sustain its window
+  stream (service per window <= window length at the granted rate)
+  *and* meet its latency SLO — a tenant that could never keep up is
+  refused up front instead of admitted into guaranteed expiry;
+* refusals carry a seeded, jittered retry-after hint from the shared
+  :class:`~repro.reliability.backoff.ExponentialBackoff` (the same
+  machinery the hardened runner retries with), so a polite client
+  population spreads its re-admission attempts deterministically.
+
+The static share is the bulkhead trade-off: unused capacity of an idle
+tenant is *not* redistributed (non-work-conserving), in exchange for
+per-tenant virtual timelines that are bit-identical whether the tenant
+runs alone or alongside a thousand others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..parallel import derive_seed
+from ..reliability import ExponentialBackoff
+from .router import ParadigmProfile
+from .tenancy import SLOClass, TenantSpec
+
+__all__ = ["AdmissionPolicy", "AdmissionResult", "AdmissionController"]
+
+#: Default retry-hint generator: 0.5 s base, doubling, capped at 30 s,
+#: with 50% seeded jitter to decorrelate the refused population.
+_DEFAULT_BACKOFF = ExponentialBackoff(
+    base_s=0.5, factor=2.0, max_s=30.0, jitter=0.5
+)
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Fleet-wide admission knobs.
+
+    Attributes:
+        capacity: virtual pool capacity in executor-equivalents (the
+            total rate shared out; a policy constant, never derived
+            from the shard count).
+        max_tenants: hard cap on admitted tenants.
+        backoff: retry-hint schedule attached to refusals; per-tenant
+            seeded, so hints are deterministic yet decorrelated.
+        retry_hints: how many retry delays a refusal enumerates.
+    """
+
+    capacity: float = 16.0
+    max_tenants: int = 1024
+    backoff: ExponentialBackoff = _DEFAULT_BACKOFF
+    retry_hints: int = 3
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if self.max_tenants < 1:
+            raise ValueError("max_tenants must be >= 1")
+        if self.retry_hints < 1:
+            raise ValueError("retry_hints must be >= 1")
+
+
+@dataclass(frozen=True)
+class AdmissionResult:
+    """One tenant's admission verdict.
+
+    Attributes:
+        tenant_id: the considered tenant.
+        admitted: whether the tenant got a slice.
+        granted_share: fair share of the pool (executor-equivalents);
+            also set on refusals, as the share the tenant *would* get.
+        demand: unscaled service time per window over the window length
+            (the executor-equivalents the tenant actually needs).
+        est_latency_us: estimated per-window latency at the granted
+            share.
+        reason: human-readable verdict explanation.
+        retry_after_s: seeded jittered first-retry hint (refusals
+            only).
+        retry_hints_s: the full enumerated retry schedule (refusals
+            only).
+    """
+
+    tenant_id: str
+    admitted: bool
+    granted_share: float
+    demand: float
+    est_latency_us: float
+    reason: str
+    retry_after_s: float | None = None
+    retry_hints_s: tuple[float, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form."""
+        return {
+            "tenant_id": self.tenant_id,
+            "admitted": self.admitted,
+            "granted_share": self.granted_share,
+            "demand": self.demand,
+            "est_latency_us": self.est_latency_us,
+            "reason": self.reason,
+            "retry_after_s": self.retry_after_s,
+            "retry_hints_s": list(self.retry_hints_s),
+        }
+
+
+@dataclass
+class AdmissionController:
+    """Considers tenants in mix order against one admission policy.
+
+    Args:
+        policy: the fleet's admission knobs.
+        total_weight: summed resolved weight of the full requested mix
+            (refused tenants included — shares must not depend on who
+            else happened to be refused).
+
+    Attributes:
+        admitted: tenant ids admitted so far, in consideration order.
+        refused: tenant ids refused so far, in consideration order.
+    """
+
+    policy: AdmissionPolicy
+    total_weight: float
+    admitted: list[str] = field(default_factory=list)
+    refused: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.total_weight <= 0:
+            raise ValueError("total_weight must be positive")
+
+    def share_of(self, tenant: TenantSpec, slo: SLOClass) -> float:
+        """The tenant's fair rate share of the pool."""
+        return (
+            tenant.resolved_weight(slo) / self.total_weight * self.policy.capacity
+        )
+
+    def consider(
+        self,
+        tenant: TenantSpec,
+        slo: SLOClass,
+        profile: ParadigmProfile,
+        window_us: int,
+    ) -> AdmissionResult:
+        """Admit or refuse one tenant at its fair share.
+
+        Admission requires, at the granted share ``s``:
+
+        * **sustainability** — ``service_us(events) / s <= window_us``
+          (the tenant's stream can be drained at real-time rate);
+        * **SLO feasibility** — ``service_us(events) / s <=
+          latency_slo_us`` (an unqueued window meets the SLO);
+        * the :attr:`AdmissionPolicy.max_tenants` cap.
+
+        Refusals get a deterministic retry schedule seeded from the
+        tenant's own seed.
+        """
+        share = self.share_of(tenant, slo)
+        service_us = profile.service_us(tenant.events_per_window)
+        demand = service_us / window_us
+        est_latency_us = service_us / share if share > 0 else float("inf")
+        reason = ""
+        if len(self.admitted) >= self.policy.max_tenants:
+            reason = f"tenant cap {self.policy.max_tenants} reached"
+        elif est_latency_us > window_us:
+            reason = (
+                f"unsustainable: needs {demand:.3f} executor-equivalents, "
+                f"granted {share:.3f}"
+            )
+        elif est_latency_us > slo.latency_slo_us:
+            reason = (
+                f"SLO-infeasible: {est_latency_us:.0f}us per window at share "
+                f"{share:.3f} > SLO {slo.latency_slo_us:.0f}us"
+            )
+        if reason:
+            self.refused.append(tenant.tenant_id)
+            backoff = self.policy.backoff.with_seed(
+                derive_seed(tenant.seed, len(self.refused))
+            )
+            hints = tuple(backoff.delays(self.policy.retry_hints))
+            return AdmissionResult(
+                tenant_id=tenant.tenant_id,
+                admitted=False,
+                granted_share=share,
+                demand=demand,
+                est_latency_us=est_latency_us,
+                reason=reason,
+                retry_after_s=hints[0],
+                retry_hints_s=hints,
+            )
+        self.admitted.append(tenant.tenant_id)
+        return AdmissionResult(
+            tenant_id=tenant.tenant_id,
+            admitted=True,
+            granted_share=share,
+            demand=demand,
+            est_latency_us=est_latency_us,
+            reason=(
+                f"admitted at share {share:.3f} "
+                f"({est_latency_us:.0f}us/window, SLO {slo.latency_slo_us:.0f}us)"
+            ),
+        )

@@ -1,0 +1,797 @@
+"""The multi-tenant serving fleet: bulkheads, fair shares, failover.
+
+:class:`ServingFleet` admits a requested tenant mix, routes every
+tenant to a paradigm, and serves each tenant's synthetic day through
+:class:`~repro.streaming.executor.StreamingExecutor` machinery in one
+of two architectures:
+
+* **isolated** (the bulkhead design) — every admitted tenant gets its
+  own executor with a service model scaled to its granted fair share
+  (the fluid generalized-processor-sharing view), its own bounded
+  queue, shed controller and per-stage circuit breakers.  A tenant's
+  virtual timeline is then a pure function of ``(mix, seed, its own
+  chaos)`` — independent of co-tenants *and* of how tenants are placed
+  on shards, which is what makes fleet reports bit-identical at 1, 2
+  or 4 shards.  Tenant executors are placed on shards with
+  :func:`~repro.parallel.sharding.balance_assignments` and run via
+  :func:`~repro.parallel.sharding.run_shards`.
+* **shared** (the no-isolation baseline) — tenants routed to the same
+  primary paradigm are interleaved window-by-window into one executor
+  per paradigm group, with one shared queue, shared breakers, a shared
+  model and the group's summed share as capacity.  Per-tenant outcomes
+  are attributed back through profiling hooks.  This is the
+  architecture the chaos replay indicts: one tenant's flood evicts its
+  neighbours' windows, one tenant's corrupted session trips breakers
+  for everyone.
+
+Either way the fleet reconciles exactly: per-tenant ledgers partition
+each executor report's balanced accounting
+(:func:`~repro.streaming.report.validate_report`), per-tenant SLO
+attribution uses the report's ``window_latencies``, and the fleet's
+``serving_*`` metrics registry plus per-tenant labelled snapshots merge
+into one deterministic observability snapshot via
+:func:`~repro.observability.export.label_snapshot` and
+:func:`~repro.parallel.merge.merge_snapshots`.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..events import Resolution
+from ..observability import MetricsRegistry, ProfilingHooks, label_snapshot
+from ..observability.export import SNAPSHOT_SCHEMA
+from ..parallel import (
+    ParallelConfig,
+    balance_assignments,
+    derive_seed,
+    merge_snapshots,
+    run_shards,
+)
+from ..streaming import ServiceModel, StreamingExecutor, StreamReport, validate_report
+from ..streaming.executor import SHED_STAGE
+from .admission import AdmissionController, AdmissionPolicy, AdmissionResult
+from .chaos import (
+    STAGE_KINDS,
+    CallFault,
+    ChaosPredictor,
+    ChaosSchedule,
+    TenantModel,
+    make_tenant_windows,
+)
+from .router import PolicyRouter, RoutingDecision, fallback_chain
+from .tenancy import SLO_CLASSES, SLOClass, TenantSpec
+
+__all__ = ["TenantOutcome", "ServingReport", "ServingFleet"]
+
+#: Window-ledger keys, in partition order.
+_LEDGER_KEYS = ("offered", "processed", "expired", "shed", "failed")
+
+#: Terminal window outcomes (hook names) folded into each ledger key.
+_OUTCOME_TO_KEY = {
+    "processed": "processed",
+    "expired": "expired",
+    "shed": "shed",
+    "failed_ingest": "failed",
+    "failed_serve": "failed",
+}
+
+
+def _empty_ledger() -> dict[str, int]:
+    return {key: 0 for key in _LEDGER_KEYS}
+
+
+@dataclass
+class TenantOutcome:
+    """Everything the fleet knows about one requested tenant.
+
+    Attributes:
+        spec: the requested session.
+        slo: the tenant's resolved SLO class.
+        decision: paradigm routing (primary + failover chain).
+        admission: admission verdict with granted share / retry hints.
+        ledger: window partition — ``offered == processed + expired +
+            shed + failed`` (all zero for refused tenants).
+        slo_met / slo_missed: offered windows that did / did not
+            produce a prediction within the class latency SLO
+            (unserved windows count as missed, so ``met + missed ==
+            offered``).
+        failover_windows: processed windows served by a stage other
+            than the primary paradigm (fallback chain or last-good).
+        served_by: serving stage → windows it delivered.
+        chaos_windows: chaos kind → windows of this tenant it touched.
+        report: the tenant's own :class:`StreamReport` (isolated mode
+            only; shared-mode tenants are views over a group report).
+    """
+
+    spec: TenantSpec
+    slo: SLOClass
+    decision: RoutingDecision
+    admission: AdmissionResult
+    ledger: dict[str, int] = field(default_factory=_empty_ledger)
+    slo_met: int = 0
+    slo_missed: int = 0
+    failover_windows: int = 0
+    served_by: dict[str, int] = field(default_factory=dict)
+    chaos_windows: dict[str, int] = field(default_factory=dict)
+    report: StreamReport | None = None
+
+    @property
+    def delivered_at_slo(self) -> float:
+        """Fraction of offered windows delivered within the SLO."""
+        if self.ledger["offered"] == 0:
+            return 0.0
+        return self.slo_met / self.ledger["offered"]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form (tenant report included when owned)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "slo": self.slo.to_dict(),
+            "decision": self.decision.to_dict(),
+            "admission": self.admission.to_dict(),
+            "ledger": dict(self.ledger),
+            "slo_met": self.slo_met,
+            "slo_missed": self.slo_missed,
+            "delivered_at_slo": self.delivered_at_slo,
+            "failover_windows": self.failover_windows,
+            "served_by": dict(self.served_by),
+            "chaos_windows": dict(self.chaos_windows),
+            "report": None if self.report is None else self.report.to_dict(),
+        }
+
+
+@dataclass
+class ServingReport:
+    """The fleet-level account of one serving run.
+
+    Deliberately contains nothing placement-dependent: shard count and
+    backend never appear, so identical seeded runs serialise
+    byte-identically at any parallelism.
+
+    Attributes:
+        mode: ``"isolated"`` or ``"shared"``.
+        window_us / num_windows / seed / capacity / total_weight: run
+            configuration echoes.
+        tenants: tenant id → outcome, in requested-mix order.
+        group_reports: shared mode only — paradigm → the group
+            executor's report.
+    """
+
+    mode: str
+    window_us: int
+    num_windows: int
+    seed: int
+    capacity: float
+    total_weight: float
+    tenants: dict[str, TenantOutcome] = field(default_factory=dict)
+    group_reports: dict[str, StreamReport] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def admitted_ids(self) -> list[str]:
+        """Admitted tenant ids, in mix order."""
+        return [t for t, o in self.tenants.items() if o.admission.admitted]
+
+    @property
+    def refused_ids(self) -> list[str]:
+        """Refused tenant ids, in mix order."""
+        return [t for t, o in self.tenants.items() if not o.admission.admitted]
+
+    def group_members(self, paradigm: str) -> list[str]:
+        """Admitted tenants routed to ``paradigm`` as primary."""
+        return [
+            t
+            for t, o in self.tenants.items()
+            if o.admission.admitted and o.decision.primary == paradigm
+        ]
+
+    def aggregate(self) -> dict[str, Any]:
+        """Fleet-wide sums over admitted tenants."""
+        totals = _empty_ledger()
+        slo_met = slo_missed = failovers = 0
+        for outcome in self.tenants.values():
+            for key in _LEDGER_KEYS:
+                totals[key] += outcome.ledger[key]
+            slo_met += outcome.slo_met
+            slo_missed += outcome.slo_missed
+            failovers += outcome.failover_windows
+        offered = totals["offered"]
+        return {
+            **totals,
+            "slo_met": slo_met,
+            "slo_missed": slo_missed,
+            "failover_windows": failovers,
+            "admitted": len(self.admitted_ids),
+            "refused": len(self.refused_ids),
+            "delivered_at_slo": (slo_met / offered) if offered else 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    def validate(self) -> list[str]:
+        """Reconciliation problems across every accounting layer.
+
+        Checks, per tenant: the window-ledger partition, the SLO
+        partition, zero activity for refused tenants, and (isolated
+        mode) exact equality between the tenant ledger and its own
+        balanced :class:`StreamReport`.  Checks, per shared group: the
+        group report's own balance plus exact equality between the sum
+        of member ledgers and the group counters.  Empty means every
+        window the fleet was offered is accounted for exactly once.
+        """
+        problems: list[str] = []
+        for tid, outcome in self.tenants.items():
+            ledger = outcome.ledger
+            parts = sum(ledger[k] for k in _LEDGER_KEYS if k != "offered")
+            if parts != ledger["offered"]:
+                problems.append(
+                    f"{tid}: ledger partition {parts} != offered "
+                    f"{ledger['offered']}"
+                )
+            if outcome.slo_met + outcome.slo_missed != ledger["offered"]:
+                problems.append(
+                    f"{tid}: SLO partition {outcome.slo_met}+"
+                    f"{outcome.slo_missed} != offered {ledger['offered']}"
+                )
+            if not outcome.admission.admitted:
+                if any(ledger[k] for k in _LEDGER_KEYS):
+                    problems.append(f"{tid}: refused tenant has activity")
+                continue
+            if ledger["offered"] != self.num_windows:
+                problems.append(
+                    f"{tid}: offered {ledger['offered']} != "
+                    f"num_windows {self.num_windows}"
+                )
+            report = outcome.report
+            if report is not None:
+                problems.extend(validate_report(report, context=tid))
+                expected = {
+                    "offered": report.offered,
+                    "processed": report.processed,
+                    "expired": report.expired,
+                    "shed": report.shed_windows,
+                    "failed": report.failed,
+                }
+                if expected != ledger:
+                    problems.append(
+                        f"{tid}: ledger {ledger} != report counters {expected}"
+                    )
+            elif self.mode == "isolated":
+                problems.append(f"{tid}: admitted isolated tenant lacks a report")
+        for paradigm, report in self.group_reports.items():
+            context = f"group:{paradigm}"
+            problems.extend(validate_report(report, context=context))
+            members = self.group_members(paradigm)
+            sums = _empty_ledger()
+            for tid in members:
+                for key in _LEDGER_KEYS:
+                    sums[key] += self.tenants[tid].ledger[key]
+            expected = {
+                "offered": report.offered,
+                "processed": report.processed,
+                "expired": report.expired,
+                "shed": report.shed_windows,
+                "failed": report.failed,
+            }
+            if sums != expected:
+                problems.append(
+                    f"{context}: member ledgers {sums} != group counters "
+                    f"{expected}"
+                )
+        return problems
+
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical JSON-serialisable form (placement-independent)."""
+        return {
+            "mode": self.mode,
+            "window_us": self.window_us,
+            "num_windows": self.num_windows,
+            "seed": self.seed,
+            "capacity": self.capacity,
+            "total_weight": self.total_weight,
+            "aggregate": self.aggregate(),
+            "tenants": {t: o.to_dict() for t, o in self.tenants.items()},
+            "group_reports": {
+                p: r.to_dict() for p, r in self.group_reports.items()
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# Isolated-mode shard worker (module-level: picklable for process pools)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _TenantTask:
+    """Everything one tenant's bulkhead run needs, self-contained."""
+
+    index: int
+    spec: TenantSpec
+    decision: RoutingDecision
+    share: float
+    service_base_us: float
+    service_per_event_us: float
+    chaos_events: tuple
+    window_us: int
+    num_windows: int
+    resolution: Resolution
+    queue_capacity: int
+    deadline_us: float | None
+    diurnal_amplitude: float
+    seed: int
+    include_trace: bool
+
+
+def _run_tenant(task: _TenantTask) -> tuple[str, StreamReport, dict[str, Any]]:
+    """Serve one tenant's day in its own bulkhead executor."""
+    windows = make_tenant_windows(
+        task.spec,
+        num_windows=task.num_windows,
+        window_us=task.window_us,
+        resolution=task.resolution,
+        chaos_events=task.chaos_events,
+        diurnal_amplitude=task.diurnal_amplitude,
+    )
+    model = TenantModel(
+        task.decision.primary, seed=derive_seed(task.seed, task.index, 0)
+    )
+    faults = [
+        CallFault(e.kind, e.start_window, e.stop_window)
+        for e in task.chaos_events
+        if e.kind in STAGE_KINDS
+    ]
+    primary = (
+        task.decision.primary,
+        ChaosPredictor(
+            model,
+            faults,
+            window_us=task.window_us,
+            seed=derive_seed(task.seed, task.index, 1),
+        ),
+    )
+    fallbacks = [
+        (name, TenantModel(name, seed=derive_seed(task.seed, task.index, 2 + j)))
+        for j, name in enumerate(task.decision.fallbacks)
+    ]
+    executor = StreamingExecutor(
+        primary,
+        window_us=task.window_us,
+        fallbacks=fallbacks,
+        service=_scaled_service(
+            task.service_base_us, task.service_per_event_us, task.share
+        ),
+        queue_capacity=task.queue_capacity,
+        deadline_us=task.deadline_us,
+        seed=derive_seed(task.seed, task.index, 9),
+    )
+    report = executor.run(windows, load_factor=1.0)
+    snapshot = executor.snapshot()
+    if not task.include_trace:
+        snapshot = dict(snapshot)
+        snapshot["trace"] = []
+    return task.spec.tenant_id, report, snapshot
+
+
+def _scaled_service(base_us: float, per_event_us: float, share: float) -> ServiceModel:
+    if share <= 0:
+        raise ValueError("share must be positive")
+    return ServiceModel(base_us=base_us / share, per_event_us=per_event_us / share)
+
+
+def _run_tenant_shard(
+    tasks: Sequence[_TenantTask],
+) -> list[tuple[str, StreamReport, dict[str, Any]]]:
+    """Run one shard's tenants serially, in tenant-index order."""
+    return [_run_tenant(task) for task in tasks]
+
+
+class _WindowLog:
+    """Profiling-hook sink attributing shared-executor activity.
+
+    Records each arrival index's terminal outcome and the first stage
+    that successfully served it (shedding excluded) — the information
+    needed to fold one interleaved group report back into exact
+    per-tenant ledgers.
+    """
+
+    def __init__(self) -> None:
+        self.outcomes: dict[int, str] = {}
+        self.served: dict[int, str] = {}
+
+    def hooks(self) -> ProfilingHooks:
+        return ProfilingHooks(
+            on_stage_end=self._on_stage_end, on_window=self._on_window
+        )
+
+    def _on_window(self, index: int, outcome: str) -> None:
+        self.outcomes[index] = outcome
+
+    def _on_stage_end(self, stage: str, index: int, ok: bool) -> None:
+        if ok and index >= 0 and stage != SHED_STAGE and index not in self.served:
+            self.served[index] = stage
+
+
+class ServingFleet:
+    """Admits a tenant mix and serves it with or without bulkheads.
+
+    Args:
+        tenants: the requested mix, in order (ids must be unique).
+        window_us: serving window length.
+        num_windows: windows per tenant (the compressed "day").
+        resolution: sensor resolution of the synthetic workloads.
+        scorecard: routing scorecard; defaults to the paper-shaped
+            :data:`~repro.serving.router.DEFAULT_SCORECARD`.
+        policy: admission policy (pool capacity, caps, retry hints).
+        slo_classes: SLO class table; defaults to
+            :data:`~repro.serving.tenancy.SLO_CLASSES`.
+        chaos: optional fault schedule.
+        isolation: True → per-tenant bulkhead executors; False → one
+            shared executor per paradigm group (the baseline the chaos
+            replay degrades).
+        n_shards: shard count for isolated-mode placement.  A pure
+            computation partition: reports and snapshots are
+            bit-identical for any value.
+        parallel: execution backend for isolated-mode shards.
+        queue_capacity: per-bulkhead ingest queue bound (shared
+            executors scale it by group size).
+        deadline_us: window expiry age; ``None`` = executor default.
+        diurnal_amplitude: workload day-curve amplitude.
+        include_traces: keep per-executor trace trees in the merged
+            snapshot (disable for very large fleets).
+        seed: master seed; every stochastic quantity derives from it
+            and stable indices only.
+    """
+
+    def __init__(
+        self,
+        tenants: Sequence[TenantSpec],
+        *,
+        window_us: int = 10_000,
+        num_windows: int = 60,
+        resolution: Resolution = Resolution(64, 64),
+        scorecard: dict | None = None,
+        policy: AdmissionPolicy | None = None,
+        slo_classes: dict[str, SLOClass] | None = None,
+        chaos: ChaosSchedule | None = None,
+        isolation: bool = True,
+        n_shards: int = 1,
+        parallel: ParallelConfig | None = None,
+        queue_capacity: int = 16,
+        deadline_us: float | None = None,
+        diurnal_amplitude: float = 0.4,
+        include_traces: bool = True,
+        seed: int = 0,
+    ) -> None:
+        ids = [t.tenant_id for t in tenants]
+        if len(set(ids)) != len(ids):
+            raise ValueError("tenant ids must be unique")
+        if not tenants:
+            raise ValueError("tenants must be non-empty")
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.tenants = tuple(tenants)
+        self.window_us = int(window_us)
+        self.num_windows = int(num_windows)
+        self.resolution = resolution
+        self.router = PolicyRouter(scorecard)
+        self.policy = policy or AdmissionPolicy()
+        self.slo_classes = dict(slo_classes or SLO_CLASSES)
+        self.chaos = chaos or ChaosSchedule()
+        self.isolation = bool(isolation)
+        self.n_shards = int(n_shards)
+        self.parallel = parallel or ParallelConfig()
+        self.queue_capacity = int(queue_capacity)
+        self.deadline_us = deadline_us
+        self.diurnal_amplitude = float(diurnal_amplitude)
+        self.include_traces = bool(include_traces)
+        self.seed = int(seed)
+        self.registry: MetricsRegistry | None = None
+        self._snapshot: dict[str, Any] | None = None
+
+    # ------------------------------------------------------------------
+    def _slo_of(self, spec: TenantSpec) -> SLOClass:
+        try:
+            return self.slo_classes[spec.slo_class]
+        except KeyError:
+            raise ValueError(
+                f"{spec.tenant_id}: unknown SLO class {spec.slo_class!r} "
+                f"(have {sorted(self.slo_classes)})"
+            ) from None
+
+    def run(self) -> ServingReport:
+        """Admit, route and serve the mix; returns the reconciled report."""
+        slos = {t.tenant_id: self._slo_of(t) for t in self.tenants}
+        total_weight = sum(
+            t.resolved_weight(slos[t.tenant_id]) for t in self.tenants
+        )
+        controller = AdmissionController(self.policy, total_weight)
+        report = ServingReport(
+            mode="isolated" if self.isolation else "shared",
+            window_us=self.window_us,
+            num_windows=self.num_windows,
+            seed=self.seed,
+            capacity=self.policy.capacity,
+            total_weight=total_weight,
+        )
+        for spec in self.tenants:
+            slo = slos[spec.tenant_id]
+            decision = self.router.route(spec, slo)
+            admission = controller.consider(
+                spec, slo, self.router.scorecard[decision.primary], self.window_us
+            )
+            report.tenants[spec.tenant_id] = TenantOutcome(
+                spec=spec,
+                slo=slo,
+                decision=decision,
+                admission=admission,
+                chaos_windows=self.chaos.kind_windows(
+                    spec.tenant_id, self.num_windows
+                ),
+            )
+        if self.isolation:
+            labeled = self._run_isolated(report)
+        else:
+            labeled = self._run_shared(report)
+        self._build_registry(report)
+        fleet_snapshot = {
+            "schema": SNAPSHOT_SCHEMA,
+            "metrics": self.registry.snapshot(),
+            "trace": [],
+        }
+        self._snapshot = merge_snapshots([fleet_snapshot, *labeled])
+        return report
+
+    # ------------------------------------------------------------------
+    # Isolated mode: one bulkhead executor per admitted tenant
+    # ------------------------------------------------------------------
+    def _run_isolated(self, report: ServingReport) -> list[dict[str, Any]]:
+        tasks: list[_TenantTask] = []
+        for index, spec in enumerate(self.tenants):
+            outcome = report.tenants[spec.tenant_id]
+            if not outcome.admission.admitted:
+                continue
+            profile = self.router.scorecard[outcome.decision.primary]
+            tasks.append(
+                _TenantTask(
+                    index=index,
+                    spec=spec,
+                    decision=outcome.decision,
+                    share=outcome.admission.granted_share,
+                    service_base_us=profile.service_base_us,
+                    service_per_event_us=profile.service_per_event_us,
+                    chaos_events=self.chaos.for_tenant(spec.tenant_id),
+                    window_us=self.window_us,
+                    num_windows=self.num_windows,
+                    resolution=self.resolution,
+                    queue_capacity=self.queue_capacity,
+                    deadline_us=self.deadline_us,
+                    diurnal_amplitude=self.diurnal_amplitude,
+                    seed=self.seed,
+                    include_trace=self.include_traces,
+                )
+            )
+        placement = balance_assignments(
+            [(t.spec.tenant_id, t.share) for t in tasks], self.n_shards
+        )
+        shards = [
+            [t for t in tasks if placement[t.spec.tenant_id] == s]
+            for s in range(self.n_shards)
+        ]
+        results = run_shards(shards, _run_tenant_shard, self.parallel)
+        by_tenant = {
+            tid: (rep, snap) for shard in results for tid, rep, snap in shard
+        }
+        labeled: list[dict[str, Any]] = []
+        for task in tasks:  # mix order, not placement order
+            tid = task.spec.tenant_id
+            stream_report, snapshot = by_tenant[tid]
+            outcome = report.tenants[tid]
+            outcome.report = stream_report
+            outcome.ledger = {
+                "offered": stream_report.offered,
+                "processed": stream_report.processed,
+                "expired": stream_report.expired,
+                "shed": stream_report.shed_windows,
+                "failed": stream_report.failed,
+            }
+            slo_us = outcome.slo.latency_slo_us
+            outcome.slo_met = sum(
+                1
+                for latency in stream_report.window_latencies.values()
+                if latency <= slo_us
+            )
+            outcome.slo_missed = stream_report.offered - outcome.slo_met
+            outcome.served_by = dict(stream_report.served_by)
+            outcome.failover_windows = stream_report.processed - (
+                stream_report.served_by.get(outcome.decision.primary, 0)
+            )
+            labeled.append(
+                label_snapshot(snapshot, {"tenant": tid}, root=f"tenant:{tid}")
+            )
+        return labeled
+
+    # ------------------------------------------------------------------
+    # Shared mode: one executor per paradigm group (no bulkheads)
+    # ------------------------------------------------------------------
+    def _run_shared(self, report: ServingReport) -> list[dict[str, Any]]:
+        groups: dict[str, list[tuple[int, TenantSpec]]] = {}
+        for index, spec in enumerate(self.tenants):
+            outcome = report.tenants[spec.tenant_id]
+            if outcome.admission.admitted:
+                groups.setdefault(outcome.decision.primary, []).append(
+                    (index, spec)
+                )
+        labeled: list[dict[str, Any]] = []
+        for paradigm in sorted(groups):
+            members = groups[paradigm]
+            size = len(members)
+            member_windows = []
+            group_share = 0.0
+            for index, spec in members:
+                outcome = report.tenants[spec.tenant_id]
+                group_share += outcome.admission.granted_share
+                member_windows.append(
+                    make_tenant_windows(
+                        spec,
+                        num_windows=self.num_windows,
+                        window_us=self.window_us,
+                        resolution=self.resolution,
+                        chaos_events=self.chaos.for_tenant(spec.tenant_id),
+                        diurnal_amplitude=self.diurnal_amplitude,
+                    )
+                )
+            interleaved = [
+                member_windows[g][w]
+                for w in range(self.num_windows)
+                for g in range(size)
+            ]
+            # Stage faults land on the shared model; tenant attribution
+            # works by call stride, which drifts once shedding skips
+            # calls — an honest artifact of sharing the stage.
+            faults = []
+            for g, (index, spec) in enumerate(members):
+                for event in self.chaos.for_tenant(spec.tenant_id):
+                    if event.kind not in STAGE_KINDS:
+                        continue
+                    faults.append(
+                        CallFault(
+                            event.kind,
+                            event.start_window * size,
+                            event.stop_window * size,
+                            every=size if event.kind != "corrupt" else 1,
+                            offset=g if event.kind != "corrupt" else 0,
+                        )
+                    )
+            group_seed = derive_seed(
+                self.seed, zlib.crc32(paradigm.encode("utf-8"))
+            )
+            model = TenantModel(paradigm, seed=derive_seed(group_seed, 0))
+            primary = (
+                paradigm,
+                ChaosPredictor(model, faults, seed=derive_seed(group_seed, 1)),
+            )
+            fallbacks = [
+                (name, TenantModel(name, seed=derive_seed(group_seed, 2 + j)))
+                for j, name in enumerate(
+                    fallback_chain(self.router.scorecard, paradigm)
+                )
+            ]
+            profile = self.router.scorecard[paradigm]
+            log = _WindowLog()
+            executor = StreamingExecutor(
+                primary,
+                window_us=self.window_us,
+                fallbacks=fallbacks,
+                service=profile.service_model(group_share),
+                queue_capacity=self.queue_capacity * size,
+                deadline_us=self.deadline_us,
+                seed=derive_seed(group_seed, 9),
+                hooks=log.hooks(),
+            )
+            group_report = executor.run(interleaved, load_factor=float(size))
+            report.group_reports[paradigm] = group_report
+            snapshot = executor.snapshot()
+            if not self.include_traces:
+                snapshot = dict(snapshot)
+                snapshot["trace"] = []
+            labeled.append(
+                label_snapshot(
+                    snapshot, {"group": paradigm}, root=f"group:{paradigm}"
+                )
+            )
+            for g, (index, spec) in enumerate(members):
+                outcome = report.tenants[spec.tenant_id]
+                ledger = _empty_ledger()
+                served: dict[str, int] = {}
+                slo_met = 0
+                slo_us = outcome.slo.latency_slo_us
+                for w in range(self.num_windows):
+                    arrival = w * size + g
+                    ledger["offered"] += 1
+                    key = _OUTCOME_TO_KEY.get(log.outcomes.get(arrival, ""))
+                    if key is not None:
+                        ledger[key] += 1
+                    latency = group_report.window_latencies.get(arrival)
+                    if latency is not None and latency <= slo_us:
+                        slo_met += 1
+                    stage = log.served.get(arrival)
+                    if stage is not None and arrival in group_report.predictions:
+                        served[stage] = served.get(stage, 0) + 1
+                outcome.ledger = ledger
+                outcome.slo_met = slo_met
+                outcome.slo_missed = ledger["offered"] - slo_met
+                outcome.served_by = dict(sorted(served.items()))
+                outcome.failover_windows = ledger["processed"] - served.get(
+                    paradigm, 0
+                )
+        return labeled
+
+    # ------------------------------------------------------------------
+    # Fleet metrics + merged snapshot
+    # ------------------------------------------------------------------
+    def _build_registry(self, report: ServingReport) -> None:
+        reg = MetricsRegistry()
+        for outcome_name, count in (
+            ("admitted", len(report.admitted_ids)),
+            ("refused", len(report.refused_ids)),
+        ):
+            reg.counter(
+                "serving_tenants_total",
+                labels={"outcome": outcome_name},
+                help="requested tenants by admission outcome",
+            ).inc(count)
+        for tid, outcome in report.tenants.items():
+            for key in _LEDGER_KEYS:
+                reg.counter(
+                    "serving_windows_total",
+                    labels={"tenant": tid, "outcome": key},
+                    help="per-tenant window ledger (offered is the partition total)",
+                ).inc(outcome.ledger[key])
+            for slo_outcome, count in (
+                ("met", outcome.slo_met),
+                ("missed", outcome.slo_missed),
+            ):
+                reg.counter(
+                    "serving_slo_windows_total",
+                    labels={"tenant": tid, "outcome": slo_outcome},
+                    help="offered windows by SLO outcome (unserved windows miss)",
+                ).inc(count)
+            reg.counter(
+                "serving_failover_windows_total",
+                labels={"tenant": tid},
+                help="processed windows served off the primary paradigm",
+            ).inc(outcome.failover_windows)
+            for kind, count in sorted(outcome.chaos_windows.items()):
+                reg.counter(
+                    "serving_chaos_windows_total",
+                    labels={"tenant": tid, "kind": kind},
+                    help="scheduled chaos windows by kind",
+                ).inc(count)
+            reg.gauge(
+                "serving_granted_share",
+                labels={"tenant": tid},
+                help="granted fair rate share in executor-equivalents",
+            ).set(outcome.admission.granted_share)
+            if not outcome.admission.admitted:
+                reg.gauge(
+                    "serving_retry_after_s",
+                    labels={"tenant": tid},
+                    help="seeded retry-after hint handed to the refused tenant",
+                ).set(outcome.admission.retry_after_s or 0.0)
+        self.registry = reg
+
+    def snapshot(self) -> dict[str, Any]:
+        """The merged fleet observability snapshot of the latest run.
+
+        One deterministic snapshot: the fleet's ``serving_*`` registry
+        plus every executor's relabelled snapshot (per tenant in
+        isolated mode, per paradigm group in shared mode), merged in
+        mix order — placement-independent by construction.
+
+        Raises:
+            RuntimeError: before the first :meth:`run`.
+        """
+        if self._snapshot is None:
+            raise RuntimeError("snapshot() requires a completed run()")
+        return self._snapshot

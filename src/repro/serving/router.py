@@ -1,0 +1,290 @@
+"""Degradation-aware paradigm routing from the measured scorecard.
+
+The paper's Table I is usually read as a static comparison; here it
+becomes a *live routing policy*.  Each paradigm (SNN / CNN / GNN) is
+summarised as a :class:`ParadigmProfile` — accuracy, decision latency,
+energy efficiency and an analytic service-cost model — and the
+:class:`PolicyRouter` assigns every tenant a primary paradigm plus a
+degradation chain:
+
+* **primary** — the most accurate paradigm that satisfies the tenant's
+  SLO class (accuracy floor, energy floor, latency bound at the
+  tenant's event rate); ties break on energy efficiency, then name.
+* **fallbacks** — the remaining paradigms ordered cheapest-energy
+  first, which is exactly the executor's breaker-driven failover
+  order: when the primary's circuit breaker opens, windows re-route to
+  the cheapest healthy paradigm, and re-route back once the breaker's
+  seeded half-open probes re-close it.
+
+Profiles can come from :data:`DEFAULT_SCORECARD` (paper-representative
+figures) or from a measured comparison via
+:func:`scorecard_from_comparison`, making the router's policy exactly
+as good as the benchmark that feeds it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..streaming import ServiceModel
+from .tenancy import SLOClass, TenantSpec
+
+__all__ = [
+    "ParadigmProfile",
+    "DEFAULT_SCORECARD",
+    "scorecard_from_comparison",
+    "fallback_chain",
+    "RoutingDecision",
+    "PolicyRouter",
+]
+
+
+@dataclass(frozen=True)
+class ParadigmProfile:
+    """One paradigm's routing-relevant scorecard row.
+
+    Attributes:
+        paradigm: paradigm name ("SNN" / "CNN" / "GNN").
+        accuracy: classification accuracy in [0, 1].
+        energy_efficiency: classifications per joule (higher = cheaper).
+        service_base_us: fixed virtual cost of serving one window.
+        service_per_event_us: incremental virtual cost per event.
+    """
+
+    paradigm: str
+    accuracy: float
+    energy_efficiency: float
+    service_base_us: float
+    service_per_event_us: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.accuracy <= 1.0:
+            raise ValueError("accuracy must be in [0, 1]")
+        if self.energy_efficiency < 0:
+            raise ValueError("energy_efficiency must be >= 0")
+        if self.service_base_us < 0 or self.service_per_event_us < 0:
+            raise ValueError("service costs must be >= 0")
+
+    def service_us(self, events: int) -> float:
+        """Unscaled virtual service time of one window of ``events``."""
+        return self.service_base_us + self.service_per_event_us * events
+
+    def service_model(self, share: float = 1.0) -> ServiceModel:
+        """The tenant-scaled executor cost model.
+
+        A tenant granted rate share ``share`` of the pool serves each
+        window in ``service_us / share`` virtual microseconds — the
+        fluid (generalized-processor-sharing) view that makes every
+        tenant's timeline independent of co-tenants and shard count.
+        """
+        if share <= 0:
+            raise ValueError("share must be positive")
+        return ServiceModel(
+            base_us=self.service_base_us / share,
+            per_event_us=self.service_per_event_us / share,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form."""
+        return {
+            "paradigm": self.paradigm,
+            "accuracy": self.accuracy,
+            "energy_efficiency": self.energy_efficiency,
+            "service_base_us": self.service_base_us,
+            "service_per_event_us": self.service_per_event_us,
+        }
+
+
+#: Paper-representative scorecard: the CNN is the most accurate but
+#: costly per window; the SNN is energy-frugal but least accurate; the
+#: event-graph GNN is the low-latency middle ground (cheap per-event
+#: updates).  Calibrated so the built-in SLO classes each route to a
+#: different paradigm (gold → GNN, silver → CNN, bronze → SNN).
+DEFAULT_SCORECARD: dict[str, ParadigmProfile] = {
+    "SNN": ParadigmProfile(
+        "SNN",
+        accuracy=0.72,
+        energy_efficiency=5e5,
+        service_base_us=400.0,
+        service_per_event_us=25.0,
+    ),
+    "CNN": ParadigmProfile(
+        "CNN",
+        accuracy=0.90,
+        energy_efficiency=6e3,
+        service_base_us=900.0,
+        service_per_event_us=55.0,
+    ),
+    "GNN": ParadigmProfile(
+        "GNN",
+        accuracy=0.85,
+        energy_efficiency=8e4,
+        service_base_us=250.0,
+        service_per_event_us=6.0,
+    ),
+}
+
+
+def scorecard_from_comparison(
+    metrics: Mapping[str, Any],
+    *,
+    ops_per_us: float = 1e3,
+    nominal_events: int = 100,
+) -> dict[str, ParadigmProfile]:
+    """Build a routing scorecard from measured per-paradigm metrics.
+
+    Args:
+        metrics: paradigm name → an object exposing ``accuracy``,
+            ``latency`` (µs per decision), ``energy_efficiency``
+            (classifications/J) and ``num_operations`` — the fields of
+            :class:`repro.core.metrics.PipelineMetrics`, so a Table-I
+            run feeds the router directly.
+        ops_per_us: virtual throughput used to convert operation counts
+            into per-event service cost.
+        nominal_events: event count the measured latency is attributed
+            to when splitting it into base + per-event cost.
+
+    Returns:
+        Paradigm name → profile; paradigms whose metrics are missing or
+        non-finite fall back to their :data:`DEFAULT_SCORECARD` row.
+    """
+    import math
+
+    scorecard: dict[str, ParadigmProfile] = {}
+    for name, m in metrics.items():
+        default = DEFAULT_SCORECARD.get(name)
+        accuracy = getattr(m, "accuracy", float("nan"))
+        latency = getattr(m, "latency", float("nan"))
+        energy = getattr(m, "energy_efficiency", float("nan"))
+        ops = getattr(m, "num_operations", float("nan"))
+        if not all(map(math.isfinite, (accuracy, latency, energy, ops))):
+            if default is not None:
+                scorecard[name] = default
+            continue
+        per_event = max(0.0, (ops / ops_per_us) / max(nominal_events, 1))
+        base = max(0.0, latency - per_event * nominal_events)
+        scorecard[name] = ParadigmProfile(
+            paradigm=name,
+            accuracy=float(accuracy),
+            energy_efficiency=float(energy),
+            service_base_us=base,
+            service_per_event_us=per_event,
+        )
+    return scorecard
+
+
+def fallback_chain(
+    scorecard: Mapping[str, ParadigmProfile], primary: str
+) -> tuple[str, ...]:
+    """The degradation order behind ``primary``: cheapest energy first.
+
+    Ties break on paradigm name, so the chain is a pure function of the
+    scorecard.
+    """
+    rest = [p for name, p in sorted(scorecard.items()) if name != primary]
+    rest.sort(key=lambda p: (-p.energy_efficiency, p.paradigm))
+    return tuple(p.paradigm for p in rest)
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """One tenant's paradigm assignment.
+
+    Attributes:
+        tenant_id: the routed tenant.
+        primary: paradigm serving the tenant while healthy.
+        fallbacks: breaker-failover chain, cheapest energy first.
+        degraded: True when no paradigm met the tenant's policy and the
+            cheapest-latency paradigm was assigned best-effort.
+        reasons: per-paradigm eligibility notes, for explainability.
+    """
+
+    tenant_id: str
+    primary: str
+    fallbacks: tuple[str, ...]
+    degraded: bool = False
+    reasons: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form."""
+        return {
+            "tenant_id": self.tenant_id,
+            "primary": self.primary,
+            "fallbacks": list(self.fallbacks),
+            "degraded": self.degraded,
+            "reasons": list(self.reasons),
+        }
+
+
+class PolicyRouter:
+    """Assigns tenants a paradigm + degradation chain from a scorecard.
+
+    Args:
+        scorecard: paradigm name → :class:`ParadigmProfile`; defaults
+            to :data:`DEFAULT_SCORECARD`.
+    """
+
+    def __init__(
+        self, scorecard: Mapping[str, ParadigmProfile] | None = None
+    ) -> None:
+        table = dict(scorecard) if scorecard is not None else dict(DEFAULT_SCORECARD)
+        if not table:
+            raise ValueError("scorecard must contain at least one paradigm")
+        self.scorecard = table
+
+    def route(self, tenant: TenantSpec, slo: SLOClass) -> RoutingDecision:
+        """The routing decision for one tenant under its SLO class.
+
+        Eligibility at the tenant's nominal event rate: accuracy floor,
+        energy floor and the unscaled service latency against the SLO
+        bound (admission re-checks latency at the actually granted
+        share).  The primary is the most accurate eligible paradigm
+        (ties: higher energy efficiency, then name); when nothing is
+        eligible the cheapest-latency paradigm serves best-effort with
+        ``degraded=True``.
+        """
+        events = tenant.events_per_window
+        eligible: list[ParadigmProfile] = []
+        reasons: list[str] = []
+        for name in sorted(self.scorecard):
+            profile = self.scorecard[name]
+            latency = profile.service_us(events)
+            if profile.accuracy < slo.accuracy_floor:
+                reasons.append(
+                    f"{name}: accuracy {profile.accuracy:.2f} < floor "
+                    f"{slo.accuracy_floor:.2f}"
+                )
+            elif profile.energy_efficiency < slo.energy_floor:
+                reasons.append(
+                    f"{name}: energy efficiency {profile.energy_efficiency:.0f} "
+                    f"< floor {slo.energy_floor:.0f}"
+                )
+            elif latency > slo.latency_slo_us:
+                reasons.append(
+                    f"{name}: service {latency:.0f}us > SLO "
+                    f"{slo.latency_slo_us:.0f}us"
+                )
+            else:
+                reasons.append(f"{name}: eligible")
+                eligible.append(profile)
+        if eligible:
+            primary = max(
+                eligible,
+                key=lambda p: (p.accuracy, p.energy_efficiency, p.paradigm),
+            ).paradigm
+            degraded = False
+        else:
+            primary = min(
+                self.scorecard.values(),
+                key=lambda p: (p.service_us(events), p.paradigm),
+            ).paradigm
+            degraded = True
+            reasons.append(f"no eligible paradigm; degraded to {primary}")
+        return RoutingDecision(
+            tenant_id=tenant.tenant_id,
+            primary=primary,
+            fallbacks=fallback_chain(self.scorecard, primary),
+            degraded=degraded,
+            reasons=tuple(reasons),
+        )

@@ -1,0 +1,183 @@
+"""Tenant sessions and SLO classes of the multi-tenant serving layer.
+
+A *tenant* is one event-camera session admitted to the serving fleet: a
+sensor (or user) with its own event rate, its own service-level class
+and its own seeded synthetic workload.  The SLO class captures the
+three-way policy trade the paper's Table I makes measurable — latency
+SLO vs. energy budget vs. accuracy floor — as admission/routing
+constraints:
+
+* **gold** — interactive sessions: tight latency, high accuracy floor,
+  energy is someone else's problem; heaviest fair-share weight.
+* **silver** — quality-first sessions: relaxed latency, high accuracy
+  floor.
+* **bronze** — battery-powered sessions: lax latency, no accuracy
+  floor, but a hard energy-efficiency floor; lightest weight.
+
+Weights feed the fleet's deterministic fair sharing: a tenant's granted
+rate is ``weight / total_weight * pool_capacity``, a pure function of
+the requested tenant mix (see :mod:`~repro.serving.admission`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..parallel import derive_seed
+
+__all__ = ["SLOClass", "SLO_CLASSES", "TenantSpec", "make_tenant_mix"]
+
+
+@dataclass(frozen=True)
+class SLOClass:
+    """One service-level class: the policy knobs routing/admission obey.
+
+    Attributes:
+        name: class name ("gold" / "silver" / "bronze").
+        latency_slo_us: per-window arrival→completion latency bound; a
+            processed window slower than this counts as an SLO miss.
+        accuracy_floor: minimum scorecard accuracy a paradigm must
+            offer to be routing-eligible for this class.
+        energy_floor: minimum scorecard energy efficiency
+            (classifications per joule); 0 disables the constraint.
+        weight: fair-share weight in the fleet's rate allocation.
+    """
+
+    name: str
+    latency_slo_us: float
+    accuracy_floor: float = 0.0
+    energy_floor: float = 0.0
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.latency_slo_us <= 0:
+            raise ValueError("latency_slo_us must be positive")
+        if not 0.0 <= self.accuracy_floor <= 1.0:
+            raise ValueError("accuracy_floor must be in [0, 1]")
+        if self.energy_floor < 0:
+            raise ValueError("energy_floor must be >= 0")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form."""
+        return {
+            "name": self.name,
+            "latency_slo_us": self.latency_slo_us,
+            "accuracy_floor": self.accuracy_floor,
+            "energy_floor": self.energy_floor,
+            "weight": self.weight,
+        }
+
+
+#: The three built-in service classes.  Latency bounds assume the
+#: default 10 ms serving window; accuracy/energy floors are calibrated
+#: against :data:`~repro.serving.router.DEFAULT_SCORECARD` so that each
+#: class routes to a different paradigm (gold → GNN, silver → CNN,
+#: bronze → SNN) — the serving-layer restatement of the paper's
+#: dichotomy.
+SLO_CLASSES: dict[str, SLOClass] = {
+    "gold": SLOClass(
+        "gold", latency_slo_us=6_000.0, accuracy_floor=0.80, weight=4.0
+    ),
+    "silver": SLOClass(
+        "silver", latency_slo_us=20_000.0, accuracy_floor=0.80, weight=2.0
+    ),
+    "bronze": SLOClass(
+        "bronze", latency_slo_us=50_000.0, energy_floor=1e5, weight=1.0
+    ),
+}
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant session requested from the fleet.
+
+    Attributes:
+        tenant_id: unique tenant identifier.
+        slo_class: name of the tenant's :class:`SLOClass` (a key of the
+            fleet's class table, by default :data:`SLO_CLASSES`).
+        events_per_window: nominal event count per serving window; the
+            diurnal load model modulates around it.
+        weight: fair-share weight override; ``None`` inherits the SLO
+            class weight.
+        seed: seeds the tenant's synthetic workload.
+    """
+
+    tenant_id: str
+    slo_class: str = "silver"
+    events_per_window: int = 100
+    weight: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.tenant_id:
+            raise ValueError("tenant_id must be non-empty")
+        if self.events_per_window < 1:
+            raise ValueError("events_per_window must be >= 1")
+        if self.weight is not None and self.weight <= 0:
+            raise ValueError("weight must be positive")
+
+    def resolved_weight(self, slo: SLOClass) -> float:
+        """The fair-share weight this tenant contributes to the mix."""
+        return self.weight if self.weight is not None else slo.weight
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form."""
+        return {
+            "tenant_id": self.tenant_id,
+            "slo_class": self.slo_class,
+            "events_per_window": self.events_per_window,
+            "weight": self.weight,
+            "seed": self.seed,
+        }
+
+
+def make_tenant_mix(
+    num_tenants: int,
+    *,
+    seed: int = 0,
+    classes: tuple[str, ...] = ("gold", "silver", "bronze"),
+    events_range: tuple[int, int] = (60, 140),
+) -> tuple[TenantSpec, ...]:
+    """A deterministic synthetic tenant mix for replay and benchmarks.
+
+    Classes rotate round-robin so every mix exercises all three policy
+    corners; per-tenant event rates and workload seeds derive from
+    ``seed`` and the tenant index only, so the mix — like everything
+    downstream of it — is independent of shard count and execution
+    order.
+
+    Args:
+        num_tenants: number of tenants (>= 1).
+        seed: master seed of the mix.
+        classes: SLO class rotation.
+        events_range: inclusive bounds of the nominal per-window event
+            count.
+
+    Returns:
+        Tenant specs in id order (``t000-…``, ``t001-…``, ...).
+    """
+    if num_tenants < 1:
+        raise ValueError("num_tenants must be >= 1")
+    if not classes:
+        raise ValueError("classes must be non-empty")
+    lo, hi = events_range
+    if lo < 1 or hi < lo:
+        raise ValueError("events_range must satisfy 1 <= lo <= hi")
+    rng = np.random.default_rng(np.random.SeedSequence([seed & 0xFFFFFFFF]))
+    specs = []
+    for index in range(num_tenants):
+        cls = classes[index % len(classes)]
+        specs.append(
+            TenantSpec(
+                tenant_id=f"t{index:03d}-{cls}",
+                slo_class=cls,
+                events_per_window=int(rng.integers(lo, hi + 1)),
+                seed=derive_seed(seed, index),
+            )
+        )
+    return tuple(specs)

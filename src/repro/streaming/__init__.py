@@ -35,7 +35,7 @@ from .executor import (
     StreamStage,
 )
 from .queueing import BoundedWindowQueue, WindowTicket
-from .report import StageStats, StreamReport
+from .report import StageStats, StreamReport, validate_report
 from .shedding import (
     ShedController,
     ShedLedger,
@@ -75,6 +75,7 @@ __all__ = [
     "BoundedWindowQueue",
     "StageStats",
     "StreamReport",
+    "validate_report",
     "ServiceModel",
     "StreamStage",
     "StreamingExecutor",

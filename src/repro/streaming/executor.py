@@ -697,6 +697,7 @@ class StreamingExecutor:
             latency = self._clock - ticket.arrival_us
             self._latency.observe(latency)
             report.latencies_us.append(latency)
+            report.window_latencies[ticket.index] = latency
             report.predictions[ticket.index] = value
             obs.window(ticket.index, "processed")
 

@@ -23,7 +23,7 @@ import numpy as np
 from .breaker import BreakerTransition
 from .shedding import ShedLedger, ShedTier
 
-__all__ = ["StageStats", "StreamReport"]
+__all__ = ["StageStats", "StreamReport", "validate_report"]
 
 
 @dataclass
@@ -95,6 +95,9 @@ class StreamReport:
             :class:`~repro.streaming.shedding.TierTransition`).
         latencies_us: arrival→completion virtual latency per processed
             window.
+        window_latencies: window index → virtual latency (the same
+            samples as ``latencies_us``, keyed by window so per-tenant
+            SLO attribution can pick out individual windows).
         predictions: window index → delivered prediction.
         max_queue_depth: deepest the ingest queue got.
         duration_us: virtual time span of the run.
@@ -129,6 +132,7 @@ class StreamReport:
     breaker_states: dict[str, str] = field(default_factory=dict)
     tier_transitions: list[dict] = field(default_factory=list)
     latencies_us: list[float] = field(default_factory=list)
+    window_latencies: dict[int, float] = field(default_factory=dict)
     predictions: dict[int, Any] = field(default_factory=dict)
     max_queue_depth: int = 0
     duration_us: float = 0.0
@@ -263,3 +267,56 @@ class StreamReport:
             "incremental_refusals": self.incremental_refusals,
             "incremental_restores": self.incremental_restores,
         }
+
+
+def validate_report(report: StreamReport, context: str = "") -> list[str]:
+    """Check a report's balanced-accounting invariants, returning problems.
+
+    The single entry point every sweep tool and serving ledger calls
+    instead of re-asserting the identities ad hoc: window partition
+    (``processed + expired + shed_windows + failed == offered``), event
+    partition (including the shed ledger), the ``served_by`` breakdown,
+    plus basic sanity (no negative counters, one latency sample per
+    processed window).
+
+    Args:
+        report: the report to validate.
+        context: optional prefix (e.g. a tenant id) attached to every
+            problem string, so fleet-level validation stays attributable.
+
+    Returns:
+        Problem descriptions; empty when the report balances.
+    """
+    problems = list(report.accounting_errors())
+    for name in (
+        "offered",
+        "processed",
+        "expired",
+        "shed_windows",
+        "failed",
+        "offered_events",
+        "processed_events",
+        "expired_events",
+        "failed_events",
+    ):
+        value = getattr(report, name)
+        if value < 0:
+            problems.append(f"negative counter {name}={value}")
+    if len(report.latencies_us) != report.processed:
+        problems.append(
+            f"latency samples {len(report.latencies_us)} != "
+            f"processed {report.processed}"
+        )
+    if len(report.predictions) != report.processed:
+        problems.append(
+            f"predictions {len(report.predictions)} != "
+            f"processed {report.processed}"
+        )
+    if len(report.window_latencies) != len(report.latencies_us):
+        problems.append(
+            f"window_latencies {len(report.window_latencies)} != "
+            f"latency samples {len(report.latencies_us)}"
+        )
+    if context:
+        problems = [f"{context}: {p}" for p in problems]
+    return problems

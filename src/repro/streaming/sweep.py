@@ -37,7 +37,7 @@ from ..core.comparison import PARADIGMS, ComparisonResult, attach_overload
 from ..events.stream import EventStream, Resolution, EVENT_DTYPE
 from .breaker import BreakerPolicy
 from .executor import ServiceModel, StreamingExecutor
-from .report import StreamReport
+from .report import StreamReport, validate_report
 from .shedding import ShedPolicy
 
 __all__ = [
@@ -212,10 +212,11 @@ def degradation_violations(
                     f"{cur.delivered_fraction:.4f} (load {cur.load_factor})"
                 )
         for point in points:
-            for error in point.report.accounting_errors():
-                violations.append(
-                    f"{name} @ load {point.load_factor}: {error}"
+            violations.extend(
+                validate_report(
+                    point.report, context=f"{name} @ load {point.load_factor}"
                 )
+            )
     return violations
 
 

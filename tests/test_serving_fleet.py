@@ -1,0 +1,288 @@
+"""Unit tests for the multi-tenant serving layer's building blocks.
+
+Covers the tenancy/SLO table, the scorecard-as-policy router, the
+weighted-fair-share admission controller with its seeded retry hints,
+the chaos schedule machinery, and the fleet's exact accounting — the
+pieces :mod:`tests.test_serving_isolation` then exercises end to end.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.reliability import ExponentialBackoff
+from repro.serving import (
+    DEFAULT_SCORECARD,
+    SLO_CLASSES,
+    AdmissionController,
+    AdmissionPolicy,
+    ChaosEvent,
+    ChaosSchedule,
+    ParadigmProfile,
+    PolicyRouter,
+    ServingFleet,
+    SLOClass,
+    TenantSpec,
+    fallback_chain,
+    make_tenant_mix,
+)
+
+
+# ----------------------------------------------------------------------
+# Tenancy
+# ----------------------------------------------------------------------
+class TestTenancy:
+    def test_mix_is_deterministic_and_rotates_classes(self):
+        a = make_tenant_mix(9, seed=3)
+        b = make_tenant_mix(9, seed=3)
+        assert a == b
+        assert [t.slo_class for t in a[:3]] == ["gold", "silver", "bronze"]
+        assert len({t.tenant_id for t in a}) == 9
+        assert all(60 <= t.events_per_window <= 140 for t in a)
+
+    def test_mix_seed_changes_workloads_not_structure(self):
+        a = make_tenant_mix(6, seed=0)
+        b = make_tenant_mix(6, seed=1)
+        assert [t.slo_class for t in a] == [t.slo_class for t in b]
+        assert any(
+            x.events_per_window != y.events_per_window for x, y in zip(a, b)
+        )
+
+    def test_slo_class_validation(self):
+        with pytest.raises(ValueError):
+            SLOClass("bad", latency_slo_us=0.0)
+        with pytest.raises(ValueError):
+            SLOClass("bad", latency_slo_us=1e4, weight=0.0)
+
+    def test_weight_resolution_prefers_spec_override(self):
+        slo = SLO_CLASSES["gold"]
+        assert TenantSpec("a", "gold").resolved_weight(slo) == slo.weight
+        assert TenantSpec("a", "gold", weight=7.5).resolved_weight(slo) == 7.5
+
+
+# ----------------------------------------------------------------------
+# Router: the Table-I scorecard as a live policy
+# ----------------------------------------------------------------------
+class TestRouter:
+    def test_class_calibration(self):
+        """Gold chases latency+accuracy, silver accuracy, bronze energy."""
+        router = PolicyRouter()
+        expected = {"gold": "GNN", "silver": "CNN", "bronze": "SNN"}
+        for cls, paradigm in expected.items():
+            spec = TenantSpec(f"t-{cls}", cls, events_per_window=100)
+            decision = router.route(spec, SLO_CLASSES[cls])
+            assert decision.primary == paradigm, (cls, decision.reasons)
+            assert not decision.degraded
+
+    def test_fallbacks_ordered_by_energy_efficiency(self):
+        assert fallback_chain(DEFAULT_SCORECARD, "GNN") == ("SNN", "CNN")
+        assert fallback_chain(DEFAULT_SCORECARD, "SNN") == ("GNN", "CNN")
+
+    def test_impossible_floor_degrades_to_cheapest_latency(self):
+        slo = SLOClass("impossible", latency_slo_us=5e4, accuracy_floor=0.99)
+        decision = PolicyRouter().route(TenantSpec("t", "gold"), slo)
+        assert decision.degraded
+        best_latency = min(
+            DEFAULT_SCORECARD.values(), key=lambda p: p.service_us(100)
+        )
+        assert decision.primary == best_latency.paradigm
+
+    def test_profile_service_scaling(self):
+        profile = ParadigmProfile("X", 0.9, 1e4, 100.0, 10.0)
+        assert profile.service_us(10) == 200.0
+        model = profile.service_model(2.0)
+        assert model.base_us == 50.0 and model.per_event_us == 5.0
+
+
+# ----------------------------------------------------------------------
+# Admission: GPS shares + seeded retry hints
+# ----------------------------------------------------------------------
+class TestAdmission:
+    def _controller(self, total_weight, **kw):
+        return AdmissionController(AdmissionPolicy(**kw), total_weight)
+
+    def test_share_is_pure_function_of_mix(self):
+        """Shares depend on the full requested mix, not on refusals."""
+        spec = TenantSpec("t", "silver")
+        slo = SLO_CLASSES["silver"]
+        a = self._controller(10.0).share_of(spec, slo)
+        ctrl = self._controller(10.0)
+        ctrl.refused.extend(["x", "y"])  # refusals must not move shares
+        assert ctrl.share_of(spec, slo) == a
+
+    def test_unsustainable_refusal(self):
+        ctrl = self._controller(1000.0, capacity=1.0)  # tiny share
+        spec = TenantSpec("t", "silver", events_per_window=140)
+        result = ctrl.consider(
+            spec, SLO_CLASSES["silver"], DEFAULT_SCORECARD["CNN"], 10_000
+        )
+        assert not result.admitted
+        assert "unsustainable" in result.reason
+        assert result.retry_after_s == result.retry_hints_s[0] > 0
+
+    def test_slo_infeasible_refusal(self):
+        slo = SLOClass("tight", latency_slo_us=200.0, weight=1.0)
+        ctrl = self._controller(2.0, capacity=2.0)
+        spec = TenantSpec("t", "tight", events_per_window=100)
+        result = ctrl.consider(spec, slo, DEFAULT_SCORECARD["GNN"], 10_000)
+        assert not result.admitted
+        assert "SLO-infeasible" in result.reason
+
+    def test_retry_hints_seeded_and_decorrelated(self):
+        def refuse(seed):
+            ctrl = self._controller(1000.0, capacity=1.0)
+            spec = TenantSpec("t", "silver", seed=seed)
+            return ctrl.consider(
+                spec, SLO_CLASSES["silver"], DEFAULT_SCORECARD["CNN"], 10_000
+            ).retry_hints_s
+
+        assert refuse(1) == refuse(1)  # deterministic
+        assert refuse(1) != refuse(2)  # decorrelated across tenants
+        assert len(refuse(1)) == AdmissionPolicy().retry_hints
+
+    def test_admission_in_mix_order_respects_cap(self):
+        ctrl = self._controller(3.0, capacity=16.0, max_tenants=2)
+        slo = SLO_CLASSES["silver"]
+        profile = DEFAULT_SCORECARD["CNN"]
+        verdicts = [
+            ctrl.consider(TenantSpec(f"t{i}", "silver"), slo, profile, 10_000)
+            for i in range(3)
+        ]
+        assert [v.admitted for v in verdicts] == [True, True, False]
+        assert "cap" in verdicts[2].reason
+
+
+class TestExponentialBackoff:
+    def test_delay_is_pure_and_order_independent(self):
+        backoff = ExponentialBackoff(base_s=0.5, factor=2.0, jitter=0.5, seed=7)
+        forward = [backoff.delay(k) for k in (1, 2, 3, 4)]
+        backward = [backoff.delay(k) for k in (4, 3, 2, 1)]
+        assert forward == backward[::-1]
+        assert backoff.delays(4) == forward
+
+    def test_with_seed_changes_jitter_only(self):
+        base = ExponentialBackoff(base_s=1.0, factor=2.0, jitter=0.5, seed=0)
+        other = base.with_seed(1)
+        assert base.delays(3) != other.delays(3)
+        assert other.with_seed(0).delays(3) == base.delays(3)
+
+    def test_cap_bounds_every_delay(self):
+        backoff = ExponentialBackoff(base_s=1.0, factor=10.0, max_s=5.0, jitter=0.0)
+        assert all(d <= 5.0 for d in backoff.delays(6))
+
+
+# ----------------------------------------------------------------------
+# Chaos schedules
+# ----------------------------------------------------------------------
+class TestChaosSchedule:
+    def test_random_is_seed_deterministic(self):
+        ids = [f"t{i}" for i in range(5)]
+        a = ChaosSchedule.random(ids, 40, seed=3)
+        b = ChaosSchedule.random(ids, 40, seed=3)
+        assert a == b
+        assert a != ChaosSchedule.random(ids, 40, seed=4)
+
+    def test_random_rotates_the_taxonomy(self):
+        schedule = ChaosSchedule.random(["a", "b"], 40, num_events=5, seed=0)
+        assert [e.kind for e in schedule.events] == [
+            "flood", "skew", "poison", "stall", "corrupt",
+        ]
+
+    def test_kind_windows_clips_to_run_length(self):
+        schedule = ChaosSchedule(
+            events=(ChaosEvent("a", "poison", 10, 30),), seed=0
+        )
+        assert schedule.kind_windows("a", 20) == {"poison": 10}
+        assert schedule.kind_windows("b", 20) == {}
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            ChaosEvent("a", "meteor", 0, 4)
+        with pytest.raises(ValueError):
+            ChaosEvent("a", "flood", 5, 5)
+
+
+# ----------------------------------------------------------------------
+# Fleet accounting
+# ----------------------------------------------------------------------
+class TestFleetAccounting:
+    def _fleet(self, **kw):
+        tenants = make_tenant_mix(6, seed=0)
+        kw.setdefault("num_windows", 20)
+        return ServingFleet(tenants, seed=0, **kw)
+
+    def test_fault_free_isolated_run_reconciles(self):
+        report = self._fleet().run()
+        assert report.validate() == []
+        agg = report.aggregate()
+        assert agg["offered"] == agg["slo_met"] + agg["slo_missed"]
+        assert agg["admitted"] + agg["refused"] == 6
+
+    def test_shared_run_reconciles(self):
+        report = self._fleet(isolation=False).run()
+        assert report.validate() == []
+        assert report.group_reports  # at least one paradigm group ran
+
+    def test_refused_tenants_have_no_activity(self):
+        # A tiny pool refuses the heavier classes outright.
+        fleet = self._fleet(policy=AdmissionPolicy(capacity=0.25))
+        report = fleet.run()
+        assert report.refused_ids
+        for tid in report.refused_ids:
+            outcome = report.tenants[tid]
+            assert outcome.ledger == {
+                "offered": 0, "processed": 0, "expired": 0, "shed": 0,
+                "failed": 0,
+            }
+            assert outcome.admission.retry_after_s > 0
+        assert report.validate() == []
+
+    def test_report_serialisation_is_placement_free(self):
+        payload = json.dumps(self._fleet().run().to_dict())
+        assert "n_shards" not in payload
+        assert "backend" not in payload
+
+    def test_snapshot_requires_a_run(self):
+        with pytest.raises(RuntimeError):
+            self._fleet().snapshot()
+
+    def test_duplicate_tenant_ids_rejected(self):
+        spec = TenantSpec("dup", "gold")
+        with pytest.raises(ValueError):
+            ServingFleet([spec, spec])
+
+    def test_registry_counters_match_ledgers(self):
+        fleet = self._fleet()
+        report = fleet.run()
+        reg = fleet.registry
+        assert reg.counter_value(
+            "serving_tenants_total", {"outcome": "admitted"}
+        ) == len(report.admitted_ids)
+        for tid, outcome in report.tenants.items():
+            got = reg.counter_value(
+                "serving_windows_total", {"tenant": tid, "outcome": "processed"}
+            )
+            assert got == outcome.ledger["processed"]
+
+
+class TestTenantModelDeterminism:
+    def test_same_seed_same_outputs(self):
+        from repro.serving import TenantModel
+
+        from repro.events import EventStream, Resolution
+
+        rng = np.random.default_rng(0)
+        t = np.cumsum(rng.integers(10, 50, 30))
+        stream = EventStream.from_arrays(
+            t,
+            rng.integers(0, 32, 30),
+            rng.integers(0, 32, 30),
+            rng.choice([-1, 1], 30),
+            Resolution(32, 32),
+        )
+        a = TenantModel("GNN", seed=5)
+        b = TenantModel("GNN", seed=5)
+        assert a(stream) == b(stream)
+        assert TenantModel("SNN", seed=5)._x2.shape == a._x2.shape
+        assert not np.array_equal(TenantModel("SNN", seed=5)._x2, a._x2)

@@ -43,13 +43,14 @@ from repro.streaming import (
     overload_scores,
     run_overload_demo,
     run_streaming_sweep,
+    validate_report,
 )
 
 
 def check_demo(seed: int) -> tuple[dict, list[str]]:
     """Run the burst demo and collect acceptance failures."""
     report, executor = run_overload_demo(seed=seed, burst_factor=10.0)
-    failures = list(report.accounting_errors())
+    failures = validate_report(report, context="demo")
     if report.failed != 0:
         failures.append(f"demo run failed {report.failed} window(s)")
     if len(report.tiers_engaged) < 2:
