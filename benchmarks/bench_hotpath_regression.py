@@ -20,6 +20,7 @@ import time
 import numpy as np
 
 from repro.events import EventStream, Resolution
+from repro.events.aer import AERCodec
 from repro.events.ops import (
     neighbourhood_filter,
     neighbourhood_filter_reference,
@@ -32,6 +33,15 @@ from repro.gnn import HashInserter
 from repro.gnn.build import (
     radius_graph_spatial_hash,
     radius_graph_spatial_hash_reference,
+)
+from repro.nn import (
+    Tensor,
+    affine_act,
+    affine_act_reference,
+    cross_entropy,
+    cross_entropy_reference,
+    log_softmax,
+    log_softmax_reference,
 )
 
 DEFAULT_N = 100_000
@@ -118,6 +128,92 @@ def bench_all(n: int = DEFAULT_N, seed: int = 0) -> dict:
     vec_s, _ = _timed(batched.insert_many, stream.x, stream.y, stream.t)
     assert np.array_equal(seq.edges(), batched.edges())
     results["hash_inserter_insert_many"] = _record(n, ref_s, vec_s)
+
+    # Fused nn kernels (fit/predict hot loop): one autograd node vs the
+    # unfused composition, forward + backward, at the small layer sizes
+    # the paradigm readout heads actually use — where per-node Python
+    # and temporary-array overhead dominates the numpy work.
+    iters = max(5, n // 500)
+    rng = np.random.default_rng(seed)
+    xb = rng.normal(size=(16, 16))
+    wb = rng.normal(size=(8, 16))
+    bb = rng.normal(size=(8,))
+    gb = rng.normal(size=(16, 8))
+
+    def _affine_relu_loop(fn):
+        # Leaves hoisted out of the loop (identical on both sides, so
+        # accumulated gradients stay bitwise comparable): the timed work
+        # is graph build + forward + backward, i.e. the per-step cost of
+        # the training loop.
+        def run():
+            x = Tensor(xb, requires_grad=True)
+            w = Tensor(wb, requires_grad=True)
+            b = Tensor(bb, requires_grad=True)
+            for _ in range(iters):
+                out = fn(x, w, b, "relu")
+                out.backward(gb)
+            return out.data, x.grad, w.grad, b.grad
+
+        return run
+
+    _affine_relu_loop(affine_act_reference)()  # warm both paths once
+    _affine_relu_loop(affine_act)()
+    ref_s, ref_out = _timed(_affine_relu_loop(affine_act_reference))
+    vec_s, vec_out = _timed(_affine_relu_loop(affine_act))
+    for a, b in zip(ref_out, vec_out):
+        assert np.array_equal(a, b)
+    results["fused_affine_relu_fwd_bwd"] = _record(iters, ref_s, vec_s)
+
+    def _log_softmax_loop(fn):
+        def run():
+            x = Tensor(xb, requires_grad=True)
+            for _ in range(iters):
+                out = fn(x, axis=1)
+                out.backward(gb2)
+            return out.data, x.grad
+
+        return run
+
+    gb2 = rng.normal(size=xb.shape)
+    _log_softmax_loop(log_softmax_reference)()
+    _log_softmax_loop(log_softmax)()
+    ref_s, ref_out = _timed(_log_softmax_loop(log_softmax_reference))
+    vec_s, vec_out = _timed(_log_softmax_loop(log_softmax))
+    for a, b in zip(ref_out, vec_out):
+        assert np.array_equal(a, b)
+    results["fused_log_softmax_fwd_bwd"] = _record(iters, ref_s, vec_s)
+
+    logits_b = rng.normal(size=(16, 4)) * 3.0
+    targets_b = rng.integers(0, 4, size=16)
+
+    def _ce_loop(fn):
+        def run():
+            logits = Tensor(logits_b, requires_grad=True)
+            for _ in range(iters):
+                loss = fn(logits, targets_b)
+                loss.backward()
+            return loss.data, logits.grad
+
+        return run
+
+    _ce_loop(cross_entropy_reference)()
+    _ce_loop(cross_entropy)()
+    ref_s, ref_out = _timed(_ce_loop(cross_entropy_reference))
+    vec_s, vec_out = _timed(_ce_loop(cross_entropy))
+    for a, b in zip(ref_out, vec_out):
+        assert np.array_equal(a, b)
+    results["fused_cross_entropy_fwd_bwd"] = _record(iters, ref_s, vec_s)
+
+    # Zero-copy AER decode vs the filter-and-revalidate reference.
+    codec = AERCodec(stream.resolution)
+    words = codec.encode(stream)
+    codec.decode_with_stats(words)  # warm both paths once
+    codec.decode_with_stats_reference(words)
+    ref_s, (ref_stream, ref_stats) = _timed(codec.decode_with_stats_reference, words)
+    vec_s, (vec_stream, vec_stats) = _timed(codec.decode_with_stats, words)
+    assert np.array_equal(ref_stream.raw, vec_stream.raw)
+    assert ref_stats == vec_stats
+    results["aer_decode_zero_copy"] = _record(n, ref_s, vec_s)
 
     return results
 

@@ -32,10 +32,12 @@ from .rate import (
     peak_rate,
     rate_profile,
 )
+from .soa import EventSoA
 from .stream import EVENT_DTYPE, EventStream, Resolution, concatenate
 
 __all__ = [
     "EVENT_DTYPE",
+    "EventSoA",
     "EventStream",
     "Resolution",
     "concatenate",

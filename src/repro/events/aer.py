@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .stream import EventStream, Resolution
+from .stream import EVENT_DTYPE, EventStream, Resolution
 
 __all__ = ["AERCodec", "AERDecodeStats", "AERLinkStats"]
 
@@ -214,6 +214,14 @@ class AERCodec:
         ``rollover_limit_us`` (a corrupted wrap run or bogus origin) are
         dropped as rollover victims.
 
+        This is the zero-copy fast path: address fields are extracted
+        only for surviving words and written straight into one
+        :data:`~repro.events.stream.EVENT_DTYPE` buffer, and the stream is
+        constructed without re-validation (the decoder itself guarantees
+        ordering, coordinate range and polarity).  It produces streams
+        and stats identical to :meth:`decode_with_stats_reference`, which
+        is kept as the tested oracle.
+
         Args:
             words: uint64 word array from :meth:`encode`.
             t_origin: absolute time of the encoder's reference instant.
@@ -223,6 +231,52 @@ class AERCodec:
         Returns:
             ``(stream, stats)`` — the surviving events plus drop counts.
         """
+        words = np.asarray(words, dtype=np.uint64)
+        deltas = (words >> np.uint64(self._t_shift)).astype(np.int64)
+        is_wrap = deltas == self._wrap_delta
+        step = np.where(is_wrap, self.max_delta + 1, deltas)
+        t_abs = t_origin + np.cumsum(step)
+        # Range checks on the raw (non-negative) bit fields; no int32
+        # casts or polarity materialisation for words that will drop.
+        x_raw = words & np.uint64((1 << self.x_bits) - 1)
+        y_raw = (words >> np.uint64(self._y_shift)) & np.uint64((1 << self.y_bits) - 1)
+        in_range = (x_raw < np.uint64(self.resolution.width)) & (
+            y_raw < np.uint64(self.resolution.height)
+        )
+        in_time = (t_abs >= np.int64(min(t_origin, 0))) & (
+            t_abs <= np.int64(rollover_limit_us)
+        )
+        is_event = ~is_wrap
+        keep = is_event & in_range & in_time
+        num_events = int(np.count_nonzero(keep))
+        stats = AERDecodeStats(
+            num_words=int(words.size),
+            num_wrap_words=int(np.count_nonzero(is_wrap)),
+            num_events=num_events,
+            dropped_out_of_range=int(np.count_nonzero(is_event & ~in_range)),
+            dropped_rollover=int(np.count_nonzero(is_event & in_range & ~in_time)),
+        )
+        kept = words[keep]
+        arr = np.empty(num_events, dtype=EVENT_DTYPE)
+        arr["t"] = t_abs[keep]
+        arr["x"] = kept & np.uint64((1 << self.x_bits) - 1)
+        arr["y"] = (kept >> np.uint64(self._y_shift)) & np.uint64((1 << self.y_bits) - 1)
+        p_bit = (kept >> np.uint64(self._p_shift)) & np.uint64(1)
+        np.subtract(
+            p_bit.astype(np.int8) << 1, 1, out=arr["p"]
+        )  # bit {0,1} -> polarity {-1,+1}
+        stream = EventStream(arr, self.resolution, check=False)
+        return stream, stats
+
+    def decode_with_stats_reference(
+        self,
+        words: np.ndarray,
+        t_origin: int = 0,
+        rollover_limit_us: int = DEFAULT_ROLLOVER_LIMIT_US,
+    ) -> tuple[EventStream, AERDecodeStats]:
+        """Original full-materialisation decode — the oracle for
+        :meth:`decode_with_stats` (decodes every field for every word,
+        then filters and re-validates through ``from_arrays``)."""
         words = np.asarray(words, dtype=np.uint64)
         deltas = (words >> np.uint64(self._t_shift)).astype(np.int64)
         is_wrap = deltas == self._wrap_delta

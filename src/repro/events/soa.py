@@ -1,0 +1,78 @@
+"""Structure-of-arrays event layout.
+
+:class:`~repro.events.stream.EventStream` stores events as one packed
+structured array — the AER wire layout.  Compute kernels want the
+transposed layout: one *contiguous* column per field, so vectorised
+passes (point-cloud assembly for graph building, polarity one-hots for
+node features, per-field encoder scans) read sequential memory instead
+of 17-byte-strided gathers.  :class:`EventSoA` is that layout, built
+once per stream and cached on it (:meth:`EventStream.soa`), so the graph
+build path and the encoders share a single column extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .stream import EventStream, Resolution
+
+__all__ = ["EventSoA"]
+
+
+@dataclass(frozen=True)
+class EventSoA:
+    """Contiguous per-field columns of an event stream.
+
+    Attributes:
+        t: int64 timestamps (microseconds), C-contiguous.
+        x: int32 pixel columns, C-contiguous.
+        y: int32 pixel rows, C-contiguous.
+        p: int8 polarities (+1/-1), C-contiguous.
+        resolution: sensor resolution the coordinates refer to.
+    """
+
+    t: np.ndarray
+    x: np.ndarray
+    y: np.ndarray
+    p: np.ndarray
+    resolution: Resolution
+
+    @classmethod
+    def from_stream(cls, stream: EventStream) -> "EventSoA":
+        """Extract contiguous columns from a stream's structured array."""
+        ev = stream.raw
+        return cls(
+            t=np.ascontiguousarray(ev["t"]),
+            x=np.ascontiguousarray(ev["x"]),
+            y=np.ascontiguousarray(ev["y"]),
+            p=np.ascontiguousarray(ev["p"]),
+            resolution=stream.resolution,
+        )
+
+    def __len__(self) -> int:
+        return self.t.size
+
+    def point_cloud(self, time_scale_us: float = 1.0) -> np.ndarray:
+        """``(N, 3)`` float64 point cloud ``(x, y, t/scale)``.
+
+        Value-identical to :meth:`EventStream.as_point_cloud` (same
+        conversions on the same field values), assembled from the
+        contiguous columns.
+
+        Args:
+            time_scale_us: microseconds mapped to one spatial-unit of
+                the temporal axis.
+        """
+        if time_scale_us <= 0:
+            raise ValueError("time_scale_us must be positive")
+        pts = np.empty((len(self), 3), dtype=np.float64)
+        pts[:, 0] = self.x
+        pts[:, 1] = self.y
+        pts[:, 2] = self.t / time_scale_us
+        return pts
+
+    def polarity_onehot(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(is_on, is_off)`` float64 indicator columns (GNN node features)."""
+        return (self.p == 1).astype(np.float64), (self.p == -1).astype(np.float64)

@@ -77,7 +77,7 @@ class EventStream:
             producer guarantees validity.
     """
 
-    __slots__ = ("_events", "_resolution")
+    __slots__ = ("_events", "_resolution", "_soa")
 
     def __init__(
         self,
@@ -106,6 +106,7 @@ class EventStream:
                 raise ValueError("polarity values must be +1 or -1")
         self._events = arr
         self._resolution = resolution
+        self._soa = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -182,6 +183,15 @@ class EventStream:
 
     def __len__(self) -> int:
         return self._events.size
+
+    def __getstate__(self):
+        # The SoA cache is derived data; keep pickles (parallel shard
+        # shipping, on-disk caches) at the raw-array footprint.
+        return (self._events, self._resolution)
+
+    def __setstate__(self, state) -> None:
+        self._events, self._resolution = state
+        self._soa = None
 
     def __iter__(self) -> Iterator[np.void]:
         return iter(self._events)
@@ -339,24 +349,32 @@ class EventStream:
         """Flat pixel index ``y * width + x`` for every event (int64)."""
         return self.y.astype(np.int64) * self._resolution.width + self.x.astype(np.int64)
 
+    def soa(self) -> "EventSoA":
+        """Contiguous structure-of-arrays view of this stream, cached.
+
+        The first call extracts one contiguous column per field; later
+        calls (graph build, encoders, repeated point clouds) reuse them.
+        """
+        if self._soa is None:
+            from .soa import EventSoA
+
+            self._soa = EventSoA.from_stream(self)
+        return self._soa
+
     def as_point_cloud(self, time_scale_us: float = 1.0) -> np.ndarray:
         """View the stream as an ``(N, 3)`` float point cloud ``(x, y, t/scale)``.
 
         This is the representation event-graph construction starts from
         (Section IV of the paper): two spatial dimensions plus one scaled
-        temporal dimension.
+        temporal dimension.  Assembled from the cached
+        structure-of-arrays columns (:meth:`soa`); values are identical
+        to reading the structured fields directly.
 
         Args:
             time_scale_us: microseconds mapped to one spatial-unit of the
                 temporal axis.  Larger values compress time.
         """
-        if time_scale_us <= 0:
-            raise ValueError("time_scale_us must be positive")
-        pts = np.empty((len(self), 3), dtype=np.float64)
-        pts[:, 0] = self.x
-        pts[:, 1] = self.y
-        pts[:, 2] = self.t / time_scale_us
-        return pts
+        return self.soa().point_cloud(time_scale_us)
 
 
 def concatenate(streams: Iterable[EventStream]) -> EventStream:

@@ -101,14 +101,12 @@ class EventGraph:
         ``[x/W, y/H]`` are appended (needed for tasks such as rotation
         direction, where relative offsets alone are ambiguous).
         """
-        positions = stream.as_point_cloud(time_scale_us)
-        columns = [
-            (stream.p == 1).astype(np.float64),
-            (stream.p == -1).astype(np.float64),
-        ]
+        soa = stream.soa()
+        positions = soa.point_cloud(time_scale_us)
+        columns = list(soa.polarity_onehot())
         if include_position:
-            columns.append(stream.x / stream.resolution.width)
-            columns.append(stream.y / stream.resolution.height)
+            columns.append(soa.x / stream.resolution.width)
+            columns.append(soa.y / stream.resolution.height)
         features = np.stack(columns, axis=1)
         return cls(positions, features, edges, time_scale_us)
 

@@ -65,7 +65,9 @@ def build_event_graph(stream: EventStream, config: GraphBuildConfig) -> EventGra
     if len(stream) > config.max_events:
         idx = np.linspace(0, len(stream) - 1, config.max_events).astype(np.int64)
         stream = stream[np.unique(idx)]
-    points = stream.as_point_cloud(config.time_scale_us)
+    # Shared SoA columns: the same extraction feeds the node features in
+    # EventGraph.from_stream below, so the fields are gathered once.
+    points = stream.soa().point_cloud(config.time_scale_us)
     edges = radius_graph_spatial_hash(points, config.radius)
     if config.causal:
         edges = make_causal(edges, points)

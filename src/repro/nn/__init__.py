@@ -8,11 +8,16 @@ stacks assume.
 
 from . import functional
 from .functional import (
+    affine,
+    affine_act,
+    affine_act_reference,
+    affine_reference,
     avg_pool2d,
     concatenate,
     conv2d,
     dropout,
     log_softmax,
+    log_softmax_reference,
     max_pool2d,
     softmax,
     stack,
@@ -33,7 +38,7 @@ from .layers import (
     Sigmoid,
     Tanh,
 )
-from .losses import accuracy, cross_entropy, mse_loss, nll_loss
+from .losses import accuracy, cross_entropy, cross_entropy_reference, mse_loss, nll_loss
 from .optim import SGD, Adam, Optimizer, StepLR
 from .serialization import load_state, save_state
 from .tensor import (
@@ -56,8 +61,13 @@ __all__ = [
     "conv2d",
     "max_pool2d",
     "avg_pool2d",
+    "affine",
+    "affine_reference",
+    "affine_act",
+    "affine_act_reference",
     "softmax",
     "log_softmax",
+    "log_softmax_reference",
     "stack",
     "concatenate",
     "where",
@@ -75,6 +85,7 @@ __all__ = [
     "BatchNorm",
     "Sequential",
     "cross_entropy",
+    "cross_entropy_reference",
     "mse_loss",
     "nll_loss",
     "accuracy",

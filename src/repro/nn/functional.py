@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from .tensor import Tensor, custom_gradient
+from .tensor import _matmul_data, _unbroadcast
 
 __all__ = [
     "im2col",
@@ -19,8 +20,13 @@ __all__ = [
     "conv2d",
     "max_pool2d",
     "avg_pool2d",
+    "affine",
+    "affine_reference",
+    "affine_act",
+    "affine_act_reference",
     "softmax",
     "log_softmax",
+    "log_softmax_reference",
     "stack",
     "concatenate",
     "where",
@@ -181,6 +187,115 @@ def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
     return custom_gradient(out_data, [x], backward)
 
 
+def affine_reference(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Unfused ``x @ W^T + b`` — the reference oracle for :func:`affine`.
+
+    Three graph nodes (transpose, matmul, add); kept as the composition
+    the fused kernel must match bitwise, forward and backward.
+    """
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def affine(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Fused ``x @ W^T + b`` in a single autograd node.
+
+    Bitwise identical to :func:`affine_reference` (same NumPy ops in the
+    same order, including the einsum path under
+    :class:`~repro.nn.tensor.stable_matmul`), but records one node instead
+    of three and skips the transpose node's gradient copy — the dominant
+    cost in the per-node MLP hot loops of the GNN pipelines.
+
+    Args:
+        x: input of shape ``(..., in_features)`` with ``ndim >= 2``.
+        weight: ``(out_features, in_features)`` parameter.
+        bias: optional ``(out_features,)`` parameter.
+    """
+    if x.ndim < 2:
+        return affine_reference(x, weight, bias)
+    out_data = _matmul_data(x.data, weight.data.T)
+    if bias is not None:
+        out_data = out_data + bias.data
+    parents = [x, weight] + ([bias] if bias is not None else [])
+    wt_shape = (weight.shape[1], weight.shape[0])
+
+    def backward(g: np.ndarray):
+        # Replicates the reference composition's backward exactly:
+        # matmul-node grads with plain ``@``, then the transpose node's
+        # permutation back onto ``weight``.
+        grad_x = _unbroadcast(g @ weight.data, x.shape)
+        gw = np.swapaxes(x.data, -1, -2) @ g
+        grad_w = _unbroadcast(gw, wt_shape).transpose(1, 0)
+        grads = [grad_x, grad_w]
+        if bias is not None:
+            grads.append(g)
+        return grads
+
+    return custom_gradient(out_data, parents, backward)
+
+
+_ACTIVATIONS = ("relu", "tanh", "sigmoid")
+
+
+def affine_act_reference(
+    x: Tensor, weight: Tensor, bias: Tensor | None, activation: str
+) -> Tensor:
+    """Unfused affine followed by an activation — oracle for :func:`affine_act`."""
+    out = affine_reference(x, weight, bias)
+    if activation == "relu":
+        return out.relu()
+    if activation == "tanh":
+        return out.tanh()
+    if activation == "sigmoid":
+        return out.sigmoid()
+    raise ValueError(f"unknown activation {activation!r}; expected one of {_ACTIVATIONS}")
+
+
+def affine_act(
+    x: Tensor, weight: Tensor, bias: Tensor | None, activation: str
+) -> Tensor:
+    """Fused affine + activation in a single autograd node.
+
+    Bitwise identical to :func:`affine_act_reference`; saves the
+    intermediate pre-activation node and its gradient buffer.
+    """
+    if activation not in _ACTIVATIONS:
+        raise ValueError(f"unknown activation {activation!r}; expected one of {_ACTIVATIONS}")
+    if x.ndim < 2:
+        return affine_act_reference(x, weight, bias, activation)
+    pre = _matmul_data(x.data, weight.data.T)
+    if bias is not None:
+        pre = pre + bias.data
+    if activation == "relu":
+        mask = pre > 0
+        act_data = pre * mask
+    elif activation == "tanh":
+        act_data = np.tanh(pre)
+    else:  # sigmoid
+        act_data = 1.0 / (1.0 + np.exp(-pre))
+    parents = [x, weight] + ([bias] if bias is not None else [])
+    wt_shape = (weight.shape[1], weight.shape[0])
+
+    def backward(g: np.ndarray):
+        if activation == "relu":
+            ga = g * mask
+        elif activation == "tanh":
+            ga = g * (1.0 - act_data**2)
+        else:
+            ga = g * act_data * (1.0 - act_data)
+        grad_x = _unbroadcast(ga @ weight.data, x.shape)
+        gw = np.swapaxes(x.data, -1, -2) @ ga
+        grad_w = _unbroadcast(gw, wt_shape).transpose(1, 0)
+        grads = [grad_x, grad_w]
+        if bias is not None:
+            grads.append(ga)
+        return grads
+
+    return custom_gradient(act_data, parents, backward)
+
+
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
     shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
@@ -188,10 +303,35 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
     return e / e.sum(axis=axis, keepdims=True)
 
 
-def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically stable log-softmax along ``axis``."""
+def log_softmax_reference(x: Tensor, axis: int = -1) -> Tensor:
+    """Unfused log-softmax chain — the reference oracle for :func:`log_softmax`."""
     shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``, fused into one node.
+
+    Bitwise identical to :func:`log_softmax_reference` (same shift /
+    exp / sum / log ops, gradient terms combined in the same order) while
+    recording one graph node instead of five and allocating no
+    intermediate gradient buffers.
+    """
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    se = e.sum(axis=axis, keepdims=True)
+    out_data = shifted - np.log(se)
+
+    def backward(g: np.ndarray):
+        # Matches the unfused chain: the subtract node routes ``g`` to
+        # ``shifted`` and ``-g`` (summed over ``axis``) to the log node,
+        # which scales by 1/sum and redistributes through exp.
+        gl = _unbroadcast(-g, se.shape)
+        gx = g.copy()
+        gx += (gl / se) * e
+        return [gx]
+
+    return custom_gradient(out_data, [x], backward)
 
 
 def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:

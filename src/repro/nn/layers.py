@@ -180,10 +180,9 @@ class Linear(Module):
         self.bias = Tensor(zeros((out_features,)), requires_grad=True) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight.T
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        # Single fused node; bit-identical to the unfused
+        # ``x @ self.weight.T + self.bias`` composition (F.affine_reference).
+        return F.affine(x, self.weight, self.bias)
 
 
 class Conv2d(Module):
@@ -345,16 +344,37 @@ class BatchNorm(Module):
         return x_hat * self.gamma.reshape(shape) + self.beta.reshape(shape)
 
 
+# Activation layers Sequential can fuse into the preceding Linear.
+_FUSABLE_ACT = {ReLU: "relu", Tanh: "tanh", Sigmoid: "sigmoid"}
+
+
 class Sequential(Module):
-    """Run sub-modules in order."""
+    """Run sub-modules in order.
+
+    Adjacent ``(Linear, activation)`` pairs are executed through the
+    fused :func:`repro.nn.functional.affine_act` kernel — bit-identical
+    to running the two layers separately, but one autograd node instead
+    of four.  Exact types only; subclasses may override ``forward`` and
+    are dispatched normally.
+    """
 
     def __init__(self, *layers: Module) -> None:
         super().__init__()
         self.layers = list(layers)
 
     def forward(self, x: Tensor) -> Tensor:
-        for layer in self.layers:
-            x = layer(x)
+        layers = self.layers
+        n = len(layers)
+        i = 0
+        while i < n:
+            layer = layers[i]
+            act = _FUSABLE_ACT.get(type(layers[i + 1])) if i + 1 < n else None
+            if act is not None and type(layer) is Linear:
+                x = F.affine_act(x, layer.weight, layer.bias, act)
+                i += 2
+            else:
+                x = layer(x)
+                i += 1
         return x
 
     def __getitem__(self, idx: int) -> Module:

@@ -4,14 +4,38 @@ from __future__ import annotations
 
 import numpy as np
 
-from .functional import log_softmax
-from .tensor import Tensor
+from .functional import log_softmax_reference
+from .tensor import Tensor, custom_gradient
+from .tensor import _unbroadcast
 
-__all__ = ["cross_entropy", "mse_loss", "nll_loss", "accuracy"]
+__all__ = ["cross_entropy", "cross_entropy_reference", "mse_loss", "nll_loss", "accuracy"]
+
+
+def _check_ce_args(logits: Tensor, targets) -> np.ndarray:
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (N, C), got {logits.shape}")
+    if targets.shape != (logits.shape[0],):
+        raise ValueError(f"targets shape {targets.shape} != ({logits.shape[0]},)")
+    return targets
+
+
+def cross_entropy_reference(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Unfused softmax cross-entropy — the reference oracle for
+    :func:`cross_entropy` (log-softmax chain + gather + mean, ~10 nodes)."""
+    targets = _check_ce_args(logits, targets)
+    return nll_loss(log_softmax_reference(logits, axis=1), targets)
 
 
 def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
-    """Softmax cross-entropy against integer class labels.
+    """Softmax cross-entropy against integer class labels, fused into one
+    autograd node.
+
+    Bitwise identical to :func:`cross_entropy_reference` — the forward
+    runs the same shift/exp/sum/log/gather/mean ops and the backward
+    combines the chain's gradient terms in the same order — but records a
+    single node, which removes most of the per-step graph and temporary
+    cost of the training hot loop.
 
     Args:
         logits: ``(N, num_classes)`` unnormalised scores.
@@ -20,12 +44,29 @@ def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
     Returns:
         Scalar mean loss tensor.
     """
-    targets = np.asarray(targets, dtype=np.int64)
-    if logits.ndim != 2:
-        raise ValueError(f"logits must be (N, C), got {logits.shape}")
-    if targets.shape != (logits.shape[0],):
-        raise ValueError(f"targets shape {targets.shape} != ({logits.shape[0]},)")
-    return nll_loss(log_softmax(logits, axis=1), targets)
+    targets = _check_ce_args(logits, targets)
+    x = logits.data
+    n = x.shape[0]
+    shifted = x - x.max(axis=1, keepdims=True)
+    e = np.exp(shifted)
+    se = e.sum(axis=1, keepdims=True)
+    log_probs = shifted - np.log(se)
+    rows = np.arange(n)
+    picked = log_probs[rows, targets]
+    loss = -(picked.sum() * (1.0 / n))
+
+    def backward(g: np.ndarray):
+        # mean → gather adjoint: scatter -g/n into the target entries …
+        g_picked = np.broadcast_to((-g) * (1.0 / n), (n,))
+        full = np.zeros_like(log_probs)
+        np.add.at(full, (rows, targets), g_picked)
+        # … then the log-softmax adjoint, ordered as the unfused chain.
+        gl = _unbroadcast(-full, se.shape)
+        gx = full.copy()
+        gx += (gl / se) * e
+        return [gx]
+
+    return custom_gradient(loss, [logits], backward)
 
 
 def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:

@@ -17,6 +17,7 @@ supported (gradients are summed back over broadcast axes).
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Sequence
 
 import numpy as np
@@ -30,27 +31,39 @@ __all__ = [
     "is_stable_matmul",
 ]
 
-_GRAD_ENABLED = True
-_STABLE_MATMUL = False
+
+class _EngineState(threading.local):
+    """Per-thread autograd flags.
+
+    The parallel executor's thread backend runs shards concurrently in one
+    process; ``no_grad``/``stable_matmul`` entered on one shard's thread
+    must not leak into another shard mid-training, so both flags live in
+    thread-local storage rather than module globals.
+    """
+
+    def __init__(self) -> None:
+        self.grad_enabled = True
+        self.stable_matmul = False
+
+
+_STATE = _EngineState()
 
 
 class no_grad:
     """Context manager that disables graph recording (inference mode)."""
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._prev = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._prev = _STATE.grad_enabled
+        _STATE.grad_enabled = False
         return self
 
     def __exit__(self, *exc) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._prev
+        _STATE.grad_enabled = self._prev
 
 
 def is_grad_enabled() -> bool:
     """True when operations record the autograd graph."""
-    return _GRAD_ENABLED
+    return _STATE.grad_enabled
 
 
 class stable_matmul:
@@ -67,24 +80,22 @@ class stable_matmul:
     """
 
     def __enter__(self) -> "stable_matmul":
-        global _STABLE_MATMUL
-        self._prev = _STABLE_MATMUL
-        _STABLE_MATMUL = True
+        self._prev = _STATE.stable_matmul
+        _STATE.stable_matmul = True
         return self
 
     def __exit__(self, *exc) -> None:
-        global _STABLE_MATMUL
-        _STABLE_MATMUL = self._prev
+        _STATE.stable_matmul = self._prev
 
 
 def is_stable_matmul() -> bool:
     """True when 2-D matmuls use the batch-size-independent reduction."""
-    return _STABLE_MATMUL
+    return _STATE.stable_matmul
 
 
 def _matmul_data(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Forward matmul honouring :class:`stable_matmul`."""
-    if _STABLE_MATMUL and a.ndim == 2 and b.ndim == 2:
+    if _STATE.stable_matmul and a.ndim == 2 and b.ndim == 2:
         return np.einsum("ij,jk->ik", a, b)
     return a @ b
 
@@ -123,7 +134,7 @@ class Tensor:
         if isinstance(data, Tensor):
             data = data.data
         self.data = np.asarray(data, dtype=np.float64)
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and _STATE.grad_enabled
         self.grad: np.ndarray | None = None
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
@@ -138,22 +149,39 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         """Create an op result, wiring the graph only when grad is enabled."""
-        needs = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        needs = _STATE.grad_enabled and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=needs)
         if needs:
             out._parents = tuple(parents)
             out._backward = backward
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
-        """Add ``grad`` into this tensor's gradient buffer."""
+    def _accumulate(self, grad: np.ndarray, owned: bool = False) -> None:
+        """Add ``grad`` into this tensor's gradient buffer.
+
+        Args:
+            grad: gradient contribution (broadcast shapes allowed).
+            owned: the caller cedes ownership of a freshly allocated
+                ``grad`` — the buffer may be adopted in place instead of
+                copied.  Values are identical either way; this only skips
+                one float64 temporary per hot-loop accumulation.
+        """
         if not self.requires_grad:
             return
-        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        g = np.asarray(grad, dtype=np.float64)
+        reduced = _unbroadcast(g, self.data.shape)
         if self.grad is None:
-            self.grad = grad.copy()
+            # _unbroadcast allocates whenever it actually reduces (size
+            # shrinks); a same-size result may be a reshape view, so only
+            # a strictly smaller result is known-fresh.
+            if (owned and reduced is g and g is grad) or (
+                reduced is not g and reduced.size < g.size
+            ):
+                self.grad = reduced
+            else:
+                self.grad = reduced.copy()
         else:
-            self.grad += grad
+            self.grad += reduced
 
     # ------------------------------------------------------------------
     # Shape & dtype
@@ -255,23 +283,40 @@ class Tensor:
 
     def __neg__(self) -> "Tensor":
         def backward(g: np.ndarray) -> None:
-            self._accumulate(-g)
+            self._accumulate(-g, owned=True)
 
         return Tensor._result(-self.data, (self,), backward)
 
     def __sub__(self, other) -> "Tensor":
-        return self + (-self._coerce(other))
+        # Single fused node: IEEE-754 guarantees a - b == a + (-b) bitwise,
+        # so this matches the old two-node ``self + (-other)`` chain exactly
+        # while skipping one graph node and one float64 temporary.
+        other = self._coerce(other)
+        out_data = self.data - other.data
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g)
+            other._accumulate(-g, owned=True)
+
+        return Tensor._result(out_data, (self, other), backward)
 
     def __rsub__(self, other) -> "Tensor":
-        return self._coerce(other) + (-self)
+        other = self._coerce(other)
+        out_data = other.data - self.data
+
+        def backward(g: np.ndarray) -> None:
+            other._accumulate(g)
+            self._accumulate(-g, owned=True)
+
+        return Tensor._result(out_data, (self, other), backward)
 
     def __mul__(self, other) -> "Tensor":
         other = self._coerce(other)
         out_data = self.data * other.data
 
         def backward(g: np.ndarray) -> None:
-            self._accumulate(g * other.data)
-            other._accumulate(g * self.data)
+            self._accumulate(g * other.data, owned=True)
+            other._accumulate(g * self.data, owned=True)
 
         return Tensor._result(out_data, (self, other), backward)
 
@@ -282,8 +327,8 @@ class Tensor:
         out_data = self.data / other.data
 
         def backward(g: np.ndarray) -> None:
-            self._accumulate(g / other.data)
-            other._accumulate(-g * self.data / (other.data**2))
+            self._accumulate(g / other.data, owned=True)
+            other._accumulate(-g * self.data / (other.data**2), owned=True)
 
         return Tensor._result(out_data, (self, other), backward)
 
@@ -296,7 +341,7 @@ class Tensor:
         out_data = self.data**exponent
 
         def backward(g: np.ndarray) -> None:
-            self._accumulate(g * exponent * self.data ** (exponent - 1))
+            self._accumulate(g * exponent * self.data ** (exponent - 1), owned=True)
 
         return Tensor._result(out_data, (self,), backward)
 
@@ -307,19 +352,19 @@ class Tensor:
         def backward(g: np.ndarray) -> None:
             a, b = self.data, other.data
             if a.ndim == 1 and b.ndim == 1:  # inner product
-                self._accumulate(g * b)
-                other._accumulate(g * a)
+                self._accumulate(g * b, owned=True)
+                other._accumulate(g * a, owned=True)
             elif a.ndim == 1:  # (k,) @ (k, n)
-                self._accumulate(g @ b.T)
-                other._accumulate(np.outer(a, g))
+                self._accumulate(g @ b.T, owned=True)
+                other._accumulate(np.outer(a, g), owned=True)
             elif b.ndim == 1:  # (m, k) @ (k,)
-                self._accumulate(np.outer(g, b))
-                other._accumulate(a.T @ g)
+                self._accumulate(np.outer(g, b), owned=True)
+                other._accumulate(a.T @ g, owned=True)
             else:
                 ga = g @ np.swapaxes(b, -1, -2)
                 gb = np.swapaxes(a, -1, -2) @ g
-                self._accumulate(_unbroadcast(ga, a.shape))
-                other._accumulate(_unbroadcast(gb, b.shape))
+                self._accumulate(_unbroadcast(ga, a.shape), owned=True)
+                other._accumulate(_unbroadcast(gb, b.shape), owned=True)
 
         return Tensor._result(out_data, (self, other), backward)
 
@@ -354,18 +399,36 @@ class Tensor:
             if axis is None:
                 mask = (self.data == self.data.max()).astype(np.float64)
                 mask /= mask.sum()
-                self._accumulate(mask * g)
+                self._accumulate(mask * g, owned=True)
             else:
                 expanded = out_data if keepdims else np.expand_dims(out_data, axis)
                 mask = (self.data == expanded).astype(np.float64)
                 mask /= mask.sum(axis=axis, keepdims=True)
                 g_exp = g if keepdims else np.expand_dims(g, axis)
-                self._accumulate(mask * g_exp)
+                self._accumulate(mask * g_exp, owned=True)
 
         return Tensor._result(out_data, (self,), backward)
 
     def min(self, axis=None, keepdims: bool = False) -> "Tensor":
-        return -((-self).max(axis=axis, keepdims=keepdims))
+        # Direct kernel replacing the old ``-((-self).max())`` three-node
+        # chain.  Bitwise identical: negation is an exact sign flip, so
+        # min(x) == -max(-x) and the tie-splitting mask is the same, while
+        # the double negation of the gradient cancels exactly.
+        out_data = self.data.min(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray) -> None:
+            if axis is None:
+                mask = (self.data == self.data.min()).astype(np.float64)
+                mask /= mask.sum()
+                self._accumulate(mask * g, owned=True)
+            else:
+                expanded = out_data if keepdims else np.expand_dims(out_data, axis)
+                mask = (self.data == expanded).astype(np.float64)
+                mask /= mask.sum(axis=axis, keepdims=True)
+                g_exp = g if keepdims else np.expand_dims(g, axis)
+                self._accumulate(mask * g_exp, owned=True)
+
+        return Tensor._result(out_data, (self,), backward)
 
     def var(self, axis=None, keepdims: bool = False) -> "Tensor":
         """Population variance, differentiable (built from mean ops)."""
@@ -376,7 +439,7 @@ class Tensor:
         out_data = np.sqrt(self.data)
 
         def backward(g: np.ndarray) -> None:
-            self._accumulate(g * 0.5 / np.maximum(out_data, 1e-300))
+            self._accumulate(g * 0.5 / np.maximum(out_data, 1e-300), owned=True)
 
         return Tensor._result(out_data, (self,), backward)
 
@@ -417,7 +480,7 @@ class Tensor:
         def backward(g: np.ndarray) -> None:
             full = np.zeros_like(self.data)
             np.add.at(full, index, g)
-            self._accumulate(full)
+            self._accumulate(full, owned=True)
 
         return Tensor._result(out_data, (self,), backward)
 
@@ -428,7 +491,7 @@ class Tensor:
         out_data = np.exp(self.data)
 
         def backward(g: np.ndarray) -> None:
-            self._accumulate(g * out_data)
+            self._accumulate(g * out_data, owned=True)
 
         return Tensor._result(out_data, (self,), backward)
 
@@ -436,7 +499,7 @@ class Tensor:
         out_data = np.log(self.data)
 
         def backward(g: np.ndarray) -> None:
-            self._accumulate(g / self.data)
+            self._accumulate(g / self.data, owned=True)
 
         return Tensor._result(out_data, (self,), backward)
 
@@ -444,7 +507,7 @@ class Tensor:
         out_data = np.tanh(self.data)
 
         def backward(g: np.ndarray) -> None:
-            self._accumulate(g * (1.0 - out_data**2))
+            self._accumulate(g * (1.0 - out_data**2), owned=True)
 
         return Tensor._result(out_data, (self,), backward)
 
@@ -452,7 +515,7 @@ class Tensor:
         out_data = 1.0 / (1.0 + np.exp(-self.data))
 
         def backward(g: np.ndarray) -> None:
-            self._accumulate(g * out_data * (1.0 - out_data))
+            self._accumulate(g * out_data * (1.0 - out_data), owned=True)
 
         return Tensor._result(out_data, (self,), backward)
 
@@ -461,7 +524,7 @@ class Tensor:
         out_data = self.data * mask
 
         def backward(g: np.ndarray) -> None:
-            self._accumulate(g * mask)
+            self._accumulate(g * mask, owned=True)
 
         return Tensor._result(out_data, (self,), backward)
 
@@ -470,7 +533,7 @@ class Tensor:
         sign = np.sign(self.data)
 
         def backward(g: np.ndarray) -> None:
-            self._accumulate(g * sign)
+            self._accumulate(g * sign, owned=True)
 
         return Tensor._result(out_data, (self,), backward)
 
@@ -479,7 +542,7 @@ class Tensor:
         mask = (self.data >= low) & (self.data <= high)
 
         def backward(g: np.ndarray) -> None:
-            self._accumulate(g * mask)
+            self._accumulate(g * mask, owned=True)
 
         return Tensor._result(out_data, (self,), backward)
 

@@ -7,11 +7,13 @@ repository's three measurement grids — the Table-I comparison
 (``kind="streaming"``).  A :class:`SweepSpec` names the grid (paradigm
 factories × conditions), the seeds, the instrumentation and the
 ``parallel=`` knob; the executor plans deterministic shards
-(:func:`~repro.parallel.sharding.plan_shards`), runs them serially or
-on a forked process pool, memoizes event encodings through the
-content-addressed :class:`~repro.parallel.cache.RepresentationCache`,
-and folds per-shard results and observability snapshots into one
-reconciled :class:`SweepResult`.
+(:func:`~repro.parallel.sharding.plan_shards`), runs them serially, on
+a thread pool or on a persistent forked process pool, memoizes event
+encodings through the content-addressed
+:class:`~repro.parallel.cache.RepresentationCache` (optionally one
+cache shared by every shard — ``CacheConfig(shared=True)``), and folds
+per-shard results and observability snapshots into one reconciled
+:class:`SweepResult`.
 
 Determinism contract: with the default per-shard instrumentation, the
 results **and** the merged snapshot are byte-identical for any
@@ -26,9 +28,13 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import logging
+import os
+import shutil
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from ..core.comparison import PARADIGMS, assemble_comparison, measure_paradigm
 from ..core.presets import default_configs, make_pipeline
@@ -39,7 +45,54 @@ from .sharding import ParallelConfig, Shard, plan_shards, run_shards
 
 __all__ = ["SweepSpec", "SweepResult", "run_sweep"]
 
+logger = logging.getLogger(__name__)
+
 _KINDS = ("comparison", "robustness", "streaming")
+
+
+def _write_state(state_path: Path, done: Mapping[str, Any]) -> None:
+    """Atomically persist sweep resume state (tmp file + rename).
+
+    A crash mid-write leaves the previous checkpoint intact instead of
+    a truncated JSON file that a resume would then have to discard.
+    """
+    state_path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = state_path.with_name(f"{state_path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(json.dumps(done))
+        os.replace(tmp, state_path)
+    except OSError:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def _load_state(state_path: Path | None) -> dict[str, dict[str, Any]]:
+    """Resume state from disk; unreadable files mean "no checkpoint".
+
+    A corrupt or truncated state file (killed writer, bad disk) is
+    logged and treated as an empty checkpoint — those points are
+    simply redone — never surfaced as a ``JSONDecodeError``.
+    """
+    if state_path is None or not state_path.exists():
+        return {}
+    try:
+        done = json.loads(state_path.read_text())
+    except (ValueError, OSError) as exc:
+        logger.warning(
+            "ignoring unreadable sweep state %s (%s); redoing those points",
+            state_path,
+            exc,
+        )
+        return {}
+    if not isinstance(done, dict):
+        logger.warning(
+            "ignoring malformed sweep state %s (expected an object, got %s); "
+            "redoing those points",
+            state_path,
+            type(done).__name__,
+        )
+        return {}
+    return done
 
 
 @dataclass
@@ -57,10 +110,11 @@ class SweepSpec:
             streaming.
         pipelines: paradigm name → factory.  Config dataclasses
             (:mod:`repro.core.presets`) work on every backend;
-            pipeline instances / predictor callables only on the
-            serial backend (the process backend needs picklable,
-            re-constructible descriptions).  None selects the
-            paradigm defaults of the kind.
+            pipeline instances / predictor callables work on the
+            in-process backends (serial, thread) but not on the
+            process backend, which needs picklable, re-constructible
+            descriptions.  None selects the paradigm defaults of the
+            kind.
         temporal_labels: comparison-only; labels distinguishable only
             through event timing.
         seed: master seed of the sweep.
@@ -71,7 +125,8 @@ class SweepSpec:
             ``queue_capacity``.
         parallel: sharded-execution knobs.
         cache: representation-cache knobs (fresh per-shard in-memory
-            tier; opt-in shared disk tier).
+            tier by default; ``shared=True`` shares one cache across
+            all shards — see :class:`~repro.parallel.cache.CacheConfig`).
         instrumentation: optional user-owned
             :class:`~repro.observability.Instrumentation` shared by
             every shard — serial backend only.  When None (the
@@ -165,8 +220,18 @@ def _materialise(factory: Any, condition: Any = None):
     return make_pipeline(config)
 
 
-def _execute_shard(task: dict[str, Any]) -> dict[str, Any]:
-    """Run one shard (any kind); the process-pool entry point."""
+def _execute_shard(
+    task: dict[str, Any], shared: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """Run one shard (any kind); the worker-pool entry point.
+
+    ``task`` is the small per-shard payload; ``shared`` the heavy
+    context common to every shard of the sweep (datasets, factories),
+    passed by reference on the in-process backends and shipped once as
+    a blob on the process backend.
+    """
+    if shared is not None:
+        task = {**shared, **task}
     kind = task["kind"]
     if kind == "comparison":
         return _comparison_shard(task)
@@ -177,10 +242,40 @@ def _execute_shard(task: dict[str, Any]) -> dict[str, Any]:
     raise ValueError(f"unknown shard kind {kind!r}")
 
 
+def _shard_cache(
+    task: dict[str, Any], obs: Instrumentation
+) -> RepresentationCache | None:
+    """The shard's representation cache.
+
+    Prefers a sweep-wide shared instance when the coordinator provides
+    one.  A shared cache (or a per-shard cache over a shared disk
+    tier, i.e. ``CacheConfig.shared`` on the process backend) is never
+    bound to the shard's instrumentation: its hit pattern depends on
+    shard scheduling, and keeping those counters out of the snapshot
+    is what preserves byte-identical merged snapshots across worker
+    counts.
+    """
+    cache = task.get("shared_cache")
+    if cache is not None:
+        return cache
+    config: CacheConfig = task["cache"]
+    return RepresentationCache.from_config(
+        config, instrumentation=None if config.shared else obs
+    )
+
+
+def _shard_cache_stats(task: dict[str, Any], cache) -> dict[str, int]:
+    """Per-shard cache totals (empty for a shared cache: counted once
+    by the coordinator, not once per shard)."""
+    if cache is None or task.get("shared_cache") is not None:
+        return {}
+    return cache.stats()
+
+
 def _comparison_shard(task: dict[str, Any]) -> dict[str, Any]:
     """One comparison cell: construct, fit and measure one pipeline."""
     obs, own, _ = _shard_obs(task)
-    cache = RepresentationCache.from_config(task["cache"], instrumentation=obs)
+    cache = _shard_cache(task, obs)
     cells = []
     for cell in task["shard"].cells:
         pipeline = _materialise(task["pipelines"][cell.paradigm], cell.condition)
@@ -194,7 +289,7 @@ def _comparison_shard(task: dict[str, Any]) -> dict[str, Any]:
     return {
         "snapshot": obs.snapshot() if own else None,
         "cells": cells,
-        "cache_stats": cache.stats() if cache is not None else {},
+        "cache_stats": _shard_cache_stats(task, cache),
     }
 
 
@@ -203,7 +298,7 @@ def _robustness_shard(task: dict[str, Any]) -> dict[str, Any]:
     from ..reliability.sweep import run_paradigm_curve
 
     obs, own, clock = _shard_obs(task)
-    cache = RepresentationCache.from_config(task["cache"], instrumentation=obs)
+    cache = _shard_cache(task, obs)
     shard: Shard = task["shard"]
     name = shard.cells[0].paradigm
     pipeline = _materialise(task["pipelines"][name])
@@ -218,8 +313,7 @@ def _robustness_shard(task: dict[str, Any]) -> dict[str, Any]:
         fresh[key] = point.to_dict()
         if state_path is not None:
             done[key] = fresh[key]
-            state_path.parent.mkdir(parents=True, exist_ok=True)
-            state_path.write_text(json.dumps(done))
+            _write_state(state_path, done)
 
     points = run_paradigm_curve(
         name,
@@ -242,7 +336,7 @@ def _robustness_shard(task: dict[str, Any]) -> dict[str, Any]:
         "paradigm": name,
         "points": points,
         "fresh": fresh,
-        "cache_stats": cache.stats() if cache is not None else {},
+        "cache_stats": _shard_cache_stats(task, cache),
     }
 
 
@@ -297,14 +391,53 @@ def _normalise_factories(
     return factories
 
 
+def _cache_plumbing(
+    spec: SweepSpec, backend: str
+) -> tuple[dict[str, Any], RepresentationCache | None, Callable[[], None]]:
+    """Shared-cache wiring: (base shared context, shared cache, cleanup).
+
+    With ``spec.cache.shared``, the in-process backends (serial,
+    thread) get **one** thread-safe cache instance handed to every
+    shard by reference, so replicated cells reuse each other's
+    encodings instead of re-encoding per shard.  The process backend
+    cannot share memory; there the shards get a common disk tier
+    instead — ``cache_dir`` if set, else a per-run temp directory that
+    the returned cleanup removes.
+    """
+    cache_config = spec.cache
+    shared_cache: RepresentationCache | None = None
+
+    def cleanup() -> None:
+        pass
+
+    if cache_config.enabled and cache_config.shared:
+        if backend in ("serial", "thread"):
+            shared_cache = RepresentationCache.from_config(
+                cache_config, thread_safe=True
+            )
+        elif cache_config.cache_dir is None:
+            tmp_dir = tempfile.mkdtemp(prefix="repro-sweep-cache-")
+            cache_config = dataclasses.replace(cache_config, cache_dir=tmp_dir)
+
+            def cleanup() -> None:
+                shutil.rmtree(tmp_dir, ignore_errors=True)
+
+    shared: dict[str, Any] = {"cache": cache_config}
+    if shared_cache is not None:
+        shared["shared_cache"] = shared_cache
+    return shared, shared_cache, cleanup
+
+
 def _collect(
     spec: SweepSpec,
     shards: tuple[Shard, ...],
     tasks: list[dict[str, Any]],
     parallel: ParallelConfig,
+    shared: dict[str, Any],
+    shared_cache: RepresentationCache | None = None,
 ) -> tuple[list[dict[str, Any]], dict[str, Any], dict[str, int]]:
     """Run the shard plan and reconcile the merged snapshot."""
-    outs = run_shards(tasks, _execute_shard, parallel)
+    outs = run_shards(tasks, _execute_shard, parallel, shared=shared)
     if spec.instrumentation is not None:
         snapshot = spec.instrumentation.snapshot()
     else:
@@ -319,6 +452,9 @@ def _collect(
     for out in outs:
         for key, value in out.get("cache_stats", {}).items():
             cache_stats[key] = cache_stats.get(key, 0) + value
+    if shared_cache is not None:
+        for key, value in shared_cache.stats().items():
+            cache_stats[key] = cache_stats.get(key, 0) + value
     return outs, snapshot, cache_stats
 
 
@@ -329,20 +465,24 @@ def _run_comparison(spec: SweepSpec, parallel: ParallelConfig) -> SweepResult:
     )
     conditions = tuple(spec.conditions)
     shards = plan_shards(PARADIGMS, conditions, group_by="cell")
-    tasks = [
+    shared, shared_cache, cleanup = _cache_plumbing(spec, backend)
+    shared.update(
         {
             "kind": "comparison",
-            "shard": shard,
             "shared_obs": spec.instrumentation,
             "pipelines": factories,
             "train": spec.train,
             "test": spec.test,
             "temporal_labels": tuple(spec.temporal_labels),
-            "cache": spec.cache,
         }
-        for shard in shards
-    ]
-    outs, snapshot, cache_stats = _collect(spec, shards, tasks, parallel)
+    )
+    tasks = [{"shard": shard} for shard in shards]
+    try:
+        outs, snapshot, cache_stats = _collect(
+            spec, shards, tasks, parallel, shared, shared_cache
+        )
+    finally:
+        cleanup()
 
     measured = [cell for out in outs for cell in out["cells"]]
     if conditions:
@@ -381,18 +521,13 @@ def _run_robustness(spec: SweepSpec, parallel: ParallelConfig) -> SweepResult:
     checkpoint_dir = options.get("checkpoint_dir")
     checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
     state_path = checkpoint_dir / "sweep_state.json" if checkpoint_dir else None
-    done: dict[str, dict[str, Any]] = {}
-    if state_path is not None and state_path.exists():
-        try:
-            done = json.loads(state_path.read_text())
-        except (ValueError, OSError):
-            done = {}  # corrupt state file: redo the points
+    done = _load_state(state_path)
 
     shards = plan_shards(PARADIGMS, severities, group_by="paradigm")
-    tasks = [
+    shared, shared_cache, cleanup = _cache_plumbing(spec, backend)
+    shared.update(
         {
             "kind": "robustness",
-            "shard": shard,
             "shared_obs": spec.instrumentation,
             "pipelines": factories,
             "train": spec.train,
@@ -402,15 +537,20 @@ def _run_robustness(spec: SweepSpec, parallel: ParallelConfig) -> SweepResult:
             "checkpoint_dir": checkpoint_dir,
             "max_retries": options.get("max_retries", 1),
             "stage_timeout_s": options.get("stage_timeout_s"),
-            "cache": spec.cache,
-            # Incremental state writes only in-process; pool workers
-            # return their fresh points and the coordinator persists.
+            # Incremental state writes only single-threaded in-process;
+            # thread/pool workers return their fresh points and the
+            # coordinator persists atomically below.
             "state_path": state_path if backend == "serial" else None,
             "done": done,
         }
-        for shard in shards
-    ]
-    outs, snapshot, cache_stats = _collect(spec, shards, tasks, parallel)
+    )
+    tasks = [{"shard": shard} for shard in shards]
+    try:
+        outs, snapshot, cache_stats = _collect(
+            spec, shards, tasks, parallel, shared, shared_cache
+        )
+    finally:
+        cleanup()
 
     result = RobustnessSweepResult(severities=severities, seed=spec.seed)
     for out in outs:
@@ -418,8 +558,7 @@ def _run_robustness(spec: SweepSpec, parallel: ParallelConfig) -> SweepResult:
     if state_path is not None and any(out["fresh"] for out in outs):
         for out in outs:
             done.update(out["fresh"])
-        state_path.parent.mkdir(parents=True, exist_ok=True)
-        state_path.write_text(json.dumps(done))
+        _write_state(state_path, done)
     return SweepResult(
         kind="robustness",
         result=result,
@@ -452,17 +591,26 @@ def _run_streaming(spec: SweepSpec, parallel: ParallelConfig) -> SweepResult:
     fallbacks = options.get("fallbacks")
     service_models = options.get("service_models")
     shards = plan_shards(PARADIGMS, load_factors, group_by="paradigm")
+    shared, shared_cache, cleanup = _cache_plumbing(spec, backend)
+    shared.update(
+        {
+            "kind": "streaming",
+            "shared_obs": spec.instrumentation,
+            "stream": spec.stream,
+            "window_us": int(spec.window_us),
+            "shed_policy": options.get("shed_policy"),
+            "breaker_policy": options.get("breaker_policy"),
+            "queue_capacity": options.get("queue_capacity", 16),
+            "seed": spec.seed,
+        }
+    )
     tasks = []
     for shard in shards:
         name = shard.cells[0].paradigm
         tasks.append(
             {
-                "kind": "streaming",
                 "shard": shard,
-                "shared_obs": spec.instrumentation,
                 "predictor": predictors[name],
-                "stream": spec.stream,
-                "window_us": int(spec.window_us),
                 "fallbacks": (
                     tuple(fallbacks.get(name, ())) if fallbacks else ()
                 ),
@@ -473,13 +621,14 @@ def _run_streaming(spec: SweepSpec, parallel: ParallelConfig) -> SweepResult:
                         spec.stream, int(spec.window_us), CAPACITY_HEADROOM[name]
                     )
                 ),
-                "shed_policy": options.get("shed_policy"),
-                "breaker_policy": options.get("breaker_policy"),
-                "queue_capacity": options.get("queue_capacity", 16),
-                "seed": spec.seed,
             }
         )
-    outs, snapshot, cache_stats = _collect(spec, shards, tasks, parallel)
+    try:
+        outs, snapshot, cache_stats = _collect(
+            spec, shards, tasks, parallel, shared, shared_cache
+        )
+    finally:
+        cleanup()
 
     result = StreamingSweepResult(
         load_factors=load_factors, window_us=int(spec.window_us), seed=spec.seed
@@ -511,7 +660,7 @@ def run_sweep(spec: SweepSpec, parallel: ParallelConfig | None = None) -> SweepR
 
     Raises:
         ValueError: on an unknown kind, an invalid grid, a shared
-            ``instrumentation`` combined with the process backend, or
+            ``instrumentation`` combined with a concurrent backend, or
             pipeline instances on the process backend.
         RuntimeError: when the merged snapshot fails reconciliation or
             a pipeline fails to fit.
@@ -519,7 +668,7 @@ def run_sweep(spec: SweepSpec, parallel: ParallelConfig | None = None) -> SweepR
     if spec.kind not in _KINDS:
         raise ValueError(f"kind must be one of {_KINDS}, got {spec.kind!r}")
     parallel = parallel if parallel is not None else spec.parallel
-    if spec.instrumentation is not None and parallel.resolve() == "process":
+    if spec.instrumentation is not None and parallel.resolve() != "serial":
         raise ValueError(
             "a shared instrumentation requires the serial backend "
             "(n_workers=1); per-shard instrumentation is merged "

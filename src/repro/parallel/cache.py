@@ -28,6 +28,7 @@ import hashlib
 import json
 import os
 import pickle
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Callable, Mapping
@@ -122,15 +123,28 @@ class CacheConfig:
             executor (the in-memory tier is per-shard and
             deterministic, the disk tier is whatever previous runs
             left behind — counters may differ, values never do).
+        shared: share one cache across every shard of a sweep instead
+            of giving each shard a fresh tier.  On the serial/thread
+            backends this is a single thread-safe in-memory cache; on
+            the process backend it plumbs a per-run disk tier under
+            every per-shard cache.  A shared cache is never bound to
+            per-shard instrumentation (its hit pattern depends on
+            shard scheduling), so merged snapshots stay byte-identical
+            across worker counts; sweep *results* are unaffected
+            either way because encodings are deterministic.
     """
 
     enabled: bool = True
     max_entries: int | None = 256
     cache_dir: str | None = None
+    shared: bool = False
 
     def __post_init__(self) -> None:
         if self.max_entries is not None and self.max_entries < 1:
             raise ValueError("max_entries must be >= 1 (or None)")
+
+
+_MISSING = object()
 
 
 class RepresentationCache:
@@ -146,8 +160,15 @@ class RepresentationCache:
         instrumentation: optional
             :class:`~repro.observability.Instrumentation`; when bound,
             the cache emits ``repr_cache_hits_total{kind}``,
-            ``repr_cache_misses_total{kind}`` and
-            ``repr_cache_evictions_total``.
+            ``repr_cache_misses_total{kind}``,
+            ``repr_cache_evictions_total`` and
+            ``repr_cache_disk_errors_total{kind}``.
+        thread_safe: serialise bookkeeping behind a lock and make
+            :meth:`get_or_compute` single-flight per key — concurrent
+            callers asking for the same representation compute it
+            exactly once while other keys proceed in parallel.  This
+            is the mode the sweep executor uses for a cache shared
+            across thread-backend shards.
     """
 
     def __init__(
@@ -155,6 +176,7 @@ class RepresentationCache:
         max_entries: int | None = 256,
         cache_dir: str | Path | None = None,
         instrumentation: Any = None,
+        thread_safe: bool = False,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be >= 1 (or None)")
@@ -162,14 +184,20 @@ class RepresentationCache:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self._entries: OrderedDict[str, Any] = OrderedDict()
         self._obs = instrumentation
+        self._lock = threading.Lock() if thread_safe else None
+        self._flights: dict[str, threading.Lock] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.disk_hits = 0
+        self.disk_errors = 0
 
     @classmethod
     def from_config(
-        cls, config: CacheConfig | None, instrumentation: Any = None
+        cls,
+        config: CacheConfig | None,
+        instrumentation: Any = None,
+        thread_safe: bool = False,
     ) -> "RepresentationCache | None":
         """Build a cache from a :class:`CacheConfig` (None when disabled)."""
         if config is None:
@@ -180,6 +208,7 @@ class RepresentationCache:
             max_entries=config.max_entries,
             cache_dir=config.cache_dir,
             instrumentation=instrumentation,
+            thread_safe=thread_safe,
         )
 
     def bind(self, instrumentation: Any) -> "RepresentationCache":
@@ -230,27 +259,53 @@ class RepresentationCache:
             The representation (shared object — do not mutate).
         """
         key = content_key(kind, stream, config)
-        if key in self._entries:
-            self.hits += 1
-            self._count("repr_cache_hits_total", kind)
-            self._entries.move_to_end(key)
-            return self._entries[key]
+        if self._lock is None:
+            return self._get_or_compute(kind, key, compute)
 
-        if self.cache_dir is not None:
-            path = self._disk_path(key)
-            if path.exists():
-                try:
-                    with path.open("rb") as fh:
-                        value = pickle.load(fh)
-                except (OSError, pickle.UnpicklingError, EOFError):
-                    pass  # corrupt or racing entry: recompute below
-                else:
+        # Single-flight shared-cache path: the first caller of a key
+        # computes while holding that key's flight lock; latecomers wait
+        # on it and land a hit.  Aggregate misses therefore equal the
+        # number of unique keys, independent of shard scheduling.
+        with self._lock:
+            hit = self._memory_hit(kind, key)
+            if hit is not _MISSING:
+                return hit
+            flight = self._flights.setdefault(key, threading.Lock())
+        with flight:
+            with self._lock:
+                hit = self._memory_hit(kind, key)
+                if hit is not _MISSING:
+                    return hit
+            value = self._disk_load(kind, key)
+            from_disk = value is not _MISSING
+            if not from_disk:
+                value = compute()
+            with self._lock:
+                if from_disk:
                     self.hits += 1
                     self.disk_hits += 1
                     self._count("repr_cache_hits_total", kind)
-                    self._store(key, value)
-                    return value
+                else:
+                    self.misses += 1
+                    self._count("repr_cache_misses_total", kind)
+                self._store(key, value)
+                self._flights.pop(key, None)
+            if not from_disk and self.cache_dir is not None:
+                self._write_disk(key, value)
+            return value
 
+    def _get_or_compute(self, kind: str, key: str, compute: Callable[[], Any]) -> Any:
+        """Unlocked lookup path (per-shard caches are single-threaded)."""
+        hit = self._memory_hit(kind, key)
+        if hit is not _MISSING:
+            return hit
+        value = self._disk_load(kind, key)
+        if value is not _MISSING:
+            self.hits += 1
+            self.disk_hits += 1
+            self._count("repr_cache_hits_total", kind)
+            self._store(key, value)
+            return value
         self.misses += 1
         self._count("repr_cache_misses_total", kind)
         value = compute()
@@ -258,6 +313,52 @@ class RepresentationCache:
         if self.cache_dir is not None:
             self._write_disk(key, value)
         return value
+
+    def _memory_hit(self, kind: str, key: str) -> Any:
+        """Memory-tier lookup with hit bookkeeping, or ``_MISSING``."""
+        if key not in self._entries:
+            return _MISSING
+        self.hits += 1
+        self._count("repr_cache_hits_total", kind)
+        self._entries.move_to_end(key)
+        return self._entries[key]
+
+    def _disk_load(self, kind: str, key: str) -> Any:
+        """Disk-tier lookup: the value, or ``_MISSING`` on absence/error.
+
+        Unreadable entries — truncated by a crashed writer, unpicklable
+        payload, I/O failure — are counted as
+        ``repr_cache_disk_errors_total{kind}`` and deleted so the same
+        entry cannot fail again on every subsequent lookup.
+        """
+        if self.cache_dir is None:
+            return _MISSING
+        path = self._disk_path(key)
+        if not path.exists():
+            return _MISSING
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except (
+            OSError,
+            pickle.UnpicklingError,
+            EOFError,
+            ValueError,  # e.g. truncated/garbled protocol bytes
+            AttributeError,
+            ImportError,
+            IndexError,
+        ):
+            if self._lock is not None:
+                with self._lock:
+                    self.disk_errors += 1
+            else:
+                self.disk_errors += 1
+            self._count("repr_cache_disk_errors_total", kind)
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass  # deletion is best-effort (e.g. read-only tier)
+            return _MISSING
 
     def _write_disk(self, key: str, value: Any) -> None:
         """Persist one entry atomically (tmp + rename; races are benign)."""
@@ -279,4 +380,5 @@ class RepresentationCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "disk_hits": self.disk_hits,
+            "disk_errors": self.disk_errors,
         }

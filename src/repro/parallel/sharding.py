@@ -14,16 +14,32 @@ serial ones:
   (:func:`derive_seed`), never from execution order or wall time.
 
 Backends: ``"serial"`` runs shards in-process in plan order (the
-debugging reference), ``"process"`` fans them out on a forked
-``ProcessPoolExecutor`` and reassembles results in plan order.
-``"auto"`` picks ``serial`` for one worker and ``process`` otherwise,
-degrading to serial when the platform cannot fork.
+debugging reference); ``"thread"`` fans them out on a
+``ThreadPoolExecutor`` — shards share the parent's memory (no pickling,
+no fork), and the NumPy-heavy stages release the GIL; ``"process"``
+fans them out on a persistent forked ``ProcessPoolExecutor`` that is
+spawned once and reused across sweeps.  ``"auto"`` picks ``serial``
+for one worker, ``thread`` when the machine has a single CPU or cannot
+fork (process isolation would only add spawn + pickle overhead there),
+and ``process`` otherwise.
+
+For the process backend, heavy per-sweep context (datasets, pipeline
+configs) is pickled **once** into a shared blob handed to every task;
+each pool child unpickles it on first use and caches it by token, so
+per-shard submissions carry only the small shard descriptor.
 """
 
 from __future__ import annotations
 
+import atexit
+import itertools
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
+import os
+import pickle
+import threading
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
@@ -37,9 +53,10 @@ __all__ = [
     "derive_seed",
     "plan_shards",
     "run_shards",
+    "shutdown_pools",
 ]
 
-_BACKENDS = ("auto", "serial", "process")
+_BACKENDS = ("auto", "serial", "thread", "process")
 
 
 @dataclass(frozen=True)
@@ -77,9 +94,10 @@ class ParallelConfig:
     """Execution knobs of the sharded executor.
 
     Attributes:
-        n_workers: process-pool width; 1 means serial.
-        backend: ``"auto"`` (serial for one worker, processes
-            otherwise), ``"serial"`` or ``"process"``.
+        n_workers: worker-pool width; 1 means serial.
+        backend: ``"serial"``, ``"thread"``, ``"process"``, or
+            ``"auto"`` — serial for one worker, threads when the
+            machine has one CPU or cannot fork, processes otherwise.
     """
 
     n_workers: int = 1
@@ -93,11 +111,13 @@ class ParallelConfig:
 
     def resolve(self) -> str:
         """The concrete backend this configuration runs on."""
-        if self.backend == "serial":
+        if self.backend != "auto":
+            return self.backend
+        if self.n_workers <= 1:
             return "serial"
-        if self.backend == "process":
-            return "process"
-        return "serial" if self.n_workers <= 1 else "process"
+        if (os.cpu_count() or 1) <= 1 or _fork_context() is None:
+            return "thread"
+        return "process"
 
 
 def derive_seed(*path: int) -> int:
@@ -209,10 +229,69 @@ def _fork_context() -> multiprocessing.context.BaseContext | None:
     return None
 
 
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
+_SHARED_TOKENS = itertools.count()
+
+# Child-side cache of unpickled shared contexts, keyed by token.  Bounded
+# so long-lived pool children do not pin every sweep's datasets.
+_SHARED_CTX: OrderedDict[str, Any] = OrderedDict()
+_SHARED_CTX_LIMIT = 4
+
+
+def _process_pool(workers: int, context) -> ProcessPoolExecutor:
+    """A persistent fork pool of the given width, spawned once and reused.
+
+    Amortises pool start-up across sweep cells: the first sweep pays the
+    fork cost, later sweeps submit straight into warm children.
+    """
+    with _POOLS_LOCK:
+        pool = _POOLS.get(workers)
+        if pool is None:
+            pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+            _POOLS[workers] = pool
+        return pool
+
+
+def _evict_pool(workers: int) -> None:
+    with _POOLS_LOCK:
+        pool = _POOLS.pop(workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_pools() -> None:
+    """Shut down every persistent process pool (idempotent).
+
+    Registered atexit; callable explicitly by tests or long-running
+    hosts that want to reclaim the workers early.
+    """
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+atexit.register(shutdown_pools)
+
+
+def _invoke_with_shared(worker, token: str, blob: bytes, task: Any) -> Any:
+    """Pool-child trampoline: unpickle the shared context once per token."""
+    ctx = _SHARED_CTX.get(token)
+    if ctx is None:
+        ctx = pickle.loads(blob)
+        _SHARED_CTX[token] = ctx
+        while len(_SHARED_CTX) > _SHARED_CTX_LIMIT:
+            _SHARED_CTX.popitem(last=False)
+    return worker(task, ctx)
+
+
 def run_shards(
     tasks: Sequence[Any],
-    worker: Callable[[Any], Any],
+    worker: Callable[..., Any],
     parallel: ParallelConfig,
+    shared: Any = None,
 ) -> list[Any]:
     """Execute one task per shard and return results in plan order.
 
@@ -221,7 +300,14 @@ def run_shards(
             the process backend).
         worker: module-level callable mapping a payload to a result
             (must be picklable by reference for the process backend).
+            Called as ``worker(task)``, or ``worker(task, shared)``
+            when a shared context is given.
         parallel: backend selection.
+        shared: optional context common to every task.  Serial and
+            thread backends pass it by reference (zero copies); the
+            process backend pickles it once into a blob that each pool
+            child unpickles and caches, instead of re-pickling the
+            heavy fields into every per-shard payload.
 
     Returns:
         Worker results, ordered like ``tasks`` regardless of
@@ -229,10 +315,38 @@ def run_shards(
     """
     backend = parallel.resolve()
     context = _fork_context() if backend == "process" else None
-    if backend == "serial" or context is None:
-        # Serial reference path (also the no-fork-platform fallback).
-        return [worker(task) for task in tasks]
+    if backend == "process" and context is None:
+        backend = "serial"  # no-fork-platform fallback
+    if backend == "serial":
+        if shared is None:
+            return [worker(task) for task in tasks]
+        return [worker(task, shared) for task in tasks]
     workers = min(parallel.n_workers, max(len(tasks), 1))
-    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+    if backend == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            if shared is None:
+                futures = [pool.submit(worker, task) for task in tasks]
+            else:
+                futures = [pool.submit(worker, task, shared) for task in tasks]
+            return [future.result() for future in futures]
+    pool = _process_pool(workers, context)
+    if shared is None:
         futures = [pool.submit(worker, task) for task in tasks]
+    else:
+        token = f"{os.getpid()}:{next(_SHARED_TOKENS)}"
+        blob = pickle.dumps(shared, protocol=pickle.HIGHEST_PROTOCOL)
+        futures = [
+            pool.submit(_invoke_with_shared, worker, token, blob, task)
+            for task in tasks
+        ]
+    try:
         return [future.result() for future in futures]
+    except BrokenProcessPool:
+        # A dead child poisons the whole executor; drop it so the next
+        # call gets a fresh pool instead of failing forever.
+        _evict_pool(workers)
+        raise
+    except BaseException:
+        for future in futures:
+            future.cancel()
+        raise

@@ -133,12 +133,76 @@ class TestRepresentationCache:
         np.testing.assert_array_equal(value, loaded)
         assert second.stats()["disk_hits"] == 1
 
+    def test_corrupt_disk_entry_is_counted_and_deleted(self, stream, tmp_path):
+        writer = RepresentationCache(max_entries=4, cache_dir=tmp_path)
+        writer.get_or_compute("k", stream, {"a": 1}, lambda: np.arange(5))
+        path = writer._disk_path(content_key("k", stream, {"a": 1}))
+        path.write_bytes(b"\x80garbage-not-a-pickle")
+
+        obs = Instrumentation()
+        reader = RepresentationCache(
+            max_entries=4, cache_dir=tmp_path, instrumentation=obs
+        )
+        value = reader.get_or_compute("k", stream, {"a": 1}, lambda: np.arange(5))
+        np.testing.assert_array_equal(value, np.arange(5))
+        # The failure is visible, the corrupt file is gone, and the
+        # recompute rewrote a readable entry in its place.
+        assert reader.stats()["disk_errors"] == 1
+        assert reader.stats()["misses"] == 1
+        counters = {
+            c["name"]: c["value"]
+            for c in obs.snapshot()["metrics"]["counters"]
+        }
+        assert counters["repr_cache_disk_errors_total"] == 1
+        fresh = RepresentationCache(max_entries=4, cache_dir=tmp_path)
+        fresh.get_or_compute(
+            "k", stream, {"a": 1}, lambda: pytest.fail("should load from disk")
+        )
+        assert fresh.stats()["disk_errors"] == 0
+
+    def test_truncated_disk_entry_is_counted_and_deleted(self, stream, tmp_path):
+        writer = RepresentationCache(max_entries=4, cache_dir=tmp_path)
+        writer.get_or_compute("k", stream, {"a": 1}, lambda: np.arange(5))
+        path = writer._disk_path(content_key("k", stream, {"a": 1}))
+        path.write_bytes(path.read_bytes()[:10])  # killed mid-write
+        reader = RepresentationCache(max_entries=4, cache_dir=tmp_path)
+        value = reader.get_or_compute("k", stream, {"a": 1}, lambda: np.arange(5))
+        np.testing.assert_array_equal(value, np.arange(5))
+        assert reader.stats()["disk_errors"] == 1
+        assert not list(tmp_path.rglob("*.pkl")) == []  # rewritten entry
+
+    def test_thread_safe_single_flight(self, stream):
+        import threading
+
+        cache = RepresentationCache(max_entries=16, thread_safe=True)
+        started = threading.Barrier(4)
+        computes = []
+
+        def compute():
+            computes.append(1)
+            return np.arange(3)
+
+        def worker():
+            started.wait()
+            cache.get_or_compute("k", stream, {"a": 1}, compute)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Exactly one flight computed; every other caller waited and hit.
+        assert len(computes) == 1
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["hits"] == 3
+
     def test_config_validation_and_from_config(self):
         with pytest.raises(ValueError):
             CacheConfig(max_entries=0)
         assert RepresentationCache.from_config(CacheConfig(enabled=False)) is None
         cache = RepresentationCache.from_config(CacheConfig(max_entries=3))
         assert cache is not None and cache.max_entries == 3
+        assert "disk_errors" in cache.stats()
 
 
 class TestPipelineIntegration:

@@ -69,10 +69,22 @@ class TestDeriveSeed:
 
 class TestParallelConfig:
     def test_resolution(self):
+        import os
+
+        from repro.parallel.sharding import _fork_context
+
         assert ParallelConfig(n_workers=1).resolve() == "serial"
-        assert ParallelConfig(n_workers=4).resolve() == "process"
+        # Auto prefers threads where process isolation cannot help
+        # (single CPU) or cannot work (no fork), processes otherwise.
+        expected = (
+            "thread"
+            if (os.cpu_count() or 1) <= 1 or _fork_context() is None
+            else "process"
+        )
+        assert ParallelConfig(n_workers=4).resolve() == expected
         assert ParallelConfig(n_workers=4, backend="serial").resolve() == "serial"
         assert ParallelConfig(n_workers=1, backend="process").resolve() == "process"
+        assert ParallelConfig(n_workers=4, backend="thread").resolve() == "thread"
 
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -158,20 +170,52 @@ def _echo_worker(task):
     return {"shard": task["shard"].index, "value": task["value"] * 2}
 
 
+def _shared_worker(task, shared):
+    return {"shard": task["shard"].index, "value": task["value"] + shared["offset"]}
+
+
+def _boom_worker(task):
+    raise RuntimeError("shard failed")
+
+
 class TestRunShards:
     def _tasks(self):
         shards = plan_shards(PARADIGMS, (1, 2), group_by="cell")
         return [{"shard": s, "value": s.index} for s in shards]
 
-    def test_serial_and_process_agree_in_plan_order(self):
+    def test_all_backends_agree_in_plan_order(self):
         serial = run_shards(self._tasks(), _echo_worker, ParallelConfig(n_workers=1))
-        procs = run_shards(self._tasks(), _echo_worker, ParallelConfig(n_workers=2))
-        assert serial == procs
+        auto = run_shards(self._tasks(), _echo_worker, ParallelConfig(n_workers=2))
+        threads = run_shards(
+            self._tasks(), _echo_worker, ParallelConfig(n_workers=2, backend="thread")
+        )
+        procs = run_shards(
+            self._tasks(), _echo_worker, ParallelConfig(n_workers=2, backend="process")
+        )
+        assert serial == auto == threads == procs
         assert [r["shard"] for r in serial] == list(range(6))
 
-    def test_worker_errors_propagate(self):
-        def boom(task):
-            raise RuntimeError("shard failed")
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_shared_context_reaches_every_worker(self, backend):
+        results = run_shards(
+            self._tasks(),
+            _shared_worker,
+            ParallelConfig(n_workers=2, backend=backend),
+            shared={"offset": 100},
+        )
+        assert [r["value"] for r in results] == [100 + i for i in range(6)]
 
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_worker_errors_propagate(self, backend):
         with pytest.raises(RuntimeError, match="shard failed"):
-            run_shards(self._tasks(), boom, ParallelConfig(n_workers=1))
+            run_shards(
+                self._tasks(), _boom_worker, ParallelConfig(n_workers=1, backend=backend)
+            )
+
+    def test_worker_errors_propagate_from_process_pool(self):
+        with pytest.raises(RuntimeError, match="shard failed"):
+            run_shards(
+                self._tasks(),
+                _boom_worker,
+                ParallelConfig(n_workers=2, backend="process"),
+            )

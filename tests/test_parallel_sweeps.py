@@ -193,6 +193,104 @@ class TestStreamingBitIdentity:
             assert to_json(streaming_runs[n].snapshot) == reference
 
 
+class TestThreadBackend:
+    """Explicit thread-backend coverage: results and snapshots must be
+    byte-identical to serial at every worker count (auto only exercises
+    threads on single-CPU hosts)."""
+
+    def _run(self, split, configs, n, backend, cache=None):
+        train, test = split
+        spec = SweepSpec(
+            kind="comparison",
+            train=train,
+            test=test,
+            pipelines=configs,
+            cache=cache if cache is not None else CacheConfig(),
+            parallel=ParallelConfig(n_workers=n, backend=backend),
+        )
+        return run_sweep(spec)
+
+    @pytest.mark.parametrize("n", WORKER_COUNTS)
+    def test_thread_matches_serial(self, split, configs, comparison_runs, n):
+        serial = comparison_runs[1]
+        threaded = self._run(split, configs, n, "thread")
+        assert _comparison_bytes(threaded.result) == _comparison_bytes(serial.result)
+        assert to_json(threaded.snapshot) == to_json(serial.snapshot)
+
+
+class TestSharedCache:
+    def _spec(self, split, configs, shared, n_workers=4):
+        train, test = split
+        return SweepSpec(
+            kind="comparison",
+            train=train,
+            test=test,
+            conditions=(0, 1),
+            pipelines=configs,
+            cache=CacheConfig(shared=shared),
+            parallel=ParallelConfig(n_workers=n_workers, backend="thread"),
+        )
+
+    def test_shared_cache_same_results_fewer_misses(self, split, configs):
+        unshared = run_sweep(self._spec(split, configs, shared=False))
+        shared = run_sweep(self._spec(split, configs, shared=True))
+        a = [_comparison_bytes(r) for r in unshared.result]
+        b = [_comparison_bytes(r) for r in shared.result]
+        assert a == b
+        # Seed-replicated cells share encodings (encoder configs exclude
+        # the training seed), so one sweep-wide cache must strictly beat
+        # per-shard caches on misses.
+        assert shared.cache_stats["misses"] < unshared.cache_stats["misses"]
+        assert shared.cache_stats["hits"] > unshared.cache_stats["hits"]
+
+    def test_shared_cache_keeps_snapshot_scheduling_free(self, split, configs):
+        # Cache counters depend on shard scheduling when the cache is
+        # shared, so they must stay out of the merged snapshot …
+        one = run_sweep(self._spec(split, configs, shared=True, n_workers=1))
+        four = run_sweep(self._spec(split, configs, shared=True, n_workers=4))
+        names = {c["name"] for c in four.snapshot["metrics"]["counters"]}
+        assert not any(name.startswith("repr_cache") for name in names)
+        # … which keeps the snapshot byte-identical across worker counts.
+        assert to_json(one.snapshot) == to_json(four.snapshot)
+
+
+class TestResumeCrashSafety:
+    def _spec(self, split, configs, checkpoint_dir):
+        train, test = split
+        return SweepSpec(
+            kind="robustness",
+            train=train,
+            test=test,
+            conditions=(0.0, 0.4),
+            pipelines=configs,
+            seed=0,
+            options={"checkpoint_dir": checkpoint_dir},
+            parallel=ParallelConfig(n_workers=1),
+        )
+
+    def test_truncated_state_file_resumes_cleanly(self, split, configs, tmp_path):
+        first = run_sweep(self._spec(split, configs, tmp_path))
+        state = tmp_path / "sweep_state.json"
+        assert state.exists()
+        payload = state.read_text()
+        # Simulate a writer killed mid-write: a truncated JSON document.
+        state.write_text(payload[: len(payload) // 2])
+        second = run_sweep(self._spec(split, configs, tmp_path))  # must not raise
+        # Model checkpoints still resume (from_checkpoint flips), but the
+        # measured curves are unchanged.
+        for name in first.result.curves:
+            assert first.result.accuracies(name) == second.result.accuracies(name)
+        # State writes are tmp+rename; no stray temp files may survive.
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_garbage_state_file_resumes_cleanly(self, split, configs, tmp_path):
+        state = tmp_path / "sweep_state.json"
+        state.parent.mkdir(parents=True, exist_ok=True)
+        state.write_text("[1, 2, 3]")  # valid JSON, wrong shape
+        result = run_sweep(self._spec(split, configs, tmp_path))
+        assert set(result.result.curves) == {"SNN", "CNN", "GNN"}
+
+
 class TestShimEquivalence:
     def test_run_robustness_sweep_shim(self, split, configs, robustness_runs):
         train, test = split
@@ -277,7 +375,7 @@ class TestValidation:
                 "CNN": CNNPipeline(epochs=1),
                 "GNN": GNNPipeline(epochs=1),
             },
-            parallel=ParallelConfig(n_workers=2),
+            parallel=ParallelConfig(n_workers=2, backend="process"),
         )
         with pytest.raises(ValueError, match="config dataclasses"):
             run_sweep(spec)
