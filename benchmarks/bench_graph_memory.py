@@ -1,0 +1,218 @@
+"""Dense vs compact event-graph storage at million-event scale.
+
+The memory question behind the compact representation (ROADMAP:
+"memory-bounded graph representations for million-event streams"): what
+does it cost to *hold* the graph?  The dense :class:`~repro.gnn.
+EventGraph` stores float64 positions/features and an int64 edge list —
+40 bytes per node plus 16 per edge.  The compact
+:class:`~repro.gnn.CompactEventGraph` stores uint16 coordinates, uint32
+timestamp offsets, uint-quantized features and a fixed-width uint16
+neighbour-delta table — ~28 bytes per node at degree 8 and *zero* bytes
+per edge attribute.  This benchmark builds both layouts from the same
+stream, checks they carry the identical capped causal edge set, and
+reports measured bytes/event plus the quantization accuracy delta on
+the gestures task.
+
+Run standalone via ``tools/run_memory_bench.py`` (appends a run record
+to ``BENCH_memory.json``, with per-leg subprocess peak-RSS), or under
+pytest for the shape assertions:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_graph_memory.py -s
+"""
+
+import time
+
+import numpy as np
+
+from repro.events import EventStream, Resolution
+from repro.gnn import GraphBuildConfig
+from repro.gnn.models import build_event_graph
+
+DEFAULT_N = 1_000_000
+SMOKE_N = 30_000
+
+#: Workload geometry: a mid-size sensor, ~100 keps mean rate (matching
+#: ``bench_async_inference``), dense enough for mean degree >~ 4.
+WIDTH = HEIGHT = 64
+MEAN_DT_US = 10
+
+RADIUS = 4.0
+TIME_SCALE_US = 5000.0
+MAX_DEGREE = 8
+QUANT_BITS = 8
+
+#: The ROADMAP target the full run is gated on: compact must hold at
+#: least this many times fewer bytes per event than dense.
+MIN_BYTES_RATIO = 4.0
+
+
+def make_stream(n: int, seed: int = 0) -> EventStream:
+    """Random but realistic event stream (uniform spatial, ~100 keps)."""
+    rng = np.random.default_rng(seed)
+    t = np.cumsum(rng.integers(1, 2 * MEAN_DT_US, n))
+    return EventStream.from_arrays(
+        t,
+        rng.integers(0, WIDTH, n),
+        rng.integers(0, HEIGHT, n),
+        rng.choice([-1, 1], n),
+        Resolution(WIDTH, HEIGHT),
+    )
+
+
+def build_config(n: int, representation: str) -> GraphBuildConfig:
+    """The shared graph geometry, at ``n`` events, in one representation."""
+    return GraphBuildConfig(
+        radius=RADIUS,
+        time_scale_us=TIME_SCALE_US,
+        max_events=n,
+        max_degree=MAX_DEGREE,
+        causal=True,
+        representation=representation,
+        quantization_bits=QUANT_BITS,
+    )
+
+
+def measure_representation(representation: str, n: int, seed: int = 0) -> dict:
+    """Build one representation of an ``n``-event stream and measure it.
+
+    This is the unit the runner executes in a *subprocess* per leg, so
+    each representation's peak RSS is its own, not the maximum of
+    whichever leg ran first.
+
+    Returns:
+        A JSON-ready record with storage bytes, bytes/event, graph
+        shape and build time.
+    """
+    stream = make_stream(n, seed=seed)
+    config = build_config(n, representation)
+    t0 = time.perf_counter()
+    graph = build_event_graph(stream, config)
+    build_s = time.perf_counter() - t0
+    if not graph.is_causal():
+        raise AssertionError(f"{representation} graph has non-causal edges")
+    if int(graph.in_degrees().max(initial=0)) > MAX_DEGREE:
+        raise AssertionError(f"{representation} graph exceeds the in-degree cap")
+    return {
+        "representation": representation,
+        "n_events": n,
+        "num_nodes": int(graph.num_nodes),
+        "num_edges": int(graph.num_edges),
+        "mean_degree": float(graph.mean_degree),
+        "storage_bytes": int(graph.nbytes()),
+        "bytes_per_event": graph.nbytes() / graph.num_nodes,
+        "build_s": build_s,
+        "events_per_s": n / build_s,
+    }
+
+
+def bench_graph_memory(n: int, seed: int = 0) -> dict:
+    """Both representations on the same stream, plus the edge-set check.
+
+    In-process convenience (the runner's subprocess legs call
+    :func:`measure_representation` instead): builds dense and compact
+    from identical events, asserts the edge sets are identical (the
+    equivalence the compact format is allowed to quantize *around*, but
+    never change), and reports the bytes/event ratio.
+    """
+    stream = make_stream(n, seed=seed)
+    dense = build_event_graph(stream, build_config(n, "dense"))
+    compact = build_event_graph(stream, build_config(n, "compact"))
+    if not np.array_equal(dense.edges, compact.edges):
+        raise AssertionError("dense and compact selected different edge sets")
+    ratio = dense.nbytes() / compact.nbytes()
+    return {
+        "n_events": n,
+        "num_edges": int(dense.num_edges),
+        "mean_degree": float(dense.mean_degree),
+        "dense_bytes_per_event": dense.nbytes() / dense.num_nodes,
+        "compact_bytes_per_event": compact.nbytes() / compact.num_nodes,
+        "bytes_ratio": ratio,
+    }
+
+
+def bench_accuracy_delta(seed: int = 0, epochs: int = 10) -> dict:
+    """Accuracy retained under 8-bit quantization, on the gestures task.
+
+    Trains the Table-I GNN on dense graphs, then evaluates the *same
+    weights* on dense and on compact-quantized graphs of the same test
+    recordings — the deployment scenario (train in float, serve on the
+    integer representation).  The record carries both accuracies and
+    their delta in points.
+    """
+    from repro.core.presets import table1_configs, table1_dataset
+    from repro.gnn import EventGNNClassifier
+    from repro.gnn.models import evaluate_gnn, fit_gnn
+
+    import dataclasses
+
+    train, test = table1_dataset()
+    gnn_cfg = table1_configs(seed=seed)["GNN"]
+    config = gnn_cfg.graph_config()
+    model = EventGNNClassifier(
+        train.num_classes,
+        hidden=gnn_cfg.hidden,
+        in_features=config.num_node_features,
+        rng=np.random.default_rng(seed),
+    )
+    fit_gnn(
+        model,
+        train,
+        config,
+        epochs=epochs,
+        lr=gnn_cfg.lr,
+        rng=np.random.default_rng(seed),
+    )
+    dense_acc = evaluate_gnn(model, test, config)
+    compact_cfg = dataclasses.replace(
+        config, representation="compact", quantization_bits=QUANT_BITS
+    )
+    compact_acc = evaluate_gnn(model, test, compact_cfg)
+    return {
+        "dense_accuracy": float(dense_acc),
+        "compact_accuracy": float(compact_acc),
+        "accuracy_delta_points": float((dense_acc - compact_acc) * 100.0),
+        "quantization_bits": QUANT_BITS,
+        "epochs": epochs,
+    }
+
+
+def format_table(record: dict) -> str:
+    """Human-readable summary of one combined record."""
+    lines = [
+        f"{'stream (events)':<26}{record['n_events']:>14,}",
+        f"{'graph edges':<26}{record['num_edges']:>14,}",
+        f"{'mean in-degree':<26}{record['mean_degree']:>14.2f}",
+        f"{'dense bytes/event':<26}{record['dense_bytes_per_event']:>12.1f} B",
+        f"{'compact bytes/event':<26}{record['compact_bytes_per_event']:>12.1f} B",
+        f"{'bytes ratio':<26}{record['bytes_ratio']:>11.1f} x",
+    ]
+    if "dense_peak_rss_bytes" in record:
+        lines += [
+            f"{'dense peak RSS':<26}{record['dense_peak_rss_bytes']:>12,} B",
+            f"{'compact peak RSS':<26}{record['compact_peak_rss_bytes']:>12,} B",
+        ]
+    if "accuracy_delta_points" in record:
+        lines += [
+            f"{'dense accuracy':<26}{record['dense_accuracy']:>14.3f}",
+            f"{'compact accuracy':<26}{record['compact_accuracy']:>14.3f}",
+            f"{'accuracy delta':<26}{record['accuracy_delta_points']:>10.1f} pts",
+        ]
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Pytest shape assertions (smoke-size)
+# ----------------------------------------------------------------------
+def test_bench_shapes():
+    record = bench_graph_memory(5_000, seed=0)
+    assert record["dense_bytes_per_event"] > record["compact_bytes_per_event"]
+    assert record["bytes_ratio"] >= MIN_BYTES_RATIO
+    assert record["mean_degree"] > 0
+
+
+def test_measure_representation_shapes():
+    dense = measure_representation("dense", 2_000, seed=0)
+    compact = measure_representation("compact", 2_000, seed=0)
+    assert dense["num_edges"] == compact["num_edges"]
+    assert compact["bytes_per_event"] < dense["bytes_per_event"]
+    assert compact["events_per_s"] > 0

@@ -16,6 +16,8 @@ import numpy as np
 from ..datasets.base import EventDataset
 from .metrics import (
     AXES,
+    GRAPH_MEMORY_COMPACT_AXIS,
+    GRAPH_MEMORY_DENSE_AXIS,
     OVERLOAD_AXIS,
     ROBUSTNESS_AXIS,
     SESSION_ROBUSTNESS_AXIS,
@@ -33,6 +35,7 @@ __all__ = [
     "attach_robustness",
     "attach_overload",
     "attach_session_robustness",
+    "attach_graph_memory",
     "render_table",
     "to_markdown",
     "agreement_with_paper",
@@ -256,6 +259,58 @@ def attach_session_robustness(
     result.ratings[SESSION_ROBUSTNESS_AXIS.key] = rate_robustness(scores)
     if all(a.key != SESSION_ROBUSTNESS_AXIS.key for a in result.extra_axes):
         result.extra_axes.append(SESSION_ROBUSTNESS_AXIS)
+    return result
+
+
+def attach_graph_memory(
+    result: ComparisonResult,
+    dense: dict[str, float] | None = None,
+    compact: dict[str, float] | None = None,
+) -> ComparisonResult:
+    """Append the measured graph-storage rows (bytes/event, dense and compact).
+
+    The GNN pipeline measures both representations of its own input
+    graphs (:class:`~repro.core.pipeline.GNNPipeline` stores them on
+    :class:`~repro.core.metrics.PipelineMetrics`); the SNN/CNN cells are
+    ``nan`` — they hold no event graph — and render ``?``.  With no
+    arguments the rows are pulled from the already-measured GNN metrics;
+    explicit per-paradigm dicts override (for externally-benchmarked
+    numbers, e.g. ``BENCH_memory.json`` points).
+
+    Args:
+        result: a comparison produced by :func:`run_comparison`.
+        dense: optional paradigm name → dense bytes/event.
+        compact: optional paradigm name → compact bytes/event.
+
+    Returns:
+        ``result``, updated in place (returned for chaining).
+    """
+    nan = float("nan")
+    if dense is None:
+        dense = {
+            name: result.metrics[name].graph_memory_dense for name in PARADIGMS
+        }
+    if compact is None:
+        compact = {
+            name: result.metrics[name].graph_memory_compact for name in PARADIGMS
+        }
+    for scores in (dense, compact):
+        if set(scores) != set(PARADIGMS):
+            raise ValueError(f"scores must cover exactly {PARADIGMS}")
+    for name in PARADIGMS:
+        result.metrics[name].graph_memory_dense = float(dense.get(name, nan))
+        result.metrics[name].graph_memory_compact = float(compact.get(name, nan))
+    for axis, scores in (
+        (GRAPH_MEMORY_DENSE_AXIS, dense),
+        (GRAPH_MEMORY_COMPACT_AXIS, compact),
+    ):
+        result.ratings[axis.key] = rate_values(
+            {name: float(scores[name]) for name in PARADIGMS},
+            axis.higher_is_better,
+            axis.tie_tolerance,
+        )
+        if all(a.key != axis.key for a in result.extra_axes):
+            result.extra_axes.append(axis)
     return result
 
 

@@ -22,6 +22,8 @@ __all__ = [
     "ROBUSTNESS_AXIS",
     "OVERLOAD_AXIS",
     "SESSION_ROBUSTNESS_AXIS",
+    "GRAPH_MEMORY_DENSE_AXIS",
+    "GRAPH_MEMORY_COMPACT_AXIS",
     "PipelineMetrics",
 ]
 
@@ -114,6 +116,33 @@ SESSION_ROBUSTNESS_AXIS = Axis(
 )
 
 
+#: The measured graph-storage rows: resident bytes per event of the
+#: input representation each GNN pipeline traverses — the dense float64
+#: :class:`~repro.gnn.EventGraph` versus the quantized fixed-degree
+#: :class:`~repro.gnn.CompactEventGraph`.  Only the GNN pipeline holds
+#: an event graph at all, so the SNN/CNN cells stay ``nan`` (rendered
+#: ``?``); the rows are appended by
+#: :func:`repro.core.comparison.attach_graph_memory` once the pipeline
+#: has measured both layouts.
+GRAPH_MEMORY_DENSE_AXIS = Axis(
+    "graph_memory_dense",
+    "Memory - Graph bytes/event (dense)",
+    higher_is_better=False,
+    measured=True,
+    paper_ratings=("?", "?", "?"),
+    tie_tolerance=2.0,
+)
+
+GRAPH_MEMORY_COMPACT_AXIS = Axis(
+    "graph_memory_compact",
+    "Memory - Graph bytes/event (compact)",
+    higher_is_better=False,
+    measured=True,
+    paper_ratings=("?", "?", "?"),
+    tie_tolerance=2.0,
+)
+
+
 #: Literature constants for the two unmeasurable axes, on an arbitrary
 #: 1–3 ordinal scale matching the paper's assessment (Section III/V):
 #: CNN hardware is mature and flexible; SNN processors exist but are
@@ -155,6 +184,12 @@ class PipelineMetrics:
             serving-session state is faulted mid-stream (filled by the
             incremental-robustness sweep; nan until measured — and nan
             forever for paradigms without a per-event serving path).
+        graph_memory_dense: resident bytes per event of the dense
+            float64 event-graph representation (GNN pipeline only;
+            nan elsewhere).
+        graph_memory_compact: resident bytes per event of the compact
+            quantized fixed-degree representation (GNN pipeline only;
+            nan elsewhere).
         extras: free-form measurement details for the report.
     """
 
@@ -174,6 +209,8 @@ class PipelineMetrics:
     robustness: float = float("nan")
     overload: float = float("nan")
     session_robustness: float = float("nan")
+    graph_memory_dense: float = float("nan")
+    graph_memory_compact: float = float("nan")
     extras: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:

@@ -19,6 +19,7 @@ metric) so the columns are comparable.
 from __future__ import annotations
 
 import abc
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
@@ -32,7 +33,12 @@ from ..gnn.models import EventGNNClassifier, GraphBuildConfig, build_event_graph
 from ..hw.energy import ENERGY_45NM
 from ..hw.gnn_accel import GNNAccelerator
 from ..hw.neuromorphic import NeuromorphicCore, analytic_snn_counters
-from ..hw.workload import ConvLayerWorkload, GNNWorkload, SNNLayerWorkload
+from ..hw.workload import (
+    ConvLayerWorkload,
+    GNNWorkload,
+    GraphMemoryWorkload,
+    SNNLayerWorkload,
+)
 from ..hw.zeroskip import ZeroSkipAccelerator
 from ..nn import Adam, Tensor, cross_entropy, no_grad
 from ..nn.layers import Conv2d, ReLU, Sequential
@@ -830,8 +836,52 @@ class GNNPipeline(ParadigmPipeline):
             insertion_candidates=int(prep),
         )
 
+        # Graph-storage rows: measure BOTH representations of the test
+        # graphs (dense float64 vs compact quantized) through the hw
+        # memory model, regardless of which one this pipeline runs on —
+        # the Table I dense-vs-compact comparison reads these off the
+        # GNN column (see repro.core.comparison.attach_graph_memory).
+        graph_memory: dict[str, dict[str, float]] = {}
+        candidates = ["dense"]
+        if self.config.causal:  # compact storage requires causal edges
+            candidates.append("compact")
+        for representation in candidates:
+            if representation == self.config.representation:
+                rep_graphs = graphs
+            else:
+                cfg = dataclasses.replace(
+                    self.config, representation=representation
+                )
+                rep_graphs = [build_event_graph(s.stream, cfg) for s in test]
+            storages = [GraphMemoryWorkload.from_graph(g) for g in rep_graphs]
+            reports = [accel.memory_report(workload, st) for st in storages]
+            graph_memory[representation] = {
+                "bytes_per_event": float(
+                    np.mean([st.bytes_per_event for st in storages])
+                ),
+                "peak_state_bytes": float(
+                    max(st.storage_bytes for st in storages)
+                ),
+                "traffic_bytes_per_event": float(
+                    np.mean([r["traffic_bytes_per_event"] for r in reports])
+                ),
+                "streams_resident": float(
+                    min(r["streams_resident"] for r in reports)
+                ),
+            }
+
         params = sum(p.size for p in self.model.parameters())
-        footprint = params * WORD_BYTES + int(nodes) * self.hidden * WORD_BYTES
+        active = graph_memory.get(self.config.representation)
+        graph_state = (
+            active["peak_state_bytes"]
+            if active is not None
+            else nodes * self.hidden * WORD_BYTES
+        )
+        footprint = (
+            params * WORD_BYTES
+            + int(nodes) * self.hidden * WORD_BYTES
+            + graph_state
+        )
 
         metrics = PipelineMetrics(paradigm="GNN")
         metrics.temporal_info = self._subset_accuracy(test, temporal_labels)
@@ -844,10 +894,18 @@ class GNNPipeline(ParadigmPipeline):
         metrics.memory_bandwidth = report.memory_accesses
         metrics.energy_efficiency = 1.0 / max(report.energy_pj * 1e-12, 1e-30)
         metrics.latency = event_report.latency_us  # asynchronous per-event bound
+        if "dense" in graph_memory:
+            metrics.graph_memory_dense = graph_memory["dense"]["bytes_per_event"]
+        if "compact" in graph_memory:
+            metrics.graph_memory_compact = graph_memory["compact"][
+                "bytes_per_event"
+            ]
         metrics.extras = {
             "mean_nodes": nodes,
             "mean_edges": edges,
             "energy_pj_per_classification": report.energy_pj,
             "per_event_energy_pj": event_report.energy_pj,
+            "representation": self.config.representation,
+            "graph_memory": graph_memory,
         }
         return metrics

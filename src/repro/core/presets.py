@@ -93,6 +93,8 @@ class GNNConfig:
     max_degree: int = 10
     causal: bool = True
     include_position: bool = False
+    representation: str = "dense"
+    quantization_bits: int = 8
     hidden: int = 12
     epochs: int = 12
     lr: float = 5e-3
@@ -107,6 +109,8 @@ class GNNConfig:
             max_degree=self.max_degree,
             causal=self.causal,
             include_position=self.include_position,
+            representation=self.representation,
+            quantization_bits=self.quantization_bits,
         )
 
     def kwargs(self) -> dict[str, Any]:

@@ -9,16 +9,33 @@ from .asynchronous import (
     NaiveInserter,
 )
 from .build import (
+    RADIUS_GRAPH_METHODS,
     knn_graph,
     limit_in_degree,
     make_causal,
+    radius_graph,
     radius_graph_kdtree,
     radius_graph_naive,
     radius_graph_spatial_hash,
     radius_graph_spatial_hash_reference,
 )
+from .compact import (
+    CompactEventGraph,
+    CompactGraphBuilder,
+    dequantize_unit,
+    quantize_offsets,
+    quantize_unit,
+)
 from .detection import EventGNNLocalizer, fit_localizer, localisation_error
 from .graph import EventGraph
+from .representation import (
+    REPRESENTATIONS,
+    CompactGraphRepresentation,
+    DenseGraphRepresentation,
+    GraphRepresentation,
+    get_representation,
+    subsample_stream,
+)
 from .hierarchical import HierarchicalEventGNN
 from .layers import EdgeConv, GCNConv, SplineConvLite, scatter_max, scatter_mean, scatter_sum
 from .models import (
@@ -32,6 +49,19 @@ from .pooling import global_max_pool, global_mean_pool, voxel_pool_graph
 
 __all__ = [
     "EventGraph",
+    "CompactEventGraph",
+    "CompactGraphBuilder",
+    "quantize_unit",
+    "dequantize_unit",
+    "quantize_offsets",
+    "GraphRepresentation",
+    "DenseGraphRepresentation",
+    "CompactGraphRepresentation",
+    "REPRESENTATIONS",
+    "get_representation",
+    "subsample_stream",
+    "radius_graph",
+    "RADIUS_GRAPH_METHODS",
     "HierarchicalEventGNN",
     "EventGNNLocalizer",
     "fit_localizer",

@@ -20,6 +20,8 @@ import numpy as np
 from scipy.spatial import cKDTree
 
 __all__ = [
+    "radius_graph",
+    "RADIUS_GRAPH_METHODS",
     "radius_graph_naive",
     "radius_graph_kdtree",
     "radius_graph_spatial_hash",
@@ -58,9 +60,11 @@ def _canonical(edges: np.ndarray) -> np.ndarray:
 
 
 def radius_graph_naive(points: np.ndarray, radius: float) -> np.ndarray:
-    """All directed pairs within ``radius``, by O(N^2) comparison.
+    """Deprecated alias for ``radius_graph(points, r, method="naive")``.
 
+    All directed pairs within ``radius``, by O(N^2) comparison.
     Self-loops are excluded; both directions of each pair are included.
+    Retained as the brute-force oracle the fast methods are pinned to.
     """
     points = _check_points(points)
     if radius <= 0:
@@ -77,7 +81,10 @@ def radius_graph_naive(points: np.ndarray, radius: float) -> np.ndarray:
 
 
 def radius_graph_kdtree(points: np.ndarray, radius: float) -> np.ndarray:
-    """Radius graph via k-d tree (the tree-search method of ref [75])."""
+    """Deprecated alias for ``radius_graph(points, r, method="kdtree")``.
+
+    Radius graph via k-d tree (the tree-search method of ref [75]).
+    """
     points = _check_points(points)
     if radius <= 0:
         raise ValueError("radius must be positive")
@@ -140,9 +147,10 @@ def radius_graph_spatial_hash_reference(
 
 
 def radius_graph_spatial_hash(points: np.ndarray, radius: float) -> np.ndarray:
-    """Radius graph via uniform-grid spatial hashing.
+    """Deprecated alias for ``radius_graph(points, r, method="spatial_hash")``.
 
-    Points are bucketed into cells of side ``radius``; each point is only
+    Radius graph via uniform-grid spatial hashing.  Points are bucketed
+    into cells of side ``radius``; each point is only
     compared against the 27 neighbouring cells.  For bounded point
     density this is O(N) — the algorithmic ingredient behind real-time
     event-graph updates.
@@ -236,6 +244,41 @@ def radius_graph_spatial_hash(points: np.ndarray, radius: float) -> np.ndarray:
     both[: a.size, 0], both[: a.size, 1] = a, b
     both[a.size :, 0], both[a.size :, 1] = b, a
     return _canonical(both)
+
+
+#: ``radius_graph`` dispatch table.  "naive" and "kdtree" are retained
+#: as reference oracles (their outputs are identical by construction and
+#: pinned by tests); "spatial_hash" is the production default.
+RADIUS_GRAPH_METHODS = ("naive", "kdtree", "spatial_hash")
+
+
+def radius_graph(
+    points: np.ndarray, radius: float, method: str = "spatial_hash"
+) -> np.ndarray:
+    """All directed pairs within ``radius`` — the single entry point.
+
+    Consolidates the three construction algorithms behind one call;
+    every method returns the identical canonical edge list, so
+    ``method`` selects complexity only.  The per-algorithm functions
+    (``radius_graph_naive`` / ``radius_graph_kdtree`` /
+    ``radius_graph_spatial_hash``) remain available as deprecated
+    aliases and as the reference oracles the tests compare against.
+
+    Args:
+        points: ``(N, 3)`` spatiotemporal point cloud.
+        radius: connection radius.
+        method: one of :data:`RADIUS_GRAPH_METHODS`.
+    """
+    if method == "spatial_hash":
+        return radius_graph_spatial_hash(points, radius)
+    if method == "kdtree":
+        return radius_graph_kdtree(points, radius)
+    if method == "naive":
+        return radius_graph_naive(points, radius)
+    raise ValueError(
+        f"unknown radius_graph method {method!r} "
+        f"(expected one of {RADIUS_GRAPH_METHODS})"
+    )
 
 
 def knn_graph(points: np.ndarray, k: int) -> np.ndarray:

@@ -33,6 +33,10 @@ class EventGraph:
         time_scale_us: microseconds per unit of the temporal axis.
     """
 
+    #: Representation tag consumed by the hw cost models (the compact
+    #: counterpart is :class:`repro.gnn.compact.CompactEventGraph`).
+    representation = "dense"
+
     positions: np.ndarray
     features: np.ndarray
     edges: np.ndarray
@@ -78,6 +82,23 @@ class EventGraph:
         if self.num_edges == 0:
             return np.zeros((0, 3))
         return self.positions[self.edges[:, 1]] - self.positions[self.edges[:, 0]]
+
+    def in_degrees(self) -> np.ndarray:
+        """Per-node in-degree, ``(N,)``."""
+        if self.num_nodes == 0:
+            return np.zeros(0, dtype=np.int64)
+        return np.bincount(self.edges[:, 1], minlength=self.num_nodes)
+
+    def nbytes(self) -> int:
+        """Resident bytes of the stored representation.
+
+        Float64 positions and features plus the int64 edge list — the
+        baseline the compact representation's bytes/event is compared
+        against.
+        """
+        return int(
+            self.positions.nbytes + self.features.nbytes + self.edges.nbytes
+        )
 
     def is_causal(self) -> bool:
         """True if every edge points forward (or level) in time."""

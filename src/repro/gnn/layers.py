@@ -151,13 +151,23 @@ class EdgeConv(Module):
         )
         self.self_mlp = Linear(in_features, out_features, rng=rng)
 
-    def forward(self, x: Tensor, edges: np.ndarray, positions: np.ndarray) -> Tensor:
+    def forward(
+        self,
+        x: Tensor,
+        edges: np.ndarray,
+        positions: np.ndarray,
+        rel_pos: np.ndarray | None = None,
+    ) -> Tensor:
         """Apply the layer.
 
         Args:
             x: ``(N, F)`` node features.
             edges: ``(E, 2)`` directed (src, dst) pairs.
             positions: ``(N, 3)`` node coordinates.
+            rel_pos: optional precomputed ``(E, 3)`` edge offsets
+                ``pos[src] - pos[dst]`` — how a quantized compact graph
+                injects its grid-valued attributes; defaults to the
+                exact offsets from ``positions``.
         """
         n = x.shape[0]
         edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
@@ -165,7 +175,12 @@ class EdgeConv(Module):
         if edges.size == 0:
             return out
         src, dst = edges[:, 0], edges[:, 1]
-        rel_pos = positions[src] - positions[dst]
+        if rel_pos is None:
+            rel_pos = positions[src] - positions[dst]
+        else:
+            rel_pos = np.asarray(rel_pos, dtype=np.float64).reshape(-1, 3)
+            if rel_pos.shape[0] != edges.shape[0]:
+                raise ValueError("rel_pos must provide one offset per edge")
         from ..nn import functional as F
 
         edge_in = F.concatenate(
@@ -227,15 +242,32 @@ class SplineConvLite(Module):
         d2 = ((offsets[:, None, :] - self._centres[None, :, :]) ** 2).sum(axis=2)
         return np.exp(-d2 / (2.0 * self._width**2))
 
-    def forward(self, x: Tensor, edges: np.ndarray, positions: np.ndarray) -> Tensor:
-        """Apply the layer (arguments as :meth:`EdgeConv.forward`)."""
+    def forward(
+        self,
+        x: Tensor,
+        edges: np.ndarray,
+        positions: np.ndarray,
+        rel_pos: np.ndarray | None = None,
+    ) -> Tensor:
+        """Apply the layer (arguments as :meth:`EdgeConv.forward`).
+
+        ``rel_pos`` follows the EdgeConv convention ``pos[src] -
+        pos[dst]``; this layer's kernel consumes the opposite sign, and
+        negating a symmetric-grid quantized offset is exact.
+        """
         n = x.shape[0]
         edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
         out = self.root(x)
         if edges.size == 0:
             return out
         src, dst = edges[:, 0], edges[:, 1]
-        offsets = positions[dst] - positions[src]
+        if rel_pos is None:
+            offsets = positions[dst] - positions[src]
+        else:
+            rel_pos = np.asarray(rel_pos, dtype=np.float64).reshape(-1, 3)
+            if rel_pos.shape[0] != edges.shape[0]:
+                raise ValueError("rel_pos must provide one offset per edge")
+            offsets = -rel_pos
         b = self.basis(offsets)  # (E, B), constants w.r.t. autograd
         x_src = x[src]  # (E, F_in)
         # message_e = sum_b b_eb * (W_b @ x_src_e)

@@ -17,10 +17,10 @@ from ..datasets.base import EventDataset
 from ..events.stream import EventStream
 from ..nn import Adam, Tensor, cross_entropy, no_grad, stable_matmul
 from ..nn.layers import Linear, Module
-from .build import limit_in_degree, make_causal, radius_graph_spatial_hash
 from .graph import EventGraph
 from .layers import EdgeConv, SplineConvLite
 from .pooling import global_max_pool
+from .representation import get_representation
 
 __all__ = ["GraphBuildConfig", "build_event_graph", "EventGNNClassifier", "fit_gnn", "evaluate_gnn"]
 
@@ -39,6 +39,13 @@ class GraphBuildConfig:
             operation).
         include_position: append normalised absolute coordinates to the
             node features (see :meth:`EventGraph.from_stream`).
+        representation: graph storage layout — "dense" (the historical
+            :class:`EventGraph`) or "compact" (the memory-bounded
+            :class:`~repro.gnn.compact.CompactEventGraph`); see
+            :mod:`repro.gnn.representation`.
+        quantization_bits: feature/edge-offset grid width of the
+            compact representation (0 disables quantization, making
+            compact bitwise-equivalent to dense; ignored by dense).
     """
 
     radius: float = 4.0
@@ -47,6 +54,8 @@ class GraphBuildConfig:
     max_degree: int = 12
     causal: bool = True
     include_position: bool = False
+    representation: str = "dense"
+    quantization_bits: int = 8
 
     @property
     def num_node_features(self) -> int:
@@ -58,23 +67,26 @@ class GraphBuildConfig:
             raise ValueError("radius and time_scale_us must be positive")
         if self.max_events <= 0 or self.max_degree <= 0:
             raise ValueError("max_events and max_degree must be positive")
+        if self.representation not in ("dense", "compact"):
+            raise ValueError(
+                f"representation must be 'dense' or 'compact', "
+                f"got {self.representation!r}"
+            )
+        if not (self.quantization_bits == 0 or 2 <= self.quantization_bits <= 16):
+            raise ValueError("quantization_bits must be 0 or in [2, 16]")
+        if self.representation == "compact" and not self.causal:
+            raise ValueError("the compact representation requires causal=True")
 
 
-def build_event_graph(stream: EventStream, config: GraphBuildConfig) -> EventGraph:
-    """Construct the classification graph for one recording."""
-    if len(stream) > config.max_events:
-        idx = np.linspace(0, len(stream) - 1, config.max_events).astype(np.int64)
-        stream = stream[np.unique(idx)]
-    # Shared SoA columns: the same extraction feeds the node features in
-    # EventGraph.from_stream below, so the fields are gathered once.
-    points = stream.soa().point_cloud(config.time_scale_us)
-    edges = radius_graph_spatial_hash(points, config.radius)
-    if config.causal:
-        edges = make_causal(edges, points)
-    edges = limit_in_degree(edges, points, config.max_degree)
-    return EventGraph.from_stream(
-        stream, edges, config.time_scale_us, include_position=config.include_position
-    )
+def build_event_graph(stream: EventStream, config: GraphBuildConfig):
+    """Construct the classification graph for one recording.
+
+    Routes through the representation registry
+    (:mod:`repro.gnn.representation`): ``config.representation``
+    selects dense or compact storage declaratively; both produce the
+    same capped causal edge set.
+    """
+    return get_representation(config.representation).build(stream, config)
 
 
 class EventGNNClassifier(Module):
@@ -111,8 +123,15 @@ class EventGNNClassifier(Module):
             self.conv2 = SplineConvLite(hidden, hidden, rng=rng)
         self.head = Linear(hidden, num_classes, rng=rng)
 
-    def forward(self, graph: EventGraph) -> Tensor:
+    def forward(self, graph) -> Tensor:
         """Logits ``(1, num_classes)`` for one event graph.
+
+        Accepts a dense :class:`EventGraph` or a
+        :class:`~repro.gnn.compact.CompactEventGraph`.  A compact graph
+        with quantization enabled supplies its grid-quantized edge
+        offsets (``conv_rel_pos``) to the convolutions; otherwise exact
+        offsets are computed from the positions, and the two paths are
+        bit-identical.
 
         Runs under :class:`~repro.nn.stable_matmul` so that every node's
         features come out bit-identical whether the graph is evaluated
@@ -120,10 +139,16 @@ class EventGNNClassifier(Module):
         (:class:`~repro.gnn.AsyncEventGNN`) — the exact-equivalence
         invariant the incremental serving path is tested against.
         """
+        conv_rel = getattr(graph, "conv_rel_pos", None)
+        rel_pos = conv_rel() if conv_rel is not None else None
         with stable_matmul():
             x = Tensor(graph.features)
-            x = self.conv1(x, graph.edges, graph.positions).relu()
-            x = self.conv2(x, graph.edges, graph.positions).relu()
+            x = self.conv1(
+                x, graph.edges, graph.positions, rel_pos=rel_pos
+            ).relu()
+            x = self.conv2(
+                x, graph.edges, graph.positions, rel_pos=rel_pos
+            ).relu()
             return self.head(global_max_pool(x))
 
     def operation_count(self, graph: EventGraph) -> int:

@@ -1,0 +1,153 @@
+"""The unified graph-representation API.
+
+A *representation* decides how one recording's events become a graph
+object the classifier can consume: the historical float64/int64
+:class:`~repro.gnn.graph.EventGraph` ("dense") or the memory-bounded,
+integer-quantized :class:`~repro.gnn.compact.CompactEventGraph`
+("compact").  Pipelines select it declaratively through the
+``representation`` field on :class:`~repro.gnn.models.GraphBuildConfig`
+— :func:`~repro.gnn.models.build_event_graph` routes through the
+registry here, so every existing call site keeps working unchanged.
+
+Both representations subsample the stream identically and produce the
+same capped causal edge set (the dense batch pipeline and the
+incremental :class:`~repro.gnn.asynchronous.HashInserter` select
+identical edges — a tested invariant), so "dense vs compact" differs
+only in storage layout and, when enabled, quantization.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..events.stream import EventStream
+from .build import limit_in_degree, make_causal, radius_graph_spatial_hash
+from .compact import CompactGraphBuilder
+from .graph import EventGraph
+
+__all__ = [
+    "GraphRepresentation",
+    "DenseGraphRepresentation",
+    "CompactGraphRepresentation",
+    "REPRESENTATIONS",
+    "get_representation",
+    "subsample_stream",
+]
+
+
+def subsample_stream(stream: EventStream, max_events: int) -> EventStream:
+    """Uniform-stride subsample bounding graph size (shared by all reps)."""
+    if len(stream) > max_events:
+        idx = np.linspace(0, len(stream) - 1, max_events).astype(np.int64)
+        stream = stream[np.unique(idx)]
+    return stream
+
+
+@runtime_checkable
+class GraphRepresentation(Protocol):
+    """One way of materialising a recording as a classifier-ready graph.
+
+    Implementations are stateless singletons registered in
+    :data:`REPRESENTATIONS`; ``build`` must be deterministic in
+    ``(stream, config)`` — the representation cache addresses its
+    results by exactly that pair.
+    """
+
+    #: Registry key and the value of ``GraphBuildConfig.representation``.
+    name: str
+
+    def build(self, stream: EventStream, config):
+        """Build the graph of one recording.
+
+        Args:
+            stream: the recording.
+            config: a :class:`~repro.gnn.models.GraphBuildConfig`.
+
+        Returns:
+            A graph object exposing the dense API surface
+            (``positions`` / ``features`` / ``edges`` / ``num_nodes``
+            …).
+        """
+        ...
+
+
+class DenseGraphRepresentation:
+    """The historical float64/int64 :class:`EventGraph` build.
+
+    Batch pipeline: spatial-hash radius graph → causal filter →
+    in-degree cap (``knn_graph``/``radius_graph_spatial_hash`` remain
+    its public building blocks).
+    """
+
+    name = "dense"
+
+    def build(self, stream: EventStream, config) -> EventGraph:
+        stream = subsample_stream(stream, config.max_events)
+        # Shared SoA columns: the same extraction feeds the node
+        # features in EventGraph.from_stream, so fields gather once.
+        points = stream.soa().point_cloud(config.time_scale_us)
+        edges = radius_graph_spatial_hash(points, config.radius)
+        if config.causal:
+            edges = make_causal(edges, points)
+        edges = limit_in_degree(edges, points, config.max_degree)
+        return EventGraph.from_stream(
+            stream,
+            edges,
+            config.time_scale_us,
+            include_position=config.include_position,
+        )
+
+
+class CompactGraphRepresentation:
+    """The memory-bounded :class:`CompactEventGraph` build.
+
+    Incremental construction over the same subsampled columns; requires
+    ``config.causal`` (the fixed-degree delta table encodes past →
+    present edges only).  ``config.quantization_bits == 0`` makes the
+    result bitwise-equivalent to the dense build.
+    """
+
+    name = "compact"
+
+    def build(self, stream: EventStream, config):
+        if not config.causal:
+            raise ValueError(
+                "the compact representation requires causal=True "
+                "(its neighbour table stores past -> present deltas)"
+            )
+        stream = subsample_stream(stream, config.max_events)
+        soa = stream.soa()
+        builder = CompactGraphBuilder(
+            radius=config.radius,
+            time_scale_us=config.time_scale_us,
+            max_degree=config.max_degree,
+            quantization_bits=config.quantization_bits,
+            include_position=config.include_position,
+            resolution=stream.resolution,
+        )
+        builder.extend(soa.x, soa.y, soa.t, soa.p)
+        return builder.graph()
+
+
+#: Registry: ``GraphBuildConfig.representation`` value → implementation.
+REPRESENTATIONS: dict[str, GraphRepresentation] = {
+    "dense": DenseGraphRepresentation(),
+    "compact": CompactGraphRepresentation(),
+}
+
+
+def get_representation(name: str) -> GraphRepresentation:
+    """Look up a representation by name.
+
+    Args:
+        name: a key of :data:`REPRESENTATIONS`.
+    """
+    try:
+        return REPRESENTATIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown graph representation {name!r} "
+            f"(expected one of {tuple(REPRESENTATIONS)})"
+        ) from None

@@ -8,7 +8,12 @@ from .neuromorphic import NeuromorphicCore, analytic_snn_counters
 from .report import CostReport
 from .smart_imager import IOEnergyParams, SmartImagerModel
 from .systolic import ReuseFactors, SystolicArray, dataflow_reuse
-from .workload import ConvLayerWorkload, GNNWorkload, SNNLayerWorkload
+from .workload import (
+    ConvLayerWorkload,
+    GNNWorkload,
+    GraphMemoryWorkload,
+    SNNLayerWorkload,
+)
 from .zeroskip import (
     ZeroSkipAccelerator,
     compression_ratio,
@@ -25,6 +30,7 @@ __all__ = [
     "ConvLayerWorkload",
     "SNNLayerWorkload",
     "GNNWorkload",
+    "GraphMemoryWorkload",
     "SystolicArray",
     "ReuseFactors",
     "dataflow_reuse",

@@ -18,8 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .energy import ENERGY_45NM, EnergyTable
+from .memory import MemoryHierarchy, default_hierarchy
 from .report import CostReport
-from .workload import GNNWorkload
+from .workload import GNNWorkload, GraphMemoryWorkload
 
 __all__ = ["GNNAccelerator"]
 
@@ -87,6 +88,72 @@ class GNNAccelerator:
                 "mac_combine": e_combine,
             },
         )
+
+    def memory_report(
+        self,
+        workload: GNNWorkload,
+        storage: GraphMemoryWorkload,
+        hierarchy: MemoryHierarchy | None = None,
+    ) -> dict[str, float | str | int]:
+        """Memory footprint and bandwidth of holding + traversing a graph.
+
+        Scores what :meth:`run_graph` leaves implicit: the *resident*
+        cost of the graph representation itself.  The measured storage
+        footprint is placed into the hierarchy; aggregation traffic is
+        the per-layer sweep over the edge structure plus one feature
+        -vector gather per edge, at the representation's word width —
+        so a quantized compact graph moves fewer bytes per pass than
+        the float64 dense layout even at an identical gather *count*.
+
+        Args:
+            workload: network dimensions (feature_dim, num_layers).
+            storage: the representation's measured storage descriptor.
+            hierarchy: memory stack; defaults to
+                :func:`~repro.hw.memory.default_hierarchy`.
+
+        Returns:
+            dict with ``representation``, ``footprint_bytes``,
+            ``bytes_per_event`` (resident, amortised), ``level`` (the
+            hierarchy level the graph lands in), ``traffic_bytes_per_pass``
+            (aggregation-phase bytes moved per forward pass),
+            ``traffic_bytes_per_event``, ``energy_pj`` (access energy of
+            that traffic at the placed level), and ``streams_resident``
+            (graphs of this footprint the largest on-chip SRAM holds).
+        """
+        hierarchy = hierarchy or default_hierarchy(self.energy)
+        level = hierarchy.place(storage.storage_bytes)
+        word_bytes = max(1, storage.word_bits // 8)
+        f = workload.feature_dim
+        layers = workload.num_layers
+        if storage.representation == "compact":
+            # Fixed-width neighbour table: max_degree uint16 slots/node.
+            structure_bytes = storage.num_nodes * max(storage.max_degree, 1) * 2
+        else:
+            # Dense int64 (src, dst) edge list.
+            structure_bytes = storage.num_edges * 16
+        gather_bytes = storage.num_edges * f * word_bytes
+        traffic_per_pass = layers * (structure_bytes + gather_bytes)
+        traffic_per_event = traffic_per_pass / storage.num_nodes
+        # Element accesses (one neighbour entry + f feature words per
+        # edge, per layer) are representation-independent; the energy
+        # advantage of the compact layout comes from *where* its smaller
+        # footprint lands in the hierarchy, not from access count.
+        accesses = layers * storage.num_edges * (1 + f)
+        energy_pj = hierarchy.access_energy_pj(storage.storage_bytes, accesses)
+        on_chip = [lv for lv in hierarchy.levels if lv.name != "dram"]
+        largest_sram = on_chip[-1] if on_chip else hierarchy.levels[-1]
+        return {
+            "representation": storage.representation,
+            "footprint_bytes": int(storage.storage_bytes),
+            "bytes_per_event": storage.bytes_per_event,
+            "level": level.name,
+            "traffic_bytes_per_pass": int(traffic_per_pass),
+            "traffic_bytes_per_event": traffic_per_event,
+            "energy_pj": energy_pj,
+            "streams_resident": int(
+                largest_sram.capacity_bytes // storage.storage_bytes
+            ),
+        }
 
     def per_event_update(
         self, workload: GNNWorkload, degree: int, insertion_candidates: int

@@ -83,6 +83,23 @@ class MemoryHierarchy:
             raise ValueError("num_accesses must be non-negative")
         return self.place(footprint_bytes).access_pj * num_accesses
 
+    def streams_per_level(self, footprint_bytes: int) -> dict[str, int]:
+        """How many concurrent graph streams each level could hold.
+
+        For a per-stream resident footprint (e.g. one bounded event
+        graph), returns ``{level name: capacity // footprint}`` — the
+        multi-tenancy headroom a representation buys at each level of
+        the hierarchy.  A compact graph that fits 8x more streams into
+        the same SRAM is the hardware payoff the compact representation
+        exists for.
+        """
+        if footprint_bytes <= 0:
+            raise ValueError("footprint_bytes must be positive")
+        return {
+            level.name: level.capacity_bytes // footprint_bytes
+            for level in self.levels
+        }
+
     def distributed_core_tradeoff(
         self, total_bytes: int, num_cores: int, accesses_per_byte: float = 1.0
     ) -> dict[str, float]:

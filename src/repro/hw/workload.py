@@ -4,7 +4,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["ConvLayerWorkload", "SNNLayerWorkload", "GNNWorkload"]
+__all__ = [
+    "ConvLayerWorkload",
+    "SNNLayerWorkload",
+    "GNNWorkload",
+    "GraphMemoryWorkload",
+]
 
 
 @dataclass(frozen=True)
@@ -116,3 +121,78 @@ class GNNWorkload:
             raise ValueError("feature_dim and num_layers must be positive")
         if self.bits <= 0:
             raise ValueError("bits must be positive")
+
+
+@dataclass(frozen=True)
+class GraphMemoryWorkload:
+    """The resident graph storage of one event-graph representation.
+
+    Describes *what the graph costs to hold*, complementing
+    :class:`GNNWorkload` (what it costs to compute).  Built from an
+    in-memory graph via :meth:`from_graph`, which reads the
+    representation tag and measured byte count off the graph object —
+    the mechanism that lets the Table I comparison score dense
+    float64 storage against the compact quantized layout with the same
+    cost model.
+
+    Attributes:
+        representation: storage layout tag ("dense" or "compact").
+        num_nodes: events in the graph.
+        num_edges: directed edges.
+        storage_bytes: measured resident bytes of the stored arrays.
+        word_bits: word width of the stored features/attributes
+            (64 for the float64 dense layout, the quantization width
+            for compact).
+        max_degree: in-degree cap (0 = uncapped, dense).
+    """
+
+    representation: str
+    num_nodes: int
+    num_edges: int
+    storage_bytes: int
+    word_bits: int = 64
+    max_degree: int = 0
+
+    def __post_init__(self) -> None:
+        if self.representation not in ("dense", "compact"):
+            raise ValueError(
+                f"representation must be 'dense' or 'compact', "
+                f"got {self.representation!r}"
+            )
+        if self.num_nodes <= 0 or self.num_edges < 0:
+            raise ValueError("num_nodes must be positive, num_edges non-negative")
+        if self.storage_bytes <= 0:
+            raise ValueError("storage_bytes must be positive")
+        if self.word_bits <= 0:
+            raise ValueError("word_bits must be positive")
+        if self.max_degree < 0:
+            raise ValueError("max_degree must be non-negative")
+
+    @property
+    def bytes_per_event(self) -> float:
+        """Resident storage bytes amortised per event (node)."""
+        return self.storage_bytes / self.num_nodes
+
+    @classmethod
+    def from_graph(cls, graph) -> "GraphMemoryWorkload":
+        """Measure a live graph object.
+
+        Accepts anything with ``representation`` / ``num_nodes`` /
+        ``num_edges`` / ``nbytes()`` — i.e. :class:`~repro.gnn.
+        EventGraph` or :class:`~repro.gnn.CompactEventGraph`.
+        """
+        representation = getattr(graph, "representation", "dense")
+        if representation == "compact":
+            bits = graph.quantization_bits or 64
+            max_degree = graph.max_degree
+        else:
+            bits = 64
+            max_degree = 0
+        return cls(
+            representation=representation,
+            num_nodes=graph.num_nodes,
+            num_edges=graph.num_edges,
+            storage_bytes=graph.nbytes(),
+            word_bits=bits,
+            max_degree=max_degree,
+        )

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import resource
 import subprocess
 import sys
 import time
@@ -52,6 +53,15 @@ from repro.observability import (  # noqa: E402
 
 #: Full runs must beat the windowed recompute by at least this factor.
 MIN_LATENCY_RATIO = 10.0
+
+
+def peak_rss_bytes() -> int:
+    """This process's peak resident set size (``ru_maxrss`` is KB on Linux).
+
+    Recorded on every run so ``BENCH_async.json`` and
+    ``BENCH_memory.json`` report comparable memory columns.
+    """
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
 
 
 def git_revision() -> str:
@@ -142,6 +152,7 @@ def main(argv: list[str] | None = None) -> int:
         "git_rev": git_revision(),
         "quick": bool(args.quick),
         "seed": args.seed,
+        "peak_rss_bytes": peak_rss_bytes(),
         **record,
     }
     if args.output.exists():
@@ -167,6 +178,7 @@ def main(argv: list[str] | None = None) -> int:
                 "git_rev": git_revision(),
                 "quick": bool(args.quick),
                 "seed": args.seed,
+                "peak_rss_bytes": peak_rss_bytes(),
                 **bounded,
             }
         )

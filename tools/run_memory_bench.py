@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""Benchmark dense vs compact graph storage and append to BENCH_memory.json.
+
+Runs :mod:`benchmarks.bench_graph_memory` on a synthetic stream: one
+*subprocess per representation* (so each leg's peak RSS is measured in
+isolation), an in-process edge-set equivalence spot check, and — outside
+``--smoke`` — the quantization accuracy-delta leg on the gestures task.
+
+Usage:
+    PYTHONPATH=src:benchmarks python tools/run_memory_bench.py          # 1M events
+    PYTHONPATH=src:benchmarks python tools/run_memory_bench.py --smoke  # CI gate
+
+Exits non-zero when the compact representation fails the bytes/event
+regression gate (>= 4x smaller than dense), or, outside ``--smoke``,
+when the quantization accuracy delta exceeds 1 point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+from bench_graph_memory import (  # noqa: E402
+    DEFAULT_N,
+    MIN_BYTES_RATIO,
+    SMOKE_N,
+    bench_accuracy_delta,
+    bench_graph_memory,
+    format_table,
+    measure_representation,
+)
+
+#: Full runs must retain accuracy within this many points of dense.
+MAX_ACCURACY_DELTA_POINTS = 1.0
+
+#: Cap on the in-process edge-equivalence spot check (the per-leg
+#: subprocesses handle the full size; this re-verifies correctness
+#: without doubling the peak RSS of the runner itself).
+EDGE_CHECK_N = 50_000
+
+
+def peak_rss_bytes() -> int:
+    """This process's peak resident set size (``ru_maxrss`` is KB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+def git_revision() -> str:
+    """Current commit hash, or "unknown" outside a checkout."""
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=REPO,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def run_leg(representation: str, n: int, seed: int) -> dict:
+    """One representation in a fresh subprocess; returns its record."""
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(Path(__file__).resolve()),
+            "--leg",
+            representation,
+            "--n",
+            str(n),
+            "--seed",
+            str(seed),
+        ],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"{representation} leg failed:\n{proc.stdout}\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"CI mode: {SMOKE_N} events, accuracy leg skipped",
+    )
+    parser.add_argument(
+        "--n", type=int, default=None, help="stream length in events (overrides mode)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="stream seed")
+    parser.add_argument(
+        "--skip-accuracy",
+        action="store_true",
+        help="skip the quantization accuracy-delta leg (it trains a model)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO / "BENCH_memory.json",
+        help="run-record file to append to",
+    )
+    parser.add_argument(
+        "--leg",
+        choices=("dense", "compact"),
+        default=None,
+        help=argparse.SUPPRESS,  # internal: single-representation subprocess
+    )
+    args = parser.parse_args(argv)
+
+    n = args.n if args.n is not None else (SMOKE_N if args.smoke else DEFAULT_N)
+
+    if args.leg is not None:
+        record = measure_representation(args.leg, n, seed=args.seed)
+        record["peak_rss_bytes"] = peak_rss_bytes()
+        print(json.dumps(record))
+        return 0
+
+    legs = {rep: run_leg(rep, n, args.seed) for rep in ("dense", "compact")}
+    ratio = (
+        legs["dense"]["bytes_per_event"] / legs["compact"]["bytes_per_event"]
+    )
+    record = {
+        "n_events": n,
+        "num_edges": legs["dense"]["num_edges"],
+        "mean_degree": legs["dense"]["mean_degree"],
+        "dense_bytes_per_event": legs["dense"]["bytes_per_event"],
+        "compact_bytes_per_event": legs["compact"]["bytes_per_event"],
+        "bytes_ratio": ratio,
+        "dense_peak_rss_bytes": legs["dense"]["peak_rss_bytes"],
+        "compact_peak_rss_bytes": legs["compact"]["peak_rss_bytes"],
+        "dense_build_s": legs["dense"]["build_s"],
+        "compact_build_s": legs["compact"]["build_s"],
+        "legs": legs,
+    }
+
+    failures: list[str] = []
+    if legs["dense"]["num_edges"] != legs["compact"]["num_edges"]:
+        failures.append(
+            "edge counts diverged between representations: "
+            f"{legs['dense']['num_edges']} dense vs "
+            f"{legs['compact']['num_edges']} compact"
+        )
+    # Spot-check full edge-set equality in process (bounded size, so the
+    # runner's own RSS stays out of the per-leg numbers).
+    check = bench_graph_memory(min(n, EDGE_CHECK_N), seed=args.seed)
+    record["edge_check_n"] = check["n_events"]
+    if ratio < MIN_BYTES_RATIO:
+        failures.append(
+            f"compact only {ratio:.2f}x smaller than dense at n={n}; "
+            f"the regression gate requires >={MIN_BYTES_RATIO:.0f}x"
+        )
+
+    if not args.smoke and not args.skip_accuracy:
+        accuracy = bench_accuracy_delta(seed=args.seed)
+        record.update(accuracy)
+        if abs(accuracy["accuracy_delta_points"]) > MAX_ACCURACY_DELTA_POINTS:
+            failures.append(
+                "quantization cost "
+                f"{accuracy['accuracy_delta_points']:.1f} accuracy points; "
+                f"the gate allows {MAX_ACCURACY_DELTA_POINTS:.0f}"
+            )
+
+    print(format_table(record))
+
+    run = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "git_rev": git_revision(),
+        "smoke": bool(args.smoke),
+        "seed": args.seed,
+        **record,
+    }
+    if args.output.exists():
+        data = json.loads(args.output.read_text())
+    else:
+        data = {"runs": []}
+    data["runs"].append(run)
+    args.output.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"run record -> {args.output}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
